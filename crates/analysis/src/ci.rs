@@ -1,0 +1,168 @@
+//! Confidence intervals for success probabilities.
+
+use std::fmt;
+
+/// A Wilson score confidence interval for a Bernoulli success probability.
+///
+/// The paper's guarantees are "with high probability" statements; the
+/// experiments estimate the corresponding success probabilities from
+/// repeated trials, and the Wilson interval gives well-behaved bounds even
+/// when the observed count is 0 or equal to the number of trials (where the
+/// naive normal interval collapses).
+///
+/// ```
+/// use gossip_analysis::ci::WilsonInterval;
+///
+/// let ci = WilsonInterval::from_trials(48, 50);
+/// assert!(ci.lower() > 0.8);
+/// assert!(ci.upper() <= 1.0);
+/// assert!(ci.contains(0.96));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilsonInterval {
+    successes: u64,
+    trials: u64,
+    lower: f64,
+    upper: f64,
+}
+
+impl WilsonInterval {
+    /// The default normal quantile (95% two-sided confidence).
+    pub const Z_95: f64 = 1.959_963_984_540_054;
+
+    /// Builds a 95% Wilson interval from `successes` out of `trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `successes > trials`.
+    pub fn from_trials(successes: u64, trials: u64) -> Self {
+        Self::with_z(successes, trials, Self::Z_95)
+    }
+
+    /// Builds a Wilson interval with an explicit normal quantile `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`, `successes > trials`, or `z ≤ 0`.
+    pub fn with_z(successes: u64, trials: u64, z: f64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        assert!(successes <= trials, "successes cannot exceed trials");
+        assert!(z > 0.0, "z must be positive");
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p + z2 / (2.0 * n);
+        let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        let lower = ((centre - spread) / denom).clamp(0.0, 1.0);
+        let upper = ((centre + spread) / denom).clamp(0.0, 1.0);
+        Self {
+            successes,
+            trials,
+            lower,
+            upper,
+        }
+    }
+
+    /// The observed number of successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// The number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The point estimate `successes / trials`.
+    pub fn point_estimate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// The lower confidence bound.
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// The upper confidence bound.
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// `true` if `p` lies inside the interval.
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lower && p <= self.upper
+    }
+}
+
+impl fmt::Display for WilsonInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} = {:.3} [{:.3}, {:.3}]",
+            self.successes,
+            self.trials,
+            self.point_estimate(),
+            self.lower,
+            self.upper
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        let ci = WilsonInterval::from_trials(30, 100);
+        assert!(ci.lower() < 0.3 && 0.3 < ci.upper());
+        assert!(ci.contains(ci.point_estimate()));
+        assert_eq!(ci.successes(), 30);
+        assert_eq!(ci.trials(), 100);
+    }
+
+    #[test]
+    fn extreme_counts_stay_inside_the_unit_interval() {
+        let all = WilsonInterval::from_trials(50, 50);
+        assert!(all.upper() <= 1.0);
+        assert!(all.lower() > 0.9);
+        let none = WilsonInterval::from_trials(0, 50);
+        assert!(none.lower() >= 0.0);
+        assert!(none.upper() < 0.1);
+    }
+
+    #[test]
+    fn more_trials_tighten_the_interval() {
+        let small = WilsonInterval::from_trials(8, 10);
+        let large = WilsonInterval::from_trials(800, 1000);
+        assert!(large.upper() - large.lower() < small.upper() - small.lower());
+    }
+
+    #[test]
+    fn higher_z_widens_the_interval() {
+        let narrow = WilsonInterval::with_z(40, 80, 1.0);
+        let wide = WilsonInterval::with_z(40, 80, 3.0);
+        assert!(wide.upper() - wide.lower() > narrow.upper() - narrow.lower());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = WilsonInterval::from_trials(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn more_successes_than_trials_panics() {
+        let _ = WilsonInterval::from_trials(5, 4);
+    }
+
+    #[test]
+    fn display_shows_counts_and_bounds() {
+        let ci = WilsonInterval::from_trials(3, 4);
+        let text = ci.to_string();
+        assert!(text.contains("3/4"));
+        assert!(text.contains('['));
+    }
+}

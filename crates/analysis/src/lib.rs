@@ -1,0 +1,40 @@
+//! # gossip-analysis
+//!
+//! Statistics, confidence intervals, parameter sweeps and plain-text table
+//! emitters for the noisy-plurality experiment harness.
+//!
+//! The experiments of this reproduction (DESIGN.md §5) all follow the same
+//! shape: repeat a randomized protocol run over a grid of parameters,
+//! estimate success rates and means with confidence intervals, and print a
+//! table whose rows can be compared against the paper's predictions. This
+//! crate provides those building blocks without pulling in any external
+//! statistics dependency:
+//!
+//! * [`stats::SampleStats`] — online mean / variance / min / max.
+//! * [`ci::WilsonInterval`] — Wilson score intervals for success
+//!   probabilities ("w.h.p." claims are checked through these).
+//! * [`sweep`] — a tiny harness for running a closure over a parameter grid
+//!   with repetitions and collecting rows.
+//! * [`table`] — fixed-width plain-text tables and CSV output for
+//!   EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use gossip_analysis::stats::SampleStats;
+//!
+//! let mut stats = SampleStats::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     stats.push(x);
+//! }
+//! assert_eq!(stats.mean(), 2.5);
+//! assert_eq!(stats.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod stats;
+pub mod sweep;
+pub mod table;

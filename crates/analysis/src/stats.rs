@@ -1,0 +1,242 @@
+//! Online sample statistics.
+
+use std::fmt;
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// ```
+/// use gossip_analysis::stats::SampleStats;
+///
+/// let stats: SampleStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(stats.mean(), 5.0);
+/// assert_eq!(stats.population_variance(), 4.0);
+/// assert_eq!(stats.min(), Some(2.0));
+/// assert_eq!(stats.max(), Some(9.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SampleStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot accumulate NaN observations");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The number of observations.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The population variance (dividing by `n`; 0 if empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The sample variance (dividing by `n − 1`; 0 if fewer than two
+    /// observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// The standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// A normal-approximation 95% confidence half-width for the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// The smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// The largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &SampleStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for SampleStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = SampleStats::new();
+        for value in iter {
+            stats.push(value);
+        }
+        stats
+    }
+}
+
+impl Extend<f64> for SampleStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl fmt::Display for SampleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.4} ± {:.4} (n = {})",
+            self.mean(),
+            self.ci95_half_width(),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let stats = SampleStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.population_variance(), 0.0);
+        assert_eq!(stats.sample_variance(), 0.0);
+        assert_eq!(stats.min(), None);
+        assert_eq!(stats.max(), None);
+        assert_eq!(stats.std_error(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let stats: SampleStats = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(stats.len(), 100);
+        assert!((stats.mean() - 50.5).abs() < 1e-12);
+        // Population variance of 1..=100 is (100^2 - 1) / 12.
+        assert!((stats.population_variance() - (100.0 * 100.0 - 1.0) / 12.0).abs() < 1e-9);
+        assert_eq!(stats.min(), Some(1.0));
+        assert_eq!(stats.max(), Some(100.0));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential_accumulation() {
+        let all: SampleStats = (0..50).map(|i| (i as f64).sin()).collect();
+        let mut left: SampleStats = (0..20).map(|i| (i as f64).sin()).collect();
+        let right: SampleStats = (20..50).map(|i| (i as f64).sin()).collect();
+        left.merge(&right);
+        assert_eq!(left.len(), all.len());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-12);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats: SampleStats = [1.0, 2.0].into_iter().collect();
+        stats.merge(&SampleStats::new());
+        assert_eq!(stats.len(), 2);
+        let mut empty = SampleStats::new();
+        empty.merge(&stats);
+        assert_eq!(empty.len(), 2);
+        assert_eq!(empty.mean(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_observations_are_rejected() {
+        SampleStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn display_mentions_mean_and_count() {
+        let stats: SampleStats = [1.0, 3.0].into_iter().collect();
+        let text = stats.to_string();
+        assert!(text.contains("2.0"));
+        assert!(text.contains("n = 2"));
+    }
+}

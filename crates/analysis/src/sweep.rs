@@ -1,0 +1,138 @@
+//! Parameter sweeps with repetitions.
+
+use crate::stats::SampleStats;
+use std::collections::BTreeMap;
+
+/// One row of a sweep: a parameter point plus named metric accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    label: String,
+    metrics: BTreeMap<String, SampleStats>,
+}
+
+impl SweepRow {
+    /// Creates an empty row for the parameter point described by `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// The label of the parameter point (e.g. `"n=10000,k=3"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Records one observation of metric `name`.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.metrics.entry(name.to_string()).or_default().push(value);
+    }
+
+    /// The accumulator of metric `name`, if any observation was recorded.
+    pub fn metric(&self, name: &str) -> Option<&SampleStats> {
+        self.metrics.get(name)
+    }
+
+    /// The names of all recorded metrics, in sorted order.
+    pub fn metric_names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.keys().map(|s| s.as_str())
+    }
+}
+
+/// A parameter sweep: a list of parameter points, each repeated several
+/// times, producing one [`SweepRow`] per point.
+///
+/// ```
+/// use gossip_analysis::sweep::Sweep;
+///
+/// // Estimate the mean of x^2 for x = 1, 2, 3 with 4 "repetitions" each.
+/// let rows = Sweep::over(vec![1.0f64, 2.0, 3.0])
+///     .repetitions(4)
+///     .run(|&x, _rep, row| {
+///         row.record("square", x * x);
+///     });
+/// assert_eq!(rows.len(), 3);
+/// assert_eq!(rows[1].metric("square").unwrap().mean(), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep<P> {
+    points: Vec<P>,
+    repetitions: u64,
+}
+
+impl<P: std::fmt::Debug> Sweep<P> {
+    /// Creates a sweep over the given parameter points.
+    pub fn over(points: Vec<P>) -> Self {
+        Self {
+            points,
+            repetitions: 1,
+        }
+    }
+
+    /// Sets how many times each parameter point is repeated (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn repetitions(mut self, repetitions: u64) -> Self {
+        assert!(repetitions > 0, "need at least one repetition");
+        self.repetitions = repetitions;
+        self
+    }
+
+    /// Runs `body` for every (point, repetition) pair; the body records
+    /// metrics into the row for its point. Returns one row per point, in
+    /// the original order, labelled with the point's `Debug` representation.
+    pub fn run<F>(self, mut body: F) -> Vec<SweepRow>
+    where
+        F: FnMut(&P, u64, &mut SweepRow),
+    {
+        let mut rows = Vec::with_capacity(self.points.len());
+        for point in &self.points {
+            let mut row = SweepRow::new(format!("{point:?}"));
+            for rep in 0..self.repetitions {
+                body(point, rep, &mut row);
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_visits_every_point_and_repetition() {
+        let mut visits = Vec::new();
+        let rows = Sweep::over(vec!["a", "b"]).repetitions(3).run(|p, rep, row| {
+            visits.push((p.to_string(), rep));
+            row.record("reps", rep as f64);
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(visits.len(), 6);
+        assert_eq!(rows[0].metric("reps").unwrap().len(), 3);
+        assert_eq!(rows[0].label(), "\"a\"");
+    }
+
+    #[test]
+    fn rows_accumulate_multiple_metrics() {
+        let mut row = SweepRow::new("point");
+        row.record("x", 1.0);
+        row.record("x", 3.0);
+        row.record("y", 10.0);
+        assert_eq!(row.metric("x").unwrap().mean(), 2.0);
+        assert_eq!(row.metric("y").unwrap().len(), 1);
+        assert!(row.metric("z").is_none());
+        let names: Vec<&str> = row.metric_names().collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_repetitions_is_rejected() {
+        let _ = Sweep::over(vec![1]).repetitions(0);
+    }
+}

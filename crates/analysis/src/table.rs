@@ -1,0 +1,183 @@
+//! Plain-text tables and CSV output for the experiment harness.
+
+use std::fmt;
+
+/// A simple column-aligned table that can also render itself as CSV.
+///
+/// The experiment binaries print these tables to stdout; EXPERIMENTS.md
+/// embeds their output verbatim.
+///
+/// ```
+/// use gossip_analysis::table::Table;
+///
+/// let mut table = Table::new(vec!["n", "rounds"]);
+/// table.push_row(vec!["1000".into(), "813".into()]);
+/// table.push_row(vec!["2000".into(), "905".into()]);
+/// let text = table.to_string();
+/// assert!(text.contains("rounds"));
+/// assert_eq!(table.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than there are
+    /// columns.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Convenience helper: formats every cell with `Display` and appends the
+    /// row.
+    pub fn push_display_row<D: fmt::Display>(&mut self, row: Vec<D>) {
+        self.push_row(row.into_iter().map(|d| d.to_string()).collect());
+    }
+
+    /// Renders the table as CSV (headers first, comma-separated; cells
+    /// containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths: max of header and cells.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total_width))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut table = Table::new(vec!["name", "value"]);
+        table.push_row(vec!["alpha".into(), "1".into()]);
+        table.push_display_row(vec!["beta", "23456"]);
+        table
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample_table().to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(lines.len(), 4);
+        // Both data rows start their second column at the same offset.
+        let offset_a = lines[2].find('1').unwrap();
+        let offset_b = lines[3].find('2').unwrap();
+        assert_eq!(offset_a, offset_b);
+    }
+
+    #[test]
+    fn csv_output_escapes_special_cells() {
+        let mut table = Table::new(vec!["a", "b"]);
+        table.push_row(vec!["x,y".into(), "quote\"inside".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let table = sample_table();
+        assert_eq!(table.headers(), &["name".to_string(), "value".to_string()]);
+        assert_eq!(table.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_length_panics() {
+        let mut table = Table::new(vec!["only one"]);
+        table.push_row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the push-model simulator: cost of one
+//! round and one phase under each delivery semantics. These numbers are the
+//! cost model behind the experiment binaries' runtime estimates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noisy_channel::NoiseMatrix;
+use pushsim::{DeliverySemantics, Network, SimConfig};
+use std::time::Duration;
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushsim_round");
+    for &n in &[1_000usize, 10_000] {
+        for semantics in [DeliverySemantics::Exact, DeliverySemantics::BallsIntoBins] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("process_{}", semantics.label()), n),
+                &n,
+                |b, &n| {
+                    let noise = NoiseMatrix::uniform(3, 0.2).expect("valid noise");
+                    let config = SimConfig::builder(n, 3)
+                        .seed(1)
+                        .delivery(semantics)
+                        .build()
+                        .expect("valid config");
+                    let mut net = Network::new(config, noise).expect("valid network");
+                    net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+                    b.iter(|| {
+                        net.begin_phase();
+                        net.push_round(|_, s| s.opinion());
+                        net.end_phase().total_messages()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_poissonized_phase(c: &mut Criterion) {
+    c.bench_function("pushsim_poissonized_phase_n10000", |b| {
+        let noise = NoiseMatrix::uniform(3, 0.2).expect("valid noise");
+        let config = SimConfig::builder(10_000, 3)
+            .seed(2)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .expect("valid config");
+        let mut net = Network::new(config, noise).expect("valid network");
+        net.seed_counts(&[5_000, 2_500, 2_500]).expect("valid counts");
+        b.iter(|| {
+            net.begin_phase();
+            for _ in 0..4 {
+                net.push_round(|_, s| s.opinion());
+            }
+            net.end_phase().total_messages()
+        });
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_round_throughput, bench_poissonized_phase
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment F2 — Theorems 1 and 2: the round complexity scales as `1/ε²`.
+//!
+//! Fixes `n` and `k` and sweeps the noise parameter ε (using the uniform
+//! ε-noise family, which is (ε·k/(k−1), δ)-m.p. for every δ). Reports the
+//! success rate and the measured rounds, normalized by `ln n / ε²`: the
+//! paper's prediction is a flat normalized constant across the sweep.
+
+use gossip_analysis::table::Table;
+use noisy_bench::{rumor_spreading_trials, Scale};
+use noisy_channel::NoiseMatrix;
+use plurality_core::{bounds, ProtocolParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    let n = scale.pick(2_000, 10_000);
+    let k = 3;
+    let epsilons = [0.1, 0.15, 0.2, 0.25, 0.3, 0.4];
+    let trials = scale.pick(5, 30);
+
+    println!("F2: rounds to consensus vs eps (rumor spreading, n = {n}, k = {k})");
+    println!("paper prediction: rounds ~ 1/eps^2, i.e. the normalized column stays flat\n");
+
+    let mut table = Table::new(vec![
+        "eps",
+        "success",
+        "rounds",
+        "rounds / (ln n / eps^2)",
+        "messages",
+    ]);
+    for &eps in &epsilons {
+        let noise = NoiseMatrix::uniform(k, eps)?;
+        let params = ProtocolParams::builder(n, k).epsilon(eps).seed(0xF2).build()?;
+        let summary = rumor_spreading_trials(&params, &noise, trials);
+        table.push_row(vec![
+            format!("{eps}"),
+            summary.success.to_string(),
+            format!("{:.0}", summary.rounds.mean()),
+            format!("{:.2}", summary.rounds.mean() / bounds::rounds_bound(n, eps)),
+            format!("{:.2e}", summary.messages.mean()),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Experiment F7 — Appendix D: what happens when `ε = Θ(n^{−1/4−η})`.
+//!
+//! Appendix D argues that for `ε = Θ(n^{−1/4−η})` the two-stage protocol (as
+//! given) cannot solve rumor spreading in `Θ(log n / ε²)` rounds: after
+//! phase 0 only `O(log n / ε²)` nodes are opinionated and the surviving bias
+//! `~ε²` falls far below the `Ω(√(log n / n))` requirement of Stage 2. By
+//! contrast, for constant ε (or `ε = Θ(√(log n / n))`, where Stage 2 alone
+//! suffices) the protocol works.
+//!
+//! Because simulating the literal asymptotic regime is out of reach for a
+//! laptop, the experiment keeps the paper's *mechanism* observable: it
+//! compares, at fixed n, a constant ε against ε = n^{−1/4−η} and reports the
+//! bias at the end of Stage 1 relative to the Stage 2 requirement, plus the
+//! final success rate. The qualitative claim (the small-ε runs sit below the
+//! Stage 2 threshold and fail much more often) is what we reproduce.
+
+use gossip_analysis::stats::SampleStats;
+use gossip_analysis::table::Table;
+use noisy_bench::{reseed, Scale};
+use noisy_channel::NoiseMatrix;
+use plurality_core::{ProtocolParams, StageId, TwoStageProtocol};
+use pushsim::Opinion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    let n = scale.pick(3_000, 20_000);
+    let k = 2;
+    let eta = 0.05;
+    let trials = scale.pick(5, 20);
+
+    let eps_small = (n as f64).powf(-0.25 - eta);
+    let eps_const = 0.25;
+    let stage2_threshold = ((n as f64).ln() / n as f64).sqrt();
+
+    println!("F7: the small-epsilon regime of Appendix D (n = {n}, k = {k})");
+    println!(
+        "stage-2 bias requirement Omega(sqrt(ln n / n)) = {:.4}\n",
+        stage2_threshold
+    );
+
+    let mut table = Table::new(vec![
+        "regime",
+        "eps",
+        "stage-1 end bias",
+        "bias / threshold",
+        "success",
+    ]);
+
+    for (label, eps) in [("constant eps", eps_const), ("eps = n^(-1/4-eta)", eps_small)] {
+        let noise = NoiseMatrix::uniform(k, eps)?;
+        let params = ProtocolParams::builder(n, k).epsilon(eps).seed(0xF7).build()?;
+        let mut successes = 0u64;
+        let mut biases = SampleStats::new();
+        for trial in 0..trials {
+            let protocol = TwoStageProtocol::new(reseed(&params, 0xF7 + trial), noise.clone())?;
+            let outcome = protocol.run_rumor_spreading(Opinion::new(0))?;
+            if outcome.succeeded() {
+                successes += 1;
+            }
+            if let Some(bias) = outcome
+                .stage_records(StageId::One)
+                .last()
+                .and_then(|r| r.bias_after())
+            {
+                biases.push(bias);
+            }
+        }
+        table.push_row(vec![
+            label.to_string(),
+            format!("{eps:.4}"),
+            format!("{:.4}", biases.mean()),
+            format!("{:.2}", biases.mean() / stage2_threshold),
+            format!("{successes}/{trials}"),
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "(the constant-eps rows sit far above the threshold and succeed; the Appendix-D\n\
+         regime leaves Stage 1 with a bias near or below the threshold and loses reliability)"
+    );
+    Ok(())
+}

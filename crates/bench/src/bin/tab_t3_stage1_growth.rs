@@ -1,0 +1,85 @@
+//! Experiment T3 — Claims 2–3 and Lemma 4: Stage 1's activation growth and
+//! end-of-stage bias.
+//!
+//! Runs Stage 1 (as part of full rumor-spreading executions) and reports,
+//! phase by phase, the fraction of opinionated nodes together with the
+//! multiplicative growth factor, which Claims 2–3 predict to be roughly
+//! `β/ε² + 1` per middle phase (up to constants between 1/8 and 1), plus the
+//! end-of-stage bias, which Lemma 4 predicts to be `Ω(√(log n / n))`.
+
+use gossip_analysis::stats::SampleStats;
+use gossip_analysis::table::Table;
+use noisy_bench::{reseed, Scale};
+use noisy_channel::NoiseMatrix;
+use plurality_core::{ProtocolParams, StageId, TwoStageProtocol};
+use pushsim::Opinion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    let n = scale.pick(10_000, 50_000);
+    let k = 3;
+    let eps = 0.2;
+    let trials = scale.pick(3, 10);
+
+    let noise = NoiseMatrix::uniform(k, eps)?;
+    let params = ProtocolParams::builder(n, k).epsilon(eps).seed(0x74).build()?;
+    let growth_prediction = params.constants().beta / (eps * eps) + 1.0;
+    let bias_target = ((n as f64).ln() / n as f64).sqrt();
+
+    println!("T3: Stage 1 activation growth and end-of-stage bias (n = {n}, k = {k}, eps = {eps})");
+    println!(
+        "predicted per-phase growth factor ~ beta/eps^2 + 1 = {growth_prediction:.0}; \
+         end-of-stage bias target Omega(sqrt(ln n / n)) = {bias_target:.4}\n"
+    );
+
+    // Collect per-phase statistics over the trials.
+    let mut per_phase: Vec<(SampleStats, SampleStats)> = Vec::new();
+    let mut end_bias = SampleStats::new();
+    for t in 0..trials {
+        let protocol = TwoStageProtocol::new(reseed(&params, 0x74 + t), noise.clone())?;
+        let outcome = protocol.run_rumor_spreading(Opinion::new(0))?;
+        let records: Vec<_> = outcome.stage_records(StageId::One).collect();
+        if per_phase.len() < records.len() {
+            per_phase.resize_with(records.len(), || (SampleStats::new(), SampleStats::new()));
+        }
+        let mut previous = 1.0 / n as f64;
+        for (slot, record) in per_phase.iter_mut().zip(&records) {
+            let fraction = record.opinionated_fraction_after();
+            slot.0.push(fraction);
+            slot.1.push(fraction / previous);
+            previous = fraction.max(1.0 / n as f64);
+        }
+        if let Some(bias) = records.last().and_then(|r| r.bias_after()) {
+            end_bias.push(bias);
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "phase",
+        "opinionated fraction",
+        "growth factor",
+        "predicted growth",
+    ]);
+    for (phase, (fraction, growth)) in per_phase.iter().enumerate() {
+        let predicted = if phase == 0 || phase + 1 == per_phase.len() {
+            "-".to_string()
+        } else {
+            format!("{growth_prediction:.0}")
+        };
+        table.push_row(vec![
+            phase.to_string(),
+            format!("{:.4}", fraction.mean()),
+            format!("{:.1}", growth.mean()),
+            predicted,
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "end-of-stage-1 bias: {:.4} (target >= {:.4}, ratio {:.2})",
+        end_bias.mean(),
+        bias_target,
+        end_bias.mean() / bias_target
+    );
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! # noisy-bench
+//!
+//! The experiment harness of the reproduction. Every figure/table listed in
+//! DESIGN.md §5 has a corresponding binary in `src/bin/` that regenerates it
+//! (workload generation, parameter sweep, baselines and the printed table),
+//! and `benches/` holds the Criterion micro-benchmarks that document the
+//! simulator's cost model.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p noisy-bench --bin fig_f1_rounds_vs_n
+//! cargo run --release -p noisy-bench --bin tab_t1_protocol_vs_baselines -- --full
+//! ```
+//!
+//! Every binary accepts an optional `--full` flag: without it a reduced
+//! ("quick") grid is used so the whole suite finishes in minutes on a
+//! laptop; with it the grid matches the sizes quoted in EXPERIMENTS.md.
+
+use gossip_analysis::ci::WilsonInterval;
+use gossip_analysis::stats::SampleStats;
+use noisy_channel::NoiseMatrix;
+use plurality_core::{Outcome, ProtocolParams, TwoStageProtocol};
+use pushsim::Opinion;
+
+/// Scale of an experiment run: a reduced grid for quick checks or the full
+/// grid documented in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced grid (default): finishes in roughly a minute per experiment.
+    Quick,
+    /// Full grid: the sizes used for the numbers recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from the process arguments (`--full` selects
+    /// [`Scale::Full`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Chooses between the quick and full value of a parameter.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Aggregated result of repeating one protocol configuration over several
+/// seeds.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Success-rate estimate (consensus on the correct opinion).
+    pub success: WilsonInterval,
+    /// Rounds-to-completion statistics over the trials.
+    pub rounds: SampleStats,
+    /// Messages-sent statistics over the trials.
+    pub messages: SampleStats,
+    /// Per-node memory (bits) statistics over the trials.
+    pub memory_bits: SampleStats,
+    /// Bias towards the correct opinion at the end of Stage 1.
+    pub stage1_bias: SampleStats,
+}
+
+/// Runs `trials` independent rumor-spreading executions (source opinion 0)
+/// and aggregates them.
+///
+/// # Panics
+///
+/// Panics if the parameters and noise matrix are incompatible — experiment
+/// binaries construct both from the same `k`, so a mismatch is a programming
+/// error in the harness itself.
+pub fn rumor_spreading_trials(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    trials: u64,
+) -> TrialSummary {
+    run_trials(params, noise, trials, |protocol| {
+        protocol
+            .run_rumor_spreading(Opinion::new(0))
+            .expect("opinion 0 is always valid")
+    })
+}
+
+/// Runs `trials` independent plurality-consensus executions from the given
+/// initial counts and aggregates them.
+///
+/// # Panics
+///
+/// Panics if the counts are invalid for the parameters (harness programming
+/// error).
+pub fn plurality_trials(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    initial_counts: &[usize],
+    trials: u64,
+) -> TrialSummary {
+    run_trials(params, noise, trials, |protocol| {
+        protocol
+            .run_plurality_consensus(initial_counts)
+            .expect("harness supplies valid counts")
+    })
+}
+
+fn run_trials<F>(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    trials: u64,
+    mut run: F,
+) -> TrialSummary
+where
+    F: FnMut(&TwoStageProtocol) -> Outcome,
+{
+    assert!(trials > 0, "need at least one trial");
+    let mut successes = 0u64;
+    let mut rounds = SampleStats::new();
+    let mut messages = SampleStats::new();
+    let mut memory_bits = SampleStats::new();
+    let mut stage1_bias = SampleStats::new();
+    for trial in 0..trials {
+        let seeded = reseed(params, params.seed().wrapping_add(trial));
+        let protocol =
+            TwoStageProtocol::new(seeded, noise.clone()).expect("dimensions match by construction");
+        let outcome = run(&protocol);
+        if outcome.succeeded() {
+            successes += 1;
+        }
+        rounds.push(outcome.rounds() as f64);
+        messages.push(outcome.messages() as f64);
+        memory_bits.push(outcome.memory().bits_per_node() as f64);
+        if let Some(last_stage1) = outcome
+            .stage_records(plurality_core::StageId::One)
+            .last()
+            .and_then(|r| r.bias_after())
+        {
+            stage1_bias.push(last_stage1);
+        }
+    }
+    TrialSummary {
+        success: WilsonInterval::from_trials(successes, trials),
+        rounds,
+        messages,
+        memory_bits,
+        stage1_bias,
+    }
+}
+
+/// Clones `params` with a different seed (all other fields preserved).
+pub fn reseed(params: &ProtocolParams, seed: u64) -> ProtocolParams {
+    ProtocolParams::builder(params.num_nodes(), params.num_opinions())
+        .epsilon(params.epsilon())
+        .delivery(params.delivery())
+        .constants(*params.constants())
+        .seed(seed)
+        .build()
+        .expect("re-seeding preserves validity")
+}
+
+/// Initial counts for a plurality instance over `k` opinions where the
+/// plurality opinion 0 holds `bias` more (as a fraction of the opinionated
+/// set `s`) than every other opinion, and the rest is split evenly.
+///
+/// # Panics
+///
+/// Panics if the requested bias is infeasible (`bias ≥ 1`) or `k < 2`.
+pub fn biased_counts(s: usize, k: usize, bias: f64) -> Vec<usize> {
+    assert!(k >= 2 && bias >= 0.0 && bias < 1.0, "invalid bias request");
+    let others = k - 1;
+    // c0 - ci = bias, c0 + others*ci = 1  =>  ci = (1 - bias) / k.
+    let ci = (1.0 - bias) / k as f64;
+    let c0 = ci + bias;
+    let mut counts = vec![0usize; k];
+    counts[0] = (c0 * s as f64).round() as usize;
+    for c in counts.iter_mut().skip(1) {
+        *c = (ci * s as f64).round() as usize;
+    }
+    // Fix rounding drift on the last minority opinion.
+    let total: usize = counts.iter().sum();
+    if total > s {
+        let excess = total - s;
+        counts[others] = counts[others].saturating_sub(excess);
+    } else {
+        counts[0] += s - total;
+    }
+    // Guarantee a unique plurality on opinion 0 even for bias ≈ 0 (the
+    // protocol API requires one); this shifts the realized bias by at most
+    // 2/s, which is negligible at experiment sizes.
+    let max_other = counts[1..].iter().copied().max().unwrap_or(0);
+    if counts[0] <= max_other {
+        let need = max_other - counts[0] + 1;
+        let donor = (1..k)
+            .max_by_key(|&i| counts[i])
+            .expect("k >= 2 so a donor exists");
+        counts[0] += need;
+        counts[donor] = counts[donor].saturating_sub(need);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick_selects_correctly() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn biased_counts_have_the_requested_bias_and_total() {
+        for &(s, k, bias) in &[(1_000usize, 3usize, 0.1f64), (500, 2, 0.3), (999, 5, 0.05)] {
+            let counts = biased_counts(s, k, bias);
+            assert_eq!(counts.len(), k);
+            assert_eq!(counts.iter().sum::<usize>(), s);
+            let c0 = counts[0] as f64 / s as f64;
+            let c1 = counts[1] as f64 / s as f64;
+            assert!((c0 - c1 - bias).abs() < 0.02, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn trial_summary_reports_consistent_counts() {
+        let eps = 0.4;
+        let noise = NoiseMatrix::uniform(2, eps).unwrap();
+        let params = ProtocolParams::builder(200, 2).epsilon(eps).seed(1).build().unwrap();
+        let summary = rumor_spreading_trials(&params, &noise, 3);
+        assert_eq!(summary.success.trials(), 3);
+        assert_eq!(summary.rounds.len(), 3);
+        assert_eq!(summary.memory_bits.len(), 3);
+        // Rounds equal the schedule for every trial.
+        let expected = params.schedule().total_rounds() as f64;
+        assert_eq!(summary.rounds.min(), Some(expected));
+        assert_eq!(summary.rounds.max(), Some(expected));
+    }
+
+    #[test]
+    fn plurality_trials_use_the_supplied_counts() {
+        let eps = 0.4;
+        let noise = NoiseMatrix::uniform(3, eps).unwrap();
+        let params = ProtocolParams::builder(300, 3).epsilon(eps).seed(2).build().unwrap();
+        let counts = biased_counts(300, 3, 0.2);
+        let summary = plurality_trials(&params, &noise, &counts, 2);
+        assert_eq!(summary.success.trials(), 2);
+        assert!(summary.stage1_bias.len() <= 2);
+    }
+
+    #[test]
+    fn reseed_changes_only_the_seed() {
+        let params = ProtocolParams::builder(300, 3).epsilon(0.3).seed(2).build().unwrap();
+        let reseeded = reseed(&params, 99);
+        assert_eq!(reseeded.seed(), 99);
+        assert_eq!(reseeded.num_nodes(), params.num_nodes());
+        assert_eq!(reseeded.epsilon(), params.epsilon());
+    }
+}

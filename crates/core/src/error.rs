@@ -1,0 +1,134 @@
+//! Error type for protocol configuration and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or running the two-stage protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The system must contain at least two agents.
+    TooFewNodes {
+        /// The number of agents requested.
+        found: usize,
+    },
+    /// The system must have at least two opinions.
+    TooFewOpinions {
+        /// The number of opinions requested.
+        found: usize,
+    },
+    /// The noise parameter ε must lie in `(0, 1)`.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
+    /// A protocol constant is out of its admissible range (the paper requires
+    /// `φ > β > s > 0` and a positive Stage-2 constant `c`).
+    InvalidConstant {
+        /// Name of the offending constant.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The supplied noise matrix has the wrong dimension.
+    NoiseDimensionMismatch {
+        /// Number of opinions configured.
+        expected: usize,
+        /// Dimension of the supplied matrix.
+        found: usize,
+    },
+    /// An opinion index is out of range.
+    OpinionOutOfRange {
+        /// The offending opinion index.
+        opinion: usize,
+        /// The number of opinions configured.
+        num_opinions: usize,
+    },
+    /// The initial opinion counts are inconsistent with the configuration.
+    BadInitialCounts {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// An error bubbled up from the underlying simulator.
+    Simulation(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TooFewNodes { found } => {
+                write!(f, "protocol needs at least 2 nodes, got {found}")
+            }
+            ProtocolError::TooFewOpinions { found } => {
+                write!(f, "protocol needs at least 2 opinions, got {found}")
+            }
+            ProtocolError::InvalidEpsilon { value } => {
+                write!(f, "epsilon {value} must lie strictly between 0 and 1")
+            }
+            ProtocolError::InvalidConstant { name, value } => {
+                write!(f, "protocol constant {name} = {value} is out of range")
+            }
+            ProtocolError::NoiseDimensionMismatch { expected, found } => write!(
+                f,
+                "noise matrix is over {found} opinions but the protocol uses {expected}"
+            ),
+            ProtocolError::OpinionOutOfRange {
+                opinion,
+                num_opinions,
+            } => write!(
+                f,
+                "opinion {opinion} is out of range for a protocol over {num_opinions} opinions"
+            ),
+            ProtocolError::BadInitialCounts { reason } => {
+                write!(f, "invalid initial opinion counts: {reason}")
+            }
+            ProtocolError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl From<pushsim::SimError> for ProtocolError {
+    fn from(err: pushsim::SimError) -> Self {
+        ProtocolError::Simulation(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ProtocolError::TooFewNodes { found: 1 }
+            .to_string()
+            .contains("2 nodes"));
+        assert!(ProtocolError::InvalidEpsilon { value: 2.0 }
+            .to_string()
+            .contains("epsilon"));
+        assert!(ProtocolError::InvalidConstant {
+            name: "beta",
+            value: -1.0
+        }
+        .to_string()
+        .contains("beta"));
+        assert!(ProtocolError::BadInitialCounts {
+            reason: "too many".into()
+        }
+        .to_string()
+        .contains("too many"));
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let sim = pushsim::SimError::TooFewNodes { found: 1 };
+        let err: ProtocolError = sim.into();
+        assert!(matches!(err, ProtocolError::Simulation(_)));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ProtocolError>();
+    }
+}

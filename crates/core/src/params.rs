@@ -1,0 +1,462 @@
+//! Protocol parameters and the phase schedules of the two stages.
+
+use crate::error::ProtocolError;
+use pushsim::DeliverySemantics;
+
+/// The protocol's tunable constants.
+///
+/// The paper (Section 3.1) leaves the constants of the phase lengths
+/// unspecified, requiring only `φ > β > s > 0` for Stage 1 and a
+/// "large-enough constant" `c` for Stage 2. The defaults here were calibrated
+/// so that the protocol succeeds with high probability at the network sizes
+/// the experiment harness simulates (see EXPERIMENTS.md); they can be
+/// overridden through the [`ProtocolParamsBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtocolConstants {
+    /// Stage 1, phase 0 length multiplier: phase 0 has `(s/ε²)·ln n` rounds.
+    pub s: f64,
+    /// Stage 1, middle phase length multiplier: phases `1..=T` have `β/ε²`
+    /// rounds.
+    pub beta: f64,
+    /// Stage 1, final phase length multiplier: phase `T+1` has `(φ/ε²)·ln n`
+    /// rounds.
+    pub phi: f64,
+    /// Stage 2 sample size multiplier: each amplification phase samples
+    /// `ℓ = ⌈c/ε²⌉` messages (and lasts `2ℓ` rounds).
+    pub c: f64,
+    /// Stage 2 final phase multiplier: the last phase samples
+    /// `ℓ′ = ⌈c_final·ln(n)/ε²⌉` messages.
+    pub c_final: f64,
+}
+
+impl Default for ProtocolConstants {
+    fn default() -> Self {
+        // Calibration: the Stage 2 amplification factor per phase behaves
+        // like sqrt(2c/pi) x (received margin per unit of bias), so `c` must
+        // be large enough that the factor comfortably exceeds e even for the
+        // weaker multinomial margins at k > 2, and `c_final` must make the
+        // per-node error probability of the last phase o(1/n). The values
+        // below give >= 95% success across the experiment grid of
+        // EXPERIMENTS.md while keeping the total round count within a small
+        // constant of log n / eps^2.
+        Self {
+            s: 1.0,
+            beta: 2.0,
+            phi: 3.0,
+            c: 8.0,
+            c_final: 4.0,
+        }
+    }
+}
+
+impl ProtocolConstants {
+    fn validate(&self) -> Result<(), ProtocolError> {
+        let checks = [
+            ("s", self.s),
+            ("beta", self.beta),
+            ("phi", self.phi),
+            ("c", self.c),
+            ("c_final", self.c_final),
+        ];
+        for (name, value) in checks {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ProtocolError::InvalidConstant { name, value });
+            }
+        }
+        if !(self.phi > self.beta && self.beta > self.s) {
+            return Err(ProtocolError::InvalidConstant {
+                name: "phi > beta > s",
+                value: self.phi,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The complete round/phase schedule derived from the parameters.
+///
+/// Stage 1 phase lengths are in rounds. Stage 2 phases are described by
+/// their sample sizes `ℓ`; each such phase lasts `2ℓ` rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schedule {
+    stage1_phase_lengths: Vec<u64>,
+    stage2_sample_sizes: Vec<u64>,
+}
+
+impl Schedule {
+    /// Round lengths of the Stage 1 phases (`0, 1, …, T, T+1`).
+    pub fn stage1_phase_lengths(&self) -> &[u64] {
+        &self.stage1_phase_lengths
+    }
+
+    /// Sample sizes `ℓ` of the Stage 2 phases (`0, …, T′`); the phase
+    /// lengths in rounds are twice these values.
+    pub fn stage2_sample_sizes(&self) -> &[u64] {
+        &self.stage2_sample_sizes
+    }
+
+    /// The number `T + 2` of Stage 1 phases.
+    pub fn stage1_phases(&self) -> usize {
+        self.stage1_phase_lengths.len()
+    }
+
+    /// The number `T′ + 1` of Stage 2 phases.
+    pub fn stage2_phases(&self) -> usize {
+        self.stage2_sample_sizes.len()
+    }
+
+    /// Total number of rounds of Stage 1.
+    pub fn stage1_rounds(&self) -> u64 {
+        self.stage1_phase_lengths.iter().sum()
+    }
+
+    /// Total number of rounds of Stage 2.
+    pub fn stage2_rounds(&self) -> u64 {
+        self.stage2_sample_sizes.iter().map(|l| 2 * l).sum()
+    }
+
+    /// Total number of rounds of the whole protocol.
+    pub fn total_rounds(&self) -> u64 {
+        self.stage1_rounds() + self.stage2_rounds()
+    }
+}
+
+/// Configuration of one protocol execution.
+///
+/// Construct with [`ProtocolParams::builder`]:
+///
+/// ```
+/// use plurality_core::ProtocolParams;
+///
+/// # fn main() -> Result<(), plurality_core::ProtocolError> {
+/// let params = ProtocolParams::builder(10_000, 3)
+///     .epsilon(0.2)
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(params.num_nodes(), 10_000);
+/// let schedule = params.schedule();
+/// assert!(schedule.total_rounds() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtocolParams {
+    num_nodes: usize,
+    num_opinions: usize,
+    epsilon: f64,
+    seed: u64,
+    delivery: DeliverySemantics,
+    constants: ProtocolConstants,
+}
+
+impl ProtocolParams {
+    /// Starts building parameters for `num_nodes` agents and `num_opinions`
+    /// opinions.
+    pub fn builder(num_nodes: usize, num_opinions: usize) -> ProtocolParamsBuilder {
+        ProtocolParamsBuilder {
+            num_nodes,
+            num_opinions,
+            epsilon: 0.2,
+            seed: 0,
+            delivery: DeliverySemantics::Exact,
+            constants: ProtocolConstants::default(),
+        }
+    }
+
+    /// The number of agents `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The number of opinions `k`.
+    pub fn num_opinions(&self) -> usize {
+        self.num_opinions
+    }
+
+    /// The noise-resilience parameter ε the schedule is tuned for (the noise
+    /// matrix is expected to be (ε, δ)-majority-preserving for the relevant
+    /// biases δ).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The RNG seed for the run.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The delivery semantics (process O, B or P) used by the simulation.
+    pub fn delivery(&self) -> DeliverySemantics {
+        self.delivery
+    }
+
+    /// The tunable protocol constants.
+    pub fn constants(&self) -> &ProtocolConstants {
+        &self.constants
+    }
+
+    /// Computes the full phase schedule of the two stages (Section 3.1).
+    ///
+    /// * Stage 1 has `T + 2` phases with
+    ///   `T = ⌊ln(n / (2(s/ε²)·ln n)) / ln(β/ε² + 1)⌋` (clamped at 0):
+    ///   phase 0 lasts `(s/ε²)·ln n` rounds, phases `1..=T` last `β/ε²`
+    ///   rounds, and phase `T+1` lasts `(φ/ε²)·ln n` rounds.
+    /// * Stage 2 has `T′ + 1 = ⌈ln(√n / ln n)⌉ + 1` phases; phases
+    ///   `0..T′` sample `ℓ = ⌈c/ε²⌉` messages (rounded up to an odd number)
+    ///   and the final phase samples `ℓ′ = ⌈c_final·ln(n)/ε²⌉` messages.
+    pub fn schedule(&self) -> Schedule {
+        let n = self.num_nodes as f64;
+        let eps2 = self.epsilon * self.epsilon;
+        let ln_n = n.ln().max(1.0);
+        let cst = &self.constants;
+
+        let phase0 = (cst.s / eps2 * ln_n).ceil().max(1.0) as u64;
+        let middle = (cst.beta / eps2).ceil().max(1.0) as u64;
+        let last = (cst.phi / eps2 * ln_n).ceil().max(1.0) as u64;
+
+        let growth = (cst.beta / eps2 + 1.0).ln();
+        let ratio = n / (2.0 * (cst.s / eps2) * ln_n);
+        let t = if ratio > 1.0 && growth > 0.0 {
+            (ratio.ln() / growth).floor().max(0.0) as usize
+        } else {
+            0
+        };
+
+        let mut stage1 = Vec::with_capacity(t + 2);
+        stage1.push(phase0);
+        stage1.extend(std::iter::repeat(middle).take(t));
+        stage1.push(last);
+
+        let t_prime = ((n.sqrt() / ln_n).ln().ceil().max(1.0)) as usize;
+        let ell = make_odd((cst.c / eps2).ceil().max(3.0) as u64);
+        // The final phase is Θ(ε⁻² log n) and asymptotically dominates ℓ;
+        // clamp it from below so the property also holds at tiny n where
+        // c_final·ln n can drop under c.
+        let ell_final = make_odd(((cst.c_final * ln_n / eps2).ceil().max(3.0) as u64).max(ell));
+        let mut stage2 = vec![ell; t_prime];
+        stage2.push(ell_final);
+
+        Schedule {
+            stage1_phase_lengths: stage1,
+            stage2_sample_sizes: stage2,
+        }
+    }
+
+    /// The paper's asymptotic round bound `log n / ε²` (Theorems 1 and 2),
+    /// without constants — useful for normalizing measured round counts.
+    pub fn theoretical_round_scale(&self) -> f64 {
+        (self.num_nodes as f64).ln() / (self.epsilon * self.epsilon)
+    }
+
+    /// The paper's memory bound `log log n + log(1/ε)` in bits (Theorems 1
+    /// and 2), without constants.
+    pub fn theoretical_memory_scale_bits(&self) -> f64 {
+        let n = self.num_nodes as f64;
+        n.ln().max(1.0).log2() + (1.0 / self.epsilon).log2()
+    }
+}
+
+/// Rounds `x` up to the next odd integer (the Stage 2 analysis assumes odd
+/// sample sizes; Appendix C shows even sizes are never better).
+fn make_odd(x: u64) -> u64 {
+    if x % 2 == 0 {
+        x + 1
+    } else {
+        x
+    }
+}
+
+/// Builder for [`ProtocolParams`].
+#[derive(Debug, Clone)]
+pub struct ProtocolParamsBuilder {
+    num_nodes: usize,
+    num_opinions: usize,
+    epsilon: f64,
+    seed: u64,
+    delivery: DeliverySemantics,
+    constants: ProtocolConstants,
+}
+
+impl ProtocolParamsBuilder {
+    /// Sets the noise-resilience parameter ε (default 0.2).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the delivery semantics (default [`DeliverySemantics::Exact`]).
+    pub fn delivery(mut self, delivery: DeliverySemantics) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Overrides the protocol constants.
+    pub fn constants(mut self, constants: ProtocolConstants) -> Self {
+        self.constants = constants;
+        self
+    }
+
+    /// Validates and builds the parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::TooFewNodes`] / [`ProtocolError::TooFewOpinions`]
+    ///   for degenerate systems.
+    /// * [`ProtocolError::InvalidEpsilon`] unless `0 < ε < 1`.
+    /// * [`ProtocolError::InvalidConstant`] if the constants violate
+    ///   `φ > β > s > 0` or are not positive and finite.
+    pub fn build(self) -> Result<ProtocolParams, ProtocolError> {
+        if self.num_nodes < 2 {
+            return Err(ProtocolError::TooFewNodes {
+                found: self.num_nodes,
+            });
+        }
+        if self.num_opinions < 2 {
+            return Err(ProtocolError::TooFewOpinions {
+                found: self.num_opinions,
+            });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) || !self.epsilon.is_finite() {
+            return Err(ProtocolError::InvalidEpsilon {
+                value: self.epsilon,
+            });
+        }
+        self.constants.validate()?;
+        Ok(ProtocolParams {
+            num_nodes: self.num_nodes,
+            num_opinions: self.num_opinions,
+            epsilon: self.epsilon,
+            seed: self.seed,
+            delivery: self.delivery,
+            constants: self.constants,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(matches!(
+            ProtocolParams::builder(1, 3).build(),
+            Err(ProtocolError::TooFewNodes { .. })
+        ));
+        assert!(matches!(
+            ProtocolParams::builder(100, 1).build(),
+            Err(ProtocolError::TooFewOpinions { .. })
+        ));
+        assert!(matches!(
+            ProtocolParams::builder(100, 3).epsilon(0.0).build(),
+            Err(ProtocolError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            ProtocolParams::builder(100, 3).epsilon(1.5).build(),
+            Err(ProtocolError::InvalidEpsilon { .. })
+        ));
+        let bad = ProtocolConstants {
+            s: 3.0,
+            beta: 2.0,
+            phi: 1.0,
+            c: 4.0,
+            c_final: 2.0,
+        };
+        assert!(matches!(
+            ProtocolParams::builder(100, 3).constants(bad).build(),
+            Err(ProtocolError::InvalidConstant { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_shapes_match_the_paper() {
+        let params = ProtocolParams::builder(10_000, 3).epsilon(0.2).build().unwrap();
+        let schedule = params.schedule();
+        // Stage 1 has at least phase 0 and phase T+1.
+        assert!(schedule.stage1_phases() >= 2);
+        // Stage 2 has at least the final long phase.
+        assert!(schedule.stage2_phases() >= 2);
+        // Phase 0 and the last Stage-1 phase are Θ(log n / ε²); the middle
+        // phases are Θ(1/ε²) and therefore shorter.
+        let lengths = schedule.stage1_phase_lengths();
+        let first = lengths[0];
+        let last = *lengths.last().unwrap();
+        assert!(last >= first, "phi > s so the last phase is longer");
+        for &middle in &lengths[1..lengths.len() - 1] {
+            assert!(middle < first);
+        }
+        // All Stage 2 sample sizes are odd.
+        for &l in schedule.stage2_sample_sizes() {
+            assert_eq!(l % 2, 1);
+        }
+        // The final Stage-2 phase is the longest.
+        let sizes = schedule.stage2_sample_sizes();
+        assert!(sizes.last().unwrap() >= sizes.first().unwrap());
+    }
+
+    #[test]
+    fn total_rounds_scale_like_log_n_over_eps_squared() {
+        // Doubling 1/eps^2 roughly doubles the total number of rounds.
+        let base = ProtocolParams::builder(50_000, 3).epsilon(0.2).build().unwrap();
+        let finer = ProtocolParams::builder(50_000, 3)
+            .epsilon(0.2 / std::f64::consts::SQRT_2)
+            .build()
+            .unwrap();
+        let r1 = base.schedule().total_rounds() as f64;
+        let r2 = finer.schedule().total_rounds() as f64;
+        let ratio = r2 / r1;
+        assert!(
+            ratio > 1.6 && ratio < 2.4,
+            "expected roughly 2x rounds, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn schedule_is_well_defined_for_tiny_systems() {
+        let params = ProtocolParams::builder(4, 2).epsilon(0.45).build().unwrap();
+        let schedule = params.schedule();
+        assert!(schedule.total_rounds() > 0);
+        assert!(schedule.stage1_phases() >= 2);
+    }
+
+    #[test]
+    fn theoretical_scales_are_monotone() {
+        let small = ProtocolParams::builder(1_000, 3).epsilon(0.2).build().unwrap();
+        let large = ProtocolParams::builder(100_000, 3).epsilon(0.2).build().unwrap();
+        assert!(large.theoretical_round_scale() > small.theoretical_round_scale());
+        assert!(large.theoretical_memory_scale_bits() > small.theoretical_memory_scale_bits());
+        let noisy = ProtocolParams::builder(1_000, 3).epsilon(0.05).build().unwrap();
+        assert!(noisy.theoretical_round_scale() > small.theoretical_round_scale());
+    }
+
+    #[test]
+    fn default_constants_satisfy_ordering() {
+        let c = ProtocolConstants::default();
+        assert!(c.phi > c.beta && c.beta > c.s && c.s > 0.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn accessors_report_builder_values() {
+        let params = ProtocolParams::builder(500, 4)
+            .epsilon(0.3)
+            .seed(11)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        assert_eq!(params.num_nodes(), 500);
+        assert_eq!(params.num_opinions(), 4);
+        assert_eq!(params.epsilon(), 0.3);
+        assert_eq!(params.seed(), 11);
+        assert_eq!(params.delivery(), DeliverySemantics::Poissonized);
+    }
+}

@@ -1,0 +1,502 @@
+//! The complete two-stage protocol and its outcome type.
+
+use crate::error::ProtocolError;
+use crate::memory::MemoryMeter;
+use crate::params::ProtocolParams;
+use crate::record::{PhaseRecord, StageId};
+use crate::{stage1, stage2};
+use noisy_channel::NoiseMatrix;
+use pushsim::{Network, Opinion, OpinionDistribution, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of one protocol execution.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Outcome {
+    correct_opinion: Opinion,
+    final_distribution: OpinionDistribution,
+    rounds: u64,
+    messages: u64,
+    phase_records: Vec<PhaseRecord>,
+    memory: MemoryMeter,
+}
+
+impl Outcome {
+    /// The correct opinion of the instance: the source's opinion for rumor
+    /// spreading, the initial plurality opinion for plurality consensus.
+    pub fn correct_opinion(&self) -> Opinion {
+        self.correct_opinion
+    }
+
+    /// The opinion distribution at the end of the execution.
+    pub fn final_distribution(&self) -> &OpinionDistribution {
+        &self.final_distribution
+    }
+
+    /// `true` if every agent finished opinionated and supporting the same
+    /// opinion (whichever it is).
+    pub fn consensus_reached(&self) -> bool {
+        self.final_distribution.is_consensus()
+    }
+
+    /// The final plurality opinion, if one exists (with consensus this is
+    /// the unanimous opinion).
+    pub fn winning_opinion(&self) -> Option<Opinion> {
+        self.final_distribution.plurality()
+    }
+
+    /// `true` if the protocol succeeded: consensus was reached *on the
+    /// correct opinion*.
+    pub fn succeeded(&self) -> bool {
+        self.final_distribution.is_consensus_on(self.correct_opinion)
+    }
+
+    /// Total number of rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total number of messages pushed.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Per-phase records, Stage 1 phases first.
+    pub fn phase_records(&self) -> &[PhaseRecord] {
+        &self.phase_records
+    }
+
+    /// The records of the given stage only.
+    pub fn stage_records(&self, stage: StageId) -> impl Iterator<Item = &PhaseRecord> {
+        self.phase_records.iter().filter(move |r| r.stage() == stage)
+    }
+
+    /// The bias towards the correct opinion at the end of every phase
+    /// (`None` entries mean nobody was opinionated yet).
+    pub fn bias_trajectory(&self) -> Vec<Option<f64>> {
+        self.phase_records.iter().map(|r| r.bias_after()).collect()
+    }
+
+    /// The memory-accounting meter of the run.
+    pub fn memory(&self) -> &MemoryMeter {
+        &self.memory
+    }
+}
+
+/// The two-stage noisy rumor-spreading / plurality-consensus protocol of
+/// Fraigniaud & Natale (PODC 2016).
+///
+/// A `TwoStageProtocol` owns the run parameters and the noise matrix and can
+/// execute independent runs (each run builds a fresh network seeded from the
+/// parameters).
+///
+/// # Example
+///
+/// ```
+/// use noisy_channel::NoiseMatrix;
+/// use plurality_core::{ProtocolParams, TwoStageProtocol};
+/// use pushsim::Opinion;
+///
+/// # fn main() -> Result<(), plurality_core::ProtocolError> {
+/// let noise = NoiseMatrix::uniform(3, 0.3).expect("valid noise");
+/// let params = ProtocolParams::builder(500, 3).epsilon(0.3).seed(1).build()?;
+/// let protocol = TwoStageProtocol::new(params, noise)?;
+/// let outcome = protocol.run_rumor_spreading(Opinion::new(2))?;
+/// assert!(outcome.succeeded());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStageProtocol {
+    params: ProtocolParams,
+    noise: NoiseMatrix,
+}
+
+impl TwoStageProtocol {
+    /// Creates a protocol instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::NoiseDimensionMismatch`] if the noise matrix
+    /// is not over exactly `params.num_opinions()` opinions.
+    pub fn new(params: ProtocolParams, noise: NoiseMatrix) -> Result<Self, ProtocolError> {
+        if noise.num_opinions() != params.num_opinions() {
+            return Err(ProtocolError::NoiseDimensionMismatch {
+                expected: params.num_opinions(),
+                found: noise.num_opinions(),
+            });
+        }
+        Ok(Self { params, noise })
+    }
+
+    /// The run parameters.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// The noise matrix applied to every message.
+    pub fn noise(&self) -> &NoiseMatrix {
+        &self.noise
+    }
+
+    /// Runs the noisy **rumor spreading** instance: a uniformly random
+    /// source node initially holds `source_opinion`, every other node is
+    /// undecided, and the protocol must drive the whole system to
+    /// `source_opinion` (Theorem 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::OpinionOutOfRange`] if the opinion index is
+    /// out of range, and propagates simulator errors.
+    pub fn run_rumor_spreading(&self, source_opinion: Opinion) -> Result<Outcome, ProtocolError> {
+        if source_opinion.index() >= self.params.num_opinions() {
+            return Err(ProtocolError::OpinionOutOfRange {
+                opinion: source_opinion.index(),
+                num_opinions: self.params.num_opinions(),
+            });
+        }
+        let mut net = self.build_network()?;
+        let mut rng = self.protocol_rng();
+        let source = rng.gen_range(0..self.params.num_nodes());
+        net.seed_rumor(source, source_opinion)?;
+        Ok(self.execute(net, rng, source_opinion))
+    }
+
+    /// Runs the noisy **plurality consensus** instance: for every opinion
+    /// `i`, `initial_counts[i]` nodes initially support `i` (chosen uniformly
+    /// at random), the remaining nodes are undecided, and the protocol must
+    /// drive the whole system to the plurality opinion (Theorem 2).
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::BadInitialCounts`] if the counts have the wrong
+    ///   length, sum to more than `n`, are all zero, or have no unique
+    ///   plurality opinion.
+    /// * Simulator errors are propagated as [`ProtocolError::Simulation`].
+    pub fn run_plurality_consensus(
+        &self,
+        initial_counts: &[usize],
+    ) -> Result<Outcome, ProtocolError> {
+        let k = self.params.num_opinions();
+        let n = self.params.num_nodes();
+        if initial_counts.len() != k {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: format!("expected {k} counts, got {}", initial_counts.len()),
+            });
+        }
+        let total: usize = initial_counts.iter().sum();
+        if total == 0 {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: "at least one node must hold an opinion".to_string(),
+            });
+        }
+        if total > n {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: format!("counts sum to {total} but the network has only {n} nodes"),
+            });
+        }
+        let max = *initial_counts.iter().max().expect("non-empty counts");
+        let plurality: Vec<usize> = (0..k).filter(|&i| initial_counts[i] == max).collect();
+        if plurality.len() != 1 {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: "the plurality opinion must be unique".to_string(),
+            });
+        }
+        let reference = Opinion::new(plurality[0]);
+
+        let mut net = self.build_network()?;
+        let rng = self.protocol_rng();
+        net.seed_counts(initial_counts)?;
+        Ok(self.execute(net, rng, reference))
+    }
+
+    /// Runs only Stage 2 on an explicitly seeded network. This is the
+    /// "majority consensus subroutine" view of the protocol and is used by
+    /// the Appendix D experiment (F7), where Stage 1 is deliberately
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadInitialCounts`] under the same conditions
+    /// as [`run_plurality_consensus`](Self::run_plurality_consensus).
+    pub fn run_stage2_only(&self, initial_counts: &[usize]) -> Result<Outcome, ProtocolError> {
+        let k = self.params.num_opinions();
+        if initial_counts.len() != k {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: format!("expected {k} counts, got {}", initial_counts.len()),
+            });
+        }
+        let max = initial_counts.iter().max().copied().unwrap_or(0);
+        if max == 0 {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: "at least one node must hold an opinion".to_string(),
+            });
+        }
+        let plurality: Vec<usize> = (0..k).filter(|&i| initial_counts[i] == max).collect();
+        if plurality.len() != 1 {
+            return Err(ProtocolError::BadInitialCounts {
+                reason: "the plurality opinion must be unique".to_string(),
+            });
+        }
+        let reference = Opinion::new(plurality[0]);
+        let mut net = self.build_network()?;
+        let mut rng = self.protocol_rng();
+        net.seed_counts(initial_counts)?;
+
+        let schedule = self.params.schedule();
+        let mut meter = MemoryMeter::new(k);
+        let records = stage2::run(
+            &mut net,
+            schedule.stage2_sample_sizes(),
+            reference,
+            &mut rng,
+            &mut meter,
+        );
+        Ok(self.outcome_from(net, records, meter, reference))
+    }
+
+    /// Builds the simulation network for one run.
+    fn build_network(&self) -> Result<Network, ProtocolError> {
+        let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
+            .seed(self.params.seed())
+            .delivery(self.params.delivery())
+            .build()?;
+        Ok(Network::new(config, self.noise.clone())?)
+    }
+
+    /// The RNG used for the protocol's own decisions (distinct from the
+    /// network's delivery RNG but derived from the same seed so whole runs
+    /// are reproducible).
+    fn protocol_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.params.seed().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66)
+    }
+
+    /// Runs both stages on an already-seeded network.
+    fn execute(&self, mut net: Network, mut rng: StdRng, reference: Opinion) -> Outcome {
+        let schedule = self.params.schedule();
+        let mut meter = MemoryMeter::new(self.params.num_opinions());
+        let mut records = stage1::run(
+            &mut net,
+            schedule.stage1_phase_lengths(),
+            reference,
+            &mut rng,
+            &mut meter,
+        );
+        records.extend(stage2::run(
+            &mut net,
+            schedule.stage2_sample_sizes(),
+            reference,
+            &mut rng,
+            &mut meter,
+        ));
+        self.outcome_from(net, records, meter, reference)
+    }
+
+    fn outcome_from(
+        &self,
+        net: Network,
+        records: Vec<PhaseRecord>,
+        memory: MemoryMeter,
+        reference: Opinion,
+    ) -> Outcome {
+        Outcome {
+            correct_opinion: reference,
+            final_distribution: net.distribution(),
+            rounds: net.rounds_executed(),
+            messages: net.messages_sent(),
+            phase_records: records,
+            memory,
+        }
+    }
+}
+
+/// Convenience wrapper: runs noisy rumor spreading with the source holding
+/// opinion 0.
+///
+/// # Errors
+///
+/// Propagates [`TwoStageProtocol::new`] and
+/// [`TwoStageProtocol::run_rumor_spreading`] errors.
+pub fn run_rumor_spreading(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+) -> Result<Outcome, ProtocolError> {
+    TwoStageProtocol::new(params.clone(), noise.clone())?.run_rumor_spreading(Opinion::new(0))
+}
+
+/// Convenience wrapper: runs noisy plurality consensus from the given
+/// initial counts.
+///
+/// # Errors
+///
+/// Propagates [`TwoStageProtocol::new`] and
+/// [`TwoStageProtocol::run_plurality_consensus`] errors.
+pub fn run_plurality_consensus(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    initial_counts: &[usize],
+) -> Result<Outcome, ProtocolError> {
+    TwoStageProtocol::new(params.clone(), noise.clone())?.run_plurality_consensus(initial_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ProtocolConstants;
+
+    fn uniform_noise(k: usize, eps: f64) -> NoiseMatrix {
+        NoiseMatrix::uniform(k, eps).unwrap()
+    }
+
+    #[test]
+    fn rumor_spreading_succeeds_with_three_opinions() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(600, 3)
+            .epsilon(eps)
+            .seed(42)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(3, eps)).unwrap();
+        let outcome = protocol.run_rumor_spreading(Opinion::new(1)).unwrap();
+        assert!(outcome.consensus_reached());
+        assert!(outcome.succeeded(), "final: {}", outcome.final_distribution());
+        assert_eq!(outcome.winning_opinion(), Some(Opinion::new(1)));
+        assert_eq!(outcome.correct_opinion(), Opinion::new(1));
+        assert!(outcome.rounds() > 0);
+        assert!(outcome.messages() > 0);
+        assert!(!outcome.phase_records().is_empty());
+        assert!(outcome.memory().bits_per_node() > 0);
+    }
+
+    #[test]
+    fn plurality_consensus_recovers_the_initial_plurality() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(600, 3)
+            .epsilon(eps)
+            .seed(7)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(3, eps)).unwrap();
+        // Opinion 2 holds the plurality (but not the absolute majority).
+        let outcome = protocol.run_plurality_consensus(&[180, 150, 270]).unwrap();
+        assert!(outcome.succeeded(), "final: {}", outcome.final_distribution());
+        assert_eq!(outcome.winning_opinion(), Some(Opinion::new(2)));
+    }
+
+    #[test]
+    fn stage_records_are_split_correctly() {
+        let eps = 0.4;
+        let params = ProtocolParams::builder(300, 2)
+            .epsilon(eps)
+            .seed(3)
+            .build()
+            .unwrap();
+        let schedule = params.schedule();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(2, eps)).unwrap();
+        let outcome = protocol.run_rumor_spreading(Opinion::new(0)).unwrap();
+        let stage1_count = outcome.stage_records(StageId::One).count();
+        let stage2_count = outcome.stage_records(StageId::Two).count();
+        assert_eq!(stage1_count, schedule.stage1_phases());
+        assert_eq!(stage2_count, schedule.stage2_phases());
+        assert_eq!(
+            outcome.phase_records().len(),
+            stage1_count + stage2_count
+        );
+        assert_eq!(outcome.bias_trajectory().len(), outcome.phase_records().len());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let params = ProtocolParams::builder(100, 3).epsilon(0.3).build().unwrap();
+        let protocol = TwoStageProtocol::new(params.clone(), uniform_noise(3, 0.3)).unwrap();
+        assert!(matches!(
+            protocol.run_rumor_spreading(Opinion::new(5)),
+            Err(ProtocolError::OpinionOutOfRange { .. })
+        ));
+        assert!(matches!(
+            protocol.run_plurality_consensus(&[1, 2]),
+            Err(ProtocolError::BadInitialCounts { .. })
+        ));
+        assert!(matches!(
+            protocol.run_plurality_consensus(&[0, 0, 0]),
+            Err(ProtocolError::BadInitialCounts { .. })
+        ));
+        assert!(matches!(
+            protocol.run_plurality_consensus(&[50, 50, 0]),
+            Err(ProtocolError::BadInitialCounts { .. })
+        ));
+        assert!(matches!(
+            protocol.run_plurality_consensus(&[200, 1, 0]),
+            Err(ProtocolError::BadInitialCounts { .. })
+        ));
+        assert!(matches!(
+            TwoStageProtocol::new(params, uniform_noise(4, 0.3)),
+            Err(ProtocolError::NoiseDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let eps = 0.4;
+        let make = || {
+            let params = ProtocolParams::builder(300, 2)
+                .epsilon(eps)
+                .seed(99)
+                .build()
+                .unwrap();
+            TwoStageProtocol::new(params, uniform_noise(2, eps))
+                .unwrap()
+                .run_rumor_spreading(Opinion::new(0))
+                .unwrap()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.final_distribution(), b.final_distribution());
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.messages(), b.messages());
+        assert_eq!(a.bias_trajectory(), b.bias_trajectory());
+    }
+
+    #[test]
+    fn stage2_only_solves_an_already_biased_instance() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(500, 2)
+            .epsilon(eps)
+            .seed(21)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(2, eps)).unwrap();
+        let outcome = protocol.run_stage2_only(&[300, 200]).unwrap();
+        assert!(outcome.succeeded(), "final: {}", outcome.final_distribution());
+    }
+
+    #[test]
+    fn free_functions_mirror_protocol_methods() {
+        let eps = 0.4;
+        let params = ProtocolParams::builder(300, 2).epsilon(eps).seed(5).build().unwrap();
+        let noise = uniform_noise(2, eps);
+        let rumor = run_rumor_spreading(&params, &noise).unwrap();
+        assert_eq!(rumor.correct_opinion(), Opinion::new(0));
+        let plurality = run_plurality_consensus(&params, &noise, &[150, 100]).unwrap();
+        assert_eq!(plurality.correct_opinion(), Opinion::new(0));
+    }
+
+    #[test]
+    fn custom_constants_are_honoured_in_the_schedule() {
+        let constants = ProtocolConstants {
+            s: 0.5,
+            beta: 1.0,
+            phi: 2.0,
+            c: 3.0,
+            c_final: 1.0,
+        };
+        let params = ProtocolParams::builder(1_000, 2)
+            .epsilon(0.3)
+            .constants(constants)
+            .build()
+            .unwrap();
+        let default_params = ProtocolParams::builder(1_000, 2).epsilon(0.3).build().unwrap();
+        assert!(params.schedule().total_rounds() < default_params.schedule().total_rounds());
+    }
+}

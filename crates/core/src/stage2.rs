@@ -1,0 +1,210 @@
+//! Stage 2: sample-majority bias amplification (Section 3.1.2 of the paper).
+//!
+//! Each phase `j` of Stage 2 lasts `2L` rounds (`L = ℓ` for the first `T′`
+//! phases, `L = ℓ′ = Θ(ε⁻² log n)` for the last one). During the phase every
+//! opinionated agent pushes its current opinion in every round. At the end
+//! of the phase, every agent that received at least `L` messages draws a
+//! uniform random sample of `L` of them (without replacement) and switches
+//! to the most frequent opinion in the sample, breaking ties uniformly at
+//! random.
+//!
+//! Proposition 1 shows that each such phase multiplies the bias towards the
+//! plurality opinion by a constant factor `> 1` (as long as the noise matrix
+//! is (ε, δ)-majority-preserving), so after `T′ = ⌈log(√n / log n)⌉` phases
+//! the bias exceeds 1/2 and the final long phase completes the convergence
+//! (Lemma 12).
+
+use crate::memory::MemoryMeter;
+use crate::record::{PhaseRecord, StageId};
+use pushsim::{Inboxes, Network, Opinion};
+use rand::rngs::StdRng;
+
+/// Runs all Stage 2 phases on `net`.
+///
+/// `sample_sizes` lists the per-phase sample sizes `L` (each phase lasts
+/// `2L` rounds), `reference` is the plurality opinion used for bias
+/// bookkeeping, `rng` drives sampling and tie-breaking, and `meter`
+/// accumulates memory statistics.
+///
+/// Returns one [`PhaseRecord`] per phase.
+pub(crate) fn run(
+    net: &mut Network,
+    sample_sizes: &[u64],
+    reference: Opinion,
+    rng: &mut StdRng,
+    meter: &mut MemoryMeter,
+) -> Vec<PhaseRecord> {
+    let mut records = Vec::with_capacity(sample_sizes.len());
+    for (phase_index, &sample_size) in sample_sizes.iter().enumerate() {
+        let rounds = 2 * sample_size;
+        let num_nodes = net.num_nodes();
+        net.begin_phase();
+        let mut messages = 0u64;
+        for _ in 0..rounds {
+            // Unlike Stage 1, opinions do not change in the middle of a
+            // phase, so pushing the live state is equivalent to pushing a
+            // snapshot taken at the beginning of the phase.
+            let report = net.push_round(|_, state| state.opinion());
+            messages += report.messages_sent();
+        }
+        let inboxes = net.end_phase();
+
+        let switches = decide_switches(inboxes, num_nodes, sample_size, rng, meter);
+        for (node, opinion) in switches {
+            net.set_opinion(node, Some(opinion));
+        }
+
+        meter.record_sample_size(sample_size);
+        meter.record_phase();
+        records.push(PhaseRecord::new(
+            StageId::Two,
+            phase_index,
+            rounds,
+            messages,
+            net.distribution(),
+            reference,
+        ));
+    }
+    records
+}
+
+/// Applies the Stage 2 rule to every agent: agents that received at least
+/// `sample_size` messages sample that many without replacement and adopt the
+/// sample majority.
+fn decide_switches(
+    inboxes: &Inboxes,
+    num_nodes: usize,
+    sample_size: u64,
+    rng: &mut StdRng,
+    meter: &mut MemoryMeter,
+) -> Vec<(usize, Opinion)> {
+    let sample_size_u32 = u32::try_from(sample_size).unwrap_or(u32::MAX);
+    let mut switches = Vec::new();
+    let mut max_received = 0u64;
+    for node in 0..num_nodes {
+        let received = u64::from(inboxes.received_total(node));
+        max_received = max_received.max(received);
+        if received < sample_size {
+            continue;
+        }
+        let sample = inboxes
+            .sample_without_replacement(node, sample_size_u32, rng)
+            .expect("received_total >= sample_size");
+        if let Some(opinion) = Inboxes::majority_of_counts(&sample, rng) {
+            switches.push((node, opinion));
+        }
+    }
+    meter.record_counter(max_received);
+    switches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_channel::NoiseMatrix;
+    use pushsim::{OpinionDistribution, SimConfig};
+    use rand::SeedableRng;
+
+    fn network(n: usize, k: usize, eps: f64, seed: u64) -> Network {
+        let noise = NoiseMatrix::uniform(k, eps).unwrap();
+        let config = SimConfig::builder(n, k).seed(seed).build().unwrap();
+        Network::new(config, noise).unwrap()
+    }
+
+    #[test]
+    fn stage2_amplifies_an_initial_bias_to_consensus() {
+        let n = 600;
+        let eps = 0.35;
+        let mut net = network(n, 3, eps, 10);
+        // 40% / 30% / 30% split: bias 0.1 towards opinion 0.
+        net.seed_counts(&[240, 180, 180]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut meter = MemoryMeter::new(3);
+        // A handful of amplification phases followed by one long phase.
+        let ell = 61;
+        let ell_final = 201;
+        let sizes = vec![ell, ell, ell, ell, ell_final];
+        let records = run(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
+        assert_eq!(records.len(), sizes.len());
+        let final_dist: OpinionDistribution = net.distribution();
+        assert!(
+            final_dist.is_consensus_on(Opinion::new(0)),
+            "expected consensus on opinion 0, got {final_dist}"
+        );
+        assert_eq!(meter.max_sample_size(), ell_final);
+    }
+
+    #[test]
+    fn bias_grows_monotonically_in_expectation() {
+        // Run a single amplification phase many times and check that the
+        // average bias after the phase exceeds the initial bias.
+        let n = 500;
+        let eps = 0.35;
+        let initial_bias = 0.08;
+        let majority = (n as f64 * (1.0 + initial_bias) / 2.0).round() as usize;
+        let minority = n - majority;
+        let mut total_bias_after = 0.0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut net = network(n, 2, eps, 100 + seed);
+            net.seed_counts(&[majority, minority]).unwrap();
+            let mut rng = StdRng::seed_from_u64(200 + seed);
+            let mut meter = MemoryMeter::new(2);
+            let records = run(&mut net, &[41], Opinion::new(0), &mut rng, &mut meter);
+            total_bias_after += records[0].bias_after().unwrap();
+        }
+        let avg = total_bias_after / trials as f64;
+        let start = 2.0 * majority as f64 / n as f64 - 1.0;
+        assert!(
+            avg > start,
+            "average bias after one phase ({avg:.3}) should exceed the initial bias ({start:.3})"
+        );
+    }
+
+    #[test]
+    fn nodes_without_enough_messages_keep_their_opinion() {
+        // With only 3 opinionated nodes and a huge sample size, nobody can
+        // collect enough messages, so nothing changes.
+        let mut net = network(100, 2, 0.3, 12);
+        net.seed_counts(&[2, 1]).unwrap();
+        let before = net.distribution();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut meter = MemoryMeter::new(2);
+        run(&mut net, &[1001], Opinion::new(0), &mut rng, &mut meter);
+        assert_eq!(net.distribution().counts(), before.counts());
+    }
+
+    #[test]
+    fn undecided_nodes_are_recruited_by_stage2() {
+        // Stage 2 is also what finishes off stragglers: undecided nodes that
+        // receive enough messages adopt the sample majority.
+        let n = 300;
+        let mut net = network(n, 2, 0.4, 14);
+        net.seed_counts(&[200, 40]).unwrap(); // 60 undecided
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut meter = MemoryMeter::new(2);
+        run(&mut net, &[31, 31, 101], Opinion::new(0), &mut rng, &mut meter);
+        let dist = net.distribution();
+        assert_eq!(dist.undecided(), 0, "stragglers should be recruited: {dist}");
+        assert!(dist.is_consensus_on(Opinion::new(0)));
+    }
+
+    #[test]
+    fn ties_do_not_crash_and_resolve_to_some_opinion() {
+        // Perfectly tied initial configuration: Stage 2 still drives the
+        // system to *some* consensus (symmetry is broken by randomness).
+        let n = 200;
+        let mut net = network(n, 2, 0.45, 16);
+        net.seed_counts(&[100, 100]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut meter = MemoryMeter::new(2);
+        let sizes = vec![31; 12];
+        run(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
+        let dist = net.distribution();
+        assert_eq!(dist.undecided(), 0);
+        // Not asserting *which* opinion wins — only that the system is in a
+        // legal state and heavily concentrated.
+        let max = dist.counts().iter().max().copied().unwrap();
+        assert!(max as f64 / n as f64 > 0.9, "distribution {dist}");
+    }
+}

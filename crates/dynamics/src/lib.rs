@@ -1,0 +1,237 @@
+//! # opinion-dynamics
+//!
+//! Baseline opinion dynamics running under the same **noisy uniform push
+//! model** as the main protocol, used by the experiment harness as
+//! comparators (experiment T1 of DESIGN.md).
+//!
+//! The paper's related-work section points at several elementary dynamics
+//! that solve (noiseless) plurality or majority consensus:
+//!
+//! * the **voter model** (adopt a random received opinion),
+//! * the **3-majority dynamics** and its generalization **h-majority**
+//!   (adopt the majority among a few sampled opinions) \[9, 13\],
+//! * the **undecided-state dynamics** \[5, 8\],
+//! * the **median rule** of Doerr et al. \[15\] (opinions as integers,
+//!   move to the median of observed values).
+//!
+//! None of these were designed for the noisy channel studied by Fraigniaud &
+//! Natale; running them under the same noise matrix shows where simple
+//! dynamics break down and how much the two-stage protocol buys.
+//!
+//! All dynamics implement the [`Dynamics`] trait: one [`step`](Dynamics::step)
+//! is a full synchronous round (every opinionated agent pushes, then every
+//! agent applies the update rule to the messages it received), and
+//! [`run`](Dynamics::run) iterates until consensus or a round limit.
+//!
+//! # Example
+//!
+//! ```
+//! use noisy_channel::NoiseMatrix;
+//! use opinion_dynamics::{Dynamics, ThreeMajority};
+//! use pushsim::{Network, Opinion, SimConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let noise = NoiseMatrix::uniform(2, 0.4)?;
+//! let config = SimConfig::builder(300, 2).seed(1).build()?;
+//! let mut net = Network::new(config, noise)?;
+//! net.seed_counts(&[200, 100])?;
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let outcome = ThreeMajority::new().run(&mut net, &mut rng, 2_000);
+//! // Under channel noise the baseline has no absorbing state, so it hovers
+//! // near — but not exactly at — consensus on the plurality opinion.
+//! assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+//! let share = outcome.final_distribution().counts()[0] as f64 / 300.0;
+//! assert!(share > 0.8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod majority;
+mod median;
+mod outcome;
+mod undecided;
+mod voter;
+
+pub use majority::{HMajority, ThreeMajority};
+pub use median::MedianRule;
+pub use outcome::DynamicsOutcome;
+pub use undecided::UndecidedState;
+pub use voter::Voter;
+
+use pushsim::Network;
+use rand::rngs::StdRng;
+
+/// A synchronous opinion dynamics over the noisy uniform push model.
+///
+/// Implementors define what an agent does with the multiset of messages it
+/// received in one round; the provided [`run`](Dynamics::run) method iterates
+/// rounds until consensus or a limit.
+pub trait Dynamics {
+    /// A short human-readable name for tables and plots.
+    fn name(&self) -> &'static str;
+
+    /// Executes one synchronous round: every opinionated agent pushes its
+    /// opinion, messages are delivered through the noisy channel, and every
+    /// agent applies the dynamics' update rule to its received multiset.
+    fn step(&mut self, net: &mut Network, rng: &mut StdRng);
+
+    /// Runs the dynamics until the network reaches consensus or at least
+    /// `max_rounds` rounds have been executed, whichever comes first (a step
+    /// that was already in progress when the limit is hit is finished, so
+    /// the actual round count can exceed `max_rounds` by one step).
+    fn run(&mut self, net: &mut Network, rng: &mut StdRng, max_rounds: u64) -> DynamicsOutcome {
+        let start_rounds = net.rounds_executed();
+        let start_messages = net.messages_sent();
+        while net.rounds_executed() - start_rounds < max_rounds {
+            if net.distribution().is_consensus() {
+                break;
+            }
+            self.step(net, rng);
+        }
+        let final_distribution = net.distribution();
+        DynamicsOutcome::new(
+            self.name(),
+            net.rounds_executed() - start_rounds,
+            net.messages_sent() - start_messages,
+            final_distribution,
+        )
+    }
+}
+
+/// Helper shared by the concrete dynamics: runs one push round where every
+/// opinionated agent pushes its current opinion, finishes the phase, and
+/// hands the received multisets plus the node count to `update`, which
+/// returns the list of state changes to apply.
+pub(crate) fn push_and_update<F>(net: &mut Network, update: F)
+where
+    F: FnOnce(&pushsim::Inboxes, usize) -> Vec<(usize, Option<pushsim::Opinion>)>,
+{
+    let num_nodes = net.num_nodes();
+    net.begin_phase();
+    net.push_round(|_, state| state.opinion());
+    let inboxes = net.end_phase();
+    let changes = update(inboxes, num_nodes);
+    for (node, opinion) in changes {
+        net.set_opinion(node, opinion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_channel::NoiseMatrix;
+    use pushsim::{Opinion, SimConfig};
+    use rand::SeedableRng;
+
+    fn biased_network(seed: u64) -> Network {
+        // Noiseless channel: the classic setting in which all these dynamics
+        // are known to reach consensus.
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(300, 2).seed(seed).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[210, 90]).unwrap();
+        net
+    }
+
+    /// Without noise, every baseline dynamics drives a strongly biased
+    /// instance to consensus within a generous round budget, and the
+    /// majority-seeking dynamics converge on the plurality opinion.
+    #[test]
+    fn all_dynamics_converge_without_noise() {
+        let dynamics: Vec<(Box<dyn Dynamics>, bool)> = vec![
+            // The voter model converges but its winner is only *likely* to be
+            // the plurality opinion, so we do not assert the winner for it.
+            (Box::new(Voter::new()), false),
+            (Box::new(ThreeMajority::new()), true),
+            (Box::new(HMajority::new(5)), true),
+            (Box::new(UndecidedState::new()), true),
+            (Box::new(MedianRule::new()), true),
+        ];
+        for (i, (mut dyn_, check_winner)) in dynamics.into_iter().enumerate() {
+            let mut net = biased_network(40 + i as u64);
+            let mut rng = StdRng::seed_from_u64(140 + i as u64);
+            let outcome = dyn_.run(&mut net, &mut rng, 6_000);
+            assert!(
+                outcome.converged(),
+                "{} did not converge: {}",
+                dyn_.name(),
+                outcome.final_distribution()
+            );
+            if check_winner {
+                assert_eq!(
+                    outcome.winner(),
+                    Some(Opinion::new(0)),
+                    "{} converged on the wrong opinion",
+                    dyn_.name()
+                );
+            }
+        }
+    }
+
+    /// Under the paper's noise, the majority-seeking baselines still drive a
+    /// strongly biased instance to near-consensus on the plurality opinion
+    /// (they lack an absorbing state, so exact consensus is not guaranteed).
+    #[test]
+    fn majority_dynamics_reach_near_consensus_under_noise() {
+        let noise = NoiseMatrix::uniform(2, 0.45).unwrap();
+        let dynamics: Vec<Box<dyn Dynamics>> = vec![
+            Box::new(ThreeMajority::new()),
+            Box::new(HMajority::new(7)),
+        ];
+        for (i, mut dyn_) in dynamics.into_iter().enumerate() {
+            let config = SimConfig::builder(300, 2).seed(60 + i as u64).build().unwrap();
+            let mut net = Network::new(config, noise.clone()).unwrap();
+            net.seed_counts(&[210, 90]).unwrap();
+            let mut rng = StdRng::seed_from_u64(160 + i as u64);
+            let outcome = dyn_.run(&mut net, &mut rng, 300);
+            let dist = outcome.final_distribution();
+            let plurality_share = dist.counts()[0] as f64 / dist.num_nodes() as f64;
+            assert!(
+                plurality_share > 0.85,
+                "{} only reached a plurality share of {plurality_share}: {dist}",
+                dyn_.name()
+            );
+        }
+    }
+
+    #[test]
+    fn run_stops_immediately_on_a_consensus_network() {
+        let noise = NoiseMatrix::uniform(2, 0.3).unwrap();
+        let config = SimConfig::builder(50, 2).seed(3).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[50, 0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcome = Voter::new().run(&mut net, &mut rng, 100);
+        assert!(outcome.converged());
+        assert_eq!(outcome.rounds(), 0);
+    }
+
+    #[test]
+    fn run_respects_the_round_limit() {
+        // With zero opinionated nodes nothing can ever happen; the run must
+        // stop at the limit and report no consensus (all nodes undecided).
+        let noise = NoiseMatrix::uniform(2, 0.3).unwrap();
+        let config = SimConfig::builder(50, 2).seed(5).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcome = Voter::new().run(&mut net, &mut rng, 25);
+        assert!(!outcome.converged());
+        assert_eq!(outcome.rounds(), 25);
+
+        // A dynamics whose step spans several rounds may overshoot by at
+        // most one step.
+        let mut net = Network::new(
+            SimConfig::builder(50, 2).seed(7).build().unwrap(),
+            NoiseMatrix::uniform(2, 0.3).unwrap(),
+        )
+        .unwrap();
+        let outcome = ThreeMajority::new().run(&mut net, &mut rng, 25);
+        assert!(!outcome.converged());
+        assert!(outcome.rounds() >= 25 && outcome.rounds() < 25 + 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! The median rule of Doerr et al. (stabilizing consensus).
+
+use crate::{push_and_update, Dynamics};
+use pushsim::{Network, NodeState, Opinion};
+use rand::rngs::StdRng;
+
+/// The **median rule** \[15\]: opinions are treated as integers; in every
+/// round each agent looks at two uniformly random received messages (with
+/// replacement) and moves to the *median* of its own opinion and the two
+/// observed values. Undecided agents adopt one random received opinion.
+///
+/// In the noiseless setting the median rule solves stabilizing consensus in
+/// `O(log n)` rounds and tolerates `O(√n)` adversarial corruptions per
+/// round; under the paper's channel noise it converges to the median of the
+/// initial opinions rather than the plurality, which is exactly the
+/// behavioural difference experiment T1 illustrates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MedianRule {
+    _private: (),
+}
+
+impl MedianRule {
+    /// Creates a median-rule dynamics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dynamics for MedianRule {
+    fn name(&self) -> &'static str {
+        "median"
+    }
+
+    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
+        let states: Vec<NodeState> = net.states().to_vec();
+        push_and_update(net, |inboxes, num_nodes| {
+            let mut changes = Vec::new();
+            for node in 0..num_nodes {
+                let Some(first) = inboxes.sample_one(node, rng) else {
+                    continue;
+                };
+                match states[node] {
+                    NodeState::Undecided => changes.push((node, Some(first))),
+                    NodeState::Opinionated(own) => {
+                        let second = inboxes
+                            .sample_one(node, rng)
+                            .expect("node has received at least one message");
+                        let mut triple = [own.index(), first.index(), second.index()];
+                        triple.sort_unstable();
+                        changes.push((node, Some(Opinion::new(triple[1]))));
+                    }
+                }
+            }
+            changes
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_channel::NoiseMatrix;
+    use pushsim::SimConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn consensus_is_absorbing_without_noise() {
+        let noise = NoiseMatrix::identity(3).unwrap();
+        let config = SimConfig::builder(60, 3).seed(1).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[0, 60, 0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dynamics = MedianRule::new();
+        for _ in 0..10 {
+            dynamics.step(&mut net, &mut rng);
+        }
+        assert!(net.distribution().is_consensus_on(Opinion::new(1)));
+    }
+
+    #[test]
+    fn converges_to_the_median_opinion_not_the_plurality() {
+        // Opinion 0 holds the plurality but opinion 1 is the median of the
+        // initial multiset; the median rule should end on opinion 1.
+        let noise = NoiseMatrix::identity(3).unwrap();
+        let config = SimConfig::builder(900, 3).seed(3).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[400, 350, 150]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcome = MedianRule::new().run(&mut net, &mut rng, 2_000);
+        assert!(outcome.converged());
+        assert_eq!(outcome.winner(), Some(Opinion::new(1)));
+    }
+
+    #[test]
+    fn two_opinion_majority_is_recovered() {
+        // With two opinions the median coincides with the majority.
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(400, 2).seed(5).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[260, 140]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcome = MedianRule::new().run(&mut net, &mut rng, 2_000);
+        assert!(outcome.converged());
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Result of running a baseline dynamics.
+
+use pushsim::{Opinion, OpinionDistribution};
+
+/// The result of running a [`Dynamics`](crate::Dynamics) until consensus or
+/// a round limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsOutcome {
+    name: &'static str,
+    rounds: u64,
+    messages: u64,
+    final_distribution: OpinionDistribution,
+}
+
+impl DynamicsOutcome {
+    pub(crate) fn new(
+        name: &'static str,
+        rounds: u64,
+        messages: u64,
+        final_distribution: OpinionDistribution,
+    ) -> Self {
+        Self {
+            name,
+            rounds,
+            messages,
+            final_distribution,
+        }
+    }
+
+    /// The name of the dynamics that produced this outcome.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The number of rounds executed by the run.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The number of messages pushed during the run.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// The opinion distribution at the end of the run.
+    pub fn final_distribution(&self) -> &OpinionDistribution {
+        &self.final_distribution
+    }
+
+    /// `true` if the run ended in consensus (every agent opinionated on the
+    /// same opinion).
+    pub fn converged(&self) -> bool {
+        self.final_distribution.is_consensus()
+    }
+
+    /// The final plurality opinion, if one exists.
+    pub fn winner(&self) -> Option<Opinion> {
+        self.final_distribution.plurality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_report_the_run() {
+        let dist = OpinionDistribution::from_counts(vec![10, 0], 0).unwrap();
+        let outcome = DynamicsOutcome::new("voter", 17, 99, dist);
+        assert_eq!(outcome.name(), "voter");
+        assert_eq!(outcome.rounds(), 17);
+        assert_eq!(outcome.messages(), 99);
+        assert!(outcome.converged());
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn non_consensus_outcome_is_reported_as_such() {
+        let dist = OpinionDistribution::from_counts(vec![6, 4], 0).unwrap();
+        let outcome = DynamicsOutcome::new("voter", 5, 10, dist);
+        assert!(!outcome.converged());
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+    }
+}

@@ -1,0 +1,105 @@
+//! The undecided-state dynamics.
+
+use crate::{push_and_update, Dynamics};
+use pushsim::{Network, NodeState};
+use rand::rngs::StdRng;
+
+/// The **undecided-state dynamics** \[5, 8\] adapted to the push setting:
+/// each agent looks at one uniformly random message it received this round
+/// and
+///
+/// * adopts it if the agent is currently undecided,
+/// * becomes undecided if the message differs from the agent's opinion,
+/// * keeps its opinion if the message agrees with it.
+///
+/// Agents that received nothing do not change state. In the noiseless gossip
+/// model this dynamics solves plurality consensus with polylogarithmic
+/// convergence time provided the initial bias is large enough; under the
+/// paper's channel noise, spurious disagreements constantly push agents back
+/// to the undecided state, which is one of the failure modes experiment T1
+/// quantifies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UndecidedState {
+    _private: (),
+}
+
+impl UndecidedState {
+    /// Creates an undecided-state dynamics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dynamics for UndecidedState {
+    fn name(&self) -> &'static str {
+        "undecided-state"
+    }
+
+    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
+        let states: Vec<NodeState> = net.states().to_vec();
+        push_and_update(net, |inboxes, num_nodes| {
+            let mut changes = Vec::new();
+            for node in 0..num_nodes {
+                let Some(message) = inboxes.sample_one(node, rng) else {
+                    continue;
+                };
+                match states[node] {
+                    NodeState::Undecided => changes.push((node, Some(message))),
+                    NodeState::Opinionated(own) if own != message => {
+                        changes.push((node, None));
+                    }
+                    NodeState::Opinionated(_) => {}
+                }
+            }
+            changes
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_channel::NoiseMatrix;
+    use pushsim::{Opinion, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn agreement_is_absorbing_without_noise() {
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(50, 2).seed(1).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[50, 0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dynamics = UndecidedState::new();
+        for _ in 0..20 {
+            dynamics.step(&mut net, &mut rng);
+        }
+        assert!(net.distribution().is_consensus_on(Opinion::new(0)));
+    }
+
+    #[test]
+    fn disagreement_creates_undecided_nodes() {
+        // Two equal camps with no noise: after one round some agents must
+        // have seen the other opinion and become undecided.
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(200, 2).seed(3).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[100, 100]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut dynamics = UndecidedState::new();
+        dynamics.step(&mut net, &mut rng);
+        assert!(net.distribution().undecided() > 0);
+    }
+
+    #[test]
+    fn solves_plurality_with_three_opinions_without_noise() {
+        let noise = NoiseMatrix::identity(3).unwrap();
+        let config = SimConfig::builder(600, 3).seed(5).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[300, 180, 120]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcome = UndecidedState::new().run(&mut net, &mut rng, 3_000);
+        assert!(outcome.converged());
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+    }
+}

@@ -1,0 +1,88 @@
+//! The voter model: adopt one uniformly random received opinion.
+
+use crate::{push_and_update, Dynamics};
+use pushsim::Network;
+use rand::rngs::StdRng;
+
+/// The classic **voter model** adapted to the push setting: in every round
+/// each opinionated agent pushes its opinion, and every agent that received
+/// at least one message adopts one of the received opinions chosen uniformly
+/// at random (counting multiplicities). Undecided agents join the process by
+/// the same rule.
+///
+/// Without noise the voter model reaches consensus in `O(n)` expected rounds
+/// on the complete graph but offers only a weak plurality guarantee (the
+/// probability of winning equals the initial share). With noise it has no
+/// absorbing state at all — which is precisely why the paper's protocol
+/// needs its sample-majority stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Voter {
+    _private: (),
+}
+
+impl Voter {
+    /// Creates a voter-model dynamics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dynamics for Voter {
+    fn name(&self) -> &'static str {
+        "voter"
+    }
+
+    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
+        push_and_update(net, |inboxes, num_nodes| {
+            let mut changes = Vec::new();
+            for node in 0..num_nodes {
+                if let Some(opinion) = inboxes.sample_one(node, rng) {
+                    changes.push((node, Some(opinion)));
+                }
+            }
+            changes
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_channel::NoiseMatrix;
+    use pushsim::{Opinion, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn a_single_opinion_network_stays_put() {
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(40, 2).seed(1).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[40, 0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut voter = Voter::new();
+        for _ in 0..20 {
+            voter.step(&mut net, &mut rng);
+        }
+        assert!(net.distribution().is_consensus_on(Opinion::new(0)));
+    }
+
+    #[test]
+    fn undecided_nodes_are_recruited() {
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(60, 2).seed(3).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[20, 10]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut voter = Voter::new();
+        let undecided_before = net.distribution().undecided();
+        for _ in 0..30 {
+            voter.step(&mut net, &mut rng);
+        }
+        assert!(net.distribution().undecided() < undecided_before);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Voter::new().name(), "voter");
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the LP solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`LinearProgram`](crate::LinearProgram) construction and
+/// solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint row has a different number of coefficients than the
+    /// objective has variables.
+    DimensionMismatch {
+        /// Number of variables declared by the objective.
+        expected: usize,
+        /// Number of coefficients supplied in the offending row.
+        found: usize,
+    },
+    /// The problem has no variables.
+    EmptyProblem,
+    /// A coefficient or right-hand side is NaN or infinite.
+    NonFiniteCoefficient,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (should not happen with
+    /// Bland's rule on well-posed inputs; indicates severe numerical
+    /// trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, found } => write!(
+                f,
+                "constraint has {found} coefficients but the problem has {expected} variables"
+            ),
+            LpError::EmptyProblem => write!(f, "linear program has no variables"),
+            LpError::NonFiniteCoefficient => {
+                write!(f, "coefficient or right-hand side is not finite")
+            }
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            LpError::DimensionMismatch {
+                expected: 3,
+                found: 2,
+            },
+            LpError::EmptyProblem,
+            LpError::NonFiniteCoefficient,
+            LpError::Infeasible,
+            LpError::Unbounded,
+            LpError::IterationLimit,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<LpError>();
+    }
+}

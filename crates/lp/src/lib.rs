@@ -1,0 +1,62 @@
+//! # noisy-lp
+//!
+//! A small, dependency-free, dense-tableau **simplex** linear-programming
+//! solver.
+//!
+//! The solver exists to support the \\((\epsilon, \delta)\\)-majority-preserving
+//! membership test of Fraigniaud & Natale (PODC 2016, Section 4): deciding
+//! whether a noise matrix `P` preserves a δ-biased plurality requires, for
+//! every pair of opinions `(m, i)`, solving
+//!
+//! ```text
+//! minimize    (c · P)_m − (c · P)_i
+//! subject to  Σ_j c_j = 1
+//!             c_m − c_j ≥ δ   for all j ≠ m
+//!             c_j ≥ 0
+//! ```
+//!
+//! These are tiny LPs (k variables, k constraints, k ≤ a few dozen), so a
+//! dense two-phase simplex with Bland's anti-cycling rule is more than
+//! adequate, and implementing it in-repo keeps the dependency budget at zero.
+//!
+//! The API is deliberately general (maximize or minimize, `≤`/`=`/`≥`
+//! constraints, non-negative variables) so the solver is reusable by the
+//! benchmark harness for other small optimization questions (e.g. worst-case
+//! opinion distributions).
+//!
+//! # Example
+//!
+//! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x + 3y ≤ 6`, `x, y ≥ 0`:
+//!
+//! ```
+//! use noisy_lp::{LinearProgram, Relation};
+//!
+//! # fn main() -> Result<(), noisy_lp::LpError> {
+//! let mut lp = LinearProgram::maximize(vec![3.0, 2.0]);
+//! lp.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0)?;
+//! lp.add_constraint(vec![1.0, 3.0], Relation::Le, 6.0)?;
+//! let solution = lp.solve()?;
+//! assert!((solution.objective_value() - 12.0).abs() < 1e-9);
+//! assert!((solution.variables()[0] - 4.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use problem::{Constraint, LinearProgram, Relation};
+pub use solution::Solution;
+
+/// Numerical tolerance used throughout the solver for feasibility and
+/// optimality checks.
+///
+/// The LPs arising from the majority-preservation test have coefficients of
+/// magnitude at most 1, so an absolute tolerance is appropriate.
+pub const TOLERANCE: f64 = 1e-9;

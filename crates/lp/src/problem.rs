@@ -1,0 +1,291 @@
+//! Problem description: objective, constraints and the public `solve` entry
+//! point.
+
+use crate::error::LpError;
+use crate::simplex;
+use crate::solution::Solution;
+
+/// The relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `a · x ≤ b`
+    Le,
+    /// `a · x = b`
+    Eq,
+    /// `a · x ≥ b`
+    Ge,
+}
+
+/// A single linear constraint `coeffs · x (≤ | = | ≥) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+impl Constraint {
+    /// The coefficient row of the constraint.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The relation (`≤`, `=`, `≥`) of the constraint.
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// The right-hand side of the constraint.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+
+    /// Evaluates whether `x` satisfies the constraint up to `tol`.
+    pub fn is_satisfied_by(&self, x: &[f64], tol: f64) -> bool {
+        let lhs: f64 = self.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        match self.relation {
+            Relation::Le => lhs <= self.rhs + tol,
+            Relation::Eq => (lhs - self.rhs).abs() <= tol,
+            Relation::Ge => lhs >= self.rhs - tol,
+        }
+    }
+}
+
+/// Orientation of the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sense {
+    Maximize,
+    Minimize,
+}
+
+/// A linear program over non-negative variables.
+///
+/// The problem is
+///
+/// ```text
+/// max (or min)   objective · x
+/// subject to     constraints
+///                x ≥ 0
+/// ```
+///
+/// Construct with [`LinearProgram::maximize`] or [`LinearProgram::minimize`],
+/// add rows with [`add_constraint`](LinearProgram::add_constraint), and call
+/// [`solve`](LinearProgram::solve).
+///
+/// # Example
+///
+/// Minimize `x + y` subject to `x + 2y ≥ 3`, `3x + y ≥ 4`:
+///
+/// ```
+/// use noisy_lp::{LinearProgram, Relation};
+/// # fn main() -> Result<(), noisy_lp::LpError> {
+/// let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+/// lp.add_constraint(vec![1.0, 2.0], Relation::Ge, 3.0)?;
+/// lp.add_constraint(vec![3.0, 1.0], Relation::Ge, 4.0)?;
+/// let sol = lp.solve()?;
+/// assert!((sol.objective_value() - 2.0).abs() < 1e-9); // x = 1, y = 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    sense: Sense,
+}
+
+impl LinearProgram {
+    /// Creates a maximization problem with the given objective coefficients.
+    ///
+    /// The number of variables of the program is `objective.len()`.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+            sense: Sense::Maximize,
+        }
+    }
+
+    /// Creates a minimization problem with the given objective coefficients.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+            sense: Sense::Minimize,
+        }
+    }
+
+    /// The number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// The number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The objective coefficient vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Returns `true` if the problem maximizes its objective.
+    pub fn is_maximization(&self) -> bool {
+        self.sense == Sense::Maximize
+    }
+
+    /// Adds the constraint `coeffs · x (relation) rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DimensionMismatch`] if `coeffs.len()` differs from
+    /// the number of variables, and [`LpError::NonFiniteCoefficient`] if any
+    /// coefficient or `rhs` is NaN or infinite.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if coeffs.len() != self.objective.len() {
+            return Err(LpError::DimensionMismatch {
+                expected: self.objective.len(),
+                found: coeffs.len(),
+            });
+        }
+        if !rhs.is_finite() || coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NonFiniteCoefficient);
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        Ok(self)
+    }
+
+    /// Checks whether `x` is feasible for every constraint (and non-negative)
+    /// up to tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.num_vars()
+            && x.iter().all(|&v| v >= -tol)
+            && self.constraints.iter().all(|c| c.is_satisfied_by(x, tol))
+    }
+
+    /// Evaluates the objective at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of variables.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.num_vars(),
+            "objective_at: point has wrong dimension"
+        );
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Solves the linear program with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::EmptyProblem`] if there are no variables.
+    /// * [`LpError::NonFiniteCoefficient`] if the objective contains NaN or
+    ///   infinite entries.
+    /// * [`LpError::Infeasible`] if the feasible region is empty.
+    /// * [`LpError::Unbounded`] if the objective is unbounded.
+    /// * [`LpError::IterationLimit`] on pathological numerical behaviour.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        if self.objective.is_empty() {
+            return Err(LpError::EmptyProblem);
+        }
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NonFiniteCoefficient);
+        }
+        // The simplex core always maximizes; flip the sign of the objective
+        // for minimization problems and flip the optimum back afterwards.
+        let objective: Vec<f64> = match self.sense {
+            Sense::Maximize => self.objective.clone(),
+            Sense::Minimize => self.objective.iter().map(|c| -c).collect(),
+        };
+        let x = simplex::solve_standard_form(&objective, &self.constraints)?;
+        let value = self.objective_at(&x);
+        Ok(Solution::new(x, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 2.0]);
+        let err = lp
+            .add_constraint(vec![1.0], Relation::Le, 1.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LpError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_coefficients_are_rejected() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        assert_eq!(
+            lp.add_constraint(vec![f64::NAN], Relation::Le, 1.0)
+                .unwrap_err(),
+            LpError::NonFiniteCoefficient
+        );
+        assert_eq!(
+            lp.add_constraint(vec![1.0], Relation::Le, f64::INFINITY)
+                .unwrap_err(),
+            LpError::NonFiniteCoefficient
+        );
+    }
+
+    #[test]
+    fn empty_problem_is_rejected() {
+        let lp = LinearProgram::maximize(vec![]);
+        assert_eq!(lp.solve().unwrap_err(), LpError::EmptyProblem);
+    }
+
+    #[test]
+    fn constraint_accessors() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![2.0, 1.0], Relation::Ge, 5.0).unwrap();
+        let c = &lp.constraints()[0];
+        assert_eq!(c.coeffs(), &[2.0, 1.0]);
+        assert_eq!(c.relation(), Relation::Ge);
+        assert_eq!(c.rhs(), 5.0);
+        assert!(c.is_satisfied_by(&[3.0, 0.0], 1e-12));
+        assert!(!c.is_satisfied_by(&[1.0, 0.0], 1e-12));
+    }
+
+    #[test]
+    fn feasibility_check_includes_nonnegativity() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 3.0).unwrap();
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-12));
+        assert!(!lp.is_feasible(&[-1.0, 1.0], 1e-12));
+        assert!(!lp.is_feasible(&[4.0, 0.0], 1e-12));
+        assert!(!lp.is_feasible(&[1.0], 1e-12));
+    }
+
+    #[test]
+    fn objective_sense_is_reported() {
+        assert!(LinearProgram::maximize(vec![1.0]).is_maximization());
+        assert!(!LinearProgram::minimize(vec![1.0]).is_maximization());
+    }
+}

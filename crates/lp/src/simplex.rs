@@ -1,0 +1,394 @@
+//! Two-phase dense tableau simplex with Bland's anti-cycling rule.
+//!
+//! The implementation favours clarity and robustness over speed: the LPs
+//! solved in this workspace have at most a few dozen variables and
+//! constraints, so reduced costs are recomputed from scratch on every pivot
+//! and no factorization is maintained.
+
+use crate::error::LpError;
+use crate::problem::{Constraint, Relation};
+use crate::TOLERANCE;
+
+/// One row of the internal standard-form tableau.
+struct Row {
+    /// Coefficients over all columns (structural, slack/surplus, artificial).
+    coeffs: Vec<f64>,
+    /// Right-hand side (kept non-negative).
+    rhs: f64,
+}
+
+/// Internal standard-form problem: maximize `cost · y` with `A y = b`,
+/// `y ≥ 0`, where `y` stacks structural, slack/surplus and artificial
+/// variables.
+struct Tableau {
+    rows: Vec<Row>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns (excluding the rhs).
+    num_cols: usize,
+    /// Number of structural (original) variables.
+    num_structural: usize,
+    /// Column indices of the artificial variables.
+    artificial: Vec<usize>,
+}
+
+/// Solves `maximize objective · x` subject to `constraints` and `x ≥ 0`.
+///
+/// Returns the optimal structural variable assignment.
+pub(crate) fn solve_standard_form(
+    objective: &[f64],
+    constraints: &[Constraint],
+) -> Result<Vec<f64>, LpError> {
+    let mut tableau = Tableau::build(objective.len(), constraints);
+
+    // Phase 1: drive the artificial variables to zero.
+    if !tableau.artificial.is_empty() {
+        let mut phase1_cost = vec![0.0; tableau.num_cols];
+        for &a in &tableau.artificial {
+            phase1_cost[a] = -1.0;
+        }
+        let value = tableau.optimize(&phase1_cost, &[])?;
+        if value < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        tableau.pivot_out_artificials();
+    }
+
+    // Phase 2: optimize the real objective, never letting artificial
+    // variables re-enter the basis.
+    let mut phase2_cost = vec![0.0; tableau.num_cols];
+    phase2_cost[..objective.len()].copy_from_slice(objective);
+    let blocked = tableau.artificial.clone();
+    tableau.optimize(&phase2_cost, &blocked)?;
+
+    Ok(tableau.structural_solution())
+}
+
+impl Tableau {
+    /// Builds the standard-form tableau: adds a slack for every `≤` row, a
+    /// surplus and an artificial for every `≥` row, and an artificial for
+    /// every `=` row. Rows are normalized so that every right-hand side is
+    /// non-negative.
+    fn build(num_structural: usize, constraints: &[Constraint]) -> Self {
+        let m = constraints.len();
+        // First pass: count extra columns.
+        let mut num_slack = 0;
+        let mut num_artificial = 0;
+        for c in constraints {
+            // Sign-normalize first: a negative rhs flips the relation.
+            let relation = effective_relation(c);
+            match relation {
+                Relation::Le => num_slack += 1,
+                Relation::Ge => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                Relation::Eq => num_artificial += 1,
+            }
+        }
+        let num_cols = num_structural + num_slack + num_artificial;
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = vec![0usize; m];
+        let mut artificial = Vec::with_capacity(num_artificial);
+
+        let mut next_slack = num_structural;
+        let mut next_artificial = num_structural + num_slack;
+
+        for (i, c) in constraints.iter().enumerate() {
+            let flip = c.rhs() < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            let mut coeffs = vec![0.0; num_cols];
+            for (j, &a) in c.coeffs().iter().enumerate() {
+                coeffs[j] = sign * a;
+            }
+            let rhs = sign * c.rhs();
+            let relation = effective_relation(c);
+            match relation {
+                Relation::Le => {
+                    coeffs[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    coeffs[next_slack] = -1.0;
+                    next_slack += 1;
+                    coeffs[next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    artificial.push(next_artificial);
+                    next_artificial += 1;
+                }
+                Relation::Eq => {
+                    coeffs[next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    artificial.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+            rows.push(Row { coeffs, rhs });
+        }
+
+        Self {
+            rows,
+            basis,
+            num_cols,
+            num_structural,
+            artificial,
+        }
+    }
+
+    /// Runs the primal simplex on the current basis for the given cost
+    /// vector, with Bland's rule. `blocked` columns are never allowed to
+    /// enter the basis. Returns the optimal objective value.
+    fn optimize(&mut self, cost: &[f64], blocked: &[usize]) -> Result<f64, LpError> {
+        // Generous iteration limit: with Bland's rule the simplex cannot
+        // cycle, so this only trips on severe numerical breakdown.
+        let limit = 50_000usize.max(100 * (self.num_cols + self.rows.len()));
+        for _ in 0..limit {
+            let reduced = self.reduced_costs(cost);
+            // Bland's rule: the entering column is the lowest-indexed column
+            // with a strictly positive reduced cost.
+            let entering = (0..self.num_cols)
+                .filter(|j| !blocked.contains(j) && !self.basis.contains(j))
+                .find(|&j| reduced[j] > TOLERANCE);
+            let Some(entering) = entering else {
+                return Ok(self.objective_value(cost));
+            };
+            let leaving_row = self.ratio_test(entering).ok_or(LpError::Unbounded)?;
+            self.pivot(leaving_row, entering);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Reduced cost of every column for the given cost vector:
+    /// `c_j − c_B · B⁻¹ A_j` (recomputed from the current tableau).
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let mut reduced = cost.to_vec();
+        for (row, &b) in self.rows.iter().zip(&self.basis) {
+            let cb = cost[b];
+            if cb != 0.0 {
+                for j in 0..self.num_cols {
+                    reduced[j] -= cb * row.coeffs[j];
+                }
+            }
+        }
+        reduced
+    }
+
+    /// Current objective value `c_B · x_B`.
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        self.rows
+            .iter()
+            .zip(&self.basis)
+            .map(|(row, &b)| cost[b] * row.rhs)
+            .sum()
+    }
+
+    /// Minimum-ratio test for the entering column; ties are broken towards
+    /// the row whose basic variable has the smallest index (Bland).
+    fn ratio_test(&self, entering: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, row) in self.rows.iter().enumerate() {
+            let a = row.coeffs[entering];
+            if a > TOLERANCE {
+                let ratio = row.rhs / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - TOLERANCE
+                            || ((ratio - br).abs() <= TOLERANCE
+                                && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Gauss–Jordan pivot on (`row`, `col`).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_value = self.rows[row].coeffs[col];
+        debug_assert!(pivot_value.abs() > TOLERANCE, "pivot on a ~zero element");
+        let inv = 1.0 / pivot_value;
+        for v in &mut self.rows[row].coeffs {
+            *v *= inv;
+        }
+        self.rows[row].rhs *= inv;
+        // Re-snap the pivot element to exactly 1 to limit drift.
+        self.rows[row].coeffs[col] = 1.0;
+
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i].coeffs[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..self.num_cols {
+                let delta = factor * self.rows[row].coeffs[j];
+                self.rows[i].coeffs[j] -= delta;
+            }
+            self.rows[i].rhs -= factor * self.rows[row].rhs;
+            self.rows[i].coeffs[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, artificial variables that remain basic (necessarily at
+    /// value zero) are pivoted out on any non-artificial column when
+    /// possible; redundant rows keep their zero-valued artificial, which is
+    /// then blocked from re-entering during phase 2.
+    fn pivot_out_artificials(&mut self) {
+        for i in 0..self.rows.len() {
+            if !self.artificial.contains(&self.basis[i]) {
+                continue;
+            }
+            let replacement = (0..self.num_structural + self.num_slack_count())
+                .find(|&j| self.rows[i].coeffs[j].abs() > 1e-7);
+            if let Some(col) = replacement {
+                self.pivot(i, col);
+            }
+        }
+    }
+
+    fn num_slack_count(&self) -> usize {
+        self.num_cols - self.num_structural - self.artificial.len()
+    }
+
+    /// Reads the structural part of the current basic solution.
+    fn structural_solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.num_structural];
+        for (row, &b) in self.rows.iter().zip(&self.basis) {
+            if b < self.num_structural {
+                x[b] = row.rhs.max(0.0);
+            }
+        }
+        x
+    }
+}
+
+/// The relation a constraint effectively has once its row is sign-normalized
+/// to a non-negative right-hand side.
+fn effective_relation(c: &Constraint) -> Relation {
+    if c.rhs() < 0.0 {
+        match c.relation() {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        }
+    } else {
+        c.relation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, LpError, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0).unwrap();
+        lp.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0).unwrap();
+        lp.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 36.0);
+        assert_close(sol.variables()[0], 2.0);
+        assert_close(sol.variables()[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36, 10x + 30y >= 90.
+        // Optimum 0.66 at (3, 2).
+        let mut lp = LinearProgram::minimize(vec![0.12, 0.15]);
+        lp.add_constraint(vec![60.0, 60.0], Relation::Ge, 300.0).unwrap();
+        lp.add_constraint(vec![12.0, 6.0], Relation::Ge, 36.0).unwrap();
+        lp.add_constraint(vec![10.0, 30.0], Relation::Ge, 90.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 0.66);
+        assert_close(sol.variables()[0], 3.0);
+        assert_close(sol.variables()[1], 2.0);
+    }
+
+    #[test]
+    fn equality_constraint_simplex_distribution() {
+        // max x1 - x2 over the probability simplex of dimension 3 is 1.
+        let mut lp = LinearProgram::maximize(vec![1.0, -1.0, 0.0]);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Eq, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 1.0);
+        assert_close(sol.variables()[0], 1.0);
+    }
+
+    #[test]
+    fn infeasible_problem_is_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(vec![1.0], Relation::Ge, 2.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_is_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 0.0]);
+        lp.add_constraint(vec![0.0, 1.0], Relation::Le, 5.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn unconstrained_minimization_of_nonnegative_vars_is_zero() {
+        // min x + y with only x, y >= 0 has optimum 0 at the origin.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 0.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -1 is the same as y - x >= 1; with x + y <= 3, max x + y = 3.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, -1.0], Relation::Le, -1.0).unwrap();
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 3.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 3.0);
+        assert!(lp.is_feasible(sol.variables(), 1e-7));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex: several constraints meet at the optimum.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(vec![0.0, 1.0], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 2.0).unwrap();
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 2.0);
+    }
+
+    #[test]
+    fn majority_preservation_shaped_lp() {
+        // The exact LP shape used by the (eps, delta)-m.p. test, for the
+        // binary noise matrix with eps = 0.2 and delta = 0.1:
+        // minimize (c·P)_1 − (c·P)_2 over δ-biased distributions c.
+        // P = [[0.7, 0.3], [0.3, 0.7]]. (c·P)_1 − (c·P)_2 = 0.4 (c_1 − c_2),
+        // minimized at c_1 − c_2 = δ = 0.1, so the optimum is 0.04.
+        let p = [[0.7, 0.3], [0.3, 0.7]];
+        // minimize sum_j c_j (p[j][0] - p[j][1])
+        let objective: Vec<f64> = (0..2).map(|j| p[j][0] - p[j][1]).collect();
+        let mut lp = LinearProgram::minimize(objective);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 1.0).unwrap();
+        lp.add_constraint(vec![1.0, -1.0], Relation::Ge, 0.1).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value(), 0.04);
+    }
+}

@@ -1,0 +1,85 @@
+//! Optimal solution returned by the simplex solver.
+
+use std::fmt;
+
+/// An optimal solution of a [`LinearProgram`](crate::LinearProgram).
+///
+/// A `Solution` is only ever produced for problems that are feasible and
+/// bounded; infeasibility and unboundedness are reported through
+/// [`LpError`](crate::LpError).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    variables: Vec<f64>,
+    objective_value: f64,
+}
+
+impl Solution {
+    pub(crate) fn new(variables: Vec<f64>, objective_value: f64) -> Self {
+        Self {
+            variables,
+            objective_value,
+        }
+    }
+
+    /// The optimal assignment of the decision variables, in the order they
+    /// were declared in the objective.
+    ///
+    /// ```
+    /// use noisy_lp::{LinearProgram, Relation};
+    /// # fn main() -> Result<(), noisy_lp::LpError> {
+    /// let mut lp = LinearProgram::maximize(vec![1.0]);
+    /// lp.add_constraint(vec![1.0], Relation::Le, 2.5)?;
+    /// assert_eq!(lp.solve()?.variables(), &[2.5]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn variables(&self) -> &[f64] {
+        &self.variables
+    }
+
+    /// The optimal value of the objective function (in the original
+    /// orientation: a maximization problem reports the maximum, a
+    /// minimization problem reports the minimum).
+    pub fn objective_value(&self) -> f64 {
+        self.objective_value
+    }
+
+    /// Consumes the solution and returns the variable assignment.
+    pub fn into_variables(self) -> Vec<f64> {
+        self.variables
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "objective = {:.6}, x = [", self.objective_value)?;
+        for (i, v) in self.variables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = Solution::new(vec![1.0, 2.0], 3.5);
+        assert_eq!(s.variables(), &[1.0, 2.0]);
+        assert_eq!(s.objective_value(), 3.5);
+        assert_eq!(s.clone().into_variables(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_contains_objective_and_variables() {
+        let s = Solution::new(vec![0.25], 4.0);
+        let text = s.to_string();
+        assert!(text.contains("objective"));
+        assert!(text.contains("0.25"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the simplex solver.
+//!
+//! The strategies construct LP families whose optima are known analytically,
+//! so the solver can be checked exactly rather than against itself.
+
+use noisy_lp::{LinearProgram, Relation};
+use proptest::prelude::*;
+
+fn small_positive() -> impl Strategy<Value = f64> {
+    (1u32..1000).prop_map(|v| v as f64 / 100.0)
+}
+
+fn signed_coeff() -> impl Strategy<Value = f64> {
+    (-1000i32..1000).prop_map(|v| v as f64 / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Box-constrained LPs (`x_i ≤ u_i`) have the closed-form optimum
+    /// `Σ_{c_i > 0} c_i u_i` at `x_i = u_i` for positive costs and `x_i = 0`
+    /// otherwise.
+    #[test]
+    fn box_constrained_optimum_matches_closed_form(
+        spec in prop::collection::vec((signed_coeff(), small_positive()), 1..8)
+    ) {
+        let costs: Vec<f64> = spec.iter().map(|(c, _)| *c).collect();
+        let uppers: Vec<f64> = spec.iter().map(|(_, u)| *u).collect();
+        let mut lp = LinearProgram::maximize(costs.clone());
+        for (i, &u) in uppers.iter().enumerate() {
+            let mut row = vec![0.0; costs.len()];
+            row[i] = 1.0;
+            lp.add_constraint(row, Relation::Le, u).unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        let expected: f64 = costs
+            .iter()
+            .zip(&uppers)
+            .map(|(&c, &u)| if c > 0.0 { c * u } else { 0.0 })
+            .sum();
+        prop_assert!((sol.objective_value() - expected).abs() < 1e-6,
+            "objective {} but closed form {}", sol.objective_value(), expected);
+        prop_assert!(lp.is_feasible(sol.variables(), 1e-6));
+    }
+
+    /// For LPs whose constraints all contain the origin (`a · x ≤ b` with
+    /// `b ≥ 0`, plus a global box to keep them bounded), the returned point
+    /// must be feasible and at least as good as the origin.
+    #[test]
+    fn random_le_program_returns_feasible_at_least_origin(
+        n in 1usize..5,
+        rows in prop::collection::vec(prop::collection::vec(signed_coeff(), 5), 0..6),
+        rhs in prop::collection::vec(small_positive(), 6),
+        costs in prop::collection::vec(signed_coeff(), 5),
+    ) {
+        let costs: Vec<f64> = costs.into_iter().take(n).collect();
+        let mut lp = LinearProgram::maximize(costs.clone());
+        // Bounding box so the program is never unbounded.
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            lp.add_constraint(row, Relation::Le, 50.0).unwrap();
+        }
+        for (row, b) in rows.iter().zip(&rhs) {
+            let row: Vec<f64> = row.iter().copied().take(n).collect();
+            lp.add_constraint(row, Relation::Le, *b).unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        prop_assert!(lp.is_feasible(sol.variables(), 1e-6));
+        prop_assert!(sol.objective_value() >= -1e-6,
+            "origin is feasible with value 0 but solver returned {}", sol.objective_value());
+    }
+
+    /// Simplex-constrained LPs (`Σ x_i = 1`) optimize at the best vertex of
+    /// the probability simplex: the maximum cost coefficient.
+    #[test]
+    fn probability_simplex_optimum_is_max_cost(
+        costs in prop::collection::vec(signed_coeff(), 2..8)
+    ) {
+        let mut lp = LinearProgram::maximize(costs.clone());
+        lp.add_constraint(vec![1.0; costs.len()], Relation::Eq, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        let best = costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((sol.objective_value() - best).abs() < 1e-6);
+        let total: f64 = sol.variables().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Minimization over `a · x ≥ b` with all-positive `a` and cost vectors
+    /// has the closed-form optimum `b · min_i(c_i / a_i)` (put all weight on
+    /// the cheapest coordinate per unit of constraint).
+    #[test]
+    fn single_covering_constraint_matches_closed_form(
+        pairs in prop::collection::vec((small_positive(), small_positive()), 1..6),
+        b in small_positive(),
+    ) {
+        let costs: Vec<f64> = pairs.iter().map(|(c, _)| *c).collect();
+        let coeffs: Vec<f64> = pairs.iter().map(|(_, a)| *a).collect();
+        let mut lp = LinearProgram::minimize(costs.clone());
+        lp.add_constraint(coeffs.clone(), Relation::Ge, b).unwrap();
+        let sol = lp.solve().unwrap();
+        let expected = b * pairs
+            .iter()
+            .map(|(c, a)| c / a)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((sol.objective_value() - expected).abs() < 1e-6,
+            "objective {} but closed form {}", sol.objective_value(), expected);
+        prop_assert!(lp.is_feasible(sol.variables(), 1e-6));
+    }
+}

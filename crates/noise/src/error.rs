@@ -1,0 +1,148 @@
+//! Error type for noise-matrix construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or analysing a
+/// [`NoiseMatrix`](crate::NoiseMatrix).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// The matrix must have at least two opinions.
+    TooFewOpinions {
+        /// The number of opinions requested.
+        found: usize,
+    },
+    /// The rows do not form a square `k × k` matrix.
+    NotSquare {
+        /// Number of rows supplied.
+        rows: usize,
+        /// Length of the offending row.
+        row_len: usize,
+    },
+    /// A row does not sum to one (within tolerance) or has negative entries.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The sum of the offending row.
+        sum: f64,
+    },
+    /// An entry is NaN or infinite.
+    NonFiniteEntry {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// An `ε` parameter is outside its valid range for the requested family.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+        /// Largest admissible value for the family.
+        max: f64,
+    },
+    /// A `δ` bias parameter is outside `(0, 1]`.
+    InvalidDelta {
+        /// The offending value.
+        value: f64,
+    },
+    /// An opinion index is out of range for the matrix.
+    OpinionOutOfRange {
+        /// The offending opinion index.
+        opinion: usize,
+        /// The number of opinions of the matrix.
+        num_opinions: usize,
+    },
+    /// The underlying linear program could not be solved (should not occur
+    /// for valid inputs; indicates a bug or severe numerical trouble).
+    LpFailure(String),
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::TooFewOpinions { found } => {
+                write!(f, "noise matrix needs at least 2 opinions, got {found}")
+            }
+            NoiseError::NotSquare { rows, row_len } => write!(
+                f,
+                "noise matrix must be square: {rows} rows but a row of length {row_len}"
+            ),
+            NoiseError::NotStochastic { row, sum } => write!(
+                f,
+                "row {row} of the noise matrix is not stochastic (sum = {sum})"
+            ),
+            NoiseError::NonFiniteEntry { row, col } => {
+                write!(f, "entry ({row}, {col}) of the noise matrix is not finite")
+            }
+            NoiseError::InvalidEpsilon { value, max } => write!(
+                f,
+                "epsilon {value} is outside the admissible range (0, {max}] for this family"
+            ),
+            NoiseError::InvalidDelta { value } => {
+                write!(f, "delta {value} must lie in (0, 1]")
+            }
+            NoiseError::OpinionOutOfRange {
+                opinion,
+                num_opinions,
+            } => write!(
+                f,
+                "opinion {opinion} is out of range for a matrix over {num_opinions} opinions"
+            ),
+            NoiseError::LpFailure(msg) => write!(f, "majority-preservation LP failed: {msg}"),
+        }
+    }
+}
+
+impl Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(NoiseError, &str)> = vec![
+            (NoiseError::TooFewOpinions { found: 1 }, "at least 2"),
+            (
+                NoiseError::NotSquare {
+                    rows: 3,
+                    row_len: 2,
+                },
+                "square",
+            ),
+            (
+                NoiseError::NotStochastic { row: 0, sum: 0.9 },
+                "stochastic",
+            ),
+            (NoiseError::NonFiniteEntry { row: 1, col: 2 }, "finite"),
+            (
+                NoiseError::InvalidEpsilon {
+                    value: 2.0,
+                    max: 0.5,
+                },
+                "epsilon",
+            ),
+            (NoiseError::InvalidDelta { value: -0.2 }, "delta"),
+            (
+                NoiseError::OpinionOutOfRange {
+                    opinion: 5,
+                    num_opinions: 3,
+                },
+                "out of range",
+            ),
+            (NoiseError::LpFailure("x".into()), "LP"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NoiseError>();
+    }
+}

@@ -1,0 +1,136 @@
+//! Spectral / mixing helpers for noise matrices.
+//!
+//! These utilities are not needed by the protocol itself but are useful when
+//! *studying* noise channels: the stationary distribution of the channel
+//! (where repeated noising drives the opinion distribution), the
+//! total-variation distance between opinion distributions, and the
+//! contraction coefficient (Dobrushin coefficient) of the matrix, which
+//! upper-bounds how fast repeated transmissions erase the initial plurality.
+//! The experiment harness uses them to explain *why* a channel fails the
+//! (ε, δ)-m.p. test: a channel whose stationary distribution is far from
+//! uniform (e.g. resetting noise) actively pulls the system towards a
+//! specific opinion, while a doubly-stochastic channel merely flattens it.
+
+use crate::matrix::NoiseMatrix;
+
+/// Total-variation distance between two distributions over the same opinion
+/// space: `½ Σ_i |a_i − b_i|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distributions must have the same length");
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+impl NoiseMatrix {
+    /// The stationary distribution of the channel: the fixed point of
+    /// `c ↦ c · P`, computed by power iteration.
+    ///
+    /// For doubly-stochastic matrices (all families of the paper except the
+    /// resetting one) this is the uniform distribution; for resetting noise
+    /// it concentrates on the reset target. Repeatedly relaying an opinion
+    /// through the channel converges to this distribution, which is why
+    /// protocols must amplify the signal faster than the channel mixes.
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let k = self.num_opinions();
+        let mut current = vec![1.0 / k as f64; k];
+        for _ in 0..10_000 {
+            let next = self.apply(&current);
+            let moved = total_variation(&current, &next);
+            current = next;
+            if moved < 1e-13 {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The Dobrushin contraction coefficient of the channel:
+    /// `max_{i,j} TV(P_{i,·}, P_{j,·})`.
+    ///
+    /// One application of the channel shrinks the total-variation distance
+    /// between any two opinion distributions by at least this factor; a
+    /// coefficient close to 0 means the channel is so noisy that a single
+    /// hop almost erases the plurality signal, and the bias the protocol can
+    /// exploit per round is proportionally small.
+    pub fn dobrushin_coefficient(&self) -> f64 {
+        let k = self.num_opinions();
+        let mut worst: f64 = 0.0;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                worst = worst.max(total_variation(self.row(i), self.row(j)));
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn total_variation_basics() {
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((total_variation(&[0.7, 0.3], &[0.5, 0.5]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn total_variation_rejects_mismatched_lengths() {
+        let _ = total_variation(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn uniform_family_is_doubly_stochastic_with_uniform_stationary() {
+        let p = NoiseMatrix::uniform(4, 0.2).unwrap();
+        let pi = p.stationary_distribution();
+        for &v in &pi {
+            assert!((v - 0.25).abs() < 1e-9, "stationary {pi:?}");
+        }
+    }
+
+    #[test]
+    fn resetting_noise_concentrates_on_the_target() {
+        let p = families::reset_to_opinion(3, 0.3, 1).unwrap();
+        let pi = p.stationary_distribution();
+        assert!(pi[1] > 0.99, "stationary {pi:?}");
+    }
+
+    #[test]
+    fn stationary_distribution_is_a_fixed_point() {
+        let p = families::cyclic(5, 0.2).unwrap();
+        let pi = p.stationary_distribution();
+        let mapped = p.apply(&pi);
+        assert!(total_variation(&pi, &mapped) < 1e-9);
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dobrushin_coefficient_matches_known_values() {
+        // Binary flip: rows (1/2+e, 1/2-e) and (1/2-e, 1/2+e) differ by 2e in TV.
+        let p = NoiseMatrix::binary_flip(0.2).unwrap();
+        assert!((p.dobrushin_coefficient() - 0.4).abs() < 1e-12);
+        // Identity: completely distinguishable rows.
+        let id = NoiseMatrix::identity(3).unwrap();
+        assert!((id.dobrushin_coefficient() - 1.0).abs() < 1e-12);
+        // Uniform k-ary: rows differ only in two coordinates by eps + eps/(k-1).
+        let k = 4;
+        let eps = 0.12;
+        let u = NoiseMatrix::uniform(k, eps).unwrap();
+        let expected = eps + eps / (k as f64 - 1.0);
+        assert!((u.dobrushin_coefficient() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisier_channels_have_smaller_coefficients() {
+        let clean = NoiseMatrix::uniform(3, 0.3).unwrap();
+        let noisy = NoiseMatrix::uniform(3, 0.05).unwrap();
+        assert!(noisy.dobrushin_coefficient() < clean.dobrushin_coefficient());
+    }
+}

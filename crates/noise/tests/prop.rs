@@ -1,0 +1,159 @@
+//! Property-based tests for noise matrices and the majority-preservation
+//! analysis.
+
+use noisy_channel::{families, NoiseMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random δ-biased distribution towards opinion `m`: start from the
+/// maximally biased point (all mass on `m`) and move random amounts of mass
+/// to competitors while keeping the bias constraint satisfied.
+fn random_delta_biased(k: usize, m: usize, delta: f64, weights: &[f64]) -> Vec<f64> {
+    // c_m = x, competitors share 1 - x, each at most x - delta.
+    // Choose x in [max(1/k + delta*(k-1)/k, ...), 1].
+    let min_cm = (1.0 + delta * (k as f64 - 1.0)) / k as f64;
+    let w_x = weights[0].clamp(0.0, 1.0);
+    let cm = min_cm + (1.0 - min_cm) * w_x;
+    let rest = 1.0 - cm;
+    // Distribute `rest` proportionally to the remaining weights, capping each
+    // share at cm - delta.
+    let mut c = vec![0.0; k];
+    c[m] = cm;
+    let comp: Vec<usize> = (0..k).filter(|&j| j != m).collect();
+    let wsum: f64 = comp
+        .iter()
+        .enumerate()
+        .map(|(t, _)| weights[1 + t].max(1e-9))
+        .sum();
+    let cap = (cm - delta).max(0.0);
+    let mut leftover = rest;
+    for (t, &j) in comp.iter().enumerate() {
+        let share = rest * weights[1 + t].max(1e-9) / wsum;
+        let assigned = share.min(cap);
+        c[j] = assigned;
+        leftover -= assigned;
+    }
+    // Any leftover (from capping) goes back to the plurality opinion.
+    c[m] += leftover.max(0.0);
+    c
+}
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, 9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every constructor of the `families` module produces a row-stochastic
+    /// matrix, and applying it to a distribution yields a distribution.
+    #[test]
+    fn families_are_stochastic_and_preserve_the_simplex(
+        k in 3usize..8,
+        eps_scale in 0.05f64..0.95,
+        seed in 0u64..1_000,
+        weights in weights_strategy(),
+    ) {
+        let eps_uniform = eps_scale * (1.0 - 1.0 / k as f64);
+        let matrices = vec![
+            NoiseMatrix::uniform(k, eps_uniform).unwrap(),
+            families::cyclic(k, 0.49 * eps_scale).unwrap(),
+            families::reset_to_opinion(k, 0.9 * eps_scale, k - 1).unwrap(),
+            families::random_stochastic(k, eps_scale, &mut StdRng::seed_from_u64(seed)).unwrap(),
+            families::diagonally_dominant_counterexample(0.5 * eps_scale).unwrap(),
+        ];
+        for p in matrices {
+            let kk = p.num_opinions();
+            for row in p.iter_rows() {
+                let sum: f64 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6);
+                prop_assert!(row.iter().all(|&v| v >= -1e-9));
+            }
+            // Build an arbitrary distribution from the weights and apply.
+            let mut c: Vec<f64> = (0..kk).map(|i| weights[i % weights.len()] + 1e-3).collect();
+            let total: f64 = c.iter().sum();
+            for v in &mut c {
+                *v /= total;
+            }
+            let out = p.apply(&c);
+            let out_sum: f64 = out.iter().sum();
+            prop_assert!((out_sum - 1.0).abs() < 1e-9);
+            prop_assert!(out.iter().all(|&v| v >= -1e-12));
+        }
+    }
+
+    /// The LP-computed worst-case margin is a true lower bound: no randomly
+    /// generated δ-biased distribution can achieve a smaller margin.
+    #[test]
+    fn mp_margin_lower_bounds_random_biased_distributions(
+        k in 2usize..7,
+        m_sel in 0usize..7,
+        delta_scale in 0.01f64..0.9,
+        seed in 0u64..1_000,
+        weights in weights_strategy(),
+    ) {
+        let m = m_sel % k;
+        let delta = delta_scale; // delta in (0, 0.9]
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = families::random_stochastic(k, 0.3, &mut rng).unwrap();
+        let report = p.majority_preservation(m, delta).unwrap();
+        let c = random_delta_biased(k, m, delta, &weights);
+        // Sanity: c is delta-biased.
+        for j in (0..k).filter(|&j| j != m) {
+            prop_assert!(c[m] - c[j] >= delta - 1e-9, "c = {c:?}");
+        }
+        let out = p.apply(&c);
+        for i in (0..k).filter(|&i| i != m) {
+            let margin_at_c = out[m] - out[i];
+            prop_assert!(
+                report.worst_margin() <= margin_at_c + 1e-7,
+                "LP margin {} exceeds margin {} at c = {c:?}",
+                report.worst_margin(),
+                margin_at_c
+            );
+        }
+    }
+
+    /// Sampling through the channel and averaging approximates `c · P`
+    /// (law of large numbers sanity check on the sampler).
+    #[test]
+    fn sampling_approximates_apply(
+        eps in 0.05f64..0.45,
+        seed in 0u64..1_000,
+    ) {
+        let p = NoiseMatrix::uniform(3, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 30_000;
+        let mut counts = vec![0usize; 3];
+        // Push opinion 0 through the channel many times.
+        for _ in 0..trials {
+            counts[p.sample(0, &mut rng)] += 1;
+        }
+        let expected = p.row(0);
+        for j in 0..3 {
+            let freq = counts[j] as f64 / trials as f64;
+            prop_assert!((freq - expected[j]).abs() < 0.02,
+                "frequency {freq} vs expected {} for eps {eps}", expected[j]);
+        }
+    }
+
+    /// The uniform family is majority preserving for every plurality opinion,
+    /// every δ and every admissible ε (Section 4 of the paper).
+    #[test]
+    fn uniform_family_is_always_majority_preserving(
+        k in 2usize..8,
+        eps_scale in 0.05f64..1.0,
+        delta in 0.01f64..1.0,
+        m_sel in 0usize..8,
+    ) {
+        let eps = eps_scale * (1.0 - 1.0 / k as f64);
+        let m = m_sel % k;
+        let p = NoiseMatrix::uniform(k, eps).unwrap();
+        let report = p.majority_preservation(m, delta).unwrap();
+        prop_assert!(report.preserves_majority());
+        // The closed-form margin is (eps + eps/(k-1)) * delta.
+        let expected = (eps + eps / (k as f64 - 1.0)) * delta;
+        prop_assert!((report.worst_margin() - expected).abs() < 1e-6);
+    }
+}

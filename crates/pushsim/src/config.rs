@@ -1,0 +1,182 @@
+//! Simulation configuration.
+
+use crate::error::SimError;
+
+/// How messages pushed during a phase are delivered to the agents.
+///
+/// The three variants correspond to the three processes of Section 3.2 of
+/// the paper. See the crate-level documentation for details. Protocol
+/// correctness results are stated for [`Exact`](DeliverySemantics::Exact)
+/// (process O); the other two exist to validate the paper's Poissonization
+/// argument empirically and to speed up very large simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeliverySemantics {
+    /// Process **O**: each message is noised and delivered to a uniformly
+    /// random agent in the round it is pushed.
+    #[default]
+    Exact,
+    /// Process **B**: messages accumulate during the phase and are noised
+    /// and thrown into agents, like balls into bins, at `end_phase`.
+    BallsIntoBins,
+    /// Process **P**: at `end_phase`, every agent receives an independent
+    /// `Poisson(h_i / n)` number of copies of each opinion `i`, where `h_i`
+    /// is the number of post-noise messages carrying opinion `i`.
+    Poissonized,
+}
+
+impl DeliverySemantics {
+    /// All delivery semantics, in the order O, B, P.
+    pub const ALL: [DeliverySemantics; 3] = [
+        DeliverySemantics::Exact,
+        DeliverySemantics::BallsIntoBins,
+        DeliverySemantics::Poissonized,
+    ];
+
+    /// A short human-readable label ("O", "B" or "P") matching the paper's
+    /// process names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeliverySemantics::Exact => "O",
+            DeliverySemantics::BallsIntoBins => "B",
+            DeliverySemantics::Poissonized => "P",
+        }
+    }
+}
+
+/// Configuration of a [`Network`](crate::Network).
+///
+/// Use [`SimConfig::builder`] to construct one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimConfig {
+    num_nodes: usize,
+    num_opinions: usize,
+    seed: u64,
+    delivery: DeliverySemantics,
+}
+
+impl SimConfig {
+    /// Starts building a configuration for `num_nodes` agents and
+    /// `num_opinions` opinions.
+    pub fn builder(num_nodes: usize, num_opinions: usize) -> SimConfigBuilder {
+        SimConfigBuilder {
+            num_nodes,
+            num_opinions,
+            seed: 0,
+            delivery: DeliverySemantics::Exact,
+        }
+    }
+
+    /// The number of agents `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The number of opinions `k`.
+    pub fn num_opinions(&self) -> usize {
+        self.num_opinions
+    }
+
+    /// The RNG seed of the simulation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The delivery semantics (process O, B or P).
+    pub fn delivery(&self) -> DeliverySemantics {
+        self.delivery
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    num_nodes: usize,
+    num_opinions: usize,
+    seed: u64,
+    delivery: DeliverySemantics,
+}
+
+impl SimConfigBuilder {
+    /// Sets the RNG seed (default 0). Two simulations with the same
+    /// configuration and seed evolve identically.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the delivery semantics (default [`DeliverySemantics::Exact`]).
+    pub fn delivery(mut self, delivery: DeliverySemantics) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooFewNodes`] if fewer than 2 nodes are requested.
+    /// * [`SimError::TooFewOpinions`] if fewer than 2 opinions are requested.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        if self.num_nodes < 2 {
+            return Err(SimError::TooFewNodes {
+                found: self.num_nodes,
+            });
+        }
+        if self.num_opinions < 2 {
+            return Err(SimError::TooFewOpinions {
+                found: self.num_opinions,
+            });
+        }
+        Ok(SimConfig {
+            num_nodes: self.num_nodes,
+            num_opinions: self.num_opinions,
+            seed: self.seed,
+            delivery: self.delivery,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let c = SimConfig::builder(10, 3).build().unwrap();
+        assert_eq!(c.num_nodes(), 10);
+        assert_eq!(c.num_opinions(), 3);
+        assert_eq!(c.seed(), 0);
+        assert_eq!(c.delivery(), DeliverySemantics::Exact);
+
+        let c = SimConfig::builder(10, 3)
+            .seed(99)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        assert_eq!(c.seed(), 99);
+        assert_eq!(c.delivery(), DeliverySemantics::Poissonized);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_systems() {
+        assert_eq!(
+            SimConfig::builder(1, 3).build().unwrap_err(),
+            SimError::TooFewNodes { found: 1 }
+        );
+        assert_eq!(
+            SimConfig::builder(10, 1).build().unwrap_err(),
+            SimError::TooFewOpinions { found: 1 }
+        );
+    }
+
+    #[test]
+    fn delivery_labels_match_paper_processes() {
+        assert_eq!(DeliverySemantics::Exact.label(), "O");
+        assert_eq!(DeliverySemantics::BallsIntoBins.label(), "B");
+        assert_eq!(DeliverySemantics::Poissonized.label(), "P");
+        assert_eq!(DeliverySemantics::ALL.len(), 3);
+        assert_eq!(DeliverySemantics::default(), DeliverySemantics::Exact);
+    }
+}

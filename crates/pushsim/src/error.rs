@@ -1,0 +1,112 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or driving a [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The network must contain at least two agents.
+    TooFewNodes {
+        /// The number of agents requested.
+        found: usize,
+    },
+    /// The system must have at least two opinions.
+    TooFewOpinions {
+        /// The number of opinions requested.
+        found: usize,
+    },
+    /// A node index is out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the network.
+        num_nodes: usize,
+    },
+    /// An opinion index is out of range for the configured `k`.
+    OpinionOutOfRange {
+        /// The offending opinion index.
+        opinion: usize,
+        /// The number of opinions of the system.
+        num_opinions: usize,
+    },
+    /// The noise matrix dimension does not match the configured number of
+    /// opinions.
+    NoiseDimensionMismatch {
+        /// Number of opinions the simulation was configured with.
+        expected: usize,
+        /// Dimension of the supplied noise matrix.
+        found: usize,
+    },
+    /// More initial opinions were requested than there are nodes.
+    TooManyInitialOpinions {
+        /// Number of opinionated nodes requested.
+        requested: usize,
+        /// Number of nodes available.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooFewNodes { found } => {
+                write!(f, "network needs at least 2 nodes, got {found}")
+            }
+            SimError::TooFewOpinions { found } => {
+                write!(f, "system needs at least 2 opinions, got {found}")
+            }
+            SimError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} is out of range for a {num_nodes}-node network")
+            }
+            SimError::OpinionOutOfRange {
+                opinion,
+                num_opinions,
+            } => write!(
+                f,
+                "opinion {opinion} is out of range for a system with {num_opinions} opinions"
+            ),
+            SimError::NoiseDimensionMismatch { expected, found } => write!(
+                f,
+                "noise matrix is over {found} opinions but the simulation uses {expected}"
+            ),
+            SimError::TooManyInitialOpinions {
+                requested,
+                num_nodes,
+            } => write!(
+                f,
+                "requested {requested} initially opinionated nodes but the network has {num_nodes}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(SimError::TooFewNodes { found: 1 }.to_string().contains("2 nodes"));
+        assert!(SimError::TooManyInitialOpinions {
+            requested: 5,
+            num_nodes: 3
+        }
+        .to_string()
+        .contains('5'));
+        assert!(SimError::NoiseDimensionMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains('3'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,88 @@
+//! # pushsim
+//!
+//! A synchronous simulator of the **noisy uniform push model** used by
+//! Fraigniaud & Natale, *Noisy Rumor Spreading and Plurality Consensus*
+//! (PODC 2016).
+//!
+//! ## The model
+//!
+//! * `n` anonymous agents form a complete communication graph.
+//! * Time proceeds in synchronous rounds. In each round, every *opinionated*
+//!   agent may **push** its opinion (an integer in `{0, …, k−1}`) to an agent
+//!   chosen uniformly at random; senders and receivers never learn each
+//!   other's identity.
+//! * Every pushed opinion passes through a noisy channel described by a
+//!   row-stochastic [`NoiseMatrix`](noisy_channel::NoiseMatrix): opinion `i`
+//!   is received as `j` with probability `p_{i,j}`.
+//! * Agents that do not yet support an opinion are **undecided** and may not
+//!   push (they are "not actively aware that the system has started").
+//! * Several messages may reach the same agent in one round; all are
+//!   received (Appendix A of the paper).
+//!
+//! ## The three delivery semantics
+//!
+//! The paper's analysis revolves around three progressively simpler message
+//! delivery processes (Section 3.2), all of which are implemented here behind
+//! [`DeliverySemantics`]:
+//!
+//! * **Process O** ([`DeliverySemantics::Exact`]) — the real push process:
+//!   each message is noised and delivered to a uniformly random agent in the
+//!   round it is sent.
+//! * **Process B** ([`DeliverySemantics::BallsIntoBins`]) — at the end of
+//!   each *phase*, all messages sent during the phase are independently
+//!   re-colored by the noise and thrown into agents chosen uniformly at
+//!   random, like balls into bins (Definition 3; Claim 1 shows this is
+//!   distributionally equivalent to process O at phase granularity).
+//! * **Process P** ([`DeliverySemantics::Poissonized`]) — each agent receives
+//!   an independent `Poisson(h_i / n)` number of copies of each opinion `i`,
+//!   where `h_i` is the number of post-noise messages carrying opinion `i`
+//!   in the phase (Definition 4; Lemma 3 transfers w.h.p. events back to
+//!   process O).
+//!
+//! Protocols built on top of this crate (see the `plurality-core` crate)
+//! interact with the network through *phases*: they call
+//! [`Network::begin_phase`], then [`Network::push_round`] once per round,
+//! and finally [`Network::end_phase`], after which the per-agent received
+//! multisets are available in the returned [`Inboxes`].
+//!
+//! # Example
+//!
+//! ```
+//! use noisy_channel::NoiseMatrix;
+//! use pushsim::{DeliverySemantics, Network, Opinion, SimConfig};
+//!
+//! # fn main() -> Result<(), pushsim::SimError> {
+//! let noise = NoiseMatrix::uniform(3, 0.2).expect("valid noise");
+//! let config = SimConfig::builder(100, 3).seed(42).build()?;
+//! let mut net = Network::new(config, noise)?;
+//! // One source with opinion 1, everybody else undecided.
+//! net.set_opinion(0, Some(Opinion::new(1)));
+//!
+//! net.begin_phase();
+//! for _ in 0..20 {
+//!     net.push_round(|_, state| state.opinion());
+//! }
+//! let inboxes = net.end_phase();
+//! // The source pushed 20 messages in total.
+//! assert_eq!(inboxes.total_messages(), 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod distribution;
+mod error;
+mod inbox;
+mod network;
+mod opinion;
+pub mod poisson;
+
+pub use config::{DeliverySemantics, SimConfig, SimConfigBuilder};
+pub use distribution::OpinionDistribution;
+pub use error::SimError;
+pub use inbox::Inboxes;
+pub use network::{Network, RoundReport};
+pub use opinion::{NodeState, Opinion};

@@ -1,0 +1,541 @@
+//! The network simulator: agents, rounds and phase-level message delivery.
+
+use crate::config::{DeliverySemantics, SimConfig};
+use crate::distribution::OpinionDistribution;
+use crate::error::SimError;
+use crate::inbox::Inboxes;
+use crate::opinion::{NodeState, Opinion};
+use crate::poisson;
+use noisy_channel::NoiseMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Statistics of a single executed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RoundReport {
+    round: u64,
+    messages_sent: u64,
+}
+
+impl RoundReport {
+    /// The global index of the round (counting from 0 over the lifetime of
+    /// the network).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// How many messages were pushed in this round.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+/// A complete synchronous network of anonymous agents communicating through
+/// the noisy uniform push model.
+///
+/// The network is driven in **phases**: [`begin_phase`](Network::begin_phase)
+/// clears the per-agent inboxes, one or more [`push_round`](Network::push_round)
+/// calls let agents push opinions, and [`end_phase`](Network::end_phase)
+/// finalizes delivery (a no-op for process O, the balls-into-bins throw for
+/// process B, the Poisson draw for process P) and exposes the received
+/// multisets.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: SimConfig,
+    noise: NoiseMatrix,
+    states: Vec<NodeState>,
+    rng: StdRng,
+    inboxes: Inboxes,
+    /// Pre-noise counts of opinions pushed during the open phase; only used
+    /// by the deferred (B and P) delivery semantics.
+    pending: Vec<u64>,
+    phase_open: bool,
+    rounds_executed: u64,
+    messages_sent: u64,
+}
+
+impl Network {
+    /// Creates a network of undecided agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoiseDimensionMismatch`] if the noise matrix is
+    /// not defined over exactly `config.num_opinions()` opinions.
+    pub fn new(config: SimConfig, noise: NoiseMatrix) -> Result<Self, SimError> {
+        if noise.num_opinions() != config.num_opinions() {
+            return Err(SimError::NoiseDimensionMismatch {
+                expected: config.num_opinions(),
+                found: noise.num_opinions(),
+            });
+        }
+        let n = config.num_nodes();
+        let k = config.num_opinions();
+        Ok(Self {
+            rng: StdRng::seed_from_u64(config.seed()),
+            states: vec![NodeState::Undecided; n],
+            inboxes: Inboxes::new(n, k),
+            pending: vec![0; k],
+            phase_open: false,
+            rounds_executed: 0,
+            messages_sent: 0,
+            config,
+            noise,
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The number of agents `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.config.num_nodes()
+    }
+
+    /// The number of opinions `k`.
+    pub fn num_opinions(&self) -> usize {
+        self.config.num_opinions()
+    }
+
+    /// The noise matrix acting on every transmitted message.
+    pub fn noise(&self) -> &NoiseMatrix {
+        &self.noise
+    }
+
+    /// The current state of every agent.
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
+    /// The state of one agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node ≥ num_nodes()`.
+    pub fn state(&self, node: usize) -> NodeState {
+        self.states[node]
+    }
+
+    /// Sets (or clears, with `None`) the opinion of one agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node ≥ num_nodes()` or if the opinion index is out of
+    /// range for the configured `k`.
+    pub fn set_opinion(&mut self, node: usize, opinion: Option<Opinion>) {
+        assert!(
+            node < self.num_nodes(),
+            "node {node} out of range for a {}-node network",
+            self.num_nodes()
+        );
+        if let Some(o) = opinion {
+            assert!(
+                o.index() < self.num_opinions(),
+                "{o} out of range for a system with {} opinions",
+                self.num_opinions()
+            );
+            self.states[node] = NodeState::Opinionated(o);
+        } else {
+            self.states[node] = NodeState::Undecided;
+        }
+    }
+
+    /// Resets every agent to the undecided state (keeping round and message
+    /// counters).
+    pub fn clear_opinions(&mut self) {
+        self.states.iter_mut().for_each(|s| *s = NodeState::Undecided);
+    }
+
+    /// Seeds a rumor-spreading instance: agent `source` adopts `opinion`,
+    /// every other agent becomes undecided.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NodeOutOfRange`] if `source ≥ num_nodes()`.
+    /// * [`SimError::OpinionOutOfRange`] if the opinion index is out of
+    ///   range.
+    pub fn seed_rumor(&mut self, source: usize, opinion: Opinion) -> Result<(), SimError> {
+        if source >= self.num_nodes() {
+            return Err(SimError::NodeOutOfRange {
+                node: source,
+                num_nodes: self.num_nodes(),
+            });
+        }
+        if opinion.index() >= self.num_opinions() {
+            return Err(SimError::OpinionOutOfRange {
+                opinion: opinion.index(),
+                num_opinions: self.num_opinions(),
+            });
+        }
+        self.clear_opinions();
+        self.states[source] = NodeState::Opinionated(opinion);
+        Ok(())
+    }
+
+    /// Seeds a plurality-consensus instance: for each opinion `i`,
+    /// `counts[i]` agents adopt opinion `i`; all remaining agents become
+    /// undecided. The opinionated agents are chosen uniformly at random
+    /// (without replacement) among all agents.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::OpinionOutOfRange`] if `counts.len() ≠ num_opinions()`.
+    /// * [`SimError::TooManyInitialOpinions`] if the counts sum to more than
+    ///   `num_nodes()`.
+    pub fn seed_counts(&mut self, counts: &[usize]) -> Result<(), SimError> {
+        if counts.len() != self.num_opinions() {
+            return Err(SimError::OpinionOutOfRange {
+                opinion: counts.len(),
+                num_opinions: self.num_opinions(),
+            });
+        }
+        let total: usize = counts.iter().sum();
+        if total > self.num_nodes() {
+            return Err(SimError::TooManyInitialOpinions {
+                requested: total,
+                num_nodes: self.num_nodes(),
+            });
+        }
+        self.clear_opinions();
+        let mut ids: Vec<usize> = (0..self.num_nodes()).collect();
+        ids.shuffle(&mut self.rng);
+        let mut cursor = 0;
+        for (opinion, &count) in counts.iter().enumerate() {
+            for &node in &ids[cursor..cursor + count] {
+                self.states[node] = NodeState::Opinionated(Opinion::new(opinion));
+            }
+            cursor += count;
+        }
+        Ok(())
+    }
+
+    /// The current opinion distribution of the network.
+    pub fn distribution(&self) -> OpinionDistribution {
+        OpinionDistribution::from_states(&self.states, self.num_opinions())
+    }
+
+    /// Total number of rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds_executed
+    }
+
+    /// Total number of messages pushed so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// The received multisets of the current (or most recently finished)
+    /// phase.
+    pub fn inboxes(&self) -> &Inboxes {
+        &self.inboxes
+    }
+
+    /// Starts a new phase: clears every agent's inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase is already open.
+    pub fn begin_phase(&mut self) {
+        assert!(!self.phase_open, "begin_phase called while a phase is open");
+        self.inboxes.clear();
+        self.pending.iter_mut().for_each(|c| *c = 0);
+        self.phase_open = true;
+    }
+
+    /// Executes one synchronous round: every agent is offered the chance to
+    /// push one opinion by the `decide` callback (which receives the agent's
+    /// index and current state and returns `Some(opinion)` to push or `None`
+    /// to stay silent).
+    ///
+    /// Under process O the messages are noised and delivered immediately;
+    /// under processes B and P they are accumulated and delivered at
+    /// [`end_phase`](Network::end_phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase is open, or if `decide` returns an opinion index
+    /// out of range.
+    pub fn push_round<F>(&mut self, mut decide: F) -> RoundReport
+    where
+        F: FnMut(usize, NodeState) -> Option<Opinion>,
+    {
+        assert!(self.phase_open, "push_round called outside a phase");
+        let n = self.num_nodes();
+        let k = self.num_opinions();
+        let mut sent_this_round = 0u64;
+        for node in 0..n {
+            let Some(opinion) = decide(node, self.states[node]) else {
+                continue;
+            };
+            assert!(
+                opinion.index() < k,
+                "decide returned {opinion} but the system has {k} opinions"
+            );
+            sent_this_round += 1;
+            match self.config.delivery() {
+                DeliverySemantics::Exact => {
+                    let received_as = self.noise.sample(opinion.index(), &mut self.rng);
+                    let destination = self.rng.gen_range(0..n);
+                    self.inboxes.deliver(destination, received_as);
+                }
+                DeliverySemantics::BallsIntoBins | DeliverySemantics::Poissonized => {
+                    self.pending[opinion.index()] += 1;
+                }
+            }
+        }
+        self.messages_sent += sent_this_round;
+        self.rounds_executed += 1;
+        RoundReport {
+            round: self.rounds_executed - 1,
+            messages_sent: sent_this_round,
+        }
+    }
+
+    /// Finishes the open phase, performing any deferred delivery, and
+    /// returns the per-agent received multisets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase is open.
+    pub fn end_phase(&mut self) -> &Inboxes {
+        assert!(self.phase_open, "end_phase called without an open phase");
+        match self.config.delivery() {
+            DeliverySemantics::Exact => {}
+            DeliverySemantics::BallsIntoBins => self.deliver_balls_into_bins(),
+            DeliverySemantics::Poissonized => self.deliver_poissonized(),
+        }
+        self.phase_open = false;
+        &self.inboxes
+    }
+
+    /// Process B (Definition 3): independently re-color every pending
+    /// message through the noise matrix, then throw each into a uniformly
+    /// random bin.
+    fn deliver_balls_into_bins(&mut self) {
+        let n = self.num_nodes();
+        for opinion in 0..self.num_opinions() {
+            for _ in 0..self.pending[opinion] {
+                let received_as = self.noise.sample(opinion, &mut self.rng);
+                let destination = self.rng.gen_range(0..n);
+                self.inboxes.deliver(destination, received_as);
+            }
+        }
+    }
+
+    /// Process P (Definition 4): re-color every pending message through the
+    /// noise to obtain the post-noise totals `h_i`, then hand every agent an
+    /// independent `Poisson(h_i / n)` number of copies of each opinion.
+    fn deliver_poissonized(&mut self) {
+        let n = self.num_nodes();
+        let k = self.num_opinions();
+        let mut post_noise = vec![0u64; k];
+        for opinion in 0..k {
+            for _ in 0..self.pending[opinion] {
+                post_noise[self.noise.sample(opinion, &mut self.rng)] += 1;
+            }
+        }
+        for node in 0..n {
+            for (opinion, &h) in post_noise.iter().enumerate() {
+                if h == 0 {
+                    continue;
+                }
+                let mean = h as f64 / n as f64;
+                let copies = poisson::sample(mean, &mut self.rng);
+                if copies > 0 {
+                    let copies = u32::try_from(copies).unwrap_or(u32::MAX);
+                    self.inboxes.deliver_many(node, opinion, copies);
+                }
+            }
+        }
+    }
+
+    /// A mutable reference to the network's random-number generator, for
+    /// protocols that want a single source of randomness for both the
+    /// network and their own decisions (e.g. to make whole runs reproducible
+    /// from one seed).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_net(delivery: DeliverySemantics, seed: u64) -> Network {
+        let noise = NoiseMatrix::uniform(3, 0.2).unwrap();
+        let config = SimConfig::builder(50, 3)
+            .seed(seed)
+            .delivery(delivery)
+            .build()
+            .unwrap();
+        Network::new(config, noise).unwrap()
+    }
+
+    #[test]
+    fn noise_dimension_must_match() {
+        let noise = NoiseMatrix::uniform(4, 0.2).unwrap();
+        let config = SimConfig::builder(50, 3).build().unwrap();
+        assert_eq!(
+            Network::new(config, noise).unwrap_err(),
+            SimError::NoiseDimensionMismatch {
+                expected: 3,
+                found: 4
+            }
+        );
+    }
+
+    #[test]
+    fn seeding_a_rumor_sets_exactly_one_opinionated_node() {
+        let mut net = small_net(DeliverySemantics::Exact, 1);
+        net.seed_rumor(7, Opinion::new(2)).unwrap();
+        let dist = net.distribution();
+        assert_eq!(dist.opinionated(), 1);
+        assert_eq!(dist.count(Opinion::new(2)), 1);
+        assert_eq!(dist.undecided(), 49);
+        assert!(net.seed_rumor(100, Opinion::new(0)).is_err());
+        assert!(net.seed_rumor(0, Opinion::new(9)).is_err());
+    }
+
+    #[test]
+    fn seeding_counts_assigns_requested_numbers() {
+        let mut net = small_net(DeliverySemantics::Exact, 2);
+        net.seed_counts(&[10, 5, 0]).unwrap();
+        let dist = net.distribution();
+        assert_eq!(dist.counts(), &[10, 5, 0]);
+        assert_eq!(dist.undecided(), 35);
+        assert!(net.seed_counts(&[60, 0, 0]).is_err());
+        assert!(net.seed_counts(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn exact_delivery_conserves_messages() {
+        let mut net = small_net(DeliverySemantics::Exact, 3);
+        net.seed_counts(&[20, 10, 5]).unwrap();
+        net.begin_phase();
+        for _ in 0..4 {
+            let report = net.push_round(|_, s| s.opinion());
+            assert_eq!(report.messages_sent(), 35);
+        }
+        let inboxes = net.end_phase();
+        assert_eq!(inboxes.total_messages(), 4 * 35);
+        assert_eq!(net.messages_sent(), 4 * 35);
+        assert_eq!(net.rounds_executed(), 4);
+    }
+
+    #[test]
+    fn balls_into_bins_delivery_conserves_messages() {
+        let mut net = small_net(DeliverySemantics::BallsIntoBins, 4);
+        net.seed_counts(&[20, 10, 5]).unwrap();
+        net.begin_phase();
+        for _ in 0..4 {
+            net.push_round(|_, s| s.opinion());
+        }
+        // Nothing delivered until the phase ends.
+        assert_eq!(net.inboxes().total_messages(), 0);
+        let inboxes = net.end_phase();
+        assert_eq!(inboxes.total_messages(), 4 * 35);
+    }
+
+    #[test]
+    fn poissonized_delivery_matches_expected_volume() {
+        // With n nodes and h messages, the expected total delivered is h.
+        let noise = NoiseMatrix::uniform(2, 0.2).unwrap();
+        let config = SimConfig::builder(500, 2)
+            .seed(5)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[250, 250]).unwrap();
+        let mut total = 0u64;
+        let phases = 20;
+        for _ in 0..phases {
+            net.begin_phase();
+            net.push_round(|_, s| s.opinion());
+            total += net.end_phase().total_messages();
+        }
+        let expected = (500 * phases) as f64;
+        let observed = total as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.05,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_identical_runs() {
+        let run = |seed| {
+            let mut net = small_net(DeliverySemantics::Exact, seed);
+            net.seed_counts(&[20, 10, 5]).unwrap();
+            net.begin_phase();
+            for _ in 0..5 {
+                net.push_round(|_, s| s.opinion());
+            }
+            net.end_phase();
+            (0..net.num_nodes())
+                .map(|u| net.inboxes().received(u).to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn undecided_nodes_can_stay_silent() {
+        let mut net = small_net(DeliverySemantics::Exact, 6);
+        net.seed_counts(&[3, 0, 0]).unwrap();
+        net.begin_phase();
+        let report = net.push_round(|_, s| s.opinion());
+        assert_eq!(report.messages_sent(), 3);
+        net.end_phase();
+    }
+
+    #[test]
+    fn noiseless_channel_preserves_opinions_in_flight() {
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(20, 2).seed(9).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[5, 0]).unwrap();
+        net.begin_phase();
+        for _ in 0..10 {
+            net.push_round(|_, s| s.opinion());
+        }
+        let inboxes = net.end_phase();
+        let totals = inboxes.totals_per_opinion();
+        assert_eq!(totals[0], 50);
+        assert_eq!(totals[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a phase")]
+    fn push_round_requires_open_phase() {
+        let mut net = small_net(DeliverySemantics::Exact, 10);
+        net.push_round(|_, s| s.opinion());
+    }
+
+    #[test]
+    #[should_panic(expected = "without an open phase")]
+    fn end_phase_requires_open_phase() {
+        let mut net = small_net(DeliverySemantics::Exact, 10);
+        net.end_phase();
+    }
+
+    #[test]
+    fn clear_opinions_resets_states_only() {
+        let mut net = small_net(DeliverySemantics::Exact, 11);
+        net.seed_counts(&[10, 0, 0]).unwrap();
+        net.begin_phase();
+        net.push_round(|_, s| s.opinion());
+        net.end_phase();
+        let rounds = net.rounds_executed();
+        net.clear_opinions();
+        assert_eq!(net.distribution().opinionated(), 0);
+        assert_eq!(net.rounds_executed(), rounds);
+    }
+}

@@ -1,0 +1,121 @@
+//! Poisson sampling used by the process-P (Poissonized) delivery semantics.
+//!
+//! The paper's process P (Definition 4) hands every agent an independent
+//! `Poisson(h_i / n)` number of copies of each opinion `i`. The `rand` crate
+//! alone does not ship a Poisson distribution, so this module implements one
+//! from scratch:
+//!
+//! * for small means, Knuth's product-of-uniforms method (exact);
+//! * for large means, the split `Poisson(λ) = Poisson(λ/2) + Poisson(λ/2)`
+//!   applied recursively until the mean is small enough for Knuth's method.
+//!   The recursion depth is logarithmic in λ and the result remains exact,
+//!   which matters because the tails of the received-message counts drive
+//!   the concentration behaviour the experiments measure.
+
+use rand::Rng;
+
+/// Mean below which Knuth's method is used directly.
+const KNUTH_THRESHOLD: f64 = 30.0;
+
+/// Samples a `Poisson(mean)` random variable.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative, NaN or infinite.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = pushsim::poisson::sample(3.5, &mut rng);
+/// assert!(x < 100); // astronomically unlikely to fail
+/// ```
+pub fn sample<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be finite and non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean <= KNUTH_THRESHOLD {
+        return knuth(mean, rng);
+    }
+    // Additivity: Poisson(a + b) = Poisson(a) + Poisson(b) for independent
+    // summands. Split the mean into chunks small enough for Knuth's method.
+    let chunks = (mean / KNUTH_THRESHOLD).ceil() as u64;
+    let per_chunk = mean / chunks as f64;
+    (0..chunks).map(|_| knuth(per_chunk, rng)).sum()
+}
+
+/// Knuth's product-of-uniforms Poisson sampler (exact for small means).
+fn knuth<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    let threshold = (-mean).exp();
+    let mut count = 0u64;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= threshold {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean_and_var(mean: f64, trials: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..trials).map(|_| sample(mean, &mut rng) as f64).collect();
+        let m = samples.iter().sum::<f64>() / trials as f64;
+        let v = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / trials as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn zero_mean_always_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(sample(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn small_mean_matches_poisson_moments() {
+        let (m, v) = empirical_mean_and_var(2.5, 200_000, 11);
+        assert!((m - 2.5).abs() < 0.05, "mean {m}");
+        assert!((v - 2.5).abs() < 0.1, "variance {v}");
+    }
+
+    #[test]
+    fn large_mean_matches_poisson_moments() {
+        let (m, v) = empirical_mean_and_var(250.0, 20_000, 12);
+        assert!((m - 250.0).abs() < 1.5, "mean {m}");
+        assert!((v - 250.0).abs() < 12.0, "variance {v}");
+    }
+
+    #[test]
+    fn tiny_mean_is_mostly_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 100_000;
+        let zeros = (0..trials)
+            .filter(|_| sample(0.01, &mut rng) == 0)
+            .count();
+        let frac = zeros as f64 / trials as f64;
+        // P(X = 0) = e^{-0.01} ≈ 0.99005.
+        assert!((frac - 0.99).abs() < 0.005, "zero fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean")]
+    fn negative_mean_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample(-1.0, &mut rng);
+    }
+}

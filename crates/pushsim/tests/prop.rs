@@ -1,0 +1,144 @@
+//! Property-based tests for the push-model simulator: conservation laws,
+//! determinism, and agreement between delivery semantics.
+
+use noisy_channel::NoiseMatrix;
+use proptest::prelude::*;
+use pushsim::{DeliverySemantics, Network, Opinion, OpinionDistribution, SimConfig};
+
+fn counts_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..30, 2..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Messages are conserved: for processes O and B, the number of messages
+    /// delivered in a phase equals the number pushed during that phase.
+    #[test]
+    fn message_conservation(
+        counts in counts_strategy(),
+        rounds in 1usize..6,
+        seed in 0u64..500,
+        deferred in prop::bool::ANY,
+    ) {
+        let k = counts.len();
+        let n = counts.iter().sum::<usize>() + 20;
+        let delivery = if deferred {
+            DeliverySemantics::BallsIntoBins
+        } else {
+            DeliverySemantics::Exact
+        };
+        let noise = NoiseMatrix::uniform(k, 0.1).unwrap();
+        let config = SimConfig::builder(n, k).seed(seed).delivery(delivery).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&counts).unwrap();
+        let senders: u64 = counts.iter().sum::<usize>() as u64;
+
+        net.begin_phase();
+        for _ in 0..rounds {
+            net.push_round(|_, s| s.opinion());
+        }
+        let inboxes = net.end_phase();
+        prop_assert_eq!(inboxes.total_messages(), senders * rounds as u64);
+        // Per-node counts also add up to the same total.
+        let per_node: u64 = (0..n).map(|u| u64::from(inboxes.received_total(u))).sum();
+        prop_assert_eq!(per_node, senders * rounds as u64);
+    }
+
+    /// Simulations are deterministic in their seed and differ across seeds
+    /// (except in degenerate cases with no senders).
+    #[test]
+    fn deterministic_in_seed(
+        counts in counts_strategy(),
+        seed in 0u64..500,
+    ) {
+        let n = counts.iter().sum::<usize>() + 20;
+        let run = |seed: u64| {
+            let k = counts.len();
+            let noise = NoiseMatrix::uniform(k, 0.15).unwrap();
+            let config = SimConfig::builder(n, k).seed(seed).build().unwrap();
+            let mut net = Network::new(config, noise).unwrap();
+            net.seed_counts(&counts).unwrap();
+            net.begin_phase();
+            for _ in 0..3 {
+                net.push_round(|_, s| s.opinion());
+            }
+            net.end_phase();
+            (0..n).map(|u| net.inboxes().received(u).to_vec()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The node-count invariant: opinionated + undecided = n at all times,
+    /// and `seed_counts` places exactly the requested numbers.
+    #[test]
+    fn seeding_invariants(
+        counts in counts_strategy(),
+        seed in 0u64..500,
+    ) {
+        let k = counts.len();
+        let total: usize = counts.iter().sum();
+        let n = total + 50;
+        let noise = NoiseMatrix::uniform(k, 0.1).unwrap();
+        let config = SimConfig::builder(n, k).seed(seed).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&counts).unwrap();
+        let dist = net.distribution();
+        prop_assert_eq!(dist.counts(), counts.as_slice());
+        prop_assert_eq!(dist.undecided() + dist.opinionated(), n);
+        prop_assert_eq!(dist.num_nodes(), n);
+    }
+
+    /// Processes O and B produce identical *per-opinion totals in
+    /// expectation*; here we check the cheap invariant that the totals over
+    /// a phase match exactly when the channel is noiseless (delivery cannot
+    /// change opinions, only destinations).
+    #[test]
+    fn exact_and_balls_into_bins_agree_without_noise(
+        counts in counts_strategy(),
+        seed in 0u64..500,
+    ) {
+        let k = counts.len();
+        let n = counts.iter().sum::<usize>() + 20;
+        let noise = NoiseMatrix::identity(k).unwrap();
+        let mut totals = Vec::new();
+        for delivery in [DeliverySemantics::Exact, DeliverySemantics::BallsIntoBins] {
+            let config = SimConfig::builder(n, k).seed(seed).delivery(delivery).build().unwrap();
+            let mut net = Network::new(config, noise.clone()).unwrap();
+            net.seed_counts(&counts).unwrap();
+            net.begin_phase();
+            for _ in 0..3 {
+                net.push_round(|_, s| s.opinion());
+            }
+            totals.push(net.end_phase().totals_per_opinion());
+        }
+        // With a noiseless channel the per-opinion totals are exactly the
+        // number of pushes per opinion, independent of the delivery process.
+        let expected: Vec<u64> = counts.iter().map(|&c| 3 * c as u64).collect();
+        prop_assert_eq!(&totals[0], &expected);
+        prop_assert_eq!(&totals[1], &expected);
+    }
+
+    /// `OpinionDistribution::bias_towards` is consistent with its fractions:
+    /// bias = c_m − max_{i≠m} c_i.
+    #[test]
+    fn bias_is_consistent_with_fractions(
+        counts in prop::collection::vec(0usize..100, 2..6),
+        undecided in 0usize..50,
+        m_sel in 0usize..6,
+    ) {
+        prop_assume!(counts.iter().sum::<usize>() > 0);
+        let m = m_sel % counts.len();
+        let dist = OpinionDistribution::from_counts(counts.clone(), undecided).unwrap();
+        let fractions = dist.fractions();
+        let expected = fractions[m]
+            - fractions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != m)
+                .map(|(_, &f)| f)
+                .fold(f64::NEG_INFINITY, f64::max);
+        let got = dist.bias_towards(Opinion::new(m)).unwrap();
+        prop_assert!((got - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Plurality consensus as collective decision making: an ant colony choosing
+//! among candidate nest sites.
+//!
+//! The paper motivates plurality consensus with biological ensembles such as
+//! house-hunting ants: scouts return with (noisy) assessments of k candidate
+//! nest sites, and the colony must commit to the site initially preferred by
+//! the largest group of scouts — even though every recruitment signal can be
+//! misunderstood. This example seeds a population of 5 000 ants with scouts
+//! for 4 sites (30% / 25% / 25% / 20% of the scouts) and lets the two-stage
+//! protocol recover the plurality choice under heavy signalling noise. For
+//! comparison, it also runs the undecided-state and 3-majority baselines on
+//! the exact same instance.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example ant_nest_selection
+//! ```
+
+use noisy_plurality::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let colony_size = 5_000;
+    let num_sites = 4;
+    let epsilon = 0.3;
+    // 40% of the colony starts with an initial preference (the scouts); the
+    // rest is undecided and must be recruited.
+    let scout_counts = [600, 500, 500, 400];
+
+    let noise = NoiseMatrix::uniform(num_sites, epsilon)?;
+    let params = ProtocolParams::builder(colony_size, num_sites)
+        .epsilon(epsilon)
+        .seed(42)
+        .build()?;
+
+    // Is the signalling noise even survivable? Check the (eps, delta)-m.p.
+    // property for the initial scout bias.
+    let scouts_total: usize = scout_counts.iter().sum();
+    let initial_bias = (scout_counts[0] - scout_counts[1]) as f64 / scouts_total as f64;
+    let report = noise.majority_preservation(0, initial_bias)?;
+    println!(
+        "initial scout bias {:.3}; worst-case post-noise margin {:.4} (m.p. for eps = {:.3})",
+        initial_bias,
+        report.worst_margin(),
+        report.max_epsilon()
+    );
+
+    let protocol = TwoStageProtocol::new(params.clone(), noise.clone())?;
+    let outcome = protocol.run_plurality_consensus(&scout_counts)?;
+
+    println!();
+    println!("== two-stage protocol ==");
+    println!("final distribution : {}", outcome.final_distribution());
+    println!(
+        "colony committed to site {:?} (correct: {})",
+        outcome.winning_opinion().map(|o| o.index()),
+        outcome.correct_opinion().index()
+    );
+    println!("succeeded          : {}", outcome.succeeded());
+    println!("rounds             : {}", outcome.rounds());
+
+    // Baselines on the same instance and noise, with the same round budget.
+    println!();
+    println!("== baselines under the same noise ==");
+    let budget = outcome.rounds();
+    let mut table = Table::new(vec!["dynamics", "rounds", "winner", "plurality share"]);
+    let baselines: Vec<Box<dyn Dynamics>> = vec![
+        Box::new(UndecidedState::new()),
+        Box::new(ThreeMajority::new()),
+        Box::new(Voter::new()),
+    ];
+    for mut dynamics in baselines {
+        let config = SimConfig::builder(colony_size, num_sites).seed(42).build()?;
+        let mut net = Network::new(config, noise.clone())?;
+        net.seed_counts(&scout_counts)?;
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = dynamics.run(&mut net, &mut rng, budget);
+        let dist = result.final_distribution();
+        let share = dist.counts().iter().max().copied().unwrap_or(0) as f64
+            / dist.num_nodes() as f64;
+        table.push_row(vec![
+            dynamics.name().to_string(),
+            result.rounds().to_string(),
+            result
+                .winner()
+                .map_or("-".to_string(), |o| o.index().to_string()),
+            format!("{share:.3}"),
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "(the protocol reaches exact consensus on the correct site; the baselines stall \
+         at a noise-dependent plurality share or drift to the wrong site)"
+    );
+    Ok(())
+}

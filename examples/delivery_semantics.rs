@@ -1,0 +1,69 @@
+//! The Poissonization argument, empirically: processes O, B and P.
+//!
+//! The paper's analysis (Section 3.2) replaces the real push process
+//! (process O) first by a balls-into-bins process (B, Claim 1) and then by
+//! independent Poisson arrivals (P, Lemma 3). This example runs the full
+//! two-stage protocol under all three delivery semantics on identical
+//! instances and shows that round counts, success rates and bias
+//! trajectories agree — which is exactly why the paper can transfer w.h.p.
+//! results from P back to O.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example delivery_semantics
+//! ```
+
+use noisy_plurality::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_nodes = 2_000;
+    let num_opinions = 3;
+    let epsilon = 0.25;
+    let trials = 5;
+    let noise = NoiseMatrix::uniform(num_opinions, epsilon)?;
+
+    let mut table = Table::new(vec![
+        "process",
+        "successes",
+        "mean rounds",
+        "mean final bias",
+    ]);
+
+    for semantics in DeliverySemantics::ALL {
+        let mut successes = 0u64;
+        let mut rounds = SampleStats::new();
+        let mut final_bias = SampleStats::new();
+        for trial in 0..trials {
+            let params = ProtocolParams::builder(num_nodes, num_opinions)
+                .epsilon(epsilon)
+                .seed(1_000 + trial)
+                .delivery(semantics)
+                .build()?;
+            let outcome = run_plurality_consensus(&params, &noise, &[450, 350, 200])?;
+            if outcome.succeeded() {
+                successes += 1;
+            }
+            rounds.push(outcome.rounds() as f64);
+            final_bias.push(
+                outcome
+                    .final_distribution()
+                    .bias_towards(outcome.correct_opinion())
+                    .unwrap_or(0.0),
+            );
+        }
+        table.push_row(vec![
+            format!("{} ({semantics:?})", semantics.label()),
+            format!("{successes}/{trials}"),
+            format!("{:.0}", rounds.mean()),
+            format!("{:.3}", final_bias.mean()),
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "All three processes solve the instance with the same schedule — the empirical \
+         face of Claim 1 and Lemma 3."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Which noise channels allow plurality consensus at all?
+//!
+//! Section 4 of the paper characterizes the noise matrices for which the
+//! problems are solvable through the (ε, δ)-majority-preserving property.
+//! This example evaluates that property — via the exact LP of Section 4,
+//! solved with the in-repo simplex solver — for several matrix families and
+//! a grid of biases δ, and prints the largest admissible ε for each. It also
+//! demonstrates the paper's two headline facts:
+//!
+//! * the uniform ε-noise family is m.p. for *every* δ, and
+//! * diagonal dominance is *not* sufficient (the Section 4 counterexample
+//!   reverses a 10% majority).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noise_characterization
+//! ```
+
+use noisy_plurality::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deltas = [0.02, 0.05, 0.1, 0.2, 0.4];
+
+    let matrices: Vec<(&str, NoiseMatrix)> = vec![
+        ("uniform k=3, eps=0.1", NoiseMatrix::uniform(3, 0.1)?),
+        ("uniform k=5, eps=0.1", NoiseMatrix::uniform(5, 0.1)?),
+        ("cyclic k=5, lambda=0.2", families::cyclic(5, 0.2)?),
+        (
+            "reset->0 k=3, lambda=0.3",
+            families::reset_to_opinion(3, 0.3, 0)?,
+        ),
+        (
+            "diag-dominant counterexample eps=0.1",
+            families::diagonally_dominant_counterexample(0.1)?,
+        ),
+        (
+            "near-uniform band k=4 (Eq. 17)",
+            families::near_uniform_band(4, 0.4, 0.18, 0.22)?,
+        ),
+    ];
+
+    println!("largest eps for which each matrix is (eps, delta)-majority-preserving");
+    println!("with respect to opinion 0 ('-' means the majority itself is destroyed):");
+    println!();
+
+    let mut headers = vec!["matrix".to_string()];
+    headers.extend(deltas.iter().map(|d| format!("delta={d}")));
+    let mut table = Table::new(headers);
+
+    for (name, matrix) in &matrices {
+        let mut row = vec![name.to_string()];
+        for &delta in &deltas {
+            let report = matrix.majority_preservation(0, delta)?;
+            if report.preserves_majority() {
+                row.push(format!("{:.3}", report.max_epsilon()));
+            } else {
+                row.push("-".to_string());
+            }
+        }
+        table.push_row(row);
+    }
+    print!("{table}");
+
+    // The counterexample in action: a 60/40 split is reversed in one step.
+    println!();
+    let bad = families::diagonally_dominant_counterexample(0.1)?;
+    let c = [0.6, 0.4, 0.0];
+    let after = bad.apply(&c);
+    println!("counterexample applied to c = {c:?}:");
+    println!("  c . P = [{:.3}, {:.3}, {:.3}]  (majority reversed!)", after[0], after[1], after[2]);
+
+    // Eq. (18): the closed-form sufficient condition for near-uniform bands.
+    println!();
+    println!("Eq. (18) sufficient condition vs the exact LP for the band family:");
+    for (q_l, q_u) in [(0.2, 0.2), (0.18, 0.22), (0.1, 0.3)] {
+        let matrix = families::near_uniform_band(4, 0.4, q_l, q_u)?;
+        let delta = 0.2;
+        let sufficient =
+            noisy_plurality::noise::mp::near_uniform_sufficient_epsilon(0.4, q_l, q_u, delta);
+        let exact = matrix.majority_preservation(0, delta)?;
+        println!(
+            "  q in [{q_l}, {q_u}]: Eq. (18) gives eps = {:>8}, exact LP margin/delta = {:.3}",
+            sufficient.map_or("none".to_string(), |e| format!("{e:.3}")),
+            exact.max_epsilon()
+        );
+    }
+    Ok(())
+}

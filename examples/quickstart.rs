@@ -1,0 +1,70 @@
+//! Quickstart: spread a single rumor through a noisy anonymous population.
+//!
+//! One agent out of 2 000 knows the "correct" opinion (one of k = 3 values).
+//! Every message exchanged is garbled by a uniform ε-noise channel. The
+//! two-stage protocol of Fraigniaud & Natale (PODC 2016) nevertheless drives
+//! the whole population to the correct opinion in O(log n / ε²) rounds.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use noisy_plurality::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_nodes = 2_000;
+    let num_opinions = 3;
+    let epsilon = 0.25;
+
+    // The k-ary generalization of the paper's Eq. (1) noise: an opinion
+    // survives the channel with probability 1/k + eps.
+    let noise = NoiseMatrix::uniform(num_opinions, epsilon)?;
+    println!("noise matrix:\n{noise}");
+
+    let params = ProtocolParams::builder(num_nodes, num_opinions)
+        .epsilon(epsilon)
+        .seed(2016)
+        .build()?;
+    let schedule = params.schedule();
+    println!(
+        "schedule: {} Stage-1 phases ({} rounds), {} Stage-2 phases ({} rounds)",
+        schedule.stage1_phases(),
+        schedule.stage1_rounds(),
+        schedule.stage2_phases(),
+        schedule.stage2_rounds(),
+    );
+
+    let protocol = TwoStageProtocol::new(params.clone(), noise)?;
+    let outcome = protocol.run_rumor_spreading(Opinion::new(1))?;
+
+    println!();
+    println!("correct opinion : {}", outcome.correct_opinion());
+    println!("final state     : {}", outcome.final_distribution());
+    println!("consensus       : {}", outcome.consensus_reached());
+    println!("succeeded       : {}", outcome.succeeded());
+    println!("rounds          : {}", outcome.rounds());
+    println!(
+        "rounds / (ln n / eps^2): {:.2}",
+        outcome.rounds() as f64 / params.theoretical_round_scale()
+    );
+    println!("messages        : {}", outcome.messages());
+    println!("memory per node : {} bits", outcome.memory().bits_per_node());
+
+    println!();
+    println!("bias towards the correct opinion after each phase:");
+    let mut table = Table::new(vec!["stage", "phase", "opinionated", "bias"]);
+    for record in outcome.phase_records() {
+        table.push_row(vec![
+            record.stage().to_string(),
+            record.phase().to_string(),
+            format!("{:.3}", record.opinionated_fraction_after()),
+            record
+                .bias_after()
+                .map_or("-".to_string(), |b| format!("{b:+.4}")),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}

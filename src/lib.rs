@@ -1,0 +1,76 @@
+//! # noisy-plurality
+//!
+//! A faithful, laptop-scale reproduction of
+//! *"Noisy Rumor Spreading and Plurality Consensus"* (Fraigniaud & Natale,
+//! PODC 2016). The crate is a thin facade that re-exports the workspace
+//! crates under one coherent namespace:
+//!
+//! * [`lp`] — a from-scratch dense simplex solver used by the
+//!   majority-preservation test.
+//! * [`noise`] — noise matrices over `k` opinions, standard families, and the
+//!   (ε, δ)-majority-preserving membership test of Section 4.
+//! * [`sim`] — the noisy uniform push model simulator with the three delivery
+//!   semantics (processes **O**, **B**, **P**) used in the paper's analysis.
+//! * [`protocol`] — the paper's two-stage rumor-spreading / plurality
+//!   consensus protocol, phase schedules, theoretical bounds and memory
+//!   accounting.
+//! * [`dynamics`] — baseline opinion dynamics (voter, 3-majority, h-majority,
+//!   undecided-state, median rule) running on the same substrate.
+//! * [`analysis`] — statistics, sweeps and table emitters used by the
+//!   experiment harness.
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for the paper-vs-measured comparison produced by the
+//! `noisy-bench` experiment binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use noisy_plurality::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 3 opinions, uniform epsilon-noise, 1_000 nodes.
+//! let noise = NoiseMatrix::uniform(3, 0.25)?;
+//! let params = ProtocolParams::builder(1_000, 3)
+//!     .epsilon(0.25)
+//!     .seed(7)
+//!     .build()?;
+//! let outcome = run_rumor_spreading(&params, &noise)?;
+//! assert!(outcome.consensus_reached());
+//! assert_eq!(outcome.winning_opinion(), Some(Opinion::new(0)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gossip_analysis as analysis;
+pub use noisy_channel as noise;
+pub use noisy_lp as lp;
+pub use opinion_dynamics as dynamics;
+pub use plurality_core as protocol;
+pub use pushsim as sim;
+
+/// Convenience prelude exporting the types used by virtually every
+/// experiment and example.
+pub mod prelude {
+    pub use gossip_analysis::{
+        ci::WilsonInterval,
+        stats::SampleStats,
+        sweep::{Sweep, SweepRow},
+        table::Table,
+    };
+    pub use noisy_channel::{families, MpReport, NoiseError, NoiseMatrix, PairwiseMargin};
+    pub use opinion_dynamics::{
+        Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter,
+    };
+    pub use plurality_core::{
+        bounds, run_plurality_consensus, run_rumor_spreading, MemoryMeter, Outcome, PhaseRecord,
+        ProtocolConstants, ProtocolError, ProtocolParams, Schedule, StageId, TwoStageProtocol,
+    };
+    pub use pushsim::{
+        DeliverySemantics, Inboxes, Network, NodeState, Opinion, OpinionDistribution, RoundReport,
+        SimConfig, SimError,
+    };
+}
