@@ -1,7 +1,43 @@
-//! Parameter sweeps with repetitions.
+//! Parameter sweeps with repetitions — sequential or multi-threaded, with
+//! deterministic per-repetition seed derivation.
+//!
+//! Every `(point, repetition)` pair gets a seed derived purely from
+//! `(base_seed, point_index, rep)` by [`derive_seed`], so the statistics of
+//! a sweep are a function of the base seed alone: running sequentially
+//! ([`Sweep::run_seeded`]) or across any number of threads
+//! ([`Sweep::run_par`]) produces **identical** rows (results are merged in
+//! `(point, rep)` order regardless of completion order, and
+//! [`SampleStats::merge`] of per-repetition rows is exactly equivalent to
+//! sequential accumulation).
 
 use crate::stats::SampleStats;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives the RNG seed of one `(point, repetition)` cell from the sweep's
+/// base seed — a SplitMix64-style mix, so neighbouring cells get unrelated
+/// streams.
+pub fn derive_seed(base_seed: u64, point_index: usize, rep: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add((point_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(rep.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One repetition's identity within a sweep: which point, which rep, and
+/// the derived RNG seed the body should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepContext {
+    /// Index of the parameter point in the sweep's point list.
+    pub point_index: usize,
+    /// Repetition number within the point (`0..repetitions`).
+    pub rep: u64,
+    /// The seed derived from `(base_seed, point_index, rep)`.
+    pub seed: u64,
+}
 
 /// One row of a sweep: a parameter point plus named metric accumulators.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +73,17 @@ impl SweepRow {
     /// The names of all recorded metrics, in sorted order.
     pub fn metric_names(&self) -> impl Iterator<Item = &str> {
         self.metrics.keys().map(|s| s.as_str())
+    }
+
+    /// Merges another row's accumulators into this one (used to combine
+    /// per-repetition rows; metric-wise [`SampleStats::merge`]).
+    pub fn merge(&mut self, other: &SweepRow) {
+        for (name, stats) in &other.metrics {
+            self.metrics
+                .entry(name.clone())
+                .or_default()
+                .merge(stats);
+        }
     }
 }
 
@@ -98,6 +145,102 @@ impl<P: std::fmt::Debug> Sweep<P> {
         }
         rows
     }
+
+    /// Sequential sweep with derived per-repetition seeds: `body` receives
+    /// the point and a [`RepContext`] carrying the seed it must use for all
+    /// of that repetition's randomness.
+    ///
+    /// Produces rows identical to [`run_par`](Self::run_par) with the same
+    /// base seed (both merge per-repetition rows in `(point, rep)` order).
+    pub fn run_seeded<F>(self, base_seed: u64, mut body: F) -> Vec<SweepRow>
+    where
+        F: FnMut(&P, RepContext, &mut SweepRow),
+    {
+        let repetitions = self.repetitions;
+        let mut rows: Vec<SweepRow> = self
+            .points
+            .iter()
+            .map(|p| SweepRow::new(format!("{p:?}")))
+            .collect();
+        for (point_index, point) in self.points.iter().enumerate() {
+            for rep in 0..repetitions {
+                let ctx = RepContext {
+                    point_index,
+                    rep,
+                    seed: derive_seed(base_seed, point_index, rep),
+                };
+                let mut rep_row = SweepRow::new(String::new());
+                body(point, ctx, &mut rep_row);
+                rows[point_index].merge(&rep_row);
+            }
+        }
+        rows
+    }
+
+    /// Multi-threaded sweep over all `(point, repetition)` cells.
+    ///
+    /// `threads = 0` means one worker per available CPU core. Each cell
+    /// runs `body` with its [`derive_seed`]-derived seed into a private
+    /// row; finished rows are merged in `(point, rep)` order, so the result
+    /// is identical to [`run_seeded`](Self::run_seeded) with the same base
+    /// seed — regardless of the thread count or completion order.
+    pub fn run_par<F>(self, base_seed: u64, threads: usize, body: F) -> Vec<SweepRow>
+    where
+        P: Sync,
+        F: Fn(&P, RepContext, &mut SweepRow) + Sync,
+    {
+        let repetitions = self.repetitions;
+        let num_points = self.points.len();
+        let total_jobs = num_points * repetitions as usize;
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(total_jobs.max(1));
+
+        let points = &self.points;
+        let next_job = AtomicUsize::new(0);
+        let finished: Mutex<Vec<(usize, u64, SweepRow)>> =
+            Mutex::new(Vec::with_capacity(total_jobs));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = next_job.fetch_add(1, Ordering::Relaxed);
+                    if job >= total_jobs {
+                        break;
+                    }
+                    let point_index = job / repetitions as usize;
+                    let rep = (job % repetitions as usize) as u64;
+                    let ctx = RepContext {
+                        point_index,
+                        rep,
+                        seed: derive_seed(base_seed, point_index, rep),
+                    };
+                    let mut rep_row = SweepRow::new(String::new());
+                    body(&points[point_index], ctx, &mut rep_row);
+                    finished
+                        .lock()
+                        .expect("sweep worker poisoned the result lock")
+                        .push((point_index, rep, rep_row));
+                });
+            }
+        });
+
+        let mut cells = finished.into_inner().expect("all workers joined");
+        cells.sort_by_key(|&(point_index, rep, _)| (point_index, rep));
+        let mut rows: Vec<SweepRow> = self
+            .points
+            .iter()
+            .map(|p| SweepRow::new(format!("{p:?}")))
+            .collect();
+        for (point_index, _rep, rep_row) in &cells {
+            rows[*point_index].merge(rep_row);
+        }
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +277,69 @@ mod tests {
     #[should_panic(expected = "repetition")]
     fn zero_repetitions_is_rejected() {
         let _ = Sweep::over(vec![1]).repetitions(0);
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..3u64 {
+            for point in 0..10usize {
+                for rep in 0..10u64 {
+                    assert!(seen.insert(derive_seed(base, point, rep)));
+                }
+            }
+        }
+    }
+
+    /// A deterministic pseudo-experiment: the metric is a pure function of
+    /// the cell's derived seed, so sequential and parallel sweeps must
+    /// agree bit for bit.
+    fn seed_driven_body(scale: &f64, ctx: RepContext, row: &mut SweepRow) {
+        let noise = (ctx.seed % 1_000) as f64 / 1_000.0;
+        row.record("value", scale * noise);
+        if ctx.rep.is_multiple_of(2) {
+            row.record("even_rep_value", scale + noise);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree_exactly() {
+        let points = vec![1.0f64, 2.0, 3.0];
+        let base_seed = 42;
+        let sequential = Sweep::over(points.clone())
+            .repetitions(16)
+            .run_seeded(base_seed, seed_driven_body);
+        for threads in [1, 2, 4, 0] {
+            let parallel = Sweep::over(points.clone())
+                .repetitions(16)
+                .run_par(base_seed, threads, seed_driven_body);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.label(), s.label());
+                let names: Vec<&str> = s.metric_names().collect();
+                assert_eq!(p.metric_names().collect::<Vec<_>>(), names);
+                for name in names {
+                    let (pm, sm) = (p.metric(name).unwrap(), s.metric(name).unwrap());
+                    assert_eq!(pm.len(), sm.len());
+                    assert_eq!(pm.mean(), sm.mean(), "thread count {threads}");
+                    assert_eq!(pm.sample_variance(), sm.sample_variance());
+                    assert_eq!(pm.min(), sm.min());
+                    assert_eq!(pm.max(), sm.max());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_par_visits_every_cell_once() {
+        let rows = Sweep::over(vec![10u64, 20])
+            .repetitions(5)
+            .run_par(7, 3, |&p, ctx, row| {
+                row.record("reps", ctx.rep as f64 + p as f64);
+            });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].metric("reps").unwrap().len(), 5);
+        assert_eq!(rows[1].metric("reps").unwrap().len(), 5);
     }
 }

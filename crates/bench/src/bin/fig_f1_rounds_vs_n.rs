@@ -6,16 +6,27 @@
 //! rounds normalized by `ln n / ε²`. The paper's claim corresponds to the
 //! success rate staying ≈ 1 and the normalized constant staying flat as `n`
 //! grows.
+//!
+//! Repetitions run on the **parallel sweep harness**
+//! ([`Sweep::run_par`]): each `(point, rep)` cell derives its seed from
+//! `(base seed, point index, rep)`, so the printed statistics are identical
+//! to a sequential `run_seeded` sweep and independent of the worker count.
 
+use gossip_analysis::ci::WilsonInterval;
+use gossip_analysis::sweep::Sweep;
 use gossip_analysis::table::Table;
-use noisy_bench::{rumor_spreading_trials, Scale};
+use noisy_bench::Scale;
 use noisy_channel::NoiseMatrix;
-use plurality_core::{bounds, ProtocolParams};
+use plurality_core::{bounds, ProtocolParams, TwoStageProtocol};
+use pushsim::Opinion;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     let epsilon = 0.25;
-    let sizes: Vec<usize> = scale.pick(vec![1_000, 2_000, 4_000], vec![1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![1_000, 2_000, 4_000],
+        vec![1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000],
+    );
     let trials = scale.pick(5, 30);
 
     println!("F1: rounds to consensus vs n (rumor spreading, eps = {epsilon})");
@@ -31,19 +42,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     for &k in &[2usize, 3, 5] {
         let noise = NoiseMatrix::uniform(k, epsilon)?;
-        for &n in &sizes {
-            let params = ProtocolParams::builder(n, k)
-                .epsilon(epsilon)
-                .seed(0xF1)
-                .build()?;
-            let summary = rumor_spreading_trials(&params, &noise, trials);
+        let points = sizes.clone();
+        let rows = Sweep::over(points)
+            .repetitions(trials)
+            .run_par(0xF1 + k as u64, 0, |&n, ctx, row| {
+                let params = ProtocolParams::builder(n, k)
+                    .epsilon(epsilon)
+                    .seed(ctx.seed)
+                    .build()
+                    .expect("valid params");
+                let protocol =
+                    TwoStageProtocol::new(params, noise.clone()).expect("compatible dimensions");
+                let outcome = protocol
+                    .run_rumor_spreading(Opinion::new(0))
+                    .expect("run completes");
+                row.record("success", if outcome.succeeded() { 1.0 } else { 0.0 });
+                row.record("rounds", outcome.rounds() as f64);
+                if let Some(bias) = outcome
+                    .stage_records(plurality_core::StageId::One)
+                    .last()
+                    .and_then(|r| r.bias_after())
+                {
+                    row.record("stage1_bias", bias);
+                }
+            });
+        for (&n, row) in sizes.iter().zip(&rows) {
+            let success = row.metric("success").expect("recorded");
+            let rounds = row.metric("rounds").expect("recorded");
+            let bias = row.metric("stage1_bias");
+            let wins = success.mean() * success.len() as f64;
             table.push_row(vec![
                 k.to_string(),
                 n.to_string(),
-                summary.success.to_string(),
-                format!("{:.0}", summary.rounds.mean()),
-                format!("{:.2}", summary.rounds.mean() / bounds::rounds_bound(n, epsilon)),
-                format!("{:.4}", summary.stage1_bias.mean()),
+                WilsonInterval::from_trials(wins.round() as u64, success.len()).to_string(),
+                format!("{:.0}", rounds.mean()),
+                format!("{:.2}", rounds.mean() / bounds::rounds_bound(n, epsilon)),
+                format!("{:.4}", bias.map(|b| b.mean()).unwrap_or(f64::NAN)),
             ]);
         }
     }

@@ -109,26 +109,49 @@ pub fn plurality_trials(
     })
 }
 
-fn run_trials<F>(
-    params: &ProtocolParams,
-    noise: &NoiseMatrix,
-    trials: u64,
-    mut run: F,
-) -> TrialSummary
+fn run_trials<F>(params: &ProtocolParams, noise: &NoiseMatrix, trials: u64, run: F) -> TrialSummary
 where
-    F: FnMut(&TwoStageProtocol) -> Outcome,
+    F: Fn(&TwoStageProtocol) -> Outcome + Sync,
 {
     assert!(trials > 0, "need at least one trial");
+    // Trials are independent and each is deterministic in its derived seed,
+    // so they run across all cores; results are merged in trial order, which
+    // makes the summary bit-identical to a sequential run regardless of the
+    // worker count or completion order.
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get() as u64)
+        .unwrap_or(1)
+        .min(trials);
+    let next_trial = std::sync::atomic::AtomicU64::new(0);
+    let finished: std::sync::Mutex<Vec<(u64, Outcome)>> =
+        std::sync::Mutex::new(Vec::with_capacity(trials as usize));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let trial = next_trial.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if trial >= trials {
+                    break;
+                }
+                let seeded = reseed(params, params.seed().wrapping_add(trial));
+                let protocol = TwoStageProtocol::new(seeded, noise.clone())
+                    .expect("dimensions match by construction");
+                let outcome = run(&protocol);
+                finished
+                    .lock()
+                    .expect("trial worker poisoned the result lock")
+                    .push((trial, outcome));
+            });
+        }
+    });
+    let mut outcomes = finished.into_inner().expect("all workers joined");
+    outcomes.sort_by_key(|&(trial, _)| trial);
+
     let mut successes = 0u64;
     let mut rounds = SampleStats::new();
     let mut messages = SampleStats::new();
     let mut memory_bits = SampleStats::new();
     let mut stage1_bias = SampleStats::new();
-    for trial in 0..trials {
-        let seeded = reseed(params, params.seed().wrapping_add(trial));
-        let protocol =
-            TwoStageProtocol::new(seeded, noise.clone()).expect("dimensions match by construction");
-        let outcome = run(&protocol);
+    for (_, outcome) in &outcomes {
         if outcome.succeeded() {
             successes += 1;
         }
@@ -171,7 +194,7 @@ pub fn reseed(params: &ProtocolParams, seed: u64) -> ProtocolParams {
 ///
 /// Panics if the requested bias is infeasible (`bias ≥ 1`) or `k < 2`.
 pub fn biased_counts(s: usize, k: usize, bias: f64) -> Vec<usize> {
-    assert!(k >= 2 && bias >= 0.0 && bias < 1.0, "invalid bias request");
+    assert!(k >= 2 && (0.0..1.0).contains(&bias), "invalid bias request");
     let others = k - 1;
     // c0 - ci = bias, c0 + others*ci = 1  =>  ci = (1 - bias) / k.
     let ci = (1.0 - bias) / k as f64;

@@ -72,7 +72,7 @@ pub fn proposition1_lower_bound(delta: f64, ell: u64, k: usize) -> f64 {
 /// (`ell > 10_000`).
 pub fn exact_majority_gap_binary(p1: f64, ell: u64) -> f64 {
     assert!((0.0..=1.0).contains(&p1), "p1 must lie in [0, 1]");
-    assert!(ell >= 1 && ell <= 10_000, "ell must lie in [1, 10000]");
+    assert!((1..=10_000).contains(&ell), "ell must lie in [1, 10000]");
     let l = ell as usize;
     let p2 = 1.0 - p1;
     // Binomial pmf via iterative updates to avoid factorial overflow.

@@ -68,5 +68,7 @@ mod stage2;
 pub use error::ProtocolError;
 pub use memory::MemoryMeter;
 pub use params::{ProtocolConstants, ProtocolParams, ProtocolParamsBuilder, Schedule};
-pub use protocol::{run_plurality_consensus, run_rumor_spreading, Outcome, TwoStageProtocol};
+pub use protocol::{
+    run_plurality_consensus, run_rumor_spreading, ExecutionBackend, Outcome, TwoStageProtocol,
+};
 pub use record::{PhaseRecord, StageId};

@@ -227,7 +227,7 @@ impl ProtocolParams {
 
         let mut stage1 = Vec::with_capacity(t + 2);
         stage1.push(phase0);
-        stage1.extend(std::iter::repeat(middle).take(t));
+        stage1.extend(std::iter::repeat_n(middle, t));
         stage1.push(last);
 
         let t_prime = ((n.sqrt() / ln_n).ln().ceil().max(1.0)) as usize;
@@ -262,7 +262,7 @@ impl ProtocolParams {
 /// Rounds `x` up to the next odd integer (the Stage 2 analysis assumes odd
 /// sample sizes; Appendix C shows even sizes are never better).
 fn make_odd(x: u64) -> u64 {
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         x + 1
     } else {
         x
@@ -325,7 +325,7 @@ impl ProtocolParamsBuilder {
                 found: self.num_opinions,
             });
         }
-        if !(self.epsilon > 0.0 && self.epsilon < 1.0) || !self.epsilon.is_finite() {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0 && self.epsilon < 1.0) {
             return Err(ProtocolError::InvalidEpsilon {
                 value: self.epsilon,
             });

@@ -6,9 +6,37 @@ use crate::params::ProtocolParams;
 use crate::record::{PhaseRecord, StageId};
 use crate::{stage1, stage2};
 use noisy_channel::NoiseMatrix;
-use pushsim::{Network, Opinion, OpinionDistribution, SimConfig};
+use pushsim::{CountingNetwork, Network, Opinion, OpinionDistribution, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Which simulation backend a protocol run executes on.
+///
+/// * [`Agent`](ExecutionBackend::Agent) — the agent-level [`Network`]:
+///   every agent is tracked individually, all three delivery semantics
+///   (processes O, B, P) are available, and per-phase cost scales with the
+///   message volume. This is the reference backend.
+/// * [`Counting`](ExecutionBackend::Counting) — the count-based
+///   [`CountingNetwork`]: the population is a `k`-vector of opinion counts,
+///   each phase costs O(k²) random draws regardless of `n`, and the
+///   dynamics follow the paper's Poissonized process P (Definition 4); at
+///   phase granularity this is the process the paper's own analysis
+///   transfers to the real push process (Claim 1, Lemma 3). Use it for
+///   population sizes the agent-level backend cannot touch (`n = 10⁷⁺`).
+///   Two bounded approximations apply at large scale: Poisson tails beyond
+///   mean 600 use a normal approximation (error < 10⁻³ — reached by the
+///   final Stage 2 phase once `ℓ′ > 300`), and sample-majority adoption
+///   beyond 65 536 switchers per phase uses an empirical-frequency bulk
+///   split (≈ 0.4% perturbation); see the `pushsim::counting` docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ExecutionBackend {
+    /// Agent-level simulation (exact for the configured delivery process).
+    #[default]
+    Agent,
+    /// Count-based simulation (process P at population level, O(k²)/phase).
+    Counting,
+}
 
 /// The result of one protocol execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,17 +178,39 @@ impl TwoStageProtocol {
     /// Returns [`ProtocolError::OpinionOutOfRange`] if the opinion index is
     /// out of range, and propagates simulator errors.
     pub fn run_rumor_spreading(&self, source_opinion: Opinion) -> Result<Outcome, ProtocolError> {
+        self.run_rumor_spreading_on(ExecutionBackend::Agent, source_opinion)
+    }
+
+    /// Runs the noisy rumor spreading instance on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_rumor_spreading`](Self::run_rumor_spreading).
+    pub fn run_rumor_spreading_on(
+        &self,
+        backend: ExecutionBackend,
+        source_opinion: Opinion,
+    ) -> Result<Outcome, ProtocolError> {
         if source_opinion.index() >= self.params.num_opinions() {
             return Err(ProtocolError::OpinionOutOfRange {
                 opinion: source_opinion.index(),
                 num_opinions: self.params.num_opinions(),
             });
         }
-        let mut net = self.build_network()?;
-        let mut rng = self.protocol_rng();
-        let source = rng.gen_range(0..self.params.num_nodes());
-        net.seed_rumor(source, source_opinion)?;
-        Ok(self.execute(net, rng, source_opinion))
+        match backend {
+            ExecutionBackend::Agent => {
+                let mut net = self.build_network()?;
+                let mut rng = self.protocol_rng();
+                let source = rng.gen_range(0..self.params.num_nodes());
+                net.seed_rumor(source, source_opinion)?;
+                Ok(self.execute(net, rng, source_opinion))
+            }
+            ExecutionBackend::Counting => {
+                let mut net = self.build_counting_network()?;
+                net.seed_rumor(source_opinion)?;
+                Ok(self.execute_counting(net, source_opinion))
+            }
+        }
     }
 
     /// Runs the noisy **plurality consensus** instance: for every opinion
@@ -176,6 +226,19 @@ impl TwoStageProtocol {
     /// * Simulator errors are propagated as [`ProtocolError::Simulation`].
     pub fn run_plurality_consensus(
         &self,
+        initial_counts: &[usize],
+    ) -> Result<Outcome, ProtocolError> {
+        self.run_plurality_consensus_on(ExecutionBackend::Agent, initial_counts)
+    }
+
+    /// Runs the noisy plurality consensus instance on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_plurality_consensus`](Self::run_plurality_consensus).
+    pub fn run_plurality_consensus_on(
+        &self,
+        backend: ExecutionBackend,
         initial_counts: &[usize],
     ) -> Result<Outcome, ProtocolError> {
         let k = self.params.num_opinions();
@@ -205,10 +268,19 @@ impl TwoStageProtocol {
         }
         let reference = Opinion::new(plurality[0]);
 
-        let mut net = self.build_network()?;
-        let rng = self.protocol_rng();
-        net.seed_counts(initial_counts)?;
-        Ok(self.execute(net, rng, reference))
+        match backend {
+            ExecutionBackend::Agent => {
+                let mut net = self.build_network()?;
+                let rng = self.protocol_rng();
+                net.seed_counts(initial_counts)?;
+                Ok(self.execute(net, rng, reference))
+            }
+            ExecutionBackend::Counting => {
+                let mut net = self.build_counting_network()?;
+                net.seed_counts(initial_counts)?;
+                Ok(self.execute_counting(net, reference))
+            }
+        }
     }
 
     /// Runs only Stage 2 on an explicitly seeded network. This is the
@@ -265,6 +337,15 @@ impl TwoStageProtocol {
         Ok(Network::new(config, self.noise.clone())?)
     }
 
+    /// Builds the count-based network for one run.
+    fn build_counting_network(&self) -> Result<CountingNetwork, ProtocolError> {
+        let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
+            .seed(self.params.seed())
+            .delivery(self.params.delivery())
+            .build()?;
+        Ok(CountingNetwork::new(config, self.noise.clone())?)
+    }
+
     /// The RNG used for the protocol's own decisions (distinct from the
     /// network's delivery RNG but derived from the same seed so whole runs
     /// are reproducible).
@@ -291,6 +372,32 @@ impl TwoStageProtocol {
             &mut meter,
         ));
         self.outcome_from(net, records, meter, reference)
+    }
+
+    /// Runs both stages on an already-seeded counting network.
+    fn execute_counting(&self, mut net: CountingNetwork, reference: Opinion) -> Outcome {
+        let schedule = self.params.schedule();
+        let mut meter = MemoryMeter::new(self.params.num_opinions());
+        let mut records = stage1::run_counting(
+            &mut net,
+            schedule.stage1_phase_lengths(),
+            reference,
+            &mut meter,
+        );
+        records.extend(stage2::run_counting(
+            &mut net,
+            schedule.stage2_sample_sizes(),
+            reference,
+            &mut meter,
+        ));
+        Outcome {
+            correct_opinion: reference,
+            final_distribution: net.distribution(),
+            rounds: net.rounds_executed(),
+            messages: net.messages_sent(),
+            phase_records: records,
+            memory: meter,
+        }
     }
 
     fn outcome_from(
@@ -434,6 +541,59 @@ mod tests {
             TwoStageProtocol::new(params, uniform_noise(4, 0.3)),
             Err(ProtocolError::NoiseDimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn counting_backend_solves_plurality_consensus() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(600, 3)
+            .epsilon(eps)
+            .seed(7)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(3, eps)).unwrap();
+        let outcome = protocol
+            .run_plurality_consensus_on(ExecutionBackend::Counting, &[180, 150, 270])
+            .unwrap();
+        assert!(outcome.succeeded(), "final: {}", outcome.final_distribution());
+        assert_eq!(outcome.winning_opinion(), Some(Opinion::new(2)));
+        assert_eq!(outcome.final_distribution().num_nodes(), 600);
+        assert!(outcome.rounds() > 0);
+        assert!(!outcome.phase_records().is_empty());
+    }
+
+    #[test]
+    fn counting_backend_solves_rumor_spreading() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(600, 3)
+            .epsilon(eps)
+            .seed(42)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(3, eps)).unwrap();
+        let outcome = protocol
+            .run_rumor_spreading_on(ExecutionBackend::Counting, Opinion::new(1))
+            .unwrap();
+        assert!(outcome.succeeded(), "final: {}", outcome.final_distribution());
+    }
+
+    #[test]
+    fn counting_backend_is_reproducible_per_seed() {
+        let make = || {
+            let params = ProtocolParams::builder(1_000, 2)
+                .epsilon(0.4)
+                .seed(99)
+                .build()
+                .unwrap();
+            TwoStageProtocol::new(params, uniform_noise(2, 0.4))
+                .unwrap()
+                .run_plurality_consensus_on(ExecutionBackend::Counting, &[600, 300])
+                .unwrap()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.final_distribution(), b.final_distribution());
+        assert_eq!(a.bias_trajectory(), b.bias_trajectory());
     }
 
     #[test]

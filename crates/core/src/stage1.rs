@@ -21,7 +21,7 @@
 
 use crate::memory::MemoryMeter;
 use crate::record::{PhaseRecord, StageId};
-use pushsim::{Network, Opinion};
+use pushsim::{CountingNetwork, Network, Opinion};
 use rand::rngs::StdRng;
 
 /// Runs all Stage 1 phases on `net`.
@@ -57,10 +57,10 @@ pub(crate) fn run(
         // Decide adoptions while the inboxes are borrowed, apply afterwards.
         let mut adoptions: Vec<(usize, Opinion)> = Vec::new();
         let mut max_received = 0u64;
-        for node in 0..num_nodes {
+        for (node, snap) in snapshot.iter().enumerate().take(num_nodes) {
             let received = u64::from(inboxes.received_total(node));
             max_received = max_received.max(received);
-            if snapshot[node].is_none() && received > 0 {
+            if snap.is_none() && received > 0 {
                 if let Some(opinion) = inboxes.sample_one(node, rng) {
                     adoptions.push((node, opinion));
                 }
@@ -84,12 +84,60 @@ pub(crate) fn run(
     records
 }
 
+/// Runs all Stage 1 phases on a count-based network — O(k²) random draws
+/// per phase instead of O(n · rounds).
+///
+/// Semantically this is Stage 1 under the Poissonized process P: every
+/// agent opinionated at the beginning of a phase pushes in every round of
+/// the phase; at the end, each undecided agent independently receives a
+/// `Poisson(Λ)`-sized inbox and, if non-empty, adopts a uniformly drawn
+/// message — which at the count level is one binomial (who received
+/// anything) plus one multinomial (which opinion they drew, by Poisson
+/// splitting). The adoption randomness comes from the network's own RNG.
+pub(crate) fn run_counting(
+    net: &mut CountingNetwork,
+    phase_lengths: &[u64],
+    reference: Opinion,
+    meter: &mut MemoryMeter,
+) -> Vec<PhaseRecord> {
+    let k = net.num_opinions();
+    let mut records = Vec::with_capacity(phase_lengths.len());
+    for (phase_index, &length) in phase_lengths.iter().enumerate() {
+        // Only opinions held at the beginning of the phase are pushed;
+        // adopters join the senders from the next phase on.
+        let snapshot = net.counts().to_vec();
+        net.begin_phase();
+        let mut messages = 0u64;
+        for _ in 0..length {
+            messages += net.push_round_batched(&snapshot).messages_sent();
+        }
+        net.end_phase();
+
+        let undecided = net.undecided();
+        let (adoptions, _silent) = net.sample_one_adoptions(undecided);
+        let adopted: u64 = adoptions.iter().sum();
+        net.apply_deltas(&vec![0; k], &adoptions, -(adopted as i64));
+
+        meter.record_counter(net.tally().typical_max_inbox());
+        meter.record_phase();
+        records.push(PhaseRecord::new(
+            StageId::One,
+            phase_index,
+            length,
+            messages,
+            net.distribution(),
+            reference,
+        ));
+    }
+    records
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::ProtocolParams;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{NodeState, OpinionDistribution, SimConfig};
+    use pushsim::{DeliverySemantics, NodeState, OpinionDistribution, SimConfig};
     use rand::SeedableRng;
 
     fn network(n: usize, k: usize, eps: f64, seed: u64) -> Network {
@@ -178,6 +226,44 @@ mod tests {
         let dist: OpinionDistribution = net.distribution();
         assert_eq!(dist.opinionated(), 0);
         assert_eq!(records[0].bias_after(), None);
+    }
+
+    #[test]
+    fn counting_stage1_activates_every_node_from_a_single_source() {
+        let n = 400;
+        let eps = 0.3;
+        let params = ProtocolParams::builder(n, 3).epsilon(eps).build().unwrap();
+        let schedule = params.schedule();
+        let noise = NoiseMatrix::uniform(3, eps).unwrap();
+        let config = SimConfig::builder(n, 3)
+            .seed(1)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_rumor(Opinion::new(1)).unwrap();
+        let mut meter = MemoryMeter::new(3);
+        let records = run_counting(
+            &mut net,
+            schedule.stage1_phase_lengths(),
+            Opinion::new(1),
+            &mut meter,
+        );
+        assert_eq!(records.len(), schedule.stage1_phases());
+        let final_dist = net.distribution();
+        assert_eq!(
+            final_dist.undecided(),
+            0,
+            "all nodes should be opinionated after counting Stage 1: {final_dist}"
+        );
+        assert!(final_dist.bias_towards(Opinion::new(1)).unwrap() > 0.0);
+        // Activation is monotone non-decreasing across phases.
+        let mut last = 0.0;
+        for r in &records {
+            assert!(r.opinionated_fraction_after() >= last);
+            last = r.opinionated_fraction_after();
+        }
+        assert!(meter.max_phase_counter() > 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::memory::MemoryMeter;
 use crate::record::{PhaseRecord, StageId};
-use pushsim::{Inboxes, Network, Opinion};
+use pushsim::{CountingNetwork, Inboxes, Network, Opinion};
 use rand::rngs::StdRng;
 
 /// Runs all Stage 2 phases on `net`.
@@ -98,11 +98,61 @@ fn decide_switches(
     switches
 }
 
+/// Runs all Stage 2 phases on a count-based network — O(k²) random draws
+/// plus one bounded majority-sampling pass per phase, independent of `n`.
+///
+/// Count-level form of the Stage 2 rule under process P: an agent's phase
+/// inbox is `Poisson(Λ)`-sized with multinomial composition `h / H`, so
+///
+/// * the number of agents (in any group) collecting at least `L` messages
+///   is `Binomial(group, P(Poisson(Λ) ≥ L))` — the threshold event is
+///   independent of the agent's current opinion;
+/// * a uniform without-replacement sample of `L` messages from such an
+///   inbox has composition `Multinomial(L, h / H)` (subsampling a
+///   multinomial), so every switching agent adopts
+///   `maj(Multinomial(L, h/H))` iid.
+///
+/// The update itself is [`CountingNetwork::apply_sample_majority`], shared
+/// with the h-majority dynamics.
+pub(crate) fn run_counting(
+    net: &mut CountingNetwork,
+    sample_sizes: &[u64],
+    reference: Opinion,
+    meter: &mut MemoryMeter,
+) -> Vec<PhaseRecord> {
+    let mut records = Vec::with_capacity(sample_sizes.len());
+    for (phase_index, &sample_size) in sample_sizes.iter().enumerate() {
+        let rounds = 2 * sample_size;
+        net.begin_phase();
+        let mut messages = 0u64;
+        for _ in 0..rounds {
+            // Opinions do not change in the middle of a phase, so pushing
+            // the live counts every round matches the agent-level rule.
+            messages += net.push_round_all_opinionated().messages_sent();
+        }
+        net.end_phase();
+        net.apply_sample_majority(sample_size);
+
+        meter.record_sample_size(sample_size);
+        meter.record_counter(net.tally().typical_max_inbox());
+        meter.record_phase();
+        records.push(PhaseRecord::new(
+            StageId::Two,
+            phase_index,
+            rounds,
+            messages,
+            net.distribution(),
+            reference,
+        ));
+    }
+    records
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{OpinionDistribution, SimConfig};
+    use pushsim::{DeliverySemantics, OpinionDistribution, SimConfig};
     use rand::SeedableRng;
 
     fn network(n: usize, k: usize, eps: f64, seed: u64) -> Network {
@@ -159,6 +209,52 @@ mod tests {
             avg > start,
             "average bias after one phase ({avg:.3}) should exceed the initial bias ({start:.3})"
         );
+    }
+
+    #[test]
+    fn counting_stage2_amplifies_an_initial_bias_to_consensus() {
+        let n = 600;
+        let eps = 0.35;
+        let noise = NoiseMatrix::uniform(3, eps).unwrap();
+        let config = SimConfig::builder(n, 3)
+            .seed(10)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[240, 180, 180]).unwrap();
+        let mut meter = MemoryMeter::new(3);
+        let ell = 61;
+        let ell_final = 201;
+        let sizes = vec![ell, ell, ell, ell, ell_final];
+        let records = run_counting(&mut net, &sizes, Opinion::new(0), &mut meter);
+        assert_eq!(records.len(), sizes.len());
+        let final_dist = net.distribution();
+        assert!(
+            final_dist.is_consensus_on(Opinion::new(0)),
+            "expected consensus on opinion 0, got {final_dist}"
+        );
+        assert_eq!(meter.max_sample_size(), ell_final);
+        // Node conservation throughout.
+        assert_eq!(final_dist.num_nodes(), n);
+    }
+
+    #[test]
+    fn counting_stage2_conserves_population_even_with_scarce_messages() {
+        // Tiny opinionated population, huge sample size: nobody can collect
+        // enough messages, so nothing changes.
+        let noise = NoiseMatrix::uniform(2, 0.3).unwrap();
+        let config = SimConfig::builder(100, 2)
+            .seed(12)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[2, 1]).unwrap();
+        let before = net.distribution();
+        let mut meter = MemoryMeter::new(2);
+        run_counting(&mut net, &[1001], Opinion::new(0), &mut meter);
+        assert_eq!(net.distribution().counts(), before.counts());
     }
 
     #[test]

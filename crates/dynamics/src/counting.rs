@@ -1,0 +1,270 @@
+//! Count-based execution of the baseline dynamics: O(k²) random draws per
+//! update step, independent of the population size.
+//!
+//! Each dynamics' update rule depends on an agent's received multiset only
+//! through threshold events ("got at least one / at least h messages") and
+//! uniform draws from the multiset. Under the Poissonized process P those
+//! have closed count-level forms (see the [`pushsim::counting`] module
+//! docs), so a whole population update is a handful of binomial and
+//! multinomial draws.
+//!
+//! Exactness: the voter, undecided-state and h-majority rules translate
+//! exactly (each agent makes at most one uniform draw, or a
+//! without-replacement sample, from its inbox). The median rule draws *two*
+//! messages with replacement from the same inbox; the count-level form
+//! treats them as independent categorical draws, which ignores an `O(1/Λ)`
+//! correlation through the inbox size — the mean-field limit the dynamics
+//! literature analyses. All rules conserve the population exactly.
+
+use crate::{Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter};
+use noisy_channel::sampling::{binomial, multinomial};
+use pushsim::CountingNetwork;
+
+/// A dynamics that can also run on the count-based backend.
+///
+/// Randomness comes from the network's own RNG, so runs are reproducible
+/// from the [`SimConfig`](pushsim::SimConfig) seed alone.
+pub trait CountingDynamics: Dynamics {
+    /// Executes one update step on the counting backend (the count-level
+    /// counterpart of [`Dynamics::step`]).
+    fn step_counts(&mut self, net: &mut CountingNetwork);
+
+    /// Runs the dynamics until consensus or at least `max_rounds` rounds,
+    /// mirroring [`Dynamics::run`].
+    fn run_counts(&mut self, net: &mut CountingNetwork, max_rounds: u64) -> DynamicsOutcome {
+        let start_rounds = net.rounds_executed();
+        let start_messages = net.messages_sent();
+        while net.rounds_executed() - start_rounds < max_rounds {
+            if net.distribution().is_consensus() {
+                break;
+            }
+            self.step_counts(net);
+        }
+        let final_distribution = net.distribution();
+        DynamicsOutcome::new(
+            self.name(),
+            net.rounds_executed() - start_rounds,
+            net.messages_sent() - start_messages,
+            final_distribution,
+        )
+    }
+}
+
+/// One push round, phase-finished: every opinionated agent pushes its
+/// opinion; returns the activation probability and post-noise weights.
+fn one_push_round(net: &mut CountingNetwork) -> (f64, Vec<f64>) {
+    net.begin_phase();
+    net.push_round_all_opinionated();
+    net.end_phase();
+    let p_active = net.tally().activation_probability();
+    let weights: Vec<f64> = net.tally().post_noise().iter().map(|&h| h as f64).collect();
+    (p_active, weights)
+}
+
+impl CountingDynamics for Voter {
+    fn step_counts(&mut self, net: &mut CountingNetwork) {
+        let (p_active, weights) = one_push_round(net);
+        let k = net.num_opinions();
+        // Every agent that received something re-adopts a uniform received
+        // message, independent of its current state.
+        let mut leavers = vec![0u64; k];
+        let mut active_total = 0u64;
+        for (o, leave) in leavers.iter_mut().enumerate() {
+            let group = net.counts()[o];
+            *leave = binomial(group, p_active, net.rng_mut());
+            active_total += *leave;
+        }
+        let undecided_active = binomial(net.undecided(), p_active, net.rng_mut());
+        active_total += undecided_active;
+        let joiners = if active_total == 0 {
+            vec![0; k]
+        } else {
+            multinomial(active_total, &weights, net.rng_mut())
+        };
+        net.apply_deltas(&leavers, &joiners, -(undecided_active as i64));
+    }
+}
+
+impl CountingDynamics for UndecidedState {
+    fn step_counts(&mut self, net: &mut CountingNetwork) {
+        let (p_active, weights) = one_push_round(net);
+        let k = net.num_opinions();
+        let total_weight: f64 = weights.iter().sum();
+        // Opinionated agents look at one received message: agreement keeps
+        // the opinion, disagreement resets to undecided.
+        let mut leavers = vec![0u64; k];
+        let mut resets = 0u64;
+        for o in 0..k {
+            let group = net.counts()[o];
+            let active = binomial(group, p_active, net.rng_mut());
+            if active == 0 {
+                continue;
+            }
+            let p_agree = if total_weight > 0.0 {
+                weights[o] / total_weight
+            } else {
+                0.0
+            };
+            let disagree = active - binomial(active, p_agree, net.rng_mut());
+            leavers[o] = disagree;
+            resets += disagree;
+        }
+        // Undecided agents adopt one received message.
+        let undecided_active = binomial(net.undecided(), p_active, net.rng_mut());
+        let joiners = if undecided_active == 0 {
+            vec![0; k]
+        } else {
+            multinomial(undecided_active, &weights, net.rng_mut())
+        };
+        net.apply_deltas(&leavers, &joiners, resets as i64 - undecided_active as i64);
+    }
+}
+
+impl CountingDynamics for MedianRule {
+    fn step_counts(&mut self, net: &mut CountingNetwork) {
+        let (p_active, weights) = one_push_round(net);
+        let k = net.num_opinions();
+        // Pair distribution q ⊗ q over the k² (first, second) observations.
+        let total_weight: f64 = weights.iter().sum();
+        let pair_weights: Vec<f64> = if total_weight > 0.0 {
+            (0..k * k)
+                .map(|cell| weights[cell / k] * weights[cell % k])
+                .collect()
+        } else {
+            vec![0.0; k * k]
+        };
+        let mut leavers = vec![0u64; k];
+        let mut joiners = vec![0u64; k];
+        for (o, leave) in leavers.iter_mut().enumerate() {
+            let group = net.counts()[o];
+            let active = binomial(group, p_active, net.rng_mut());
+            if active == 0 {
+                continue;
+            }
+            *leave = active;
+            let pairs = multinomial(active, &pair_weights, net.rng_mut());
+            for a in 0..k {
+                for b in 0..k {
+                    let mut triple = [o, a, b];
+                    triple.sort_unstable();
+                    joiners[triple[1]] += pairs[a * k + b];
+                }
+            }
+        }
+        let undecided_active = binomial(net.undecided(), p_active, net.rng_mut());
+        if undecided_active > 0 {
+            let adopted = multinomial(undecided_active, &weights, net.rng_mut());
+            for (j, a) in joiners.iter_mut().zip(adopted) {
+                *j += a;
+            }
+        }
+        net.apply_deltas(&leavers, &joiners, -(undecided_active as i64));
+    }
+}
+
+impl CountingDynamics for HMajority {
+    fn step_counts(&mut self, net: &mut CountingNetwork) {
+        let h = u64::from(self.h());
+        net.begin_phase();
+        for _ in 0..2 * h {
+            net.push_round_all_opinionated();
+        }
+        net.end_phase();
+        net.apply_sample_majority(h);
+    }
+}
+
+impl CountingDynamics for ThreeMajority {
+    fn step_counts(&mut self, net: &mut CountingNetwork) {
+        HMajority::new(3).step_counts(net);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_channel::NoiseMatrix;
+    use pushsim::{DeliverySemantics, Opinion, SimConfig};
+
+    fn counting_net(n: usize, k: usize, eps: f64, seed: u64) -> CountingNetwork {
+        let noise = NoiseMatrix::uniform(k, eps).unwrap();
+        let config = SimConfig::builder(n, k)
+            .seed(seed)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        CountingNetwork::new(config, noise).unwrap()
+    }
+
+    #[test]
+    fn counting_majority_dynamics_amplify_a_plurality() {
+        let mut net = counting_net(100_000, 2, 0.4, 1);
+        net.seed_counts(&[70_000, 30_000]).unwrap();
+        let outcome = ThreeMajority::new().run_counts(&mut net, 600);
+        let dist = outcome.final_distribution();
+        let share = dist.counts()[0] as f64 / dist.num_nodes() as f64;
+        assert!(share > 0.9, "plurality share {share}: {dist}");
+        assert_eq!(dist.num_nodes(), 100_000, "population must be conserved");
+    }
+
+    #[test]
+    fn counting_voter_conserves_population_and_recruits_undecided() {
+        let mut net = counting_net(50_000, 3, 0.3, 2);
+        net.seed_counts(&[20_000, 10_000, 5_000]).unwrap();
+        let mut voter = Voter::new();
+        for _ in 0..30 {
+            voter.step_counts(&mut net);
+        }
+        let dist = net.distribution();
+        assert_eq!(dist.num_nodes(), 50_000);
+        assert!(dist.undecided() < 15_000, "undecided should shrink: {dist}");
+    }
+
+    #[test]
+    fn counting_undecided_state_creates_undecided_under_disagreement() {
+        let mut net = counting_net(10_000, 2, 0.45, 3);
+        net.seed_counts(&[5_000, 5_000]).unwrap();
+        let mut dynamics = UndecidedState::new();
+        dynamics.step_counts(&mut net);
+        let dist = net.distribution();
+        assert!(dist.undecided() > 0, "balanced camps must produce undecided agents");
+        assert_eq!(dist.num_nodes(), 10_000);
+    }
+
+    #[test]
+    fn counting_median_moves_to_the_median_opinion() {
+        // Opinion 0 holds the plurality but opinion 1 is the median of the
+        // initial multiset; under a noiseless channel the median rule
+        // should concentrate on 1.
+        let noise = NoiseMatrix::identity(3).unwrap();
+        let config = SimConfig::builder(90_000, 3)
+            .seed(4)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[40_000, 35_000, 15_000]).unwrap();
+        let outcome = MedianRule::new().run_counts(&mut net, 200);
+        let dist = outcome.final_distribution();
+        let share = dist.counts()[1] as f64 / dist.num_nodes() as f64;
+        assert!(share > 0.9, "median share {share}: {dist}");
+    }
+
+    #[test]
+    fn counting_run_stops_on_consensus() {
+        let mut net = counting_net(1_000, 2, 0.3, 5);
+        net.seed_counts(&[1_000, 0]).unwrap();
+        let outcome = Voter::new().run_counts(&mut net, 100);
+        assert!(outcome.converged());
+        assert_eq!(outcome.rounds(), 0);
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn counting_run_respects_the_round_limit() {
+        let mut net = counting_net(1_000, 2, 0.3, 6);
+        let outcome = Voter::new().run_counts(&mut net, 25);
+        assert!(!outcome.converged());
+        assert_eq!(outcome.rounds(), 25);
+    }
+}

@@ -51,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod counting;
 mod majority;
 mod median;
 mod outcome;
 mod undecided;
 mod voter;
 
+pub use counting::CountingDynamics;
 pub use majority::{HMajority, ThreeMajority};
 pub use median::MedianRule;
 pub use outcome::DynamicsOutcome;

@@ -37,13 +37,13 @@ impl Dynamics for UndecidedState {
 
     fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
         let states: Vec<NodeState> = net.states().to_vec();
-        push_and_update(net, |inboxes, num_nodes| {
+        push_and_update(net, |inboxes, _num_nodes| {
             let mut changes = Vec::new();
-            for node in 0..num_nodes {
+            for (node, state) in states.iter().enumerate() {
                 let Some(message) = inboxes.sample_one(node, rng) else {
                     continue;
                 };
-                match states[node] {
+                match *state {
                     NodeState::Undecided => changes.push((node, Some(message))),
                     NodeState::Opinionated(own) if own != message => {
                         changes.push((node, None));

@@ -166,8 +166,8 @@ impl Tableau {
         for (row, &b) in self.rows.iter().zip(&self.basis) {
             let cb = cost[b];
             if cb != 0.0 {
-                for j in 0..self.num_cols {
-                    reduced[j] -= cb * row.coeffs[j];
+                for (r, &coeff) in reduced.iter_mut().zip(&row.coeffs) {
+                    *r -= cb * coeff;
                 }
             }
         }

@@ -35,7 +35,7 @@ use rand::Rng;
 /// # Ok::<(), noisy_channel::NoiseError>(())
 /// ```
 pub fn binary_flip(epsilon: f64) -> Result<NoiseMatrix, NoiseError> {
-    if !(epsilon > 0.0 && epsilon <= 0.5) || !epsilon.is_finite() {
+    if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= 0.5) {
         return Err(NoiseError::InvalidEpsilon {
             value: epsilon,
             max: 0.5,
@@ -63,7 +63,7 @@ pub fn uniform(k: usize, epsilon: f64) -> Result<NoiseMatrix, NoiseError> {
         return Err(NoiseError::TooFewOpinions { found: k });
     }
     let max = 1.0 - 1.0 / k as f64;
-    if !(epsilon > 0.0 && epsilon <= max + 1e-12) || !epsilon.is_finite() {
+    if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= max + 1e-12) {
         return Err(NoiseError::InvalidEpsilon {
             value: epsilon,
             max,
@@ -93,7 +93,7 @@ pub fn cyclic(k: usize, lambda: f64) -> Result<NoiseMatrix, NoiseError> {
     if k < 3 {
         return Err(NoiseError::TooFewOpinions { found: k });
     }
-    if !(lambda > 0.0 && lambda < 0.5) || !lambda.is_finite() {
+    if !(lambda.is_finite() && lambda > 0.0 && lambda < 0.5) {
         return Err(NoiseError::InvalidEpsilon {
             value: lambda,
             max: 0.5,
@@ -133,7 +133,7 @@ pub fn reset_to_opinion(k: usize, lambda: f64, target: usize) -> Result<NoiseMat
             num_opinions: k,
         });
     }
-    if !(lambda > 0.0 && lambda < 1.0) || !lambda.is_finite() {
+    if !(lambda.is_finite() && lambda > 0.0 && lambda < 1.0) {
         return Err(NoiseError::InvalidEpsilon {
             value: lambda,
             max: 1.0,
@@ -173,7 +173,7 @@ pub fn reset_to_opinion(k: usize, lambda: f64, target: usize) -> Result<NoiseMat
 ///
 /// Returns [`NoiseError::InvalidEpsilon`] unless `0 < ε ≤ 1/2`.
 pub fn diagonally_dominant_counterexample(epsilon: f64) -> Result<NoiseMatrix, NoiseError> {
-    if !(epsilon > 0.0 && epsilon <= 0.5) || !epsilon.is_finite() {
+    if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= 0.5) {
         return Err(NoiseError::InvalidEpsilon {
             value: epsilon,
             max: 0.5,

@@ -25,7 +25,10 @@
 //!   noise, near-uniform bands of Eq. (17), …);
 //! * [`mp`] — the LP-based (ε, δ)-majority-preserving membership test of
 //!   Section 4, together with the closed-form sufficient condition of
-//!   Eq. (18).
+//!   Eq. (18);
+//! * [`sampling`] — exact binomial/multinomial samplers powering the
+//!   simulator's batched count-based delivery (one multinomial per opinion
+//!   row instead of one channel draw per message).
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ mod error;
 pub mod families;
 mod matrix;
 pub mod mp;
+pub mod sampling;
 pub mod spectral;
 
 pub use error::NoiseError;

@@ -1,8 +1,69 @@
 //! The validated row-stochastic noise matrix.
 
 use crate::error::NoiseError;
-use crate::STOCHASTIC_TOLERANCE;
+use crate::{sampling, STOCHASTIC_TOLERANCE};
 use rand::Rng;
+
+/// A Walker/Vose alias table for one matrix row: O(1) sampling of the
+/// received opinion, regardless of `k`.
+///
+/// Construction is the standard two-stack pairing of under-full and
+/// over-full columns; sampling draws one uniform column index and one
+/// uniform coin. Compared to the previous inverse-CDF binary search this
+/// removes the `log k` factor *and* the data-dependent branch pattern from
+/// the per-message hot path.
+#[derive(Debug, Clone, PartialEq)]
+struct AliasTable {
+    /// Acceptance probability of each column.
+    prob: Vec<f64>,
+    /// Fallback outcome of each column.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    fn new(weights: &[f64]) -> Self {
+        let k = weights.len();
+        debug_assert!(k > 0);
+        let total: f64 = weights.iter().sum();
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0f64; k];
+        let mut alias: Vec<usize> = (0..k).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (j, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(j);
+            } else {
+                large.push(j);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers on either stack are exactly-full columns up to rounding.
+        for j in small.into_iter().chain(large) {
+            prob[j] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let j = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[j] {
+            j
+        } else {
+            self.alias[j]
+        }
+    }
+}
 
 /// A `k × k` row-stochastic noise matrix `P = (p_{i,j})`.
 ///
@@ -10,8 +71,11 @@ use rand::Rng;
 /// is received as opinion `j` (Section 2.1 of the paper). Rows are validated
 /// to be non-negative and to sum to one (within
 /// [`STOCHASTIC_TOLERANCE`](crate::STOCHASTIC_TOLERANCE)) at construction,
-/// and the cumulative distribution of every row is precomputed so that
-/// sampling a noisy output is a single binary search.
+/// and a Walker/Vose alias table is precomputed per row so that sampling a
+/// noisy output ([`sample`](NoiseMatrix::sample)) is O(1), and re-coloring a
+/// whole batch of identical messages
+/// ([`sample_row_counts`](NoiseMatrix::sample_row_counts)) is one
+/// multinomial draw — O(k) — independent of the batch size.
 ///
 /// # Example
 ///
@@ -36,8 +100,9 @@ use rand::Rng;
 pub struct NoiseMatrix {
     /// Row-major entries.
     rows: Vec<Vec<f64>>,
-    /// Per-row cumulative sums for inverse-CDF sampling.
-    cumulative: Vec<Vec<f64>>,
+    /// Per-row alias tables for O(1) sampling.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    alias: Vec<AliasTable>,
 }
 
 impl NoiseMatrix {
@@ -79,26 +144,8 @@ impl NoiseMatrix {
                 return Err(NoiseError::NotStochastic { row: i, sum });
             }
         }
-        let cumulative = rows
-            .iter()
-            .map(|row| {
-                let mut acc = 0.0;
-                let mut cum: Vec<f64> = row
-                    .iter()
-                    .map(|&v| {
-                        acc += v.max(0.0);
-                        acc
-                    })
-                    .collect();
-                // Guard against rounding: the last cumulative value must
-                // cover the whole unit interval.
-                if let Some(last) = cum.last_mut() {
-                    *last = 1.0;
-                }
-                cum
-            })
-            .collect();
-        Ok(Self { rows, cumulative })
+        let alias = rows.iter().map(|row| AliasTable::new(row)).collect();
+        Ok(Self { rows, alias })
     }
 
     /// The identity (noise-free) matrix over `k` opinions.
@@ -193,23 +240,65 @@ impl NoiseMatrix {
     }
 
     /// Samples the received opinion when opinion `input` is pushed through
-    /// the noisy channel.
+    /// the noisy channel. O(1) via the precomputed alias table.
     ///
     /// # Panics
     ///
     /// Panics if `input` is out of range.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> usize {
-        let cum = &self.cumulative[input];
-        let u: f64 = rng.gen();
-        // Binary search for the first cumulative value >= u.
-        match cum.binary_search_by(|probe| {
-            probe
-                .partial_cmp(&u)
-                .expect("cumulative probabilities are finite")
-        }) {
-            Ok(idx) => idx,
-            Err(idx) => idx.min(cum.len() - 1),
+        self.alias[input].sample(rng)
+    }
+
+    /// Re-colors `count` identical copies of opinion `input` through the
+    /// channel in one batch: returns per-opinion received counts drawn from
+    /// `Multinomial(count, p_input)`, summing to exactly `count`.
+    ///
+    /// This is the count-level view used by the batched delivery engine:
+    /// messages within a phase are exchangeable, so one multinomial draw per
+    /// opinion row — O(k) conditional binomials — replaces `count`
+    /// per-message channel samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn sample_row_counts<R: Rng + ?Sized>(
+        &self,
+        input: usize,
+        count: u64,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        sampling::multinomial(count, &self.rows[input], rng)
+    }
+
+    /// Re-colors a whole phase's pending per-opinion counts through the
+    /// channel: the sum of one [`sample_row_counts`](Self::sample_row_counts)
+    /// draw per opinion row — O(k²) conditional binomials total, conserving
+    /// the message count exactly. This is the shared noise-application step
+    /// of both simulator backends' batched `end_phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending.len() ≠ num_opinions()`.
+    pub fn recolor_counts<R: Rng + ?Sized>(&self, pending: &[u64], rng: &mut R) -> Vec<u64> {
+        assert_eq!(
+            pending.len(),
+            self.num_opinions(),
+            "pending counts must have one entry per opinion"
+        );
+        let mut post_noise = vec![0u64; self.num_opinions()];
+        for (opinion, &m) in pending.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            for (total, c) in post_noise
+                .iter_mut()
+                .zip(self.sample_row_counts(opinion, m, rng))
+            {
+                *total += c;
+            }
         }
+        post_noise
     }
 
     /// Returns `true` if the matrix is the identity (no noise).
@@ -354,8 +443,8 @@ mod tests {
             for _ in 0..trials {
                 counts[p.sample(input, &mut rng)] += 1;
             }
-            for j in 0..3 {
-                let freq = counts[j] as f64 / trials as f64;
+            for (j, &count) in counts.iter().enumerate() {
+                let freq = count as f64 / trials as f64;
                 assert!(
                     (freq - p.entry(input, j)).abs() < 0.01,
                     "input {input}: frequency of {j} was {freq}, expected {}",
@@ -393,6 +482,48 @@ mod tests {
         let text = p.to_string();
         assert!(text.contains("0.7500"));
         assert!(text.contains("0.2500"));
+    }
+
+    #[test]
+    fn sample_row_counts_conserves_and_matches_the_row() {
+        let p = NoiseMatrix::from_rows(vec![
+            vec![0.6, 0.3, 0.1],
+            vec![0.1, 0.1, 0.8],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for input in 0..3 {
+            let count = 200_000u64;
+            let out = p.sample_row_counts(input, count, &mut rng);
+            assert_eq!(out.iter().sum::<u64>(), count, "conservation violated");
+            for (j, &c) in out.iter().enumerate() {
+                let freq = c as f64 / count as f64;
+                assert!(
+                    (freq - p.entry(input, j)).abs() < 0.005,
+                    "input {input}: frequency of {j} was {freq}, expected {}",
+                    p.entry(input, j)
+                );
+            }
+        }
+        // Zero messages, zero output.
+        assert_eq!(p.sample_row_counts(0, 0, &mut rng), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn alias_table_handles_deterministic_rows() {
+        // Rows with zero entries must never emit the zero-probability
+        // outcome (identity matrix: alias fallbacks all point back at the
+        // diagonal).
+        let p = NoiseMatrix::identity(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for input in 0..4 {
+            for _ in 0..1_000 {
+                assert_eq!(p.sample(input, &mut rng), input);
+            }
+            let counts = p.sample_row_counts(input, 1_000, &mut rng);
+            assert_eq!(counts[input], 1_000);
+        }
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl NoiseMatrix {
                 num_opinions: k,
             });
         }
-        if !(delta > 0.0 && delta <= 1.0) || !delta.is_finite() {
+        if !(delta.is_finite() && delta > 0.0 && delta <= 1.0) {
             return Err(NoiseError::InvalidDelta { value: delta });
         }
         let mut margins = Vec::with_capacity(k - 1);

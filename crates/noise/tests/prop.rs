@@ -125,7 +125,7 @@ proptest! {
         let p = NoiseMatrix::uniform(3, eps).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let trials = 30_000;
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         // Push opinion 0 through the channel many times.
         for _ in 0..trials {
             counts[p.sample(0, &mut rng)] += 1;

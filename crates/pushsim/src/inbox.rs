@@ -51,18 +51,35 @@ impl Inboxes {
     }
 
     /// Records the delivery of `count` copies of `opinion` to `node`.
+    /// (Kept for tests and future per-agent bulk paths; the batched
+    /// deliveries go through [`scatter_uniform`](Self::scatter_uniform).)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn deliver_many(&mut self, node: usize, opinion: usize, count: u32) {
         self.counts[node * self.num_opinions + opinion] += count;
         self.total_messages += u64::from(count);
     }
 
+    /// Throws `totals[j]` exchangeable copies of each opinion `j` into
+    /// uniformly random inboxes — the placement step of the batched
+    /// process-B/P delivery. The noise has already been applied at the
+    /// count level, so the inner loop is a bare `gen_range` + increment
+    /// (no per-message channel sampling).
+    pub(crate) fn scatter_uniform<R: Rng + ?Sized>(&mut self, totals: &[u64], rng: &mut R) {
+        debug_assert_eq!(totals.len(), self.num_opinions);
+        let n = self.num_nodes();
+        let k = self.num_opinions;
+        for (opinion, &h) in totals.iter().enumerate() {
+            for _ in 0..h {
+                let node = rng.gen_range(0..n);
+                self.counts[node * k + opinion] += 1;
+            }
+            self.total_messages += h;
+        }
+    }
+
     /// The number of agents the inboxes were created for.
     pub fn num_nodes(&self) -> usize {
-        if self.num_opinions == 0 {
-            0
-        } else {
-            self.counts.len() / self.num_opinions
-        }
+        self.counts.len().checked_div(self.num_opinions).unwrap_or(0)
     }
 
     /// The number of opinions `k`.

@@ -39,11 +39,50 @@
 //!   in the phase (Definition 4; Lemma 3 transfers w.h.p. events back to
 //!   process O).
 //!
+//! ## The two backends
+//!
+//! The simulator ships **two backends** over the same model:
+//!
+//! * [`Network`] — the **agent-level** backend: every agent is a
+//!   [`NodeState`], inboxes are per-agent multisets. Memory and per-phase
+//!   cost scale with `n` and the message volume.
+//! * [`CountingNetwork`] — the **count-based** backend: agents are
+//!   anonymous and exchangeable, so the population is represented as a
+//!   `k`-vector of per-opinion counts and a phase costs O(k²) random draws
+//!   (one multinomial per noise-matrix row) *independent of `n`* — the
+//!   same reformulation the paper's own analysis uses (it reasons about
+//!   the counts `h_i` of Definition 4, never about individuals).
+//!
+//! ### Backend × delivery semantics support matrix
+//!
+//! | delivery semantics | `Network` (agent-level) | `CountingNetwork` (count-based) |
+//! |---|---|---|
+//! | **O** `Exact` | exact, per-message delivery in [`push_round`](Network::push_round) | runs as process P (equivalent at phase granularity: Claim 1 + Lemma 3) |
+//! | **B** `BallsIntoBins` | exact; noise applied in O(k²) multinomial draws at [`end_phase`](Network::end_phase), then a uniform scatter | runs as process P (equivalent at phase granularity: Lemma 3) |
+//! | **P** `Poissonized` | exact; k aggregate `Poisson(h_i)` draws + uniform scatter (Poisson superposition) | **exact** — the native semantics of the backend |
+//!
+//! "Exact" means the backend samples the process's distribution exactly
+//! (the batched paths are distribution-preserving reformulations, checked
+//! empirically in `tests/equivalence.rs`); "equivalent at phase
+//! granularity" means the per-phase aggregate law is the process-P one the
+//! paper transfers to the other processes w.h.p. Three bounded
+//! approximations qualify the counting backend's "exact": the Poisson
+//! upper tail switches to a continuity-corrected normal approximation
+//! beyond mean 600 (absolute error < 10⁻³; see
+//! [`counting::poisson_tail_ge`]), bulk sample-majority adoption beyond
+//! 65 536 switchers uses an empirical-frequency split (≈ 0.4%
+//! perturbation; see [`counting::sample_majority_splits`]), and rules
+//! that resample the *same* inbox more than once with replacement (only
+//! the median baseline dynamics does) are mean-field approximated.
+//!
 //! Protocols built on top of this crate (see the `plurality-core` crate)
 //! interact with the network through *phases*: they call
 //! [`Network::begin_phase`], then [`Network::push_round`] once per round,
 //! and finally [`Network::end_phase`], after which the per-agent received
-//! multisets are available in the returned [`Inboxes`].
+//! multisets are available in the returned [`Inboxes`]. The counting
+//! backend mirrors the shape with
+//! [`push_round_batched`](CountingNetwork::push_round_batched) (counts in)
+//! and a [`PhaseTally`] (counts out).
 //!
 //! # Example
 //!
@@ -73,6 +112,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod counting;
 mod distribution;
 mod error;
 mod inbox;
@@ -81,6 +121,7 @@ mod opinion;
 pub mod poisson;
 
 pub use config::{DeliverySemantics, SimConfig, SimConfigBuilder};
+pub use counting::{CountingNetwork, PhaseTally};
 pub use distribution::OpinionDistribution;
 pub use error::SimError;
 pub use inbox::Inboxes;

@@ -20,6 +20,14 @@ pub struct RoundReport {
 }
 
 impl RoundReport {
+    /// Builds a report (shared with the counting backend).
+    pub(crate) fn new(round: u64, messages_sent: u64) -> Self {
+        Self {
+            round,
+            messages_sent,
+        }
+    }
+
     /// The global index of the round (counting from 0 over the lifetime of
     /// the network).
     pub fn round(&self) -> u64 {
@@ -313,45 +321,39 @@ impl Network {
         &self.inboxes
     }
 
-    /// Process B (Definition 3): independently re-color every pending
-    /// message through the noise matrix, then throw each into a uniformly
-    /// random bin.
+    /// Process B (Definition 3): re-color every pending message through the
+    /// noise matrix, then throw each into a uniformly random bin.
+    ///
+    /// Batched: the noise is applied with O(k²) multinomial draws
+    /// ([`NoiseMatrix::recolor_counts`]) instead of one channel sample per
+    /// message — messages within a phase are exchangeable, which is exactly
+    /// why the paper's phase-level analysis (Claim 1) can work on counts.
+    /// The bin throw is then a bare uniform scatter of the already-colored
+    /// balls, distributionally identical to the per-message formulation
+    /// because balls are exchangeable and destinations are independent of
+    /// colors.
     fn deliver_balls_into_bins(&mut self) {
-        let n = self.num_nodes();
-        for opinion in 0..self.num_opinions() {
-            for _ in 0..self.pending[opinion] {
-                let received_as = self.noise.sample(opinion, &mut self.rng);
-                let destination = self.rng.gen_range(0..n);
-                self.inboxes.deliver(destination, received_as);
-            }
-        }
+        let post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        self.inboxes.scatter_uniform(&post_noise, &mut self.rng);
     }
 
     /// Process P (Definition 4): re-color every pending message through the
     /// noise to obtain the post-noise totals `h_i`, then hand every agent an
     /// independent `Poisson(h_i / n)` number of copies of each opinion.
+    ///
+    /// Batched in both steps: the noise is O(k²) multinomial draws, and the
+    /// n·k independent `Poisson(h_i / n)` draws are replaced by k aggregate
+    /// `Poisson(h_i)` draws followed by a uniform scatter — exact by Poisson
+    /// superposition (the sum of n iid `Poisson(h/n)` variables is
+    /// `Poisson(h)`, and conditioned on the sum the placement is uniform
+    /// multinomial over the n agents).
     fn deliver_poissonized(&mut self) {
-        let n = self.num_nodes();
-        let k = self.num_opinions();
-        let mut post_noise = vec![0u64; k];
-        for opinion in 0..k {
-            for _ in 0..self.pending[opinion] {
-                post_noise[self.noise.sample(opinion, &mut self.rng)] += 1;
-            }
-        }
-        for node in 0..n {
-            for (opinion, &h) in post_noise.iter().enumerate() {
-                if h == 0 {
-                    continue;
-                }
-                let mean = h as f64 / n as f64;
-                let copies = poisson::sample(mean, &mut self.rng);
-                if copies > 0 {
-                    let copies = u32::try_from(copies).unwrap_or(u32::MAX);
-                    self.inboxes.deliver_many(node, opinion, copies);
-                }
-            }
-        }
+        let post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        let totals: Vec<u64> = post_noise
+            .iter()
+            .map(|&h| poisson::sample(h as f64, &mut self.rng))
+            .collect();
+        self.inboxes.scatter_uniform(&totals, &mut self.rng);
     }
 
     /// A mutable reference to the network's random-number generator, for

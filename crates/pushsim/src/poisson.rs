@@ -1,21 +1,24 @@
 //! Poisson sampling used by the process-P (Poissonized) delivery semantics.
 //!
 //! The paper's process P (Definition 4) hands every agent an independent
-//! `Poisson(h_i / n)` number of copies of each opinion `i`. The `rand` crate
-//! alone does not ship a Poisson distribution, so this module implements one
-//! from scratch:
+//! `Poisson(h_i / n)` number of copies of each opinion `i`. The batched
+//! delivery engine additionally draws the *aggregate* per-opinion totals
+//! `Poisson(h_i)` (by Poisson superposition), whose means scale with the
+//! phase's message volume — so the sampler must be O(1) in the mean, not
+//! O(mean):
 //!
-//! * for small means, Knuth's product-of-uniforms method (exact);
-//! * for large means, the split `Poisson(λ) = Poisson(λ/2) + Poisson(λ/2)`
-//!   applied recursively until the mean is small enough for Knuth's method.
-//!   The recursion depth is logarithmic in λ and the result remains exact,
-//!   which matters because the tails of the received-message counts drive
-//!   the concentration behaviour the experiments measure.
+//! * for small means, Knuth's product-of-uniforms method (exact, ~μ+1
+//!   uniforms per draw);
+//! * for large means, Hörmann's **PTRS** transformed-rejection algorithm
+//!   (1993) — exact (it is a rejection method, not an approximation) and
+//!   O(1) expected uniforms per draw regardless of the mean.
 
+use noisy_channel::sampling::ln_gamma;
 use rand::Rng;
 
-/// Mean below which Knuth's method is used directly.
-const KNUTH_THRESHOLD: f64 = 30.0;
+/// Mean at or below which Knuth's method is used; above it, PTRS (which
+/// requires a mean ≥ 10) takes over.
+const KNUTH_THRESHOLD: f64 = 10.0;
 
 /// Samples a `Poisson(mean)` random variable.
 ///
@@ -41,13 +44,10 @@ pub fn sample<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
         return 0;
     }
     if mean <= KNUTH_THRESHOLD {
-        return knuth(mean, rng);
+        knuth(mean, rng)
+    } else {
+        ptrs(mean, rng)
     }
-    // Additivity: Poisson(a + b) = Poisson(a) + Poisson(b) for independent
-    // summands. Split the mean into chunks small enough for Knuth's method.
-    let chunks = (mean / KNUTH_THRESHOLD).ceil() as u64;
-    let per_chunk = mean / chunks as f64;
-    (0..chunks).map(|_| knuth(per_chunk, rng)).sum()
 }
 
 /// Knuth's product-of-uniforms Poisson sampler (exact for small means).
@@ -61,6 +61,35 @@ fn knuth<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
             return count;
         }
         count += 1;
+    }
+}
+
+/// Hörmann's PTRS: transformed rejection with squeeze. Exact; requires
+/// `mean ≥ 10`. Expected number of uniform draws is below 2.5 for all
+/// admissible means.
+fn ptrs<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    debug_assert!(mean >= 10.0);
+    let log_mean = mean.ln();
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.02483 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    loop {
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let mut v: f64 = rng.gen();
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+        // Squeeze: the bulk of the mass accepts without any logarithm.
+        if us >= 0.07 && v <= v_r {
+            return kf as u64;
+        }
+        if kf < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        v = (v * inv_alpha / (a / (us * us) + b)).ln();
+        if v <= kf * log_mean - mean - ln_gamma(kf + 1.0) {
+            return kf as u64;
+        }
     }
 }
 
@@ -98,6 +127,61 @@ mod tests {
         let (m, v) = empirical_mean_and_var(250.0, 20_000, 12);
         assert!((m - 250.0).abs() < 1.5, "mean {m}");
         assert!((v - 250.0).abs() < 12.0, "variance {v}");
+    }
+
+    #[test]
+    fn huge_mean_matches_poisson_moments() {
+        // Means at the scale of whole-phase message volumes (the aggregate
+        // draw of the batched process-P delivery).
+        let mu = 2.5e6;
+        let (m, v) = empirical_mean_and_var(mu, 5_000, 13);
+        assert!((m - mu).abs() / mu < 1e-3, "mean {m}");
+        assert!((v - mu).abs() / mu < 0.1, "variance {v}");
+    }
+
+    #[test]
+    fn ptrs_matches_exact_pmf_in_the_bulk() {
+        // Chi-square against the exact pmf at a mean just above the PTRS
+        // threshold, where both branches of the acceptance test are hot.
+        let mu = 12.0_f64;
+        let mut rng = StdRng::seed_from_u64(14);
+        let trials = 200_000;
+        let hi = 40usize;
+        let mut counts = vec![0u64; hi + 1];
+        for _ in 0..trials {
+            let x = sample(mu, &mut rng) as usize;
+            counts[x.min(hi)] += 1;
+        }
+        let mut chi2 = 0.0;
+        let mut dof = 0i64;
+        let mut pooled_obs = 0.0;
+        let mut pooled_exp = 0.0;
+        for (k, &observed) in counts.iter().enumerate() {
+            let ln_pmf = k as f64 * mu.ln() - mu - noisy_channel::sampling::ln_gamma(k as f64 + 1.0);
+            let mut e = ln_pmf.exp() * trials as f64;
+            if k == hi {
+                // Tail bucket: everything at or above hi.
+                let below: f64 = (0..hi)
+                    .map(|j| {
+                        (j as f64 * mu.ln() - mu
+                            - noisy_channel::sampling::ln_gamma(j as f64 + 1.0))
+                        .exp()
+                    })
+                    .sum();
+                e = (1.0 - below) * trials as f64;
+            }
+            pooled_obs += observed as f64;
+            pooled_exp += e;
+            if pooled_exp >= 5.0 {
+                chi2 += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+                dof += 1;
+                pooled_obs = 0.0;
+                pooled_exp = 0.0;
+            }
+        }
+        dof -= 1;
+        let budget = dof as f64 + 4.0 * (2.0 * dof as f64).sqrt() + 10.0;
+        assert!(chi2 < budget, "chi2 {chi2:.1} over budget {budget:.1} (dof {dof})");
     }
 
     #[test]

@@ -63,14 +63,16 @@ pub mod prelude {
     };
     pub use noisy_channel::{families, MpReport, NoiseError, NoiseMatrix, PairwiseMargin};
     pub use opinion_dynamics::{
-        Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter,
+        CountingDynamics, Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority,
+        UndecidedState, Voter,
     };
     pub use plurality_core::{
-        bounds, run_plurality_consensus, run_rumor_spreading, MemoryMeter, Outcome, PhaseRecord,
-        ProtocolConstants, ProtocolError, ProtocolParams, Schedule, StageId, TwoStageProtocol,
+        bounds, run_plurality_consensus, run_rumor_spreading, ExecutionBackend, MemoryMeter,
+        Outcome, PhaseRecord, ProtocolConstants, ProtocolError, ProtocolParams, Schedule, StageId,
+        TwoStageProtocol,
     };
     pub use pushsim::{
-        DeliverySemantics, Inboxes, Network, NodeState, Opinion, OpinionDistribution, RoundReport,
-        SimConfig, SimError,
+        CountingNetwork, DeliverySemantics, Inboxes, Network, NodeState, Opinion,
+        OpinionDistribution, PhaseTally, RoundReport, SimConfig, SimError,
     };
 }

@@ -1,0 +1,341 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors a small benchmarking harness with criterion's
+//! surface: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! [`criterion_group!`] / [`criterion_main!`], and `Bencher::iter`.
+//!
+//! Methodology: each benchmark warms up for `warm_up_time`, then runs
+//! batches until `measurement_time` elapses or `sample_size` samples are
+//! collected, whichever comes first, and reports the median over batch
+//! means (robust against scheduler noise). Results are printed as
+//! `name ... time/iter` lines and, when the `CRITERION_JSON_OUT`
+//! environment variable names a file, also dumped there as a JSON array of
+//! `{"name", "ns_per_iter", "iters"}` objects so baselines can be archived
+//! (see `BENCH_pushsim.json` at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (used when the group name already identifies the
+    /// function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly per the harness configuration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        // Choose a batch size targeting ~1/sample_size of the measurement
+        // budget per batch, from the warm-up's observed rate.
+        let warm_rate = warm_iters as f64 / self.config.warm_up_time.as_secs_f64().max(1e-9);
+        let per_batch_secs =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let batch = ((warm_rate * per_batch_secs).ceil() as u64).max(1);
+
+        let mut batch_means: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let mut total_iters = 0u64;
+        let measure_end = Instant::now() + self.config.measurement_time;
+        while batch_means.len() < self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total_iters += batch;
+            batch_means.push(elapsed.as_nanos() as f64 / batch as f64);
+            if Instant::now() >= measure_end && batch_means.len() >= 2 {
+                break;
+            }
+        }
+        batch_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = batch_means[batch_means.len() / 2];
+        self.result = Some((median, total_iters));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(config: &Config, name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    let (ns, iters) = bencher
+        .result
+        .expect("benchmark closure must call Bencher::iter");
+    println!("bench {name:<56} {} /iter ({iters} iters)", format_time(ns));
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        name: name.to_string(),
+        ns_per_iter: ns,
+        iters,
+    });
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.config.sample_size = samples.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&self.config, name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.sample_size = samples.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&self.config, &name, |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&self.config, &name, f);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Writes collected results as JSON to `CRITERION_JSON_OUT` (if set).
+/// Called automatically by [`criterion_main!`].
+pub fn finalize() {
+    let records = RESULTS.lock().expect("results lock");
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{comma}\n",
+            r.name.replace('"', "'"),
+            r.ns_per_iter,
+            r.iters
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    } else {
+        println!("criterion shim: wrote {} results to {path}", records.len());
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; `--list` and
+            // test-mode invocations must not run the full measurement.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--list") {
+                return;
+            }
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("smoke_group");
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|r| r.name == "smoke_add"));
+        assert!(results.iter().any(|r| r.name == "smoke_group/mul/3"));
+        for r in results.iter() {
+            assert!(r.ns_per_iter >= 0.0 && r.iters > 0);
+        }
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+    }
+}
