@@ -71,6 +71,37 @@ impl Table {
         self.push_row(row.into_iter().map(|d| d.to_string()).collect());
     }
 
+    /// Renders the table as [JSON Lines](https://jsonlines.org/): one JSON
+    /// object per data row, keyed by the column headers, all values as
+    /// strings. This is the machine-readable form behind the experiment
+    /// binaries' shared `--json` flag, so figure pipelines can consume
+    /// experiment output with `jq` or a dataframe library without parsing
+    /// aligned columns.
+    ///
+    /// ```
+    /// use gossip_analysis::table::Table;
+    ///
+    /// let mut table = Table::new(vec!["n", "rounds"]);
+    /// table.push_row(vec!["1000".into(), "813".into()]);
+    /// assert_eq!(table.to_json_lines(), "{\"n\":\"1000\",\"rounds\":\"813\"}\n");
+    /// ```
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_escape_into(&mut out, header);
+                out.push(':');
+                json_escape_into(&mut out, cell);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
     /// Renders the table as CSV (headers first, comma-separated; cells
     /// containing commas or quotes are quoted).
     pub fn to_csv(&self) -> String {
@@ -97,6 +128,26 @@ impl Table {
         }
         out
     }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quotes, backslashes and
+/// control characters escaped).
+fn json_escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl fmt::Display for Table {
@@ -159,6 +210,27 @@ mod tests {
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"quote\"\"inside\""));
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_lines_emit_one_object_per_row() {
+        let table = sample_table();
+        let json = table.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"name\":\"alpha\",\"value\":\"1\"}");
+        assert_eq!(lines[1], "{\"name\":\"beta\",\"value\":\"23456\"}");
+    }
+
+    #[test]
+    fn json_lines_escape_special_characters() {
+        let mut table = Table::new(vec!["a"]);
+        table.push_row(vec!["quote\" back\\slash\nnewline\ttab".into()]);
+        let json = table.to_json_lines();
+        assert_eq!(
+            json,
+            "{\"a\":\"quote\\\" back\\\\slash\\nnewline\\ttab\"}\n"
+        );
     }
 
     #[test]

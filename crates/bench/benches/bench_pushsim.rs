@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use noisy_channel::NoiseMatrix;
-use pushsim::{CountingNetwork, DeliverySemantics, Network, SimConfig};
+use pushsim::{CountingNetwork, DeliverySemantics, Network, PhaseObservation, PushBackend, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -209,6 +209,75 @@ fn bench_backend_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// One phase driven through the `PushBackend` trait — the exact shape the
+/// generic protocol stages compile down to after monomorphization.
+fn drive_phase_generic<B: PushBackend>(net: &mut B) -> u64 {
+    net.begin_phase();
+    net.push_opinionated_round();
+    net.end_phase().total_received()
+}
+
+/// The refactor guard: the backend-generic phase loop vs the pre-refactor
+/// shape (direct concrete method calls) on both backends. Monomorphization
+/// means the two must be within noise of each other; a regression here
+/// would indicate accidental dynamic dispatch or lost inlining on the hot
+/// phase path.
+fn bench_generic_vs_concrete_dispatch(c: &mut Criterion) {
+    let n = 100_000usize;
+    let k = 3usize;
+    let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+
+    let mut group = c.benchmark_group("pushsim_generic_dispatch");
+    group.sample_size(10);
+
+    let agent_net = || {
+        let config = SimConfig::builder(n, k)
+            .seed(8)
+            .delivery(DeliverySemantics::BallsIntoBins)
+            .build()
+            .expect("valid config");
+        let mut net = Network::new(config, noise.clone()).expect("valid network");
+        net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+        net
+    };
+    group.bench_function("concrete_agent_B", |b| {
+        let mut net = agent_net();
+        b.iter(|| {
+            net.begin_phase();
+            net.push_round(|_, s| s.opinion());
+            net.end_phase().total_messages()
+        });
+    });
+    group.bench_function("generic_agent_B", |b| {
+        let mut net = agent_net();
+        b.iter(|| black_box(drive_phase_generic(&mut net)));
+    });
+
+    let counting_net = || {
+        let config = SimConfig::builder(n, k)
+            .seed(9)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .expect("valid config");
+        let mut net = CountingNetwork::new(config, noise.clone()).expect("valid network");
+        net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+        net
+    };
+    group.bench_function("concrete_counting_P", |b| {
+        let mut net = counting_net();
+        b.iter(|| {
+            net.begin_phase();
+            net.push_round_all_opinionated();
+            net.end_phase().total()
+        });
+    });
+    group.bench_function("generic_counting_P", |b| {
+        let mut net = counting_net();
+        b.iter(|| black_box(drive_phase_generic(&mut net)));
+    });
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -220,6 +289,7 @@ criterion_group! {
     name = benches;
     config = configured();
     targets = bench_round_throughput, bench_poissonized_phase,
-              bench_end_phase_per_message_vs_batched, bench_backend_scaling
+              bench_end_phase_per_message_vs_batched, bench_backend_scaling,
+              bench_generic_vs_concrete_dispatch
 }
 criterion_main!(benches);

@@ -15,13 +15,15 @@
 use gossip_analysis::ci::WilsonInterval;
 use gossip_analysis::sweep::Sweep;
 use gossip_analysis::table::Table;
-use noisy_bench::Scale;
+use noisy_bench::Cli;
 use noisy_channel::NoiseMatrix;
 use plurality_core::{bounds, ProtocolParams, TwoStageProtocol};
 use pushsim::Opinion;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
+    let backend = cli.backend;
     let epsilon = 0.25;
     let sizes: Vec<usize> = scale.pick(
         vec![1_000, 2_000, 4_000],
@@ -29,8 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let trials = scale.pick(5, 30);
 
-    println!("F1: rounds to consensus vs n (rumor spreading, eps = {epsilon})");
-    println!("paper prediction: success ~ 1, rounds / (ln n / eps^2) roughly constant\n");
+    cli.note(&format!(
+        "F1: rounds to consensus vs n (rumor spreading, eps = {epsilon})"
+    ));
+    cli.note("paper prediction: success ~ 1, rounds / (ln n / eps^2) roughly constant\n");
 
     let mut table = Table::new(vec![
         "k",
@@ -54,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let protocol =
                     TwoStageProtocol::new(params, noise.clone()).expect("compatible dimensions");
                 let outcome = protocol
-                    .run_rumor_spreading(Opinion::new(0))
+                    .run_rumor_spreading_on(backend, Opinion::new(0))
                     .expect("run completes");
                 row.record("success", if outcome.succeeded() { 1.0 } else { 0.0 });
                 row.record("rounds", outcome.rounds() as f64);
@@ -81,6 +85,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
     }
-    print!("{table}");
+    cli.emit(&table);
     Ok(())
 }

@@ -6,19 +6,22 @@
 //! paper's prediction is a flat normalized constant across the sweep.
 
 use gossip_analysis::table::Table;
-use noisy_bench::{rumor_spreading_trials, Scale};
+use noisy_bench::{rumor_spreading_trials_on, Cli};
 use noisy_channel::NoiseMatrix;
 use plurality_core::{bounds, ProtocolParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(2_000, 10_000);
     let k = 3;
     let epsilons = [0.1, 0.15, 0.2, 0.25, 0.3, 0.4];
     let trials = scale.pick(5, 30);
 
-    println!("F2: rounds to consensus vs eps (rumor spreading, n = {n}, k = {k})");
-    println!("paper prediction: rounds ~ 1/eps^2, i.e. the normalized column stays flat\n");
+    cli.note(&format!(
+        "F2: rounds to consensus vs eps (rumor spreading, n = {n}, k = {k})"
+    ));
+    cli.note("paper prediction: rounds ~ 1/eps^2, i.e. the normalized column stays flat\n");
 
     let mut table = Table::new(vec![
         "eps",
@@ -30,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &eps in &epsilons {
         let noise = NoiseMatrix::uniform(k, eps)?;
         let params = ProtocolParams::builder(n, k).epsilon(eps).seed(0xF2).build()?;
-        let summary = rumor_spreading_trials(&params, &noise, trials);
+        let summary = rumor_spreading_trials_on(cli.backend, &params, &noise, trials);
         table.push_row(vec![
             format!("{eps}"),
             summary.success.to_string(),
@@ -39,6 +42,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2e}", summary.messages.mean()),
         ]);
     }
-    print!("{table}");
+    cli.emit(&table);
     Ok(())
 }

@@ -9,12 +9,13 @@
 //! can converge to the wrong opinion.
 
 use gossip_analysis::table::Table;
-use noisy_bench::{biased_counts, plurality_trials, Scale};
+use noisy_bench::{biased_counts, plurality_trials_on, Cli};
 use noisy_channel::NoiseMatrix;
 use plurality_core::ProtocolParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(2_000, 20_000);
     let epsilon = 0.25;
     let trials = scale.pick(6, 30);
@@ -23,8 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threshold = ((n as f64).ln() / n as f64).sqrt();
     let bias_multipliers = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
 
-    println!("F3: success rate vs initial bias (plurality consensus, n = {n}, eps = {epsilon})");
-    println!("threshold scale sqrt(ln n / n) = {threshold:.4}\n");
+    cli.note(&format!(
+        "F3: success rate vs initial bias (plurality consensus, n = {n}, eps = {epsilon})"
+    ));
+    cli.note(&format!("threshold scale sqrt(ln n / n) = {threshold:.4}\n"));
 
     let mut table = Table::new(vec!["k", "bias / threshold", "initial bias", "success"]);
     for &k in &[2usize, 4] {
@@ -36,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .epsilon(epsilon)
                 .seed(0xF3 + k as u64)
                 .build()?;
-            let summary = plurality_trials(&params, &noise, &counts, trials);
+            let summary = plurality_trials_on(cli.backend, &params, &noise, &counts, trials);
             table.push_row(vec![
                 k.to_string(),
                 format!("{mult}"),
@@ -45,12 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
     }
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(
         "(at bias 0 the correct opinion is not defined any better than its rivals, so the\n\
          success rate reflects a fair coin among the tied opinions; well above the threshold\n\
-         the success rate approaches 1, matching Theorem 2)"
+         the success rate approaches 1, matching Theorem 2)",
     );
     Ok(())
 }

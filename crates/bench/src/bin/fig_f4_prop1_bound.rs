@@ -9,7 +9,7 @@
 //! the bound, and the bound's `4^{k−2}` slack grows with `k`.
 
 use gossip_analysis::table::Table;
-use noisy_bench::Scale;
+use noisy_bench::Cli;
 use plurality_core::bounds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,12 +25,12 @@ fn biased_distribution(k: usize, delta: f64) -> Vec<f64> {
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    let trials = scale.pick(40_000, 400_000);
+    let cli = Cli::from_args();
+    let trials = cli.scale.pick(40_000, 400_000);
     let mut rng = StdRng::seed_from_u64(0xF4);
 
-    println!("F4: sample-majority gap vs the Proposition 1 lower bound");
-    println!("({} Monte-Carlo trials per cell)\n", trials);
+    cli.note("F4: sample-majority gap vs the Proposition 1 lower bound");
+    cli.note(&format!("({} Monte-Carlo trials per cell)\n", trials));
 
     let mut table = Table::new(vec![
         "k",
@@ -66,5 +66,5 @@ fn main() {
             }
         }
     }
-    print!("{table}");
+    cli.emit(&table);
 }

@@ -7,28 +7,30 @@
 //! amplification ratio during Stage 2.
 
 use gossip_analysis::table::Table;
-use noisy_bench::Scale;
+use noisy_bench::Cli;
 use noisy_channel::NoiseMatrix;
 use plurality_core::{ProtocolParams, StageId, TwoStageProtocol};
 use pushsim::Opinion;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
-    let n = scale.pick(5_000, 50_000);
+    let cli = Cli::from_args();
+    let n = cli.scale.pick(5_000, 50_000);
     let k = 3;
     let epsilon = 0.25;
 
     let noise = NoiseMatrix::uniform(k, epsilon)?;
     let params = ProtocolParams::builder(n, k).epsilon(epsilon).seed(0xF5).build()?;
     let protocol = TwoStageProtocol::new(params.clone(), noise)?;
-    let outcome = protocol.run_rumor_spreading(Opinion::new(0))?;
+    let outcome = protocol.run_rumor_spreading_on(cli.backend, Opinion::new(0))?;
 
-    println!("F5: per-phase bias trajectory (rumor spreading, n = {n}, k = {k}, eps = {epsilon})");
-    println!(
+    cli.note(&format!(
+        "F5: per-phase bias trajectory (rumor spreading, n = {n}, k = {k}, eps = {epsilon})"
+    ));
+    cli.note(&format!(
         "stage-1 end-of-stage bias target Omega(sqrt(ln n / n)) = {:.4}; succeeded = {}\n",
         ((n as f64).ln() / n as f64).sqrt(),
         outcome.succeeded()
-    );
+    ));
 
     let mut table = Table::new(vec![
         "stage",
@@ -57,6 +59,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         previous_bias = bias;
     }
-    print!("{table}");
+    cli.emit(&table);
     Ok(())
 }

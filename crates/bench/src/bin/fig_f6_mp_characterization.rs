@@ -10,12 +10,13 @@
 //! enough).
 
 use gossip_analysis::table::Table;
-use noisy_bench::{biased_counts, plurality_trials, Scale};
+use noisy_bench::{biased_counts, plurality_trials_on, Cli};
 use noisy_channel::{families, NoiseMatrix};
 use plurality_core::ProtocolParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(1_500, 10_000);
     let trials = scale.pick(5, 20);
     let initial_bias = 0.1;
@@ -39,8 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("F6: (eps, delta)-majority-preservation vs end-to-end protocol success");
-    println!("(plurality consensus towards opinion 0, n = {n}, initial bias {initial_bias}, {trials} trials)\n");
+    cli.note("F6: (eps, delta)-majority-preservation vs end-to-end protocol success");
+    cli.note(&format!(
+        "(plurality consensus towards opinion 0, n = {n}, initial bias {initial_bias}, {trials} trials)\n"
+    ));
 
     let mut table = Table::new(vec![
         "matrix",
@@ -61,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(0xF6)
             .build()?;
         let counts = biased_counts(n, 3, initial_bias);
-        let summary = plurality_trials(&params, matrix, &counts, trials);
+        let summary = plurality_trials_on(cli.backend, &params, matrix, &counts, trials);
         table.push_row(vec![
             name.to_string(),
             format!("{:+.4}", report.worst_margin()),
@@ -70,11 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             summary.success.to_string(),
         ]);
     }
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(
         "paper prediction: rows with 'm.p.? = true' succeed with rate ~1, rows with\n\
-         'm.p.? = false' fail (the plurality is destroyed by the channel itself)"
+         'm.p.? = false' fail (the plurality is destroyed by the channel itself)",
     );
     Ok(())
 }

@@ -16,13 +16,14 @@
 
 use gossip_analysis::stats::SampleStats;
 use gossip_analysis::table::Table;
-use noisy_bench::{reseed, Scale};
+use noisy_bench::{reseed, Cli};
 use noisy_channel::NoiseMatrix;
 use plurality_core::{ProtocolParams, StageId, TwoStageProtocol};
 use pushsim::Opinion;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(3_000, 20_000);
     let k = 2;
     let eta = 0.05;
@@ -32,11 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eps_const = 0.25;
     let stage2_threshold = ((n as f64).ln() / n as f64).sqrt();
 
-    println!("F7: the small-epsilon regime of Appendix D (n = {n}, k = {k})");
-    println!(
+    cli.note(&format!(
+        "F7: the small-epsilon regime of Appendix D (n = {n}, k = {k})"
+    ));
+    cli.note(&format!(
         "stage-2 bias requirement Omega(sqrt(ln n / n)) = {:.4}\n",
         stage2_threshold
-    );
+    ));
 
     let mut table = Table::new(vec![
         "regime",
@@ -53,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut biases = SampleStats::new();
         for trial in 0..trials {
             let protocol = TwoStageProtocol::new(reseed(&params, 0xF7 + trial), noise.clone())?;
-            let outcome = protocol.run_rumor_spreading(Opinion::new(0))?;
+            let outcome = protocol.run_rumor_spreading_on(cli.backend, Opinion::new(0))?;
             if outcome.succeeded() {
                 successes += 1;
             }
@@ -73,11 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{successes}/{trials}"),
         ]);
     }
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(
         "(the constant-eps rows sit far above the threshold and succeed; the Appendix-D\n\
-         regime leaves Stage 1 with a bias near or below the threshold and loses reliability)"
+         regime leaves Stage 1 with a bias near or below the threshold and loses reliability)",
     );
     Ok(())
 }

@@ -17,14 +17,17 @@
 
 use gossip_analysis::stats::SampleStats;
 use gossip_analysis::table::Table;
-use noisy_bench::Scale;
+use noisy_bench::Cli;
 use noisy_channel::NoiseMatrix;
 use pushsim::{DeliverySemantics, Network, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    // This experiment compares the three delivery semantics *within* the
+    // agent-level backend, so `--backend` does not apply here.
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(2_000, 10_000);
     let k = 3;
     let eps = 0.2;
@@ -32,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let repetitions = scale.pick(20, 100);
     let counts = [n * 5 / 10, n * 3 / 10, n * 2 / 10];
 
-    println!("F8: delivery-semantics comparison (n = {n}, k = {k}, {rounds_per_phase} rounds/phase, {repetitions} repetitions)\n");
+    cli.note(&format!(
+        "F8: delivery-semantics comparison (n = {n}, k = {k}, {rounds_per_phase} rounds/phase, {repetitions} repetitions)\n"
+    ));
 
     let mut table = Table::new(vec![
         "process",
@@ -97,11 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.4}", adopters0.mean()),
         ]);
     }
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(
         "(O and B agree on every column; P matches all per-node statistics but its total\n\
-         message count fluctuates — the Poisson slack Lemma 3 accounts for)"
+         message count fluctuates — the Poisson slack Lemma 3 accounts for)",
     );
     Ok(())
 }

@@ -12,13 +12,17 @@
 //! agent-level backend would need hours.
 
 use gossip_analysis::table::Table;
-use noisy_bench::Scale;
+use noisy_bench::Cli;
 use noisy_channel::NoiseMatrix;
-use plurality_core::{ExecutionBackend, ProtocolParams, TwoStageProtocol};
+use plurality_core::{ProtocolParams, TwoStageProtocol};
 use std::time::Instant;
 
 fn main() {
-    let scale = Scale::from_args();
+    // The backend is no longer hardcoded: the default `--backend auto`
+    // resolves each size through the calibrated cost model (these sizes are
+    // all far above the exactness ceiling, so Auto lands on Counting).
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let sizes: &[usize] = scale.pick(&[1_000_000, 10_000_000][..], &[10_000_000, 100_000_000][..]);
     let eps = 0.25;
     let k = 3;
@@ -34,12 +38,13 @@ fn main() {
             .build()
             .expect("valid params");
         let protocol = TwoStageProtocol::new(params, noise).expect("compatible dimensions");
+        let resolved = protocol.resolve(cli.backend);
         // 40% / 30% / 30%: a plurality but far from an absolute majority.
         let counts = [n * 2 / 5, n * 3 / 10, n - n * 2 / 5 - n * 3 / 10];
 
         let start = Instant::now();
         let outcome = protocol
-            .run_plurality_consensus_on(ExecutionBackend::Counting, &counts)
+            .run_plurality_consensus_on(cli.backend, &counts)
             .expect("run completes");
         let elapsed = start.elapsed().as_secs_f64();
 
@@ -47,7 +52,7 @@ fn main() {
         let share = dist.counts()[0] as f64 / dist.num_nodes() as f64;
         table.push_row(vec![
             format!("{n}"),
-            "counting".to_string(),
+            format!("{resolved:?}").to_lowercase(),
             format!("{}", outcome.rounds()),
             format!("{:.3e}", outcome.messages() as f64),
             format!("{share:.4}"),
@@ -55,9 +60,9 @@ fn main() {
             format!("{elapsed:.2}"),
         ]);
     }
-    println!("{table}");
-    println!(
+    cli.emit(&table);
+    cli.note(
         "(phases cost O(k^2) draws on the counting backend; the same runs on the\n\
-         agent-level backend would push ~n log n messages individually)"
+         agent-level backend would push ~n log n messages individually)",
     );
 }

@@ -13,19 +13,22 @@
 //!    than the channel provides under-provisions every phase.
 
 use gossip_analysis::table::Table;
-use noisy_bench::{rumor_spreading_trials, Scale};
+use noisy_bench::{rumor_spreading_trials_on, Cli};
 use noisy_channel::NoiseMatrix;
 use plurality_core::{ProtocolConstants, ProtocolParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(2_000, 10_000);
     let k = 3;
     let channel_eps = 0.2;
     let trials = scale.pick(5, 20);
     let noise = NoiseMatrix::uniform(k, channel_eps)?;
 
-    println!("A1: protocol ablations (rumor spreading, n = {n}, k = {k}, channel eps = {channel_eps})\n");
+    cli.note(&format!(
+        "A1: protocol ablations (rumor spreading, n = {n}, k = {k}, channel eps = {channel_eps})\n"
+    ));
 
     let mut table = Table::new(vec!["variant", "success", "rounds", "stage-1 bias"]);
 
@@ -36,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .constants(constants)
             .seed(0xA1)
             .build()?;
-        let summary = rumor_spreading_trials(&params, &noise, trials);
+        let summary = rumor_spreading_trials_on(cli.backend, &params, &noise, trials);
         table.push_row(vec![
             label.to_string(),
             summary.success.to_string(),
@@ -81,12 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.4,
     )?;
 
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(
         "(the baseline and the larger-sample variant succeed; starving Stage 2 samples, the\n\
          Stage-1 final phase, or the schedule's eps costs reliability — these are the design\n\
-         choices the paper's constants protect)"
+         choices the paper's constants protect)",
     );
     Ok(())
 }

@@ -15,7 +15,7 @@
 use gossip_analysis::ci::WilsonInterval;
 use gossip_analysis::stats::SampleStats;
 use gossip_analysis::table::Table;
-use noisy_bench::{biased_counts, reseed, Scale};
+use noisy_bench::{biased_counts, reseed, Cli};
 use noisy_channel::NoiseMatrix;
 use opinion_dynamics::{Dynamics, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter};
 use plurality_core::{ProtocolParams, TwoStageProtocol};
@@ -24,7 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(2_000, 10_000);
     let k = 3;
     let eps = 0.25;
@@ -35,8 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ProtocolParams::builder(n, k).epsilon(eps).seed(0x71).build()?;
     let budget = params.schedule().total_rounds();
 
-    println!("T1: two-stage protocol vs baseline dynamics (n = {n}, k = {k}, eps = {eps}, bias = {bias})");
-    println!("round budget per algorithm: {budget} (the protocol's schedule)\n");
+    cli.note(&format!(
+        "T1: two-stage protocol vs baseline dynamics (n = {n}, k = {k}, eps = {eps}, bias = {bias})"
+    ));
+    cli.note(&format!(
+        "round budget per algorithm: {budget} (the protocol's schedule)\n"
+    ));
 
     let mut table = Table::new(vec![
         "algorithm",
@@ -54,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rounds = SampleStats::new();
         for t in 0..trials {
             let protocol = TwoStageProtocol::new(reseed(&params, 0x71 + t), noise.clone())?;
-            let outcome = protocol.run_plurality_consensus(&counts)?;
+            let outcome = protocol.run_plurality_consensus_on(cli.backend, &counts)?;
             if outcome.consensus_reached() {
                 consensus += 1;
             }
@@ -116,6 +121,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.0}", rounds.mean()),
         ]);
     }
-    print!("{table}");
+    cli.emit(&table);
     Ok(())
 }

@@ -8,15 +8,16 @@
 //! `log(1/ε)`, i.e. extremely slowly with n.
 
 use gossip_analysis::table::Table;
-use noisy_bench::{rumor_spreading_trials, Scale};
+use noisy_bench::{rumor_spreading_trials_on, Cli};
 use noisy_channel::NoiseMatrix;
 use plurality_core::{bounds, ProtocolParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let trials = scale.pick(3, 10);
 
-    println!("T2: per-node memory footprint vs the log log n + log 1/eps scale\n");
+    cli.note("T2: per-node memory footprint vs the log log n + log 1/eps scale\n");
 
     let mut table = Table::new(vec![
         "n",
@@ -32,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &n in &sizes {
         let noise = NoiseMatrix::uniform(3, eps_fixed)?;
         let params = ProtocolParams::builder(n, 3).epsilon(eps_fixed).seed(0x72).build()?;
-        let summary = rumor_spreading_trials(&params, &noise, trials);
+        let summary = rumor_spreading_trials_on(cli.backend, &params, &noise, trials);
         let scale_bits = bounds::memory_bound_bits(n, eps_fixed);
         table.push_row(vec![
             n.to_string(),
@@ -48,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &eps in &[0.1, 0.2, 0.4] {
         let noise = NoiseMatrix::uniform(3, eps)?;
         let params = ProtocolParams::builder(n_fixed, 3).epsilon(eps).seed(0x73).build()?;
-        let summary = rumor_spreading_trials(&params, &noise, trials);
+        let summary = rumor_spreading_trials_on(cli.backend, &params, &noise, trials);
         let scale_bits = bounds::memory_bound_bits(n_fixed, eps);
         table.push_row(vec![
             n_fixed.to_string(),
@@ -59,11 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             summary.success.to_string(),
         ]);
     }
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(
         "(the ratio stays bounded by a modest constant across two orders of magnitude in n,\n\
-         which is the O(log log n + log 1/eps) claim at simulable sizes)"
+         which is the O(log log n + log 1/eps) claim at simulable sizes)",
     );
     Ok(())
 }

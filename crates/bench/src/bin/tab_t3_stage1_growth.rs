@@ -9,13 +9,14 @@
 
 use gossip_analysis::stats::SampleStats;
 use gossip_analysis::table::Table;
-use noisy_bench::{reseed, Scale};
+use noisy_bench::{reseed, Cli};
 use noisy_channel::NoiseMatrix;
 use plurality_core::{ProtocolParams, StageId, TwoStageProtocol};
 use pushsim::Opinion;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale::from_args();
+    let cli = Cli::from_args();
+    let scale = cli.scale;
     let n = scale.pick(10_000, 50_000);
     let k = 3;
     let eps = 0.2;
@@ -26,18 +27,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let growth_prediction = params.constants().beta / (eps * eps) + 1.0;
     let bias_target = ((n as f64).ln() / n as f64).sqrt();
 
-    println!("T3: Stage 1 activation growth and end-of-stage bias (n = {n}, k = {k}, eps = {eps})");
-    println!(
+    cli.note(&format!(
+        "T3: Stage 1 activation growth and end-of-stage bias (n = {n}, k = {k}, eps = {eps})"
+    ));
+    cli.note(&format!(
         "predicted per-phase growth factor ~ beta/eps^2 + 1 = {growth_prediction:.0}; \
          end-of-stage bias target Omega(sqrt(ln n / n)) = {bias_target:.4}\n"
-    );
+    ));
 
     // Collect per-phase statistics over the trials.
     let mut per_phase: Vec<(SampleStats, SampleStats)> = Vec::new();
     let mut end_bias = SampleStats::new();
     for t in 0..trials {
         let protocol = TwoStageProtocol::new(reseed(&params, 0x74 + t), noise.clone())?;
-        let outcome = protocol.run_rumor_spreading(Opinion::new(0))?;
+        let outcome = protocol.run_rumor_spreading_on(cli.backend, Opinion::new(0))?;
         let records: Vec<_> = outcome.stage_records(StageId::One).collect();
         if per_phase.len() < records.len() {
             per_phase.resize_with(records.len(), || (SampleStats::new(), SampleStats::new()));
@@ -73,13 +76,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             predicted,
         ]);
     }
-    print!("{table}");
-    println!();
-    println!(
+    cli.emit(&table);
+    cli.note("");
+    cli.note(&format!(
         "end-of-stage-1 bias: {:.4} (target >= {:.4}, ratio {:.2})",
         end_bias.mean(),
         bias_target,
         end_bias.mean() / bias_target
-    );
+    ));
     Ok(())
 }

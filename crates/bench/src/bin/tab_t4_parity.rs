@@ -7,10 +7,12 @@
 //! reports the two comparisons.
 
 use gossip_analysis::table::Table;
+use noisy_bench::Cli;
 use plurality_core::bounds;
 
 fn main() {
-    println!("T4: parity of the Stage 2 sample size (Lemma 17), exact binomial evaluation\n");
+    let cli = Cli::from_args();
+    cli.note("T4: parity of the Stage 2 sample size (Lemma 17), exact binomial evaluation\n");
     let mut table = Table::new(vec![
         "p1",
         "ell (odd)",
@@ -43,7 +45,7 @@ fn main() {
             ]);
         }
     }
-    print!("{table}");
-    println!();
-    println!("all Lemma 17 relations hold: {all_hold}");
+    cli.emit(&table);
+    cli.note("");
+    cli.note(&format!("all Lemma 17 relations hold: {all_hold}"));
 }

@@ -19,8 +19,9 @@
 
 use gossip_analysis::ci::WilsonInterval;
 use gossip_analysis::stats::SampleStats;
+use gossip_analysis::table::Table;
 use noisy_channel::NoiseMatrix;
-use plurality_core::{Outcome, ProtocolParams, TwoStageProtocol};
+use plurality_core::{ExecutionBackend, Outcome, ProtocolParams, TwoStageProtocol};
 use pushsim::Opinion;
 
 /// Scale of an experiment run: a reduced grid for quick checks or the full
@@ -49,6 +50,96 @@ impl Scale {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,
+        }
+    }
+}
+
+/// The command-line options shared by every experiment binary:
+///
+/// * `--full` — run the full grid instead of the reduced quick grid;
+/// * `--json` — emit result tables as JSON lines
+///   ([`Table::to_json_lines`]) instead of aligned text, so figure
+///   pipelines are scriptable;
+/// * `--backend agent|counting|auto` (or `--backend=…`) — which simulation
+///   backend protocol runs execute on (default [`ExecutionBackend::Auto`],
+///   which resolves per run from the calibrated cost model; see
+///   [`ExecutionBackend::resolve`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cli {
+    /// Quick vs full grid (`--full`).
+    pub scale: Scale,
+    /// Emit tables as JSON lines (`--json`).
+    pub json: bool,
+    /// Backend requested for protocol runs (`--backend …`).
+    pub backend: ExecutionBackend,
+}
+
+impl Cli {
+    /// Parses the options from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown `--backend` value (an
+    /// experiment binary has nothing sensible to do with one).
+    pub fn from_args() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses the options from an explicit argument list (testable form of
+    /// [`from_args`](Self::from_args)).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown `--backend` value or an
+    /// unrecognized argument — a mistyped flag must not silently run the
+    /// experiment with default options.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Cli {
+            scale: Scale::Quick,
+            json: false,
+            backend: ExecutionBackend::Auto,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => cli.scale = Scale::Full,
+                "--json" => cli.json = true,
+                "--backend" => {
+                    let value = args
+                        .next()
+                        .expect("--backend requires a value: agent, counting or auto");
+                    cli.backend = value.parse().expect("invalid --backend value");
+                }
+                other => {
+                    if let Some(value) = other.strip_prefix("--backend=") {
+                        cli.backend = value.parse().expect("invalid --backend value");
+                    } else {
+                        panic!(
+                            "unrecognized argument {other:?} \
+                             (expected --full, --json or --backend agent|counting|auto)"
+                        );
+                    }
+                }
+            }
+        }
+        cli
+    }
+
+    /// Prints `table` in the selected output format: aligned text by
+    /// default, JSON lines under `--json`.
+    pub fn emit(&self, table: &Table) {
+        if self.json {
+            print!("{}", table.to_json_lines());
+        } else {
+            print!("{table}");
+        }
+    }
+
+    /// Prints a free-form context line — suppressed under `--json` so the
+    /// output stream stays machine-parseable.
+    pub fn note(&self, line: &str) {
+        if !self.json {
+            println!("{line}");
         }
     }
 }
@@ -82,9 +173,24 @@ pub fn rumor_spreading_trials(
     noise: &NoiseMatrix,
     trials: u64,
 ) -> TrialSummary {
+    rumor_spreading_trials_on(ExecutionBackend::Agent, params, noise, trials)
+}
+
+/// [`rumor_spreading_trials`] on an explicit [`ExecutionBackend`]
+/// ([`ExecutionBackend::Auto`] resolves per run from the cost model).
+///
+/// # Panics
+///
+/// Same as [`rumor_spreading_trials`].
+pub fn rumor_spreading_trials_on(
+    backend: ExecutionBackend,
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    trials: u64,
+) -> TrialSummary {
     run_trials(params, noise, trials, |protocol| {
         protocol
-            .run_rumor_spreading(Opinion::new(0))
+            .run_rumor_spreading_on(backend, Opinion::new(0))
             .expect("opinion 0 is always valid")
     })
 }
@@ -102,9 +208,25 @@ pub fn plurality_trials(
     initial_counts: &[usize],
     trials: u64,
 ) -> TrialSummary {
+    plurality_trials_on(ExecutionBackend::Agent, params, noise, initial_counts, trials)
+}
+
+/// [`plurality_trials`] on an explicit [`ExecutionBackend`]
+/// ([`ExecutionBackend::Auto`] resolves per run from the cost model).
+///
+/// # Panics
+///
+/// Same as [`plurality_trials`].
+pub fn plurality_trials_on(
+    backend: ExecutionBackend,
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    initial_counts: &[usize],
+    trials: u64,
+) -> TrialSummary {
     run_trials(params, noise, trials, |protocol| {
         protocol
-            .run_plurality_consensus(initial_counts)
+            .run_plurality_consensus_on(backend, initial_counts)
             .expect("harness supplies valid counts")
     })
 }
@@ -235,6 +357,58 @@ mod tests {
     fn scale_pick_selects_correctly() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn cli_parses_the_shared_flags() {
+        let to_args = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = Cli::parse_from(to_args(&[]));
+        assert_eq!(cli.scale, Scale::Quick);
+        assert!(!cli.json);
+        assert_eq!(cli.backend, ExecutionBackend::Auto);
+
+        let cli = Cli::parse_from(to_args(&["--full", "--json", "--backend", "counting"]));
+        assert_eq!(cli.scale, Scale::Full);
+        assert!(cli.json);
+        assert_eq!(cli.backend, ExecutionBackend::Counting);
+
+        let cli = Cli::parse_from(to_args(&["--backend=agent"]));
+        assert_eq!(cli.backend, ExecutionBackend::Agent);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --backend")]
+    fn cli_rejects_unknown_backends() {
+        let _ = Cli::parse_from(vec!["--backend".to_string(), "gpu".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn cli_rejects_mistyped_flags() {
+        let _ = Cli::parse_from(vec!["--fulll".to_string()]);
+    }
+
+    #[test]
+    fn backend_parameterized_trials_run_on_the_counting_backend() {
+        let eps = 0.4;
+        let noise = NoiseMatrix::uniform(2, eps).unwrap();
+        let params = ProtocolParams::builder(500, 2)
+            .epsilon(eps)
+            .seed(9)
+            .delivery(pushsim::DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let summary =
+            rumor_spreading_trials_on(ExecutionBackend::Counting, &params, &noise, 2);
+        assert_eq!(summary.success.trials(), 2);
+        let plurality = plurality_trials_on(
+            ExecutionBackend::Auto,
+            &params,
+            &noise,
+            &[300, 150],
+            2,
+        );
+        assert_eq!(plurality.success.trials(), 2);
     }
 
     #[test]

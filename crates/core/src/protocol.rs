@@ -6,9 +6,30 @@ use crate::params::ProtocolParams;
 use crate::record::{PhaseRecord, StageId};
 use crate::{stage1, stage2};
 use noisy_channel::NoiseMatrix;
-use pushsim::{CountingNetwork, Network, Opinion, OpinionDistribution, SimConfig};
+use pushsim::{
+    CountingNetwork, DeliverySemantics, Network, Opinion, OpinionDistribution, PushBackend,
+    SimConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Population ceiling up to which [`ExecutionBackend::Auto`] honours an
+/// exact-semantics request (processes O and B) by staying on the agent
+/// backend. Beyond it, the O(n·k) per-phase cost of exact simulation is
+/// prohibitive and Auto falls back to the counting backend, whose per-phase
+/// behaviour is the process-P law the paper itself transfers to O and B at
+/// phase granularity (Claim 1 + Lemma 3).
+const AUTO_EXACT_CEILING: usize = 100_000;
+
+/// Calibrated agent-backend phase cost: nanoseconds per (agent × opinion).
+/// From `BENCH_pushsim.json` (`pushsim_phase_scaling/agent_batched_B`:
+/// ≈ 460 µs per phase at n = 10⁵, k = 3).
+const AGENT_NS_PER_AGENT_OPINION: f64 = 1.5;
+
+/// Calibrated counting-backend phase cost: nanoseconds per noise-matrix
+/// cell. From `BENCH_pushsim.json` (`pushsim_phase_scaling/counting_P`:
+/// ≈ 470 ns per phase at k = 3, independent of n).
+const COUNTING_NS_PER_CELL: f64 = 50.0;
 
 /// Which simulation backend a protocol run executes on.
 ///
@@ -28,6 +49,13 @@ use rand::{Rng, SeedableRng};
 ///   final Stage 2 phase once `ℓ′ > 300`), and sample-majority adoption
 ///   beyond 65 536 switchers per phase uses an empirical-frequency bulk
 ///   split (≈ 0.4% perturbation); see the `pushsim::counting` docs.
+/// * [`Auto`](ExecutionBackend::Auto) — picks one of the two per run from a
+///   calibrated cost model; see [`resolve`](ExecutionBackend::resolve).
+///
+/// Both concrete backends implement the same
+/// [`PushBackend`](pushsim::PushBackend) trait, so the protocol stages are
+/// a single generic code path; this enum is the thin front door that
+/// chooses the monomorphization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ExecutionBackend {
@@ -36,6 +64,80 @@ pub enum ExecutionBackend {
     Agent,
     /// Count-based simulation (process P at population level, O(k²)/phase).
     Counting,
+    /// Choose automatically per run: agent-level while an exact-semantics
+    /// request (process O or B) is feasible, otherwise whichever backend
+    /// the calibrated cost model predicts is cheaper.
+    Auto,
+}
+
+impl ExecutionBackend {
+    /// Resolves this request to a concrete backend ([`Agent`] or
+    /// [`Counting`](Self::Counting) — never [`Auto`](Self::Auto)) for a run
+    /// with `num_nodes` agents, `num_opinions` opinions and the given
+    /// delivery semantics.
+    ///
+    /// [`Agent`]: Self::Agent
+    ///
+    /// The `Auto` policy:
+    ///
+    /// 1. **Exactness first.** Processes O and B are only simulated exactly
+    ///    by the agent backend; if the configuration requests one of them
+    ///    and `num_nodes ≤ 100_000`, Auto honours the request and picks
+    ///    `Agent`. (Beyond the ceiling, exact per-message simulation is no
+    ///    longer practical and the counting backend's process-P phase law —
+    ///    equivalent at phase granularity by Claim 1 + Lemma 3 — is used
+    ///    instead.)
+    /// 2. **Cost model otherwise.** Per-phase cost is estimated as
+    ///    `1.5 ns · n · k` for the agent backend (message volume dominates)
+    ///    vs `50 ns · k²` for the counting backend (one multinomial per
+    ///    noise-matrix row); the cheaper backend wins. Constants are
+    ///    calibrated from the archived `BENCH_pushsim.json` baseline.
+    ///
+    /// In practice: process O/B stays agent-level up to `n = 10⁵`
+    /// (`Auto.resolve(1_000, 3, Exact) == Agent`), and very large runs go
+    /// count-based (`Auto.resolve(10_000_000, 3, Exact) == Counting`).
+    pub fn resolve(
+        self,
+        num_nodes: usize,
+        num_opinions: usize,
+        delivery: DeliverySemantics,
+    ) -> ExecutionBackend {
+        match self {
+            ExecutionBackend::Agent | ExecutionBackend::Counting => self,
+            ExecutionBackend::Auto => {
+                let wants_exact = !matches!(delivery, DeliverySemantics::Poissonized);
+                if wants_exact && num_nodes <= AUTO_EXACT_CEILING {
+                    return ExecutionBackend::Agent;
+                }
+                let agent_cost =
+                    AGENT_NS_PER_AGENT_OPINION * num_nodes as f64 * num_opinions as f64;
+                let counting_cost =
+                    COUNTING_NS_PER_CELL * (num_opinions * num_opinions) as f64;
+                if agent_cost <= counting_cost {
+                    ExecutionBackend::Agent
+                } else {
+                    ExecutionBackend::Counting
+                }
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for ExecutionBackend {
+    type Err = String;
+
+    /// Parses `"agent"`, `"counting"` or `"auto"` (case-insensitive) — the
+    /// spelling used by the experiment binaries' `--backend` flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "agent" => Ok(ExecutionBackend::Agent),
+            "counting" => Ok(ExecutionBackend::Counting),
+            "auto" => Ok(ExecutionBackend::Auto),
+            other => Err(format!(
+                "unknown backend {other:?} (expected agent, counting or auto)"
+            )),
+        }
+    }
 }
 
 /// The result of one protocol execution.
@@ -181,7 +283,9 @@ impl TwoStageProtocol {
         self.run_rumor_spreading_on(ExecutionBackend::Agent, source_opinion)
     }
 
-    /// Runs the noisy rumor spreading instance on the chosen backend.
+    /// Runs the noisy rumor spreading instance on the chosen backend
+    /// ([`ExecutionBackend::Auto`] resolves per
+    /// [`ExecutionBackend::resolve`]).
     ///
     /// # Errors
     ///
@@ -197,20 +301,24 @@ impl TwoStageProtocol {
                 num_opinions: self.params.num_opinions(),
             });
         }
-        match backend {
-            ExecutionBackend::Agent => {
-                let mut net = self.build_network()?;
-                let mut rng = self.protocol_rng();
-                let source = rng.gen_range(0..self.params.num_nodes());
-                net.seed_rumor(source, source_opinion)?;
-                Ok(self.execute(net, rng, source_opinion))
-            }
-            ExecutionBackend::Counting => {
-                let mut net = self.build_counting_network()?;
-                net.seed_rumor(source_opinion)?;
-                Ok(self.execute_counting(net, source_opinion))
-            }
-        }
+        self.dispatch(
+            backend,
+            |net| self.run_rumor_spreading_generic(net, source_opinion),
+            |net| self.run_rumor_spreading_generic(net, source_opinion),
+        )
+    }
+
+    /// Seeds and runs a rumor-spreading instance on an already-built
+    /// backend network.
+    fn run_rumor_spreading_generic<B: PushBackend>(
+        &self,
+        mut net: B,
+        source_opinion: Opinion,
+    ) -> Result<Outcome, ProtocolError> {
+        let mut rng = self.protocol_rng();
+        let source = rng.gen_range(0..self.params.num_nodes());
+        net.seed_rumor_at(source, source_opinion)?;
+        Ok(self.execute(net, rng, source_opinion))
     }
 
     /// Runs the noisy **plurality consensus** instance: for every opinion
@@ -231,7 +339,9 @@ impl TwoStageProtocol {
         self.run_plurality_consensus_on(ExecutionBackend::Agent, initial_counts)
     }
 
-    /// Runs the noisy plurality consensus instance on the chosen backend.
+    /// Runs the noisy plurality consensus instance on the chosen backend
+    /// ([`ExecutionBackend::Auto`] resolves per
+    /// [`ExecutionBackend::resolve`]).
     ///
     /// # Errors
     ///
@@ -241,6 +351,109 @@ impl TwoStageProtocol {
         backend: ExecutionBackend,
         initial_counts: &[usize],
     ) -> Result<Outcome, ProtocolError> {
+        let reference = self.validate_initial_counts(initial_counts)?;
+        self.dispatch(
+            backend,
+            |net| self.run_plurality_generic(net, initial_counts, reference),
+            |net| self.run_plurality_generic(net, initial_counts, reference),
+        )
+    }
+
+    /// Seeds and runs a plurality-consensus instance on an already-built
+    /// backend network.
+    fn run_plurality_generic<B: PushBackend>(
+        &self,
+        mut net: B,
+        initial_counts: &[usize],
+        reference: Opinion,
+    ) -> Result<Outcome, ProtocolError> {
+        let rng = self.protocol_rng();
+        net.seed_counts(initial_counts)?;
+        Ok(self.execute(net, rng, reference))
+    }
+
+    /// Runs only Stage 2 on an explicitly seeded network. This is the
+    /// "majority consensus subroutine" view of the protocol and is used by
+    /// the Appendix D experiment (F7), where Stage 1 is deliberately
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadInitialCounts`] under the same conditions
+    /// as [`run_plurality_consensus`](Self::run_plurality_consensus).
+    pub fn run_stage2_only(&self, initial_counts: &[usize]) -> Result<Outcome, ProtocolError> {
+        self.run_stage2_only_on(ExecutionBackend::Agent, initial_counts)
+    }
+
+    /// Runs only Stage 2 on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_stage2_only`](Self::run_stage2_only).
+    pub fn run_stage2_only_on(
+        &self,
+        backend: ExecutionBackend,
+        initial_counts: &[usize],
+    ) -> Result<Outcome, ProtocolError> {
+        let reference = self.validate_initial_counts(initial_counts)?;
+        self.dispatch(
+            backend,
+            |net| self.run_stage2_generic(net, initial_counts, reference),
+            |net| self.run_stage2_generic(net, initial_counts, reference),
+        )
+    }
+
+    /// Resolves `backend` and runs the matching continuation on a freshly
+    /// built network of the chosen kind — the single place the
+    /// `ExecutionBackend` enum is matched on. Each continuation is usually
+    /// the same generic function, monomorphized per backend; a future
+    /// third backend adds one arm here instead of one per entry point.
+    fn dispatch<T>(
+        &self,
+        backend: ExecutionBackend,
+        agent: impl FnOnce(Network) -> Result<T, ProtocolError>,
+        counting: impl FnOnce(CountingNetwork) -> Result<T, ProtocolError>,
+    ) -> Result<T, ProtocolError> {
+        match self.resolve(backend) {
+            ExecutionBackend::Agent => agent(self.build_network()?),
+            ExecutionBackend::Counting => counting(self.build_counting_network()?),
+            ExecutionBackend::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
+
+    fn run_stage2_generic<B: PushBackend>(
+        &self,
+        mut net: B,
+        initial_counts: &[usize],
+        reference: Opinion,
+    ) -> Result<Outcome, ProtocolError> {
+        let mut rng = self.protocol_rng();
+        net.seed_counts(initial_counts)?;
+        let schedule = self.params.schedule();
+        let mut meter = MemoryMeter::new(self.params.num_opinions());
+        let records = stage2::run(
+            &mut net,
+            schedule.stage2_sample_sizes(),
+            reference,
+            &mut rng,
+            &mut meter,
+        );
+        Ok(self.outcome_from(net, records, meter, reference))
+    }
+
+    /// Resolves an [`ExecutionBackend`] request against this protocol's
+    /// parameters (see [`ExecutionBackend::resolve`]).
+    pub fn resolve(&self, backend: ExecutionBackend) -> ExecutionBackend {
+        backend.resolve(
+            self.params.num_nodes(),
+            self.params.num_opinions(),
+            self.params.delivery(),
+        )
+    }
+
+    /// Validates plurality-instance initial counts and returns the unique
+    /// plurality opinion (the run's reference).
+    fn validate_initial_counts(&self, initial_counts: &[usize]) -> Result<Opinion, ProtocolError> {
         let k = self.params.num_opinions();
         let n = self.params.num_nodes();
         if initial_counts.len() != k {
@@ -266,66 +479,7 @@ impl TwoStageProtocol {
                 reason: "the plurality opinion must be unique".to_string(),
             });
         }
-        let reference = Opinion::new(plurality[0]);
-
-        match backend {
-            ExecutionBackend::Agent => {
-                let mut net = self.build_network()?;
-                let rng = self.protocol_rng();
-                net.seed_counts(initial_counts)?;
-                Ok(self.execute(net, rng, reference))
-            }
-            ExecutionBackend::Counting => {
-                let mut net = self.build_counting_network()?;
-                net.seed_counts(initial_counts)?;
-                Ok(self.execute_counting(net, reference))
-            }
-        }
-    }
-
-    /// Runs only Stage 2 on an explicitly seeded network. This is the
-    /// "majority consensus subroutine" view of the protocol and is used by
-    /// the Appendix D experiment (F7), where Stage 1 is deliberately
-    /// skipped.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProtocolError::BadInitialCounts`] under the same conditions
-    /// as [`run_plurality_consensus`](Self::run_plurality_consensus).
-    pub fn run_stage2_only(&self, initial_counts: &[usize]) -> Result<Outcome, ProtocolError> {
-        let k = self.params.num_opinions();
-        if initial_counts.len() != k {
-            return Err(ProtocolError::BadInitialCounts {
-                reason: format!("expected {k} counts, got {}", initial_counts.len()),
-            });
-        }
-        let max = initial_counts.iter().max().copied().unwrap_or(0);
-        if max == 0 {
-            return Err(ProtocolError::BadInitialCounts {
-                reason: "at least one node must hold an opinion".to_string(),
-            });
-        }
-        let plurality: Vec<usize> = (0..k).filter(|&i| initial_counts[i] == max).collect();
-        if plurality.len() != 1 {
-            return Err(ProtocolError::BadInitialCounts {
-                reason: "the plurality opinion must be unique".to_string(),
-            });
-        }
-        let reference = Opinion::new(plurality[0]);
-        let mut net = self.build_network()?;
-        let mut rng = self.protocol_rng();
-        net.seed_counts(initial_counts)?;
-
-        let schedule = self.params.schedule();
-        let mut meter = MemoryMeter::new(k);
-        let records = stage2::run(
-            &mut net,
-            schedule.stage2_sample_sizes(),
-            reference,
-            &mut rng,
-            &mut meter,
-        );
-        Ok(self.outcome_from(net, records, meter, reference))
+        Ok(Opinion::new(plurality[0]))
     }
 
     /// Builds the simulation network for one run.
@@ -353,8 +507,9 @@ impl TwoStageProtocol {
         StdRng::seed_from_u64(self.params.seed().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66)
     }
 
-    /// Runs both stages on an already-seeded network.
-    fn execute(&self, mut net: Network, mut rng: StdRng, reference: Opinion) -> Outcome {
+    /// Runs both stages on an already-seeded network — the single generic
+    /// execution path shared by every backend.
+    fn execute<B: PushBackend>(&self, mut net: B, mut rng: StdRng, reference: Opinion) -> Outcome {
         let schedule = self.params.schedule();
         let mut meter = MemoryMeter::new(self.params.num_opinions());
         let mut records = stage1::run(
@@ -374,35 +529,9 @@ impl TwoStageProtocol {
         self.outcome_from(net, records, meter, reference)
     }
 
-    /// Runs both stages on an already-seeded counting network.
-    fn execute_counting(&self, mut net: CountingNetwork, reference: Opinion) -> Outcome {
-        let schedule = self.params.schedule();
-        let mut meter = MemoryMeter::new(self.params.num_opinions());
-        let mut records = stage1::run_counting(
-            &mut net,
-            schedule.stage1_phase_lengths(),
-            reference,
-            &mut meter,
-        );
-        records.extend(stage2::run_counting(
-            &mut net,
-            schedule.stage2_sample_sizes(),
-            reference,
-            &mut meter,
-        ));
-        Outcome {
-            correct_opinion: reference,
-            final_distribution: net.distribution(),
-            rounds: net.rounds_executed(),
-            messages: net.messages_sent(),
-            phase_records: records,
-            memory: meter,
-        }
-    }
-
-    fn outcome_from(
+    fn outcome_from<B: PushBackend>(
         &self,
-        net: Network,
+        net: B,
         records: Vec<PhaseRecord>,
         memory: MemoryMeter,
         reference: Opinion,
@@ -594,6 +723,115 @@ mod tests {
         let b = make();
         assert_eq!(a.final_distribution(), b.final_distribution());
         assert_eq!(a.bias_trajectory(), b.bias_trajectory());
+    }
+
+    #[test]
+    fn auto_selects_agent_for_small_exact_runs_and_counting_at_scale() {
+        use pushsim::DeliverySemantics::{BallsIntoBins, Exact, Poissonized};
+        // The acceptance criteria of the backend-selection policy: exact
+        // process O stays agent-level at n = 10³, goes count-based at 10⁷.
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(1_000, 3, Exact),
+            ExecutionBackend::Agent
+        );
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact),
+            ExecutionBackend::Counting
+        );
+        // Process B follows the same exactness rule.
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins),
+            ExecutionBackend::Agent
+        );
+        // Process P is native to the counting backend: the cost model picks
+        // counting as soon as n·k message work exceeds k² draw work.
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized),
+            ExecutionBackend::Counting
+        );
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(30, 3, Poissonized),
+            ExecutionBackend::Agent
+        );
+        // Explicit requests are never overridden.
+        assert_eq!(
+            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact),
+            ExecutionBackend::Agent
+        );
+        assert_eq!(
+            ExecutionBackend::Counting.resolve(10, 2, Exact),
+            ExecutionBackend::Counting
+        );
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!("agent".parse(), Ok(ExecutionBackend::Agent));
+        assert_eq!("Counting".parse(), Ok(ExecutionBackend::Counting));
+        assert_eq!("AUTO".parse(), Ok(ExecutionBackend::Auto));
+        assert!("gpu".parse::<ExecutionBackend>().is_err());
+    }
+
+    #[test]
+    fn auto_matches_the_backend_it_delegates_to_bit_for_bit() {
+        // Auto is a front door, not a third execution path: at a fixed seed
+        // its outcome must be identical to running the resolved backend
+        // explicitly — on both sides of the policy boundary.
+        let eps = 0.35;
+        // Small exact run: Auto resolves to Agent.
+        let params = ProtocolParams::builder(500, 3)
+            .epsilon(eps)
+            .seed(33)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(3, eps)).unwrap();
+        assert_eq!(
+            protocol.resolve(ExecutionBackend::Auto),
+            ExecutionBackend::Agent
+        );
+        let auto = protocol
+            .run_plurality_consensus_on(ExecutionBackend::Auto, &[200, 150, 100])
+            .unwrap();
+        let agent = protocol
+            .run_plurality_consensus_on(ExecutionBackend::Agent, &[200, 150, 100])
+            .unwrap();
+        assert_eq!(auto, agent);
+
+        // Poissonized run: Auto resolves to Counting.
+        let params = ProtocolParams::builder(5_000, 3)
+            .epsilon(eps)
+            .seed(34)
+            .delivery(pushsim::DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(3, eps)).unwrap();
+        assert_eq!(
+            protocol.resolve(ExecutionBackend::Auto),
+            ExecutionBackend::Counting
+        );
+        let auto = protocol
+            .run_rumor_spreading_on(ExecutionBackend::Auto, Opinion::new(1))
+            .unwrap();
+        let counting = protocol
+            .run_rumor_spreading_on(ExecutionBackend::Counting, Opinion::new(1))
+            .unwrap();
+        assert_eq!(auto, counting);
+    }
+
+    #[test]
+    fn stage2_only_runs_on_the_counting_backend_too() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(500, 2)
+            .epsilon(eps)
+            .seed(21)
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(2, eps)).unwrap();
+        let outcome = protocol
+            .run_stage2_only_on(ExecutionBackend::Counting, &[300, 200])
+            .unwrap();
+        assert!(outcome.succeeded(), "final: {}", outcome.final_distribution());
+        assert_eq!(outcome.final_distribution().num_nodes(), 500);
     }
 
     #[test]

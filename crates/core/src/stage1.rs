@@ -18,21 +18,29 @@
 //! multiplies by roughly `β/ε² + 1` per middle phase (Claims 2 and 3) while
 //! the bias towards the correct opinion degrades by at most a factor `ε/2`
 //! per phase (Lemma 7), ending at `Ω(√(log n / n))` (Lemma 4).
+//!
+//! The stage is **backend-generic**: it drives any
+//! [`PushBackend`] through the shared phase lifecycle
+//! (`begin_phase` → opinionated pushes → `end_phase` →
+//! `resolve_uniform_adoption` over the undecided agents). Opinions never
+//! change mid-phase — adoption happens strictly after `end_phase` — so
+//! pushing the live state each round is exactly the paper's
+//! "push the opinion held at the beginning of the phase" rule.
 
 use crate::memory::MemoryMeter;
 use crate::record::{PhaseRecord, StageId};
-use pushsim::{CountingNetwork, Network, Opinion};
+use pushsim::{AdoptionScope, Opinion, PhaseObservation, PushBackend};
 use rand::rngs::StdRng;
 
-/// Runs all Stage 1 phases on `net`.
+/// Runs all Stage 1 phases on `net` (any [`PushBackend`]).
 ///
 /// `phase_lengths` is the Stage 1 schedule (in rounds), `reference` is the
 /// correct opinion used for bias bookkeeping, `rng` drives the agents'
-/// random choices, and `meter` accumulates memory-footprint statistics.
+/// adoption choices, and `meter` accumulates memory-footprint statistics.
 ///
 /// Returns one [`PhaseRecord`] per phase.
-pub(crate) fn run(
-    net: &mut Network,
+pub(crate) fn run<B: PushBackend>(
+    net: &mut B,
     phase_lengths: &[u64],
     reference: Opinion,
     rng: &mut StdRng,
@@ -40,85 +48,18 @@ pub(crate) fn run(
 ) -> Vec<PhaseRecord> {
     let mut records = Vec::with_capacity(phase_lengths.len());
     for (phase_index, &length) in phase_lengths.iter().enumerate() {
-        // Opinions as of the beginning of the phase: only these are pushed,
-        // and only agents undecided *now* may adopt at the end of the phase.
-        let snapshot: Vec<Option<Opinion>> =
-            net.states().iter().map(|s| s.opinion()).collect();
-
-        let num_nodes = net.num_nodes();
         net.begin_phase();
         let mut messages = 0u64;
         for _ in 0..length {
-            let report = net.push_round(|node, _state| snapshot[node]);
-            messages += report.messages_sent();
-        }
-        let inboxes = net.end_phase();
-
-        // Decide adoptions while the inboxes are borrowed, apply afterwards.
-        let mut adoptions: Vec<(usize, Opinion)> = Vec::new();
-        let mut max_received = 0u64;
-        for (node, snap) in snapshot.iter().enumerate().take(num_nodes) {
-            let received = u64::from(inboxes.received_total(node));
-            max_received = max_received.max(received);
-            if snap.is_none() && received > 0 {
-                if let Some(opinion) = inboxes.sample_one(node, rng) {
-                    adoptions.push((node, opinion));
-                }
-            }
-        }
-        for (node, opinion) in adoptions {
-            net.set_opinion(node, Some(opinion));
-        }
-
-        meter.record_counter(max_received);
-        meter.record_phase();
-        records.push(PhaseRecord::new(
-            StageId::One,
-            phase_index,
-            length,
-            messages,
-            net.distribution(),
-            reference,
-        ));
-    }
-    records
-}
-
-/// Runs all Stage 1 phases on a count-based network — O(k²) random draws
-/// per phase instead of O(n · rounds).
-///
-/// Semantically this is Stage 1 under the Poissonized process P: every
-/// agent opinionated at the beginning of a phase pushes in every round of
-/// the phase; at the end, each undecided agent independently receives a
-/// `Poisson(Λ)`-sized inbox and, if non-empty, adopts a uniformly drawn
-/// message — which at the count level is one binomial (who received
-/// anything) plus one multinomial (which opinion they drew, by Poisson
-/// splitting). The adoption randomness comes from the network's own RNG.
-pub(crate) fn run_counting(
-    net: &mut CountingNetwork,
-    phase_lengths: &[u64],
-    reference: Opinion,
-    meter: &mut MemoryMeter,
-) -> Vec<PhaseRecord> {
-    let k = net.num_opinions();
-    let mut records = Vec::with_capacity(phase_lengths.len());
-    for (phase_index, &length) in phase_lengths.iter().enumerate() {
-        // Only opinions held at the beginning of the phase are pushed;
-        // adopters join the senders from the next phase on.
-        let snapshot = net.counts().to_vec();
-        net.begin_phase();
-        let mut messages = 0u64;
-        for _ in 0..length {
-            messages += net.push_round_batched(&snapshot).messages_sent();
+            messages += net.push_opinionated_round().messages_sent();
         }
         net.end_phase();
 
-        let undecided = net.undecided();
-        let (adoptions, _silent) = net.sample_one_adoptions(undecided);
-        let adopted: u64 = adoptions.iter().sum();
-        net.apply_deltas(&vec![0; k], &adoptions, -(adopted as i64));
+        // Undecided agents that received at least one message adopt one
+        // uniformly random received opinion; they push from the next phase.
+        net.resolve_uniform_adoption(AdoptionScope::UndecidedOnly, rng);
 
-        meter.record_counter(net.tally().typical_max_inbox());
+        meter.record_counter(net.observation().max_inbox());
         meter.record_phase();
         records.push(PhaseRecord::new(
             StageId::One,
@@ -137,7 +78,9 @@ mod tests {
     use super::*;
     use crate::params::ProtocolParams;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{DeliverySemantics, NodeState, OpinionDistribution, SimConfig};
+    use pushsim::{
+        CountingNetwork, DeliverySemantics, Network, NodeState, OpinionDistribution, SimConfig,
+    };
     use rand::SeedableRng;
 
     fn network(n: usize, k: usize, eps: f64, seed: u64) -> Network {
@@ -230,6 +173,8 @@ mod tests {
 
     #[test]
     fn counting_stage1_activates_every_node_from_a_single_source() {
+        // The *same* generic run path, instantiated with the counting
+        // backend instead of the agent-level one.
         let n = 400;
         let eps = 0.3;
         let params = ProtocolParams::builder(n, 3).epsilon(eps).build().unwrap();
@@ -242,11 +187,13 @@ mod tests {
             .unwrap();
         let mut net = CountingNetwork::new(config, noise).unwrap();
         net.seed_rumor(Opinion::new(1)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
         let mut meter = MemoryMeter::new(3);
-        let records = run_counting(
+        let records = run(
             &mut net,
             schedule.stage1_phase_lengths(),
             Opinion::new(1),
+            &mut rng,
             &mut meter,
         );
         assert_eq!(records.len(), schedule.stage1_phases());

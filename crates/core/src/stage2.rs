@@ -13,13 +13,20 @@
 //! is (ε, δ)-majority-preserving), so after `T′ = ⌈log(√n / log n)⌉` phases
 //! the bias exceeds 1/2 and the final long phase completes the convergence
 //! (Lemma 12).
+//!
+//! Like Stage 1, the stage is **backend-generic**: the sample-majority
+//! decision operator is [`PushBackend::resolve_sample_majority`], which the
+//! agent-level backend implements per agent (a multivariate-hypergeometric
+//! draw from the inbox) and the counting backend implements with the
+//! count-level closed forms of process P (a binomial threshold event plus
+//! `maj(Multinomial(L, h/H))` splits — see `pushsim::counting`).
 
 use crate::memory::MemoryMeter;
 use crate::record::{PhaseRecord, StageId};
-use pushsim::{CountingNetwork, Inboxes, Network, Opinion};
+use pushsim::{Opinion, PhaseObservation, PushBackend};
 use rand::rngs::StdRng;
 
-/// Runs all Stage 2 phases on `net`.
+/// Runs all Stage 2 phases on `net` (any [`PushBackend`]).
 ///
 /// `sample_sizes` lists the per-phase sample sizes `L` (each phase lasts
 /// `2L` rounds), `reference` is the plurality opinion used for bias
@@ -27,97 +34,11 @@ use rand::rngs::StdRng;
 /// accumulates memory statistics.
 ///
 /// Returns one [`PhaseRecord`] per phase.
-pub(crate) fn run(
-    net: &mut Network,
+pub(crate) fn run<B: PushBackend>(
+    net: &mut B,
     sample_sizes: &[u64],
     reference: Opinion,
     rng: &mut StdRng,
-    meter: &mut MemoryMeter,
-) -> Vec<PhaseRecord> {
-    let mut records = Vec::with_capacity(sample_sizes.len());
-    for (phase_index, &sample_size) in sample_sizes.iter().enumerate() {
-        let rounds = 2 * sample_size;
-        let num_nodes = net.num_nodes();
-        net.begin_phase();
-        let mut messages = 0u64;
-        for _ in 0..rounds {
-            // Unlike Stage 1, opinions do not change in the middle of a
-            // phase, so pushing the live state is equivalent to pushing a
-            // snapshot taken at the beginning of the phase.
-            let report = net.push_round(|_, state| state.opinion());
-            messages += report.messages_sent();
-        }
-        let inboxes = net.end_phase();
-
-        let switches = decide_switches(inboxes, num_nodes, sample_size, rng, meter);
-        for (node, opinion) in switches {
-            net.set_opinion(node, Some(opinion));
-        }
-
-        meter.record_sample_size(sample_size);
-        meter.record_phase();
-        records.push(PhaseRecord::new(
-            StageId::Two,
-            phase_index,
-            rounds,
-            messages,
-            net.distribution(),
-            reference,
-        ));
-    }
-    records
-}
-
-/// Applies the Stage 2 rule to every agent: agents that received at least
-/// `sample_size` messages sample that many without replacement and adopt the
-/// sample majority.
-fn decide_switches(
-    inboxes: &Inboxes,
-    num_nodes: usize,
-    sample_size: u64,
-    rng: &mut StdRng,
-    meter: &mut MemoryMeter,
-) -> Vec<(usize, Opinion)> {
-    let sample_size_u32 = u32::try_from(sample_size).unwrap_or(u32::MAX);
-    let mut switches = Vec::new();
-    let mut max_received = 0u64;
-    for node in 0..num_nodes {
-        let received = u64::from(inboxes.received_total(node));
-        max_received = max_received.max(received);
-        if received < sample_size {
-            continue;
-        }
-        let sample = inboxes
-            .sample_without_replacement(node, sample_size_u32, rng)
-            .expect("received_total >= sample_size");
-        if let Some(opinion) = Inboxes::majority_of_counts(&sample, rng) {
-            switches.push((node, opinion));
-        }
-    }
-    meter.record_counter(max_received);
-    switches
-}
-
-/// Runs all Stage 2 phases on a count-based network — O(k²) random draws
-/// plus one bounded majority-sampling pass per phase, independent of `n`.
-///
-/// Count-level form of the Stage 2 rule under process P: an agent's phase
-/// inbox is `Poisson(Λ)`-sized with multinomial composition `h / H`, so
-///
-/// * the number of agents (in any group) collecting at least `L` messages
-///   is `Binomial(group, P(Poisson(Λ) ≥ L))` — the threshold event is
-///   independent of the agent's current opinion;
-/// * a uniform without-replacement sample of `L` messages from such an
-///   inbox has composition `Multinomial(L, h / H)` (subsampling a
-///   multinomial), so every switching agent adopts
-///   `maj(Multinomial(L, h/H))` iid.
-///
-/// The update itself is [`CountingNetwork::apply_sample_majority`], shared
-/// with the h-majority dynamics.
-pub(crate) fn run_counting(
-    net: &mut CountingNetwork,
-    sample_sizes: &[u64],
-    reference: Opinion,
     meter: &mut MemoryMeter,
 ) -> Vec<PhaseRecord> {
     let mut records = Vec::with_capacity(sample_sizes.len());
@@ -127,14 +48,14 @@ pub(crate) fn run_counting(
         let mut messages = 0u64;
         for _ in 0..rounds {
             // Opinions do not change in the middle of a phase, so pushing
-            // the live counts every round matches the agent-level rule.
-            messages += net.push_round_all_opinionated().messages_sent();
+            // the live state every round matches the paper's rule.
+            messages += net.push_opinionated_round().messages_sent();
         }
         net.end_phase();
-        net.apply_sample_majority(sample_size);
+        net.resolve_sample_majority(sample_size, rng);
 
         meter.record_sample_size(sample_size);
-        meter.record_counter(net.tally().typical_max_inbox());
+        meter.record_counter(net.observation().max_inbox());
         meter.record_phase();
         records.push(PhaseRecord::new(
             StageId::Two,
@@ -152,7 +73,9 @@ pub(crate) fn run_counting(
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{DeliverySemantics, OpinionDistribution, SimConfig};
+    use pushsim::{
+        CountingNetwork, DeliverySemantics, Network, OpinionDistribution, SimConfig,
+    };
     use rand::SeedableRng;
 
     fn network(n: usize, k: usize, eps: f64, seed: u64) -> Network {
@@ -213,6 +136,8 @@ mod tests {
 
     #[test]
     fn counting_stage2_amplifies_an_initial_bias_to_consensus() {
+        // The *same* generic run path, instantiated with the counting
+        // backend.
         let n = 600;
         let eps = 0.35;
         let noise = NoiseMatrix::uniform(3, eps).unwrap();
@@ -223,11 +148,12 @@ mod tests {
             .unwrap();
         let mut net = CountingNetwork::new(config, noise).unwrap();
         net.seed_counts(&[240, 180, 180]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
         let mut meter = MemoryMeter::new(3);
         let ell = 61;
         let ell_final = 201;
         let sizes = vec![ell, ell, ell, ell, ell_final];
-        let records = run_counting(&mut net, &sizes, Opinion::new(0), &mut meter);
+        let records = run(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(records.len(), sizes.len());
         let final_dist = net.distribution();
         assert!(
@@ -252,8 +178,9 @@ mod tests {
         let mut net = CountingNetwork::new(config, noise).unwrap();
         net.seed_counts(&[2, 1]).unwrap();
         let before = net.distribution();
+        let mut rng = StdRng::seed_from_u64(13);
         let mut meter = MemoryMeter::new(2);
-        run_counting(&mut net, &[1001], Opinion::new(0), &mut meter);
+        run(&mut net, &[1001], Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(net.distribution().counts(), before.counts());
     }
 

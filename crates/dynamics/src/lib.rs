@@ -18,10 +18,23 @@
 //! Natale; running them under the same noise matrix shows where simple
 //! dynamics break down and how much the two-stage protocol buys.
 //!
-//! All dynamics implement the [`Dynamics`] trait: one [`step`](Dynamics::step)
-//! is a full synchronous round (every opinionated agent pushes, then every
-//! agent applies the update rule to the messages it received), and
-//! [`run`](Dynamics::run) iterates until consensus or a round limit.
+//! All dynamics implement the **backend-generic** [`Dynamics`] trait: each
+//! rule is written once against [`pushsim::PushBackend`] and runs unchanged
+//! on the agent-level [`Network`] *and* the count-based
+//! [`CountingNetwork`](pushsim::CountingNetwork) (O(k²) random draws per
+//! step, independent of the population size). One
+//! [`step`](Dynamics::step) is a full synchronous update (every opinionated
+//! agent pushes, then every agent applies the rule to the messages it
+//! received), and [`run`](Dynamics::run) iterates until consensus or a
+//! round limit.
+//!
+//! The per-backend mechanics live in the backend's decision operators
+//! (`resolve_*` on [`pushsim::PushBackend`]): per-agent inbox sampling on
+//! the agent backend, closed count-level forms of process P on the counting
+//! backend. The count-level forms are exact for the voter, undecided-state
+//! and h-majority rules; the median rule's two same-inbox draws are
+//! mean-field approximated (see
+//! [`resolve_median`](pushsim::PushBackend::resolve_median)).
 //!
 //! # Example
 //!
@@ -47,50 +60,81 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same dynamics on the counting backend at a population the agent
+//! backend could not touch:
+//!
+//! ```
+//! use noisy_channel::NoiseMatrix;
+//! use opinion_dynamics::{Dynamics, ThreeMajority};
+//! use pushsim::{CountingNetwork, DeliverySemantics, SimConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let noise = NoiseMatrix::uniform(2, 0.4)?;
+//! let config = SimConfig::builder(1_000_000, 2)
+//!     .seed(1)
+//!     .delivery(DeliverySemantics::Poissonized)
+//!     .build()?;
+//! let mut net = CountingNetwork::new(config, noise)?;
+//! net.seed_counts(&[700_000, 300_000])?;
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let outcome = ThreeMajority::new().run(&mut net, &mut rng, 600);
+//! let share = outcome.final_distribution().counts()[0] as f64 / 1e6;
+//! assert!(share > 0.9);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod counting;
 mod majority;
 mod median;
 mod outcome;
 mod undecided;
 mod voter;
 
-pub use counting::CountingDynamics;
 pub use majority::{HMajority, ThreeMajority};
 pub use median::MedianRule;
 pub use outcome::DynamicsOutcome;
 pub use undecided::UndecidedState;
 pub use voter::Voter;
 
-use pushsim::Network;
+use pushsim::{Network, PushBackend};
 use rand::rngs::StdRng;
 
-/// A synchronous opinion dynamics over the noisy uniform push model.
+/// A synchronous opinion dynamics over the noisy uniform push model,
+/// generic over the simulation backend.
 ///
-/// Implementors define what an agent does with the multiset of messages it
-/// received in one round; the provided [`run`](Dynamics::run) method iterates
-/// rounds until consensus or a limit.
-pub trait Dynamics {
+/// Implementors define one update step in terms of the backend's phase
+/// lifecycle and decision operators; the provided [`run`](Dynamics::run)
+/// method iterates steps until consensus or a limit. The default backend
+/// parameter keeps `Box<dyn Dynamics>` meaning "a dynamics over the
+/// agent-level [`Network`]".
+pub trait Dynamics<B: PushBackend = Network> {
     /// A short human-readable name for tables and plots.
     fn name(&self) -> &'static str;
 
-    /// Executes one synchronous round: every opinionated agent pushes its
+    /// Executes one synchronous update: every opinionated agent pushes its
     /// opinion, messages are delivered through the noisy channel, and every
     /// agent applies the dynamics' update rule to its received multiset.
-    fn step(&mut self, net: &mut Network, rng: &mut StdRng);
+    /// Decision randomness comes from `rng` (delivery randomness from the
+    /// backend's own RNG).
+    fn step(&mut self, net: &mut B, rng: &mut StdRng);
 
     /// Runs the dynamics until the network reaches consensus or at least
     /// `max_rounds` rounds have been executed, whichever comes first (a step
     /// that was already in progress when the limit is hit is finished, so
     /// the actual round count can exceed `max_rounds` by one step).
-    fn run(&mut self, net: &mut Network, rng: &mut StdRng, max_rounds: u64) -> DynamicsOutcome {
+    ///
+    /// The consensus poll uses [`PushBackend::is_consensus`], which is O(k)
+    /// on both backends — it never rescans the population.
+    fn run(&mut self, net: &mut B, rng: &mut StdRng, max_rounds: u64) -> DynamicsOutcome {
         let start_rounds = net.rounds_executed();
         let start_messages = net.messages_sent();
         while net.rounds_executed() - start_rounds < max_rounds {
-            if net.distribution().is_consensus() {
+            if net.is_consensus() {
                 break;
             }
             self.step(net, rng);
@@ -105,29 +149,19 @@ pub trait Dynamics {
     }
 }
 
-/// Helper shared by the concrete dynamics: runs one push round where every
-/// opinionated agent pushes its current opinion, finishes the phase, and
-/// hands the received multisets plus the node count to `update`, which
-/// returns the list of state changes to apply.
-pub(crate) fn push_and_update<F>(net: &mut Network, update: F)
-where
-    F: FnOnce(&pushsim::Inboxes, usize) -> Vec<(usize, Option<pushsim::Opinion>)>,
-{
-    let num_nodes = net.num_nodes();
+/// Helper shared by the single-round dynamics: one phase of exactly one
+/// push round, ready for a `resolve_*` decision operator.
+pub(crate) fn one_round_phase<B: PushBackend>(net: &mut B) {
     net.begin_phase();
-    net.push_round(|_, state| state.opinion());
-    let inboxes = net.end_phase();
-    let changes = update(inboxes, num_nodes);
-    for (node, opinion) in changes {
-        net.set_opinion(node, opinion);
-    }
+    net.push_opinionated_round();
+    net.end_phase();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{Opinion, SimConfig};
+    use pushsim::{CountingNetwork, DeliverySemantics, Opinion, SimConfig};
     use rand::SeedableRng;
 
     fn biased_network(seed: u64) -> Network {
@@ -172,6 +206,39 @@ mod tests {
                     dyn_.name()
                 );
             }
+        }
+    }
+
+    /// The same trait objects, boxed over the *counting* backend: every
+    /// rule is one generic implementation, so the whole baseline suite also
+    /// runs count-based.
+    #[test]
+    fn all_dynamics_run_on_the_counting_backend() {
+        let dynamics: Vec<Box<dyn Dynamics<CountingNetwork>>> = vec![
+            Box::new(Voter::new()),
+            Box::new(ThreeMajority::new()),
+            Box::new(HMajority::new(5)),
+            Box::new(UndecidedState::new()),
+            Box::new(MedianRule::new()),
+        ];
+        for (i, mut dyn_) in dynamics.into_iter().enumerate() {
+            let noise = NoiseMatrix::uniform(2, 0.3).unwrap();
+            let config = SimConfig::builder(50_000, 2)
+                .seed(70 + i as u64)
+                .delivery(DeliverySemantics::Poissonized)
+                .build()
+                .unwrap();
+            let mut net = CountingNetwork::new(config, noise).unwrap();
+            net.seed_counts(&[35_000, 15_000]).unwrap();
+            let mut rng = StdRng::seed_from_u64(170 + i as u64);
+            let outcome = dyn_.run(&mut net, &mut rng, 120);
+            let dist = outcome.final_distribution();
+            assert_eq!(
+                dist.num_nodes(),
+                50_000,
+                "{} does not conserve the population: {dist}",
+                dyn_.name()
+            );
         }
     }
 
@@ -235,5 +302,30 @@ mod tests {
         let outcome = ThreeMajority::new().run(&mut net, &mut rng, 25);
         assert!(!outcome.converged());
         assert!(outcome.rounds() >= 25 && outcome.rounds() < 25 + 6);
+    }
+
+    #[test]
+    fn counting_run_stops_on_consensus_and_respects_the_limit() {
+        let make = |seed| {
+            let noise = NoiseMatrix::uniform(2, 0.3).unwrap();
+            let config = SimConfig::builder(1_000, 2)
+                .seed(seed)
+                .delivery(DeliverySemantics::Poissonized)
+                .build()
+                .unwrap();
+            CountingNetwork::new(config, noise).unwrap()
+        };
+        let mut net = make(5);
+        net.seed_counts(&[1_000, 0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(15);
+        let outcome = Voter::new().run(&mut net, &mut rng, 100);
+        assert!(outcome.converged());
+        assert_eq!(outcome.rounds(), 0);
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)));
+
+        let mut net = make(6);
+        let outcome = Voter::new().run(&mut net, &mut rng, 25);
+        assert!(!outcome.converged());
+        assert_eq!(outcome.rounds(), 25);
     }
 }

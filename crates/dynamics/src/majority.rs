@@ -1,7 +1,7 @@
 //! h-majority dynamics (and the classic 3-majority special case).
 
 use crate::Dynamics;
-use pushsim::{Inboxes, Network};
+use pushsim::PushBackend;
 use rand::rngs::StdRng;
 
 /// The **h-majority dynamics** adapted to the push model: one step is a
@@ -19,6 +19,10 @@ use rand::rngs::StdRng;
 /// the paper's own Stage 2 gathers its samples. For `h = 3` this is the
 /// 3-majority dynamics; larger `h` interpolates towards Stage 2 (which uses
 /// `ℓ = Θ(1/ε²)`).
+///
+/// The update is the backend's sample-majority decision operator
+/// ([`PushBackend::resolve_sample_majority`]) — the very same operator
+/// Stage 2 of the protocol uses, on either backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HMajority {
     h: u32,
@@ -39,40 +43,20 @@ impl HMajority {
     pub fn h(&self) -> u32 {
         self.h
     }
-
-    fn update_node(
-        &self,
-        inboxes: &Inboxes,
-        node: usize,
-        rng: &mut StdRng,
-    ) -> Option<pushsim::Opinion> {
-        let sample = inboxes.sample_without_replacement(node, self.h, rng)?;
-        Inboxes::majority_of_counts(&sample, rng)
-    }
 }
 
-impl Dynamics for HMajority {
+impl<B: PushBackend> Dynamics<B> for HMajority {
     fn name(&self) -> &'static str {
         "h-majority"
     }
 
-    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
-        let rounds = 2 * self.h;
-        let num_nodes = net.num_nodes();
+    fn step(&mut self, net: &mut B, rng: &mut StdRng) {
         net.begin_phase();
-        for _ in 0..rounds {
-            net.push_round(|_, state| state.opinion());
+        for _ in 0..2 * self.h {
+            net.push_opinionated_round();
         }
-        let inboxes = net.end_phase();
-        let mut changes = Vec::new();
-        for node in 0..num_nodes {
-            if let Some(opinion) = self.update_node(inboxes, node, rng) {
-                changes.push((node, Some(opinion)));
-            }
-        }
-        for (node, opinion) in changes {
-            net.set_opinion(node, opinion);
-        }
+        net.end_phase();
+        net.resolve_sample_majority(u64::from(self.h), rng);
     }
 }
 
@@ -91,12 +75,12 @@ impl ThreeMajority {
     }
 }
 
-impl Dynamics for ThreeMajority {
+impl<B: PushBackend> Dynamics<B> for ThreeMajority {
     fn name(&self) -> &'static str {
         "3-majority"
     }
 
-    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
+    fn step(&mut self, net: &mut B, rng: &mut StdRng) {
         HMajority::new(3).step(net, rng);
     }
 }
@@ -105,7 +89,7 @@ impl Dynamics for ThreeMajority {
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{Opinion, SimConfig};
+    use pushsim::{CountingNetwork, DeliverySemantics, Network, Opinion, SimConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -146,6 +130,26 @@ mod tests {
         // 3-majority converges in polylogarithmic time on easy instances:
         // it should be dramatically faster than the round limit.
         assert!(outcome.rounds() < 200, "took {} rounds", outcome.rounds());
+    }
+
+    #[test]
+    fn counting_majority_dynamics_amplify_a_plurality() {
+        // The same generic implementation, on the counting backend at a
+        // population size the agent backend could not sweep.
+        let noise = NoiseMatrix::uniform(2, 0.4).unwrap();
+        let config = SimConfig::builder(100_000, 2)
+            .seed(1)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[70_000, 30_000]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = ThreeMajority::new().run(&mut net, &mut rng, 600);
+        let dist = outcome.final_distribution();
+        let share = dist.counts()[0] as f64 / dist.num_nodes() as f64;
+        assert!(share > 0.9, "plurality share {share}: {dist}");
+        assert_eq!(dist.num_nodes(), 100_000, "population must be conserved");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The median rule of Doerr et al. (stabilizing consensus).
 
-use crate::{push_and_update, Dynamics};
-use pushsim::{Network, NodeState, Opinion};
+use crate::{one_round_phase, Dynamics};
+use pushsim::PushBackend;
 use rand::rngs::StdRng;
 
 /// The **median rule** \[15\]: opinions are treated as integers; in every
@@ -14,6 +14,10 @@ use rand::rngs::StdRng;
 /// round; under the paper's channel noise it converges to the median of the
 /// initial opinions rather than the plurality, which is exactly the
 /// behavioural difference experiment T1 illustrates.
+///
+/// On the counting backend the rule is mean-field approximated (the two
+/// draws are treated as independent categorical observations; see
+/// [`PushBackend::resolve_median`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MedianRule {
     _private: (),
@@ -26,33 +30,14 @@ impl MedianRule {
     }
 }
 
-impl Dynamics for MedianRule {
+impl<B: PushBackend> Dynamics<B> for MedianRule {
     fn name(&self) -> &'static str {
         "median"
     }
 
-    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
-        let states: Vec<NodeState> = net.states().to_vec();
-        push_and_update(net, |inboxes, _num_nodes| {
-            let mut changes = Vec::new();
-            for (node, state) in states.iter().enumerate() {
-                let Some(first) = inboxes.sample_one(node, rng) else {
-                    continue;
-                };
-                match *state {
-                    NodeState::Undecided => changes.push((node, Some(first))),
-                    NodeState::Opinionated(own) => {
-                        let second = inboxes
-                            .sample_one(node, rng)
-                            .expect("node has received at least one message");
-                        let mut triple = [own.index(), first.index(), second.index()];
-                        triple.sort_unstable();
-                        changes.push((node, Some(Opinion::new(triple[1]))));
-                    }
-                }
-            }
-            changes
-        });
+    fn step(&mut self, net: &mut B, rng: &mut StdRng) {
+        one_round_phase(net);
+        net.resolve_median(rng);
     }
 }
 
@@ -60,7 +45,7 @@ impl Dynamics for MedianRule {
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::SimConfig;
+    use pushsim::{CountingNetwork, DeliverySemantics, Network, Opinion, SimConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -89,6 +74,27 @@ mod tests {
         let outcome = MedianRule::new().run(&mut net, &mut rng, 2_000);
         assert!(outcome.converged());
         assert_eq!(outcome.winner(), Some(Opinion::new(1)));
+    }
+
+    #[test]
+    fn counting_median_moves_to_the_median_opinion() {
+        // The same generic implementation on the counting backend: opinion
+        // 0 holds the plurality but opinion 1 is the median of the initial
+        // multiset; under a noiseless channel the median rule should
+        // concentrate on 1.
+        let noise = NoiseMatrix::identity(3).unwrap();
+        let config = SimConfig::builder(90_000, 3)
+            .seed(4)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[40_000, 35_000, 15_000]).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let outcome = MedianRule::new().run(&mut net, &mut rng, 200);
+        let dist = outcome.final_distribution();
+        let share = dist.counts()[1] as f64 / dist.num_nodes() as f64;
+        assert!(share > 0.9, "median share {share}: {dist}");
     }
 
     #[test]

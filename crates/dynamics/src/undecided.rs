@@ -1,7 +1,7 @@
 //! The undecided-state dynamics.
 
-use crate::{push_and_update, Dynamics};
-use pushsim::{Network, NodeState};
+use crate::{one_round_phase, Dynamics};
+use pushsim::PushBackend;
 use rand::rngs::StdRng;
 
 /// The **undecided-state dynamics** \[5, 8\] adapted to the push setting:
@@ -30,29 +30,14 @@ impl UndecidedState {
     }
 }
 
-impl Dynamics for UndecidedState {
+impl<B: PushBackend> Dynamics<B> for UndecidedState {
     fn name(&self) -> &'static str {
         "undecided-state"
     }
 
-    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
-        let states: Vec<NodeState> = net.states().to_vec();
-        push_and_update(net, |inboxes, _num_nodes| {
-            let mut changes = Vec::new();
-            for (node, state) in states.iter().enumerate() {
-                let Some(message) = inboxes.sample_one(node, rng) else {
-                    continue;
-                };
-                match *state {
-                    NodeState::Undecided => changes.push((node, Some(message))),
-                    NodeState::Opinionated(own) if own != message => {
-                        changes.push((node, None));
-                    }
-                    NodeState::Opinionated(_) => {}
-                }
-            }
-            changes
-        });
+    fn step(&mut self, net: &mut B, rng: &mut StdRng) {
+        one_round_phase(net);
+        net.resolve_undecided_state(rng);
     }
 }
 
@@ -60,7 +45,7 @@ impl Dynamics for UndecidedState {
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{Opinion, SimConfig};
+    use pushsim::{CountingNetwork, DeliverySemantics, Network, Opinion, SimConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -89,6 +74,25 @@ mod tests {
         let mut dynamics = UndecidedState::new();
         dynamics.step(&mut net, &mut rng);
         assert!(net.distribution().undecided() > 0);
+    }
+
+    #[test]
+    fn counting_undecided_state_creates_undecided_under_disagreement() {
+        // The same generic implementation, on the counting backend.
+        let noise = NoiseMatrix::uniform(2, 0.45).unwrap();
+        let config = SimConfig::builder(10_000, 2)
+            .seed(3)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[5_000, 5_000]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut dynamics = UndecidedState::new();
+        dynamics.step(&mut net, &mut rng);
+        let dist = net.distribution();
+        assert!(dist.undecided() > 0, "balanced camps must produce undecided agents");
+        assert_eq!(dist.num_nodes(), 10_000);
     }
 
     #[test]

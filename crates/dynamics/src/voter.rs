@@ -1,7 +1,7 @@
 //! The voter model: adopt one uniformly random received opinion.
 
-use crate::{push_and_update, Dynamics};
-use pushsim::Network;
+use crate::{one_round_phase, Dynamics};
+use pushsim::{AdoptionScope, PushBackend};
 use rand::rngs::StdRng;
 
 /// The classic **voter model** adapted to the push setting: in every round
@@ -27,21 +27,14 @@ impl Voter {
     }
 }
 
-impl Dynamics for Voter {
+impl<B: PushBackend> Dynamics<B> for Voter {
     fn name(&self) -> &'static str {
         "voter"
     }
 
-    fn step(&mut self, net: &mut Network, rng: &mut StdRng) {
-        push_and_update(net, |inboxes, num_nodes| {
-            let mut changes = Vec::new();
-            for node in 0..num_nodes {
-                if let Some(opinion) = inboxes.sample_one(node, rng) {
-                    changes.push((node, Some(opinion)));
-                }
-            }
-            changes
-        });
+    fn step(&mut self, net: &mut B, rng: &mut StdRng) {
+        one_round_phase(net);
+        net.resolve_uniform_adoption(AdoptionScope::AllAgents, rng);
     }
 }
 
@@ -49,7 +42,7 @@ impl Dynamics for Voter {
 mod tests {
     use super::*;
     use noisy_channel::NoiseMatrix;
-    use pushsim::{Opinion, SimConfig};
+    use pushsim::{CountingNetwork, DeliverySemantics, Network, Opinion, SimConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -82,7 +75,28 @@ mod tests {
     }
 
     #[test]
+    fn counting_voter_conserves_population_and_recruits_undecided() {
+        // The same generic implementation, on the counting backend.
+        let noise = NoiseMatrix::uniform(3, 0.3).unwrap();
+        let config = SimConfig::builder(50_000, 3)
+            .seed(2)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut net = CountingNetwork::new(config, noise).unwrap();
+        net.seed_counts(&[20_000, 10_000, 5_000]).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut voter = Voter::new();
+        for _ in 0..30 {
+            voter.step(&mut net, &mut rng);
+        }
+        let dist = net.distribution();
+        assert_eq!(dist.num_nodes(), 50_000);
+        assert!(dist.undecided() < 15_000, "undecided should shrink: {dist}");
+    }
+
+    #[test]
     fn name_is_stable() {
-        assert_eq!(Voter::new().name(), "voter");
+        assert_eq!(Dynamics::<Network>::name(&Voter::new()), "voter");
     }
 }

@@ -30,8 +30,10 @@
 //!   without replacement from an inbox of size ≥ L has per-opinion counts
 //!   `Multinomial(L, h / Σh)` (subsampling a multinomial composition).
 //!
-//! For configurations with [`DeliverySemantics::Exact`] or
-//! [`DeliverySemantics::BallsIntoBins`], the counting backend still runs
+//! For configurations with
+//! [`DeliverySemantics::Exact`](crate::DeliverySemantics::Exact) or
+//! [`DeliverySemantics::BallsIntoBins`](crate::DeliverySemantics::BallsIntoBins),
+//! the counting backend still runs
 //! process P — the paper's Claim 1 and Lemma 3 are exactly the statement
 //! that phase-granular w.h.p. behaviour transfers between the three
 //! processes, and `pushsim/tests/equivalence.rs` checks the agreement
@@ -162,7 +164,7 @@ const MAJORITY_EXACT_CAP: u64 = 65_536;
 /// over the opinions: the count-level form of Stage 2's sample-majority
 /// adoption (and of h-majority dynamics).
 ///
-/// Up to [`MAJORITY_EXACT_CAP`] draws are sampled exactly (one multinomial
+/// Up to `MAJORITY_EXACT_CAP` (65 536) draws are sampled exactly (one multinomial
 /// composition + tie-broken argmax each). Beyond the cap, the remaining
 /// draws are split by a single multinomial over the empirical frequencies
 /// of the exact draws — a `O(1/√cap) ≈ 0.4%` perturbation of the adoption
@@ -443,21 +445,28 @@ impl CountingNetwork {
     /// agent's opinion) switches to `maj(Multinomial(L, h/H))` — the law of
     /// the majority of a uniform without-replacement sample from a
     /// Poisson-multinomial inbox. Conserves the population exactly.
+    ///
+    /// Randomness comes from the network's own RNG; use
+    /// [`apply_sample_majority_with`](Self::apply_sample_majority_with) to
+    /// supply an external decision RNG (as the generic
+    /// [`PushBackend`](crate::PushBackend) rules do).
     pub fn apply_sample_majority(&mut self, sample_size: u64) {
-        let p_pass = self.tally.at_least_probability(sample_size);
-        let weights = self.tally.post_noise.clone();
-        let k = self.num_opinions();
-        let mut leavers = vec![0u64; k];
-        let mut switchers = 0u64;
-        for (o, leave) in leavers.iter_mut().enumerate() {
-            let group = self.counts[o];
-            *leave = binomial(group, p_pass, &mut self.rng);
-            switchers += *leave;
-        }
-        let undecided_pass = binomial(self.undecided, p_pass, &mut self.rng);
-        switchers += undecided_pass;
-        let joiners = sample_majority_splits(switchers, sample_size, &weights, &mut self.rng);
-        self.apply_deltas(&leavers, &joiners, -(undecided_pass as i64));
+        let (leavers, joiners, undecided_delta) = sample_majority_plan(
+            &self.counts,
+            self.undecided,
+            &self.tally,
+            sample_size,
+            &mut self.rng,
+        );
+        self.apply_deltas(&leavers, &joiners, undecided_delta);
+    }
+
+    /// [`apply_sample_majority`](Self::apply_sample_majority) with an
+    /// external decision RNG.
+    pub fn apply_sample_majority_with<R: Rng + ?Sized>(&mut self, sample_size: u64, rng: &mut R) {
+        let (leavers, joiners, undecided_delta) =
+            sample_majority_plan(&self.counts, self.undecided, &self.tally, sample_size, rng);
+        self.apply_deltas(&leavers, &joiners, undecided_delta);
     }
 
     /// Applies a population update: `leavers[i]` agents abandon opinion `i`,
@@ -500,16 +509,60 @@ impl CountingNetwork {
     /// draw? Returns `(per-opinion adoption counts, number of silent
     /// agents)`; adoptions + silent = `group`.
     pub fn sample_one_adoptions(&mut self, group: u64) -> (Vec<u64>, u64) {
-        let p_active = self.tally.activation_probability();
-        let active = binomial(group, p_active, &mut self.rng);
-        let weights: Vec<f64> = self.tally.post_noise.iter().map(|&h| h as f64).collect();
-        let split = if active == 0 {
-            vec![0; self.num_opinions()]
-        } else {
-            multinomial(active, &weights, &mut self.rng)
-        };
-        (split, group - active)
+        sample_one_plan(&self.tally, self.num_opinions(), group, &mut self.rng)
     }
+
+    /// [`sample_one_adoptions`](Self::sample_one_adoptions) with an external
+    /// decision RNG.
+    pub fn sample_one_adoptions_with<R: Rng + ?Sized>(
+        &mut self,
+        group: u64,
+        rng: &mut R,
+    ) -> (Vec<u64>, u64) {
+        sample_one_plan(&self.tally, self.num_opinions(), group, rng)
+    }
+}
+
+/// Computes the sample-majority population update against a finished phase:
+/// `(leavers, joiners, undecided_delta)` for
+/// [`CountingNetwork::apply_deltas`].
+fn sample_majority_plan<R: Rng + ?Sized>(
+    counts: &[u64],
+    undecided: u64,
+    tally: &PhaseTally,
+    sample_size: u64,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<u64>, i64) {
+    let p_pass = tally.at_least_probability(sample_size);
+    let mut leavers = vec![0u64; counts.len()];
+    let mut switchers = 0u64;
+    for (leave, &group) in leavers.iter_mut().zip(counts) {
+        *leave = binomial(group, p_pass, rng);
+        switchers += *leave;
+    }
+    let undecided_pass = binomial(undecided, p_pass, rng);
+    switchers += undecided_pass;
+    let joiners = sample_majority_splits(switchers, sample_size, &tally.post_noise, rng);
+    (leavers, joiners, -(undecided_pass as i64))
+}
+
+/// Computes the "adopt one uniformly received opinion" split for a group of
+/// agents against a finished phase.
+fn sample_one_plan<R: Rng + ?Sized>(
+    tally: &PhaseTally,
+    num_opinions: usize,
+    group: u64,
+    rng: &mut R,
+) -> (Vec<u64>, u64) {
+    let p_active = tally.activation_probability();
+    let active = binomial(group, p_active, rng);
+    let weights: Vec<f64> = tally.post_noise.iter().map(|&h| h as f64).collect();
+    let split = if active == 0 {
+        vec![0; num_opinions]
+    } else {
+        multinomial(active, &weights, rng)
+    };
+    (split, group - active)
 }
 
 #[cfg(test)]

@@ -111,6 +111,17 @@ impl Inboxes {
         self.received(node).iter().any(|&c| c > 0)
     }
 
+    /// The largest single inbox of the phase (the maximum over agents of
+    /// [`received_total`](Self::received_total)) — the quantity the
+    /// protocol's memory meter tracks.
+    pub fn max_received(&self) -> u64 {
+        self.counts
+            .chunks_exact(self.num_opinions.max(1))
+            .map(|chunk| chunk.iter().map(|&c| u64::from(c)).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Aggregated per-opinion counts over all agents.
     pub fn totals_per_opinion(&self) -> Vec<u64> {
         let mut totals = vec![0u64; self.num_opinions];
@@ -261,6 +272,7 @@ mod tests {
         assert!(inboxes.has_received(1));
         assert!(!inboxes.has_received(2));
         assert_eq!(inboxes.totals_per_opinion(), vec![2, 5, 1]);
+        assert_eq!(inboxes.max_received(), 5);
     }
 
     #[test]

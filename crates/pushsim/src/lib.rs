@@ -39,9 +39,12 @@
 //!   in the phase (Definition 4; Lemma 3 transfers w.h.p. events back to
 //!   process O).
 //!
-//! ## The two backends
+//! ## The two backends, one trait
 //!
-//! The simulator ships **two backends** over the same model:
+//! The simulator ships **two backends** over the same model, both
+//! implementing the [`PushBackend`] trait (the shared phase lifecycle plus
+//! the paper's decision operators — see the [`backend`] module docs for the
+//! contract and the lemmas behind it):
 //!
 //! * [`Network`] — the **agent-level** backend: every agent is a
 //!   [`NodeState`], inboxes are per-agent multisets. Memory and per-phase
@@ -52,6 +55,11 @@
 //!   (one multinomial per noise-matrix row) *independent of `n`* — the
 //!   same reformulation the paper's own analysis uses (it reasons about
 //!   the counts `h_i` of Definition 4, never about individuals).
+//!
+//! Code written against `PushBackend` (the `plurality-core` protocol
+//! stages, every `opinion-dynamics` rule, the experiment harness) runs
+//! unchanged on either backend; each backend's phase result is exposed
+//! through the [`PhaseObservation`] trait ([`Inboxes`] vs [`PhaseTally`]).
 //!
 //! ### Backend × delivery semantics support matrix
 //!
@@ -111,6 +119,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod config;
 pub mod counting;
 mod distribution;
@@ -120,6 +129,7 @@ mod network;
 mod opinion;
 pub mod poisson;
 
+pub use backend::{AdoptionScope, PhaseObservation, PushBackend};
 pub use config::{DeliverySemantics, SimConfig, SimConfigBuilder};
 pub use counting::{CountingNetwork, PhaseTally};
 pub use distribution::OpinionDistribution;

@@ -56,6 +56,11 @@ pub struct Network {
     config: SimConfig,
     noise: NoiseMatrix,
     states: Vec<NodeState>,
+    /// Per-opinion population tallies, kept in sync with `states` by every
+    /// mutation path so that [`distribution`](Network::distribution) and
+    /// consensus checks are O(k) instead of an O(n) scan.
+    opinion_counts: Vec<usize>,
+    undecided_count: usize,
     rng: StdRng,
     inboxes: Inboxes,
     /// Pre-noise counts of opinions pushed during the open phase; only used
@@ -85,6 +90,8 @@ impl Network {
         Ok(Self {
             rng: StdRng::seed_from_u64(config.seed()),
             states: vec![NodeState::Undecided; n],
+            opinion_counts: vec![0; k],
+            undecided_count: n,
             inboxes: Inboxes::new(n, k),
             pending: vec![0; k],
             phase_open: false,
@@ -147,9 +154,20 @@ impl Network {
                 "{o} out of range for a system with {} opinions",
                 self.num_opinions()
             );
-            self.states[node] = NodeState::Opinionated(o);
-        } else {
-            self.states[node] = NodeState::Undecided;
+        }
+        match self.states[node] {
+            NodeState::Opinionated(old) => self.opinion_counts[old.index()] -= 1,
+            NodeState::Undecided => self.undecided_count -= 1,
+        }
+        match opinion {
+            Some(o) => {
+                self.opinion_counts[o.index()] += 1;
+                self.states[node] = NodeState::Opinionated(o);
+            }
+            None => {
+                self.undecided_count += 1;
+                self.states[node] = NodeState::Undecided;
+            }
         }
     }
 
@@ -157,6 +175,8 @@ impl Network {
     /// counters).
     pub fn clear_opinions(&mut self) {
         self.states.iter_mut().for_each(|s| *s = NodeState::Undecided);
+        self.opinion_counts.iter_mut().for_each(|c| *c = 0);
+        self.undecided_count = self.num_nodes();
     }
 
     /// Seeds a rumor-spreading instance: agent `source` adopts `opinion`,
@@ -181,7 +201,7 @@ impl Network {
             });
         }
         self.clear_opinions();
-        self.states[source] = NodeState::Opinionated(opinion);
+        self.set_opinion(source, Some(opinion));
         Ok(())
     }
 
@@ -219,12 +239,29 @@ impl Network {
             }
             cursor += count;
         }
+        self.opinion_counts.copy_from_slice(counts);
+        self.undecided_count = self.num_nodes() - total;
         Ok(())
     }
 
+    /// Per-opinion population tallies (maintained incrementally; O(1) to
+    /// read, mirroring [`CountingNetwork::counts`](crate::CountingNetwork::counts)).
+    pub fn opinion_counts(&self) -> &[usize] {
+        &self.opinion_counts
+    }
+
+    /// The number of undecided agents.
+    pub fn undecided(&self) -> usize {
+        self.undecided_count
+    }
+
     /// The current opinion distribution of the network.
+    ///
+    /// O(k): built from the incrementally maintained tallies, not from a
+    /// scan of the agent states.
     pub fn distribution(&self) -> OpinionDistribution {
-        OpinionDistribution::from_states(&self.states, self.num_opinions())
+        OpinionDistribution::from_counts(self.opinion_counts.clone(), self.undecided_count)
+            .expect("k >= 2 by construction")
     }
 
     /// Total number of rounds executed so far.
@@ -526,6 +563,31 @@ mod tests {
     fn end_phase_requires_open_phase() {
         let mut net = small_net(DeliverySemantics::Exact, 10);
         net.end_phase();
+    }
+
+    #[test]
+    fn cached_tallies_stay_in_sync_with_states() {
+        let mut net = small_net(DeliverySemantics::Exact, 12);
+        let check = |net: &Network| {
+            assert_eq!(
+                net.distribution(),
+                OpinionDistribution::from_states(net.states(), net.num_opinions()),
+            );
+        };
+        check(&net);
+        net.seed_counts(&[10, 5, 3]).unwrap();
+        check(&net);
+        net.set_opinion(0, Some(Opinion::new(2)));
+        net.set_opinion(1, None);
+        net.set_opinion(1, Some(Opinion::new(0)));
+        check(&net);
+        net.seed_rumor(7, Opinion::new(1)).unwrap();
+        check(&net);
+        assert_eq!(net.undecided(), 49);
+        assert_eq!(net.opinion_counts(), &[0, 1, 0]);
+        net.clear_opinions();
+        check(&net);
+        assert_eq!(net.undecided(), net.num_nodes());
     }
 
     #[test]

@@ -63,8 +63,7 @@ pub mod prelude {
     };
     pub use noisy_channel::{families, MpReport, NoiseError, NoiseMatrix, PairwiseMargin};
     pub use opinion_dynamics::{
-        CountingDynamics, Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority,
-        UndecidedState, Voter,
+        Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter,
     };
     pub use plurality_core::{
         bounds, run_plurality_consensus, run_rumor_spreading, ExecutionBackend, MemoryMeter,
@@ -72,7 +71,8 @@ pub mod prelude {
         TwoStageProtocol,
     };
     pub use pushsim::{
-        CountingNetwork, DeliverySemantics, Inboxes, Network, NodeState, Opinion,
-        OpinionDistribution, PhaseTally, RoundReport, SimConfig, SimError,
+        AdoptionScope, CountingNetwork, DeliverySemantics, Inboxes, Network, NodeState, Opinion,
+        OpinionDistribution, PhaseObservation, PhaseTally, PushBackend, RoundReport, SimConfig,
+        SimError,
     };
 }

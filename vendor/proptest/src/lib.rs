@@ -162,7 +162,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`](fn@vec).
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,
