@@ -48,6 +48,18 @@ impl Table {
         self.rows.len()
     }
 
+    /// The data rows (each a vector of cells, one per column) — used by the
+    /// scenario runner and tests to post-process results without re-parsing
+    /// the rendered text.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The index of the column named `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == name)
+    }
+
     /// Appends a row.
     ///
     /// # Panics
@@ -238,6 +250,9 @@ mod tests {
         let table = sample_table();
         assert_eq!(table.headers(), &["name".to_string(), "value".to_string()]);
         assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.rows()[1][0], "beta");
+        assert_eq!(table.column_index("value"), Some(1));
+        assert_eq!(table.column_index("missing"), None);
     }
 
     #[test]

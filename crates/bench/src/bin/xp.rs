@@ -1,0 +1,267 @@
+//! `xp` — the single experiment driver.
+//!
+//! ```text
+//! xp list                         # all registered experiments
+//! xp run f2 [--full --json --backend agent|counting|auto --trials N --seed S]
+//! xp run --spec path.spec [...]   # run a scenario spec file
+//! xp show f2 [--full]             # print a spec-backed experiment's spec text
+//! xp help
+//! ```
+//!
+//! Registered experiments live in [`noisy_bench::registry`]; spec files are
+//! parsed by [`noisy_bench::spec::ScenarioSpec::from_text`].
+
+use gossip_analysis::table::Table;
+use noisy_bench::registry;
+use noisy_bench::runner::Runner;
+use noisy_bench::spec::ScenarioSpec;
+use noisy_bench::Cli;
+use std::process::ExitCode;
+
+const USAGE_HEAD: &str = "\
+usage:
+  xp list                      list the registered experiments
+  xp run <name> [options]      run a registered experiment
+  xp run --spec <path> [opts]  run a scenario spec file
+  xp show <name> [--full]      print a spec-backed experiment's spec text
+  xp help                      print this message
+";
+
+fn usage() -> String {
+    format!("{USAGE_HEAD}\n{}", Cli::USAGE)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "list" => cmd_list(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "show" => cmd_show(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_list(rest: &[String]) -> ExitCode {
+    if !rest.is_empty() {
+        eprintln!("error: `xp list` takes no arguments\n\n{}", usage());
+        return ExitCode::from(2);
+    }
+    let mut table = Table::new(vec!["name", "kind", "title"]);
+    for experiment in registry::all() {
+        table.push_row(vec![
+            experiment.name.to_string(),
+            if experiment.is_spec() { "spec" } else { "composite" }.to_string(),
+            experiment.title.to_string(),
+        ]);
+    }
+    print!("{table}");
+    ExitCode::SUCCESS
+}
+
+/// The experiment name, `--spec` path and remaining shared CLI flags of an
+/// `xp run` / `xp show` invocation.
+type RunArgs = (Option<String>, Option<String>, Vec<String>);
+
+/// Splits `xp run` arguments into the experiment name / `--spec` path and
+/// the shared CLI flags. Value-taking CLI flags (`--backend`, `--trials`,
+/// `--seed`) keep their space-separated value, so flags may appear before
+/// or after the experiment name.
+fn split_run_args(rest: &[String]) -> Result<RunArgs, String> {
+    let mut name = None;
+    let mut spec_path = None;
+    let mut cli_args = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--spec" {
+            let value = iter.next().ok_or("--spec requires a file path")?;
+            spec_path = Some(value.clone());
+        } else if let Some(value) = arg.strip_prefix("--spec=") {
+            spec_path = Some(value.to_string());
+        } else if matches!(arg.as_str(), "--backend" | "--trials" | "--seed") {
+            cli_args.push(arg.clone());
+            // Keep the flag's value out of the name slot; a missing value
+            // is reported by the shared CLI parser.
+            if let Some(value) = iter.next() {
+                cli_args.push(value.clone());
+            }
+        } else if !arg.starts_with('-') && name.is_none() {
+            name = Some(arg.clone());
+        } else {
+            cli_args.push(arg.clone());
+        }
+    }
+    Ok((name, spec_path, cli_args))
+}
+
+fn cmd_run(rest: &[String]) -> ExitCode {
+    let (name, spec_path, cli_args) = match split_run_args(rest) {
+        Ok(parts) => parts,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if cli_args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let cli = match Cli::try_parse_from(cli_args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match (name, spec_path) {
+        (Some(name), None) => {
+            let Some(experiment) = registry::find(&name) else {
+                eprintln!(
+                    "error: unknown experiment {name:?} (registered: {})",
+                    known_names()
+                );
+                return ExitCode::from(2);
+            };
+            match registry::run(experiment, &cli) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: experiment {name} failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        (None, Some(path)) => run_spec_file(&path, &cli),
+        (Some(_), Some(_)) => {
+            eprintln!("error: give an experiment name or --spec, not both\n\n{}", usage());
+            ExitCode::from(2)
+        }
+        (None, None) => {
+            eprintln!("error: `xp run` needs an experiment name or --spec <path>\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_spec_file(path: &str, cli: &Cli) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read spec file {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match ScenarioSpec::from_text(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    registry::apply_cli(&mut spec, cli);
+    cli.note(&format!("running spec {path} ({} scenario)\n", spec.kind.name()));
+    let report = match Runner::new(spec).and_then(|runner| runner.run()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    cli.emit(&report.to_table());
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(rest: &[String]) -> ExitCode {
+    let (name, spec_path, cli_args) = match split_run_args(rest) {
+        Ok(parts) => parts,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let cli = match Cli::try_parse_from(cli_args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (Some(name), None) = (name, spec_path) else {
+        eprintln!("error: `xp show` takes an experiment name\n\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let Some(experiment) = registry::find(&name) else {
+        eprintln!(
+            "error: unknown experiment {name:?} (registered: {})",
+            known_names()
+        );
+        return ExitCode::from(2);
+    };
+    match experiment.spec(cli.scale) {
+        Some(mut spec) => {
+            registry::apply_cli(&mut spec, &cli);
+            println!("# {}: {}", experiment.name, experiment.title);
+            print!("{}", spec.to_text());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "error: {name} is a composite experiment (several spec runs merged into one \
+                 table); it has no single spec to show"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn known_names() -> String {
+    registry::all()
+        .iter()
+        .map(|e| e.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_args_split_name_spec_and_flags_in_any_order() {
+        let (name, spec, cli) = split_run_args(&to_args(&["f2", "--json", "--trials", "3"])).unwrap();
+        assert_eq!(name.as_deref(), Some("f2"));
+        assert_eq!(spec, None);
+        assert_eq!(cli, to_args(&["--json", "--trials", "3"]));
+
+        // Flags before the name: the flag value must not become the name.
+        let (name, _, cli) = split_run_args(&to_args(&["--backend", "counting", "f2"])).unwrap();
+        assert_eq!(name.as_deref(), Some("f2"));
+        assert_eq!(cli, to_args(&["--backend", "counting"]));
+
+        // --spec with trailing space-separated flag values.
+        let (name, spec, cli) =
+            split_run_args(&to_args(&["--spec", "a.spec", "--trials", "1", "--seed", "9"]))
+                .unwrap();
+        assert_eq!(name, None);
+        assert_eq!(spec.as_deref(), Some("a.spec"));
+        assert_eq!(cli, to_args(&["--trials", "1", "--seed", "9"]));
+
+        let (_, spec, _) = split_run_args(&to_args(&["--spec=b.spec"])).unwrap();
+        assert_eq!(spec.as_deref(), Some("b.spec"));
+
+        assert!(split_run_args(&to_args(&["--spec"])).is_err());
+    }
+}

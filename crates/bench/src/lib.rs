@@ -1,21 +1,41 @@
 //! # noisy-bench
 //!
-//! The experiment harness of the reproduction. Every figure/table listed in
-//! DESIGN.md §5 has a corresponding binary in `src/bin/` that regenerates it
-//! (workload generation, parameter sweep, baselines and the printed table),
-//! and `benches/` holds the Criterion micro-benchmarks that document the
-//! simulator's cost model.
+//! The experiment harness of the reproduction, built around a declarative
+//! scenario API:
+//!
+//! * [`spec`] — [`ScenarioSpec`], a serializable description of a complete
+//!   experiment run (scenario kind, noise family, delivery process,
+//!   backend, sweep axes, trials, seed) with a round-trippable `key =
+//!   value` text format;
+//! * [`runner`] — the [`Runner`] that executes any spec through the
+//!   backend-generic protocol/dynamics stack and reports structured
+//!   summaries;
+//! * [`registry`] — every figure/table experiment of DESIGN.md §5,
+//!   registered by name (`f1`–`f8`, `t1`–`t4`, `a1`, `scale`);
+//! * the `xp` binary — the single driver: `xp list`, `xp run f2 --json`,
+//!   `xp run --spec path.spec`, `xp show f2`.
 //!
 //! Run an experiment with, e.g.:
 //!
 //! ```text
-//! cargo run --release -p noisy-bench --bin fig_f1_rounds_vs_n
-//! cargo run --release -p noisy-bench --bin tab_t1_protocol_vs_baselines -- --full
+//! cargo run --release -p noisy-bench --bin xp -- list
+//! cargo run --release -p noisy-bench --bin xp -- run f1
+//! cargo run --release -p noisy-bench --bin xp -- run t1 --full --json
+//! cargo run --release -p noisy-bench --bin xp -- run --spec examples/specs/rumor_vs_eps.spec
 //! ```
 //!
-//! Every binary accepts an optional `--full` flag: without it a reduced
+//! Every run accepts an optional `--full` flag: without it a reduced
 //! ("quick") grid is used so the whole suite finishes in minutes on a
 //! laptop; with it the grid matches the sizes quoted in EXPERIMENTS.md.
+//! `benches/` holds the Criterion micro-benchmarks that document the
+//! simulator's cost model.
+
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use runner::Runner;
+pub use spec::ScenarioSpec;
 
 use gossip_analysis::ci::WilsonInterval;
 use gossip_analysis::stats::SampleStats;
@@ -54,75 +74,183 @@ impl Scale {
     }
 }
 
-/// The command-line options shared by every experiment binary:
+/// The command-line options shared by every experiment run:
 ///
 /// * `--full` — run the full grid instead of the reduced quick grid;
 /// * `--json` — emit result tables as JSON lines
 ///   ([`Table::to_json_lines`]) instead of aligned text, so figure
 ///   pipelines are scriptable;
 /// * `--backend agent|counting|auto` (or `--backend=…`) — which simulation
-///   backend protocol runs execute on (default [`ExecutionBackend::Auto`],
-///   which resolves per run from the calibrated cost model; see
-///   [`ExecutionBackend::resolve`]).
+///   backend protocol runs execute on (when absent, the spec/experiment
+///   default applies — usually [`ExecutionBackend::Auto`], which resolves
+///   per run from the calibrated cost model; see
+///   [`ExecutionBackend::resolve`]);
+/// * `--trials N` — override the number of trials/repetitions per cell;
+/// * `--seed S` — override the base RNG seed.
+///
+/// Parse failures never silently fall back to defaults: [`from_args`]
+/// prints the offending argument plus the [`USAGE`](Self::USAGE) synopsis
+/// and exits, and `--help` prints the synopsis.
+///
+/// [`from_args`]: Self::from_args
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cli {
     /// Quick vs full grid (`--full`).
     pub scale: Scale,
     /// Emit tables as JSON lines (`--json`).
     pub json: bool,
-    /// Backend requested for protocol runs (`--backend …`).
-    pub backend: ExecutionBackend,
+    /// Backend override for protocol runs (`--backend …`); `None` keeps
+    /// the experiment's own default.
+    pub backend: Option<ExecutionBackend>,
+    /// Trials-per-cell override (`--trials N`).
+    pub trials: Option<u64>,
+    /// Base-seed override (`--seed S`).
+    pub seed: Option<u64>,
 }
 
-impl Cli {
-    /// Parses the options from the process arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on an unknown `--backend` value (an
-    /// experiment binary has nothing sensible to do with one).
-    pub fn from_args() -> Self {
-        Self::parse_from(std::env::args().skip(1))
-    }
-
-    /// Parses the options from an explicit argument list (testable form of
-    /// [`from_args`](Self::from_args)).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on an unknown `--backend` value or an
-    /// unrecognized argument — a mistyped flag must not silently run the
-    /// experiment with default options.
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut cli = Cli {
+impl Default for Cli {
+    /// Quick grid, text output, no overrides.
+    fn default() -> Self {
+        Cli {
             scale: Scale::Quick,
             json: false,
-            backend: ExecutionBackend::Auto,
-        };
+            backend: None,
+            trials: None,
+            seed: None,
+        }
+    }
+}
+
+/// A rejected command line: the offending argument plus the full usage
+/// synopsis (rendered by `Display`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error: {}\n\n{}", self.message, Cli::USAGE)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Cli {
+    /// The flag synopsis shared by every experiment run (printed on
+    /// `--help` and on every parse failure).
+    pub const USAGE: &'static str = "\
+options:
+  --full               run the full experiment grid (default: reduced quick grid)
+  --json               emit result tables as JSON lines
+  --backend <agent|counting|auto>
+                       simulation backend for protocol runs
+  --trials <N>         override the number of trials/repetitions per cell
+  --seed <S>           override the base RNG seed
+  --help, -h           print this synopsis";
+
+    /// Parses the options from the process arguments. Prints the usage
+    /// synopsis and exits on `--help`/`-h` (status 0) or on a parse
+    /// failure (status 2).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::USAGE);
+            std::process::exit(0);
+        }
+        match Self::try_parse_from(args) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses the options from an explicit argument list.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`CliError`] message (offending argument + usage
+    /// synopsis) on any parse failure — a mistyped flag must not silently
+    /// run the experiment with default options. Binaries should prefer
+    /// [`from_args`](Self::from_args), which exits cleanly instead.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Self::try_parse_from(args).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parses the options from an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming the offending argument (unrecognized
+    /// flag, missing or malformed value) together with the usage synopsis.
+    pub fn try_parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut cli = Cli::default();
+        let err = |message: String| CliError { message };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
-            match arg.as_str() {
+            // `--flag value` and `--flag=value` are both accepted.
+            let (flag, mut inline) = match arg.split_once('=') {
+                Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+                None => (arg, None),
+            };
+            let mut value = |args: &mut I::IntoIter| -> Result<String, CliError> {
+                inline
+                    .take()
+                    .or_else(|| args.next())
+                    .ok_or_else(|| err(format!("{flag} requires a value")))
+            };
+            match flag.as_str() {
                 "--full" => cli.scale = Scale::Full,
                 "--json" => cli.json = true,
                 "--backend" => {
-                    let value = args
-                        .next()
-                        .expect("--backend requires a value: agent, counting or auto");
-                    cli.backend = value.parse().expect("invalid --backend value");
+                    let value = value(&mut args)?;
+                    cli.backend = Some(value.parse().map_err(|e| {
+                        err(format!("invalid --backend value {value:?}: {e}"))
+                    })?);
                 }
-                other => {
-                    if let Some(value) = other.strip_prefix("--backend=") {
-                        cli.backend = value.parse().expect("invalid --backend value");
-                    } else {
-                        panic!(
-                            "unrecognized argument {other:?} \
-                             (expected --full, --json or --backend agent|counting|auto)"
-                        );
+                "--trials" => {
+                    let value = value(&mut args)?;
+                    let trials: u64 = value
+                        .parse()
+                        .map_err(|_| err(format!("invalid --trials value {value:?}")))?;
+                    if trials == 0 {
+                        return Err(err("--trials must be at least 1".into()));
                     }
+                    cli.trials = Some(trials);
                 }
+                "--seed" => {
+                    let value = value(&mut args)?;
+                    cli.seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| err(format!("invalid --seed value {value:?}")))?,
+                    );
+                }
+                other => return Err(err(format!("unrecognized argument {other:?}"))),
+            }
+            if let Some(extra) = inline {
+                return Err(err(format!("{flag} does not take a value (got {extra:?})")));
             }
         }
-        cli
+        Ok(cli)
+    }
+
+    /// The backend override, or [`ExecutionBackend::Auto`] when none was
+    /// given (the default for experiments that run the protocol directly).
+    pub fn backend_or_auto(&self) -> ExecutionBackend {
+        self.backend.unwrap_or(ExecutionBackend::Auto)
+    }
+
+    /// The trials override, or `default` when none was given.
+    pub fn trials_or(&self, default: u64) -> u64 {
+        self.trials.unwrap_or(default)
+    }
+
+    /// The seed override, or `default` when none was given.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
     }
 
     /// Prints `table` in the selected output format: aligned text by
@@ -150,6 +278,13 @@ impl Cli {
 pub struct TrialSummary {
     /// Success-rate estimate (consensus on the correct opinion).
     pub success: WilsonInterval,
+    /// Exact-consensus rate (consensus on *any* opinion).
+    pub consensus: WilsonInterval,
+    /// Rate at which the correct opinion ended up the plurality (whether or
+    /// not exact consensus was reached).
+    pub correct: WilsonInterval,
+    /// Final share of the correct opinion over the trials.
+    pub share: SampleStats,
     /// Rounds-to-completion statistics over the trials.
     pub rounds: SampleStats,
     /// Messages-sent statistics over the trials.
@@ -188,10 +323,26 @@ pub fn rumor_spreading_trials_on(
     noise: &NoiseMatrix,
     trials: u64,
 ) -> TrialSummary {
+    rumor_spreading_trials_from(backend, params, noise, Opinion::new(0), trials)
+}
+
+/// [`rumor_spreading_trials_on`] from an arbitrary source opinion.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the parameters, or on a
+/// params/noise mismatch (both are harness programming errors).
+pub fn rumor_spreading_trials_from(
+    backend: ExecutionBackend,
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    source: Opinion,
+    trials: u64,
+) -> TrialSummary {
     run_trials(params, noise, trials, |protocol| {
         protocol
-            .run_rumor_spreading_on(backend, Opinion::new(0))
-            .expect("opinion 0 is always valid")
+            .run_rumor_spreading_on(backend, source)
+            .expect("harness supplies a valid source opinion")
     })
 }
 
@@ -227,6 +378,27 @@ pub fn plurality_trials_on(
     run_trials(params, noise, trials, |protocol| {
         protocol
             .run_plurality_consensus_on(backend, initial_counts)
+            .expect("harness supplies valid counts")
+    })
+}
+
+/// Runs `trials` independent Stage-2-only executions (the amplification
+/// stage alone, from the given initial counts) and aggregates them.
+///
+/// # Panics
+///
+/// Panics if the counts are invalid for the parameters (harness programming
+/// error).
+pub fn stage2_only_trials_on(
+    backend: ExecutionBackend,
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    initial_counts: &[usize],
+    trials: u64,
+) -> TrialSummary {
+    run_trials(params, noise, trials, |protocol| {
+        protocol
+            .run_stage2_only_on(backend, initial_counts)
             .expect("harness supplies valid counts")
     })
 }
@@ -269,6 +441,9 @@ where
     outcomes.sort_by_key(|&(trial, _)| trial);
 
     let mut successes = 0u64;
+    let mut consensus = 0u64;
+    let mut correct = 0u64;
+    let mut share = SampleStats::new();
     let mut rounds = SampleStats::new();
     let mut messages = SampleStats::new();
     let mut memory_bits = SampleStats::new();
@@ -277,6 +452,16 @@ where
         if outcome.succeeded() {
             successes += 1;
         }
+        if outcome.consensus_reached() {
+            consensus += 1;
+        }
+        if outcome.winning_opinion() == Some(outcome.correct_opinion()) {
+            correct += 1;
+        }
+        let dist = outcome.final_distribution();
+        share.push(
+            dist.counts()[outcome.correct_opinion().index()] as f64 / dist.num_nodes() as f64,
+        );
         rounds.push(outcome.rounds() as f64);
         messages.push(outcome.messages() as f64);
         memory_bits.push(outcome.memory().bits_per_node() as f64);
@@ -290,6 +475,9 @@ where
     }
     TrialSummary {
         success: WilsonInterval::from_trials(successes, trials),
+        consensus: WilsonInterval::from_trials(consensus, trials),
+        correct: WilsonInterval::from_trials(correct, trials),
+        share,
         rounds,
         messages,
         memory_bits,
@@ -359,33 +547,79 @@ mod tests {
         assert_eq!(Scale::Full.pick(1, 2), 2);
     }
 
+    fn to_args(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn cli_parses_the_shared_flags() {
-        let to_args = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let cli = Cli::parse_from(to_args(&[]));
+        assert_eq!(cli, Cli::default());
         assert_eq!(cli.scale, Scale::Quick);
         assert!(!cli.json);
-        assert_eq!(cli.backend, ExecutionBackend::Auto);
+        assert_eq!(cli.backend, None);
+        assert_eq!(cli.backend_or_auto(), ExecutionBackend::Auto);
 
         let cli = Cli::parse_from(to_args(&["--full", "--json", "--backend", "counting"]));
         assert_eq!(cli.scale, Scale::Full);
         assert!(cli.json);
-        assert_eq!(cli.backend, ExecutionBackend::Counting);
+        assert_eq!(cli.backend, Some(ExecutionBackend::Counting));
 
         let cli = Cli::parse_from(to_args(&["--backend=agent"]));
-        assert_eq!(cli.backend, ExecutionBackend::Agent);
+        assert_eq!(cli.backend, Some(ExecutionBackend::Agent));
+    }
+
+    #[test]
+    fn cli_parses_trials_and_seed_overrides() {
+        let cli = Cli::parse_from(to_args(&["--trials", "12", "--seed=99"]));
+        assert_eq!(cli.trials, Some(12));
+        assert_eq!(cli.seed, Some(99));
+        assert_eq!(cli.trials_or(5), 12);
+        assert_eq!(cli.seed_or(0), 99);
+        let cli = Cli::parse_from(to_args(&[]));
+        assert_eq!(cli.trials_or(5), 5);
+        assert_eq!(cli.seed_or(7), 7);
     }
 
     #[test]
     #[should_panic(expected = "invalid --backend")]
     fn cli_rejects_unknown_backends() {
-        let _ = Cli::parse_from(vec!["--backend".to_string(), "gpu".to_string()]);
+        let _ = Cli::parse_from(to_args(&["--backend", "gpu"]));
     }
 
     #[test]
     #[should_panic(expected = "unrecognized argument")]
     fn cli_rejects_mistyped_flags() {
-        let _ = Cli::parse_from(vec!["--fulll".to_string()]);
+        let _ = Cli::parse_from(to_args(&["--fulll"]));
+    }
+
+    #[test]
+    fn cli_parse_failures_name_every_accepted_flag() {
+        // The satellite requirement: a failed parse shows a usage synopsis
+        // naming the accepted flags, not a bare error.
+        let err = Cli::try_parse_from(to_args(&["--wat"])).unwrap_err();
+        let rendered = err.to_string();
+        for flag in ["--full", "--json", "--backend", "--trials", "--seed", "--help"] {
+            assert!(rendered.contains(flag), "usage must mention {flag}: {rendered}");
+        }
+        assert!(rendered.contains("--wat"), "the offending flag is named");
+    }
+
+    #[test]
+    fn cli_rejects_malformed_and_missing_values() {
+        for args in [
+            vec!["--trials"],
+            vec!["--trials", "many"],
+            vec!["--trials", "0"],
+            vec!["--seed", "1.5"],
+            vec!["--backend"],
+            vec!["--json=yes"],
+        ] {
+            assert!(
+                Cli::try_parse_from(to_args(&args)).is_err(),
+                "{args:?} must be rejected"
+            );
+        }
     }
 
     #[test]

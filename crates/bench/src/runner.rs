@@ -1,0 +1,570 @@
+//! Execution of [`ScenarioSpec`]s through the generic protocol/dynamics
+//! stack.
+//!
+//! A [`Runner`] expands a spec's sweep axes into a grid (Cartesian product,
+//! axis order `k`, `n`, `eps`, `bias`), executes every point for the
+//! requested number of trials on the requested [`ExecutionBackend`], and
+//! returns a structured [`RunReport`]. [`RunReport::to_table`] renders the
+//! report with the spec's metric columns; callers that need bespoke tables
+//! (the registry's composite experiments) read the typed summaries
+//! directly.
+//!
+//! Protocol scenarios run through the shared parallel trial harness
+//! ([`rumor_spreading_trials_from`] and
+//! friends), so their statistics are bit-identical to the pre-spec harness
+//! for the same parameters and seed. Dynamics scenarios derive one seed per
+//! `(point, trial)` cell with [`derive_seed`] and are likewise
+//! deterministic in the base seed.
+
+use crate::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, SpecError};
+use crate::{
+    biased_counts, plurality_trials_on, rumor_spreading_trials_from, stage2_only_trials_on,
+    TrialSummary,
+};
+use gossip_analysis::ci::WilsonInterval;
+use gossip_analysis::stats::SampleStats;
+use gossip_analysis::sweep::derive_seed;
+use gossip_analysis::table::Table;
+use noisy_channel::NoiseMatrix;
+use opinion_dynamics::RuleSpec;
+use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
+use pushsim::{CountingNetwork, Network, Opinion, PushBackend, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Salt mixed into the base seed for dynamics decision randomness, so the
+/// decision RNG stream is unrelated to the delivery RNG stream.
+const DECISION_SEED_SALT: u64 = 0xD0_0DAD;
+
+/// One grid point of a sweep: the resolved parameter values and the point's
+/// position in the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Index of the point in row order.
+    pub index: usize,
+    /// Opinion count at this point.
+    pub k: usize,
+    /// Network size at this point.
+    pub n: usize,
+    /// Schedule ε at this point.
+    pub eps: f64,
+    /// Initial bias at this point (scenarios with a biased initial
+    /// configuration only).
+    pub bias: Option<f64>,
+}
+
+/// Aggregated result of a dynamics scenario at one grid point.
+#[derive(Debug, Clone)]
+pub struct DynamicsSummary {
+    /// Exact-consensus rate over the trials.
+    pub consensus: WilsonInterval,
+    /// Rate at which the plurality opinion won.
+    pub correct: WilsonInterval,
+    /// Final share of the plurality opinion.
+    pub share: SampleStats,
+    /// Rounds executed.
+    pub rounds: SampleStats,
+}
+
+/// The per-point result: protocol scenarios aggregate a [`TrialSummary`],
+/// dynamics scenarios a [`DynamicsSummary`].
+#[derive(Debug, Clone)]
+pub enum PointSummary {
+    /// Result of a rumor / plurality / stage2 scenario.
+    Protocol(TrialSummary),
+    /// Result of a dynamics scenario.
+    Dynamics(DynamicsSummary),
+}
+
+/// One executed grid point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Where in the grid this result sits.
+    pub point: GridPoint,
+    /// The aggregated trial statistics.
+    pub summary: PointSummary,
+}
+
+/// The structured outcome of executing a [`ScenarioSpec`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    spec: ScenarioSpec,
+    points: Vec<PointResult>,
+}
+
+impl RunReport {
+    /// The spec this report was produced from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The executed grid points, in row order.
+    pub fn points(&self) -> &[PointResult] {
+        &self.points
+    }
+
+    /// Renders the report as a table: one column per swept axis (in axis
+    /// order `k`, `n`, `eps`, `bias`) followed by the spec's metric
+    /// columns.
+    pub fn to_table(&self) -> Table {
+        let metrics = self.spec.effective_metrics();
+        let sweep = &self.spec.sweep;
+        let axes: [(&str, bool); 4] = [
+            ("k", !sweep.k.is_empty()),
+            ("n", !sweep.n.is_empty()),
+            ("eps", !sweep.eps.is_empty()),
+            ("bias", !sweep.bias.is_empty()),
+        ];
+        let mut headers: Vec<String> = axes
+            .iter()
+            .filter(|(_, shown)| *shown)
+            .map(|(name, _)| name.to_string())
+            .collect();
+        headers.extend(metrics.iter().map(|m| m.header().to_string()));
+        let mut table = Table::new(headers);
+        for result in &self.points {
+            let point = &result.point;
+            let mut row = Vec::new();
+            if axes[0].1 {
+                row.push(point.k.to_string());
+            }
+            if axes[1].1 {
+                row.push(point.n.to_string());
+            }
+            if axes[2].1 {
+                row.push(format!("{}", point.eps));
+            }
+            if axes[3].1 {
+                row.push(format!("{:.4}", point.bias.unwrap_or(f64::NAN)));
+            }
+            for &metric in &metrics {
+                row.push(format_metric(metric, result));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+/// Renders one metric cell for one executed point.
+fn format_metric(metric: Metric, result: &PointResult) -> String {
+    let point = &result.point;
+    let mean_or_dash = |stats: &SampleStats, render: &dyn Fn(f64) -> String| {
+        if stats.is_empty() {
+            "-".to_string()
+        } else {
+            render(stats.mean())
+        }
+    };
+    match &result.summary {
+        PointSummary::Protocol(s) => match metric {
+            Metric::Success => s.success.to_string(),
+            Metric::Rounds => format!("{:.0}", s.rounds.mean()),
+            Metric::RoundsNorm => {
+                format!("{:.2}", s.rounds.mean() / bounds::rounds_bound(point.n, point.eps))
+            }
+            Metric::Messages => format!("{:.2e}", s.messages.mean()),
+            Metric::Stage1Bias => mean_or_dash(&s.stage1_bias, &|m| format!("{m:.4}")),
+            Metric::Stage1BiasNorm => {
+                let threshold = ((point.n as f64).ln() / point.n as f64).sqrt();
+                mean_or_dash(&s.stage1_bias, &|m| format!("{:.2}", m / threshold))
+            }
+            Metric::MemoryBits => format!("{:.1}", s.memory_bits.mean()),
+            Metric::Consensus => s.consensus.to_string(),
+            Metric::Correct => s.correct.to_string(),
+            Metric::Share => format!("{:.3}", s.share.mean()),
+        },
+        PointSummary::Dynamics(s) => match metric {
+            Metric::Consensus => s.consensus.to_string(),
+            Metric::Correct => s.correct.to_string(),
+            Metric::Share => format!("{:.3}", s.share.mean()),
+            Metric::Rounds => format!("{:.0}", s.rounds.mean()),
+            // validate() rejects protocol-only metrics on dynamics specs.
+            other => unreachable!("metric {other} on a dynamics scenario"),
+        },
+    }
+}
+
+/// Executes a validated [`ScenarioSpec`].
+#[derive(Debug, Clone)]
+pub struct Runner {
+    spec: ScenarioSpec,
+}
+
+impl Runner {
+    /// Validates the spec and prepares a runner for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's [`validate`](ScenarioSpec::validate) error.
+    pub fn new(spec: ScenarioSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self { spec })
+    }
+
+    /// The spec this runner executes.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Executes every grid point and returns the structured report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/noise/simulator construction failures for the
+    /// offending grid point ([`SpecError::Protocol`], [`SpecError::Noise`],
+    /// [`SpecError::Sim`]).
+    pub fn run(&self) -> Result<RunReport, SpecError> {
+        let spec = &self.spec;
+        let ks = non_empty_or(&spec.sweep.k, spec.k);
+        let ns = non_empty_or(&spec.sweep.n, spec.n);
+        let epss = non_empty_or(&spec.sweep.eps, spec.epsilon);
+        let base_bias = match spec.kind.init() {
+            Some(InitSpec::Biased { bias }) => Some(*bias),
+            _ => None,
+        };
+        let biases: Vec<Option<f64>> = if spec.sweep.bias.is_empty() {
+            vec![base_bias]
+        } else {
+            spec.sweep.bias.iter().map(|&b| Some(b)).collect()
+        };
+        let eps_swept = !spec.sweep.eps.is_empty();
+
+        let mut points = Vec::new();
+        let mut index = 0usize;
+        for &k in &ks {
+            for &n in &ns {
+                for &eps in &epss {
+                    for &bias in &biases {
+                        let point = GridPoint { index, k, n, eps, bias };
+                        let summary = self.run_point(point, eps_swept)?;
+                        points.push(PointResult { point, summary });
+                        index += 1;
+                    }
+                }
+            }
+        }
+        Ok(RunReport {
+            spec: spec.clone(),
+            points,
+        })
+    }
+
+    fn run_point(&self, point: GridPoint, eps_swept: bool) -> Result<PointSummary, SpecError> {
+        let spec = &self.spec;
+        let GridPoint { k, n, eps, .. } = point;
+        let params = ProtocolParams::builder(n, k)
+            .epsilon(eps)
+            .seed(spec.seed)
+            .delivery(spec.delivery)
+            .constants(spec.constants)
+            .build()?;
+        let noise_spec = if eps_swept {
+            spec.noise.with_epsilon(eps)
+        } else {
+            spec.noise.clone()
+        };
+        let noise = noise_spec.build(k)?;
+
+        Ok(match &spec.kind {
+            ScenarioKind::RumorSpreading { source } => PointSummary::Protocol(
+                rumor_spreading_trials_from(
+                    spec.backend,
+                    &params,
+                    &noise,
+                    Opinion::new(*source),
+                    spec.trials,
+                ),
+            ),
+            ScenarioKind::PluralityConsensus { init } => {
+                let counts = resolve_counts(init, point);
+                validate_counts(&params, &noise, &counts)?;
+                PointSummary::Protocol(plurality_trials_on(
+                    spec.backend,
+                    &params,
+                    &noise,
+                    &counts,
+                    spec.trials,
+                ))
+            }
+            ScenarioKind::Stage2Only { init } => {
+                let counts = resolve_counts(init, point);
+                validate_counts(&params, &noise, &counts)?;
+                PointSummary::Protocol(stage2_only_trials_on(
+                    spec.backend,
+                    &params,
+                    &noise,
+                    &counts,
+                    spec.trials,
+                ))
+            }
+            ScenarioKind::DynamicsRule { rule, init, rounds } => {
+                let counts = resolve_counts(init, point);
+                let plurality = validate_counts(&params, &noise, &counts)?;
+                let budget = rounds.unwrap_or_else(|| params.schedule().total_rounds());
+                PointSummary::Dynamics(self.dynamics_trials(
+                    point, *rule, &counts, plurality, budget, &noise,
+                )?)
+            }
+        })
+    }
+
+    /// Runs the dynamics rule for every trial of one grid point. Each
+    /// `(point, trial)` cell derives its delivery and decision seeds from
+    /// the base seed, so results are a pure function of the spec.
+    fn dynamics_trials(
+        &self,
+        point: GridPoint,
+        rule: RuleSpec,
+        counts: &[usize],
+        plurality: Opinion,
+        budget: u64,
+        noise: &NoiseMatrix,
+    ) -> Result<DynamicsSummary, SpecError> {
+        let spec = &self.spec;
+        let resolved = spec.backend.resolve(point.n, point.k, spec.delivery);
+
+        let mut consensus = 0u64;
+        let mut correct = 0u64;
+        let mut share = SampleStats::new();
+        let mut rounds = SampleStats::new();
+        for trial in 0..spec.trials {
+            let config = SimConfig::builder(point.n, point.k)
+                .seed(derive_seed(spec.seed, point.index, trial))
+                .delivery(spec.delivery)
+                .build()?;
+            let mut rng = StdRng::seed_from_u64(derive_seed(
+                spec.seed ^ DECISION_SEED_SALT,
+                point.index,
+                trial,
+            ));
+            let outcome = match resolved {
+                ExecutionBackend::Agent => {
+                    let mut net = Network::new(config, noise.clone())?;
+                    run_dynamics_once(&mut net, rule, counts, &mut rng, budget)?
+                }
+                ExecutionBackend::Counting => {
+                    let mut net = CountingNetwork::new(config, noise.clone())?;
+                    run_dynamics_once(&mut net, rule, counts, &mut rng, budget)?
+                }
+                ExecutionBackend::Auto => unreachable!("resolve never returns Auto"),
+            };
+            if outcome.converged() {
+                consensus += 1;
+            }
+            if outcome.winner() == Some(plurality) {
+                correct += 1;
+            }
+            let dist = outcome.final_distribution();
+            share.push(dist.counts()[plurality.index()] as f64 / dist.num_nodes() as f64);
+            rounds.push(outcome.rounds() as f64);
+        }
+        Ok(DynamicsSummary {
+            consensus: WilsonInterval::from_trials(consensus, spec.trials),
+            correct: WilsonInterval::from_trials(correct, spec.trials),
+            share,
+            rounds,
+        })
+    }
+}
+
+fn run_dynamics_once<B: PushBackend>(
+    net: &mut B,
+    rule: RuleSpec,
+    counts: &[usize],
+    rng: &mut StdRng,
+    budget: u64,
+) -> Result<opinion_dynamics::DynamicsOutcome, SpecError> {
+    net.seed_counts(counts)?;
+    Ok(rule.build::<B>().run(net, rng, budget))
+}
+
+fn non_empty_or<T: Copy>(values: &[T], base: T) -> Vec<T> {
+    if values.is_empty() {
+        vec![base]
+    } else {
+        values.to_vec()
+    }
+}
+
+/// Surfaces the protocol's own initial-counts validation as a recoverable
+/// [`SpecError`] *before* entering the trial harness (whose entry points
+/// treat invalid counts as a harness programming error and panic), and
+/// returns the validated unique plurality opinion.
+fn validate_counts(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    counts: &[usize],
+) -> Result<Opinion, SpecError> {
+    let protocol = TwoStageProtocol::new(params.clone(), noise.clone())?;
+    Ok(protocol.validate_initial_counts(counts)?)
+}
+
+/// Materializes the initial counts of one grid point ([`InitSpec::Biased`]
+/// uses the point's bias, which the bias axis may have overridden).
+fn resolve_counts(init: &InitSpec, point: GridPoint) -> Vec<usize> {
+    match init {
+        InitSpec::Biased { bias } => {
+            biased_counts(point.n, point.k, point.bias.unwrap_or(*bias))
+        }
+        InitSpec::Counts(counts) => counts.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec};
+    use noisy_channel::NoiseSpec;
+
+    fn quick_spec(kind: ScenarioKind) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(kind, 400, 2);
+        spec.epsilon = 0.3;
+        spec.noise = NoiseSpec::Uniform { epsilon: 0.3 };
+        spec.trials = 2;
+        spec.seed = 11;
+        spec
+    }
+
+    #[test]
+    fn single_point_rumor_run_reports_one_row() {
+        let spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.points().len(), 1);
+        let PointSummary::Protocol(summary) = &report.points()[0].summary else {
+            panic!("rumor scenarios produce protocol summaries");
+        };
+        assert_eq!(summary.success.trials(), 2);
+        let table = report.to_table();
+        // No swept axis: only the four default metric columns.
+        assert_eq!(table.headers().len(), 4);
+        assert_eq!(table.num_rows(), 1);
+    }
+
+    #[test]
+    fn sweeps_expand_to_the_cartesian_product_in_axis_order() {
+        let mut spec = quick_spec(ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.2 },
+        });
+        spec.sweep.k = vec![2, 3];
+        spec.sweep.bias = vec![0.1, 0.3];
+        spec.metrics = vec![Metric::Success];
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.points().len(), 4);
+        let points: Vec<(usize, f64)> = report
+            .points()
+            .iter()
+            .map(|p| (p.point.k, p.point.bias.unwrap()))
+            .collect();
+        assert_eq!(points, vec![(2, 0.1), (2, 0.3), (3, 0.1), (3, 0.3)]);
+        let table = report.to_table();
+        assert_eq!(
+            table.headers(),
+            &["k".to_string(), "bias".to_string(), "success".to_string()]
+        );
+        assert_eq!(table.rows()[1][1], "0.3000");
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_spec() {
+        let mut spec = quick_spec(ScenarioKind::DynamicsRule {
+            rule: opinion_dynamics::RuleSpec::ThreeMajority,
+            init: InitSpec::Biased { bias: 0.3 },
+            rounds: Some(300),
+        });
+        spec.backend = ExecutionBackend::Agent;
+        let a = Runner::new(spec.clone()).unwrap().run().unwrap().to_table();
+        let b = Runner::new(spec).unwrap().run().unwrap().to_table();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dynamics_run_on_both_backends() {
+        for backend in [ExecutionBackend::Agent, ExecutionBackend::Counting] {
+            let mut spec = quick_spec(ScenarioKind::DynamicsRule {
+                rule: opinion_dynamics::RuleSpec::Voter,
+                init: InitSpec::Counts(vec![300, 100]),
+                rounds: Some(200),
+            });
+            spec.backend = backend;
+            if backend == ExecutionBackend::Counting {
+                spec.delivery = pushsim::DeliverySemantics::Poissonized;
+            }
+            let report = Runner::new(spec).unwrap().run().unwrap();
+            let PointSummary::Dynamics(summary) = &report.points()[0].summary else {
+                panic!("dynamics scenarios produce dynamics summaries");
+            };
+            assert_eq!(summary.share.len(), 2);
+        }
+    }
+
+    #[test]
+    fn stage2_only_scenarios_run() {
+        let spec = quick_spec(ScenarioKind::Stage2Only {
+            init: InitSpec::Biased { bias: 0.3 },
+        });
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        let PointSummary::Protocol(summary) = &report.points()[0].summary else {
+            panic!("stage2 scenarios produce protocol summaries");
+        };
+        assert_eq!(summary.rounds.len(), 2);
+        // Stage 2 alone has no stage-1 records, so the bias stats are empty
+        // and the metric renders as "-".
+        assert_eq!(summary.stage1_bias.len(), 0);
+    }
+
+    #[test]
+    fn invalid_counts_surface_as_spec_errors_not_panics() {
+        // Tied counts are rejected statically (the reference plurality
+        // would be arbitrary).
+        let spec = quick_spec(ScenarioKind::PluralityConsensus {
+            init: InitSpec::Counts(vec![100, 100]),
+        });
+        assert!(matches!(
+            Runner::new(spec),
+            Err(crate::spec::SpecError::Invalid(_))
+        ));
+
+        // Counts that pass static validation but violate the protocol's
+        // n-dependent rules fail as a recoverable error at run time.
+        for kind in [
+            ScenarioKind::PluralityConsensus {
+                init: InitSpec::Counts(vec![900, 100]),
+            },
+            ScenarioKind::Stage2Only {
+                init: InitSpec::Counts(vec![900, 100]),
+            },
+            ScenarioKind::DynamicsRule {
+                rule: opinion_dynamics::RuleSpec::Voter,
+                init: InitSpec::Counts(vec![900, 100]),
+                rounds: Some(10),
+            },
+        ] {
+            let spec = quick_spec(kind); // n = 400 < 900 + 100
+            let result = Runner::new(spec).unwrap().run();
+            assert!(
+                matches!(result, Err(crate::spec::SpecError::Protocol(_))),
+                "oversized counts must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn eps_sweep_reparameterizes_eps_noise_families() {
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.sweep.eps = vec![0.2, 0.4];
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.points().len(), 2);
+        // Higher eps => cleaner channel => no more rounds than the noisier
+        // point (the schedule is shorter).
+        let rounds: Vec<f64> = report
+            .points()
+            .iter()
+            .map(|p| match &p.summary {
+                PointSummary::Protocol(s) => s.rounds.mean(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(rounds[0] > rounds[1]);
+    }
+}

@@ -1,0 +1,936 @@
+//! Declarative scenario specifications — experiment runs as *data*.
+//!
+//! A [`ScenarioSpec`] describes one complete experiment: what is being run
+//! (rumor spreading, plurality consensus, a baseline dynamics rule, or
+//! Stage 2 alone), on how many nodes and opinions, under which noise
+//! family ([`NoiseSpec`]), delivery process and simulation backend, over
+//! which sweep axes, for how many trials, and from which base seed. The
+//! [`Runner`](crate::runner::Runner) executes any spec through the generic
+//! protocol/dynamics stack and renders a result table.
+//!
+//! Specs have a line-oriented `key = value` textual form that round-trips
+//! exactly ([`ScenarioSpec::to_text`] / [`ScenarioSpec::from_text`]), so a
+//! new experiment is a spec file, not a new binary:
+//!
+//! ```text
+//! # rumor spreading vs noise level
+//! scenario = rumor
+//! source = 0
+//! n = 2000
+//! k = 3
+//! epsilon = 0.25
+//! noise = uniform(0.25)
+//! delivery = exact
+//! backend = auto
+//! trials = 5
+//! seed = 242
+//! sweep.eps = 0.1, 0.15, 0.2, 0.25, 0.3, 0.4
+//! metrics = success, rounds, rounds_norm, messages
+//! ```
+//!
+//! Run it with `xp run --spec path.spec` (see the `xp` binary), or from
+//! code:
+//!
+//! ```
+//! use noisy_bench::runner::Runner;
+//! use noisy_bench::spec::ScenarioSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ScenarioSpec::from_text(
+//!     "scenario = rumor\n n = 400\n k = 2\n epsilon = 0.3\n trials = 2\n seed = 7",
+//! )?;
+//! let report = Runner::new(spec)?.run()?;
+//! assert_eq!(report.points().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use noisy_channel::{NoiseError, NoiseSpec};
+use opinion_dynamics::RuleSpec;
+use plurality_core::{ExecutionBackend, ProtocolConstants, ProtocolError};
+use pushsim::{DeliverySemantics, SimError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How the initial opinion configuration of a plurality-style scenario is
+/// specified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitSpec {
+    /// Everyone is opinionated; opinion 0 leads every rival by `bias`
+    /// (as a fraction of `n`), the rest split evenly — see
+    /// [`biased_counts`](crate::biased_counts).
+    Biased {
+        /// The initial bias towards opinion 0, in `[0, 1)`.
+        bias: f64,
+    },
+    /// Explicit per-opinion counts (must have exactly `k` entries).
+    Counts(Vec<usize>),
+}
+
+/// What kind of execution a scenario performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// Rumor spreading: a single source node holds `source`, everyone else
+    /// starts undecided (`scenario = rumor`).
+    RumorSpreading {
+        /// The source node's opinion index.
+        source: usize,
+    },
+    /// Full two-stage plurality consensus from an initial configuration
+    /// (`scenario = plurality`).
+    PluralityConsensus {
+        /// The initial opinion configuration.
+        init: InitSpec,
+    },
+    /// Only Stage 2 (the amplification stage), from an initial
+    /// configuration (`scenario = stage2`).
+    Stage2Only {
+        /// The initial opinion configuration.
+        init: InitSpec,
+    },
+    /// A baseline opinion dynamics under the same noisy push model
+    /// (`scenario = dynamics`).
+    DynamicsRule {
+        /// Which rule runs.
+        rule: RuleSpec,
+        /// The initial opinion configuration.
+        init: InitSpec,
+        /// Round budget; defaults to the two-stage protocol's own schedule
+        /// length for the same `(n, k, ε)` when absent.
+        rounds: Option<u64>,
+    },
+}
+
+impl ScenarioKind {
+    /// The `scenario = …` value naming this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::RumorSpreading { .. } => "rumor",
+            ScenarioKind::PluralityConsensus { .. } => "plurality",
+            ScenarioKind::Stage2Only { .. } => "stage2",
+            ScenarioKind::DynamicsRule { .. } => "dynamics",
+        }
+    }
+
+    /// The initial-configuration spec, for the kinds that have one.
+    pub fn init(&self) -> Option<&InitSpec> {
+        match self {
+            ScenarioKind::RumorSpreading { .. } => None,
+            ScenarioKind::PluralityConsensus { init }
+            | ScenarioKind::Stage2Only { init }
+            | ScenarioKind::DynamicsRule { init, .. } => Some(init),
+        }
+    }
+
+    fn is_dynamics(&self) -> bool {
+        matches!(self, ScenarioKind::DynamicsRule { .. })
+    }
+}
+
+/// The sweep axes of a scenario: each non-empty axis contributes one output
+/// column and the grid is the Cartesian product of all non-empty axes, in
+/// the fixed order `k`, `n`, `eps`, `bias`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepAxes {
+    /// Opinion counts to sweep (`sweep.k = 2, 3, 5`).
+    pub k: Vec<usize>,
+    /// Network sizes to sweep (`sweep.n = …`).
+    pub n: Vec<usize>,
+    /// Noise/schedule ε values to sweep (`sweep.eps = …`). Sweeping ε
+    /// re-parameterizes the noise family when it has an ε parameter
+    /// ([`NoiseSpec::with_epsilon`]); otherwise only the schedule varies.
+    pub eps: Vec<f64>,
+    /// Initial biases to sweep (`sweep.bias = …`); requires a
+    /// [`InitSpec::Biased`] initial configuration.
+    pub bias: Vec<f64>,
+}
+
+impl SweepAxes {
+    /// True if no axis is swept (the run is a single grid point).
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty() && self.n.is_empty() && self.eps.is_empty() && self.bias.is_empty()
+    }
+
+    /// Number of grid points (product of non-empty axis lengths).
+    pub fn num_points(&self) -> usize {
+        self.k.len().max(1) * self.n.len().max(1) * self.eps.len().max(1) * self.bias.len().max(1)
+    }
+}
+
+/// A result column a scenario can report.
+///
+/// Protocol scenarios (rumor / plurality / stage2) support every metric;
+/// dynamics scenarios support [`Consensus`](Metric::Consensus),
+/// [`Correct`](Metric::Correct), [`Share`](Metric::Share) and
+/// [`Rounds`](Metric::Rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Success rate (consensus on the correct opinion), Wilson interval.
+    Success,
+    /// Mean rounds to completion.
+    Rounds,
+    /// Mean rounds normalized by the paper's `ln n / ε²` bound.
+    RoundsNorm,
+    /// Mean messages sent.
+    Messages,
+    /// Mean bias towards the correct opinion at the end of Stage 1.
+    Stage1Bias,
+    /// Stage-1 end bias relative to the Stage 2 threshold `√(ln n / n)`.
+    Stage1BiasNorm,
+    /// Mean per-node memory footprint in bits.
+    MemoryBits,
+    /// Exact-consensus rate (any opinion), Wilson interval.
+    Consensus,
+    /// Correct-plurality rate (the plurality opinion wins), Wilson interval.
+    Correct,
+    /// Mean final share of the plurality opinion.
+    Share,
+}
+
+impl Metric {
+    /// All metrics, in canonical order.
+    pub const ALL: [Metric; 10] = [
+        Metric::Success,
+        Metric::Rounds,
+        Metric::RoundsNorm,
+        Metric::Messages,
+        Metric::Stage1Bias,
+        Metric::Stage1BiasNorm,
+        Metric::MemoryBits,
+        Metric::Consensus,
+        Metric::Correct,
+        Metric::Share,
+    ];
+
+    /// The spec-file name of the metric (`metrics = success, rounds, …`).
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            Metric::Success => "success",
+            Metric::Rounds => "rounds",
+            Metric::RoundsNorm => "rounds_norm",
+            Metric::Messages => "messages",
+            Metric::Stage1Bias => "stage1_bias",
+            Metric::Stage1BiasNorm => "stage1_bias_norm",
+            Metric::MemoryBits => "memory_bits",
+            Metric::Consensus => "consensus",
+            Metric::Correct => "correct",
+            Metric::Share => "share",
+        }
+    }
+
+    /// The table column header of the metric.
+    pub fn header(self) -> &'static str {
+        match self {
+            Metric::Success => "success",
+            Metric::Rounds => "rounds",
+            Metric::RoundsNorm => "rounds / (ln n / eps^2)",
+            Metric::Messages => "messages",
+            Metric::Stage1Bias => "stage-1 bias",
+            Metric::Stage1BiasNorm => "stage-1 bias / threshold",
+            Metric::MemoryBits => "memory bits/node",
+            Metric::Consensus => "exact consensus",
+            Metric::Correct => "correct plurality",
+            Metric::Share => "mean plurality share",
+        }
+    }
+
+    /// True if a dynamics scenario can report this metric.
+    pub fn supports_dynamics(self) -> bool {
+        matches!(
+            self,
+            Metric::Consensus | Metric::Correct | Metric::Share | Metric::Rounds
+        )
+    }
+
+    fn from_spec_name(s: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.spec_name() == s)
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec_name())
+    }
+}
+
+/// A complete, serializable description of one experiment run.
+///
+/// See the [module docs](self) for the textual form. Field defaults (used
+/// by [`ScenarioSpec::new`] and when a key is absent from a spec file):
+/// `epsilon = 0.2`, `noise = uniform(epsilon)`, `delivery = exact`,
+/// `backend = auto`, default [`ProtocolConstants`], `trials = 1`,
+/// `seed = 0`, no sweep axes, default metrics for the kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// What is being run.
+    pub kind: ScenarioKind,
+    /// Base network size `n` (overridden per point by `sweep.n`).
+    pub n: usize,
+    /// Base opinion count `k` (overridden per point by `sweep.k`).
+    pub k: usize,
+    /// Base schedule ε (overridden per point by `sweep.eps`).
+    pub epsilon: f64,
+    /// The noise family and parameters.
+    pub noise: NoiseSpec,
+    /// Delivery semantics (process O, B or P).
+    pub delivery: DeliverySemantics,
+    /// Requested simulation backend.
+    pub backend: ExecutionBackend,
+    /// Protocol constants (spec files override individual fields with
+    /// `constants.<name> = value`).
+    pub constants: ProtocolConstants,
+    /// Independent trials per grid point.
+    pub trials: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Sweep axes.
+    pub sweep: SweepAxes,
+    /// Result columns; empty means [`default_metrics`](Self::default_metrics).
+    pub metrics: Vec<Metric>,
+}
+
+impl ScenarioSpec {
+    /// A single-point spec for `kind` with all other fields at their
+    /// defaults (see the type-level docs).
+    pub fn new(kind: ScenarioKind, n: usize, k: usize) -> Self {
+        Self {
+            kind,
+            n,
+            k,
+            epsilon: 0.2,
+            noise: NoiseSpec::Uniform { epsilon: 0.2 },
+            delivery: DeliverySemantics::Exact,
+            backend: ExecutionBackend::Auto,
+            constants: ProtocolConstants::default(),
+            trials: 1,
+            seed: 0,
+            sweep: SweepAxes::default(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The metric columns used when [`metrics`](Self::metrics) is empty:
+    /// `success, rounds, rounds_norm, messages` for protocol scenarios and
+    /// `consensus, correct, share, rounds` for dynamics scenarios.
+    pub fn default_metrics(&self) -> Vec<Metric> {
+        if self.kind.is_dynamics() {
+            vec![Metric::Consensus, Metric::Correct, Metric::Share, Metric::Rounds]
+        } else {
+            vec![Metric::Success, Metric::Rounds, Metric::RoundsNorm, Metric::Messages]
+        }
+    }
+
+    /// The metric columns this spec reports (explicit or default).
+    pub fn effective_metrics(&self) -> Vec<Metric> {
+        if self.metrics.is_empty() {
+            self.default_metrics()
+        } else {
+            self.metrics.clone()
+        }
+    }
+
+    /// Checks cross-field consistency (axis/kind compatibility, metric
+    /// support, non-degenerate trials). Parameter *ranges* are validated by
+    /// the underlying builders when the run is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.trials == 0 {
+            return Err(SpecError::Invalid("trials must be at least 1".into()));
+        }
+        let ks = if self.sweep.k.is_empty() {
+            std::slice::from_ref(&self.k)
+        } else {
+            &self.sweep.k
+        };
+        if let ScenarioKind::RumorSpreading { source } = self.kind {
+            if let Some(&bad) = ks.iter().find(|&&k| source >= k) {
+                return Err(SpecError::Invalid(format!(
+                    "source opinion {source} is out of range for k = {bad}"
+                )));
+            }
+            if !self.sweep.bias.is_empty() {
+                return Err(SpecError::Invalid(
+                    "sweep.bias applies only to scenarios with an initial configuration \
+                     (plurality, stage2, dynamics)"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(init) = self.kind.init() {
+            match init {
+                InitSpec::Biased { bias } => {
+                    let biases = if self.sweep.bias.is_empty() {
+                        std::slice::from_ref(bias)
+                    } else {
+                        &self.sweep.bias
+                    };
+                    if let Some(&bad) =
+                        biases.iter().find(|b| !(0.0..1.0).contains(*b) || !b.is_finite())
+                    {
+                        return Err(SpecError::Invalid(format!(
+                            "initial bias {bad} must lie in [0, 1)"
+                        )));
+                    }
+                }
+                InitSpec::Counts(counts) => {
+                    if !self.sweep.bias.is_empty() {
+                        return Err(SpecError::Invalid(
+                            "sweep.bias requires a `bias = …` initial configuration, \
+                             not explicit counts"
+                                .into(),
+                        ));
+                    }
+                    if let Some(&bad) = ks.iter().find(|&&k| counts.len() != k) {
+                        return Err(SpecError::Invalid(format!(
+                            "counts has {} entries but k = {bad}",
+                            counts.len()
+                        )));
+                    }
+                    // The reference opinion of every scenario kind is the
+                    // unique plurality; ties would make the correct/share
+                    // metrics measure an arbitrary opinion.
+                    let max = counts.iter().max().copied().unwrap_or(0);
+                    if counts.iter().filter(|&&c| c == max).count() != 1 {
+                        return Err(SpecError::Invalid(
+                            "explicit counts must have a unique plurality opinion".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        if self.kind.is_dynamics() {
+            if let Some(bad) = self
+                .effective_metrics()
+                .into_iter()
+                .find(|m| !m.supports_dynamics())
+            {
+                return Err(SpecError::Invalid(format!(
+                    "metric {bad} is not reported by dynamics scenarios"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the spec in its canonical `key = value` textual form.
+    ///
+    /// The output parses back to an equal spec with
+    /// [`from_text`](Self::from_text).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(out, "{k} = {v}");
+        };
+        line("scenario", self.kind.name().to_string());
+        match &self.kind {
+            ScenarioKind::RumorSpreading { source } => line("source", source.to_string()),
+            ScenarioKind::PluralityConsensus { init } | ScenarioKind::Stage2Only { init } => {
+                init_lines(&mut line, init);
+            }
+            ScenarioKind::DynamicsRule { rule, init, rounds } => {
+                line("rule", rule.to_string());
+                init_lines(&mut line, init);
+                if let Some(rounds) = rounds {
+                    line("rounds", rounds.to_string());
+                }
+            }
+        }
+        line("n", self.n.to_string());
+        line("k", self.k.to_string());
+        line("epsilon", self.epsilon.to_string());
+        line("noise", self.noise.to_string());
+        line("delivery", self.delivery.spec_name().to_string());
+        line("backend", backend_name(self.backend).to_string());
+        line("trials", self.trials.to_string());
+        line("seed", self.seed.to_string());
+        let defaults = ProtocolConstants::default();
+        for name in ProtocolConstants::FIELD_NAMES {
+            let value = self.constants.get(name).expect("listed field");
+            if value != defaults.get(name).expect("listed field") {
+                line(&format!("constants.{name}"), value.to_string());
+            }
+        }
+        if !self.sweep.k.is_empty() {
+            line("sweep.k", join(&self.sweep.k));
+        }
+        if !self.sweep.n.is_empty() {
+            line("sweep.n", join(&self.sweep.n));
+        }
+        if !self.sweep.eps.is_empty() {
+            line("sweep.eps", join(&self.sweep.eps));
+        }
+        if !self.sweep.bias.is_empty() {
+            line("sweep.bias", join(&self.sweep.bias));
+        }
+        if !self.metrics.is_empty() {
+            line("metrics", join(&self.metrics));
+        }
+        out
+    }
+
+    /// Parses a spec from its textual form. `#` starts a comment; blank
+    /// lines are ignored; keys may appear in any order but at most once.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] (with the 1-based line number) for syntax
+    /// errors, unknown or duplicate keys, and malformed values;
+    /// [`SpecError::Invalid`] if the assembled spec fails
+    /// [`validate`](Self::validate).
+    pub fn from_text(text: &str) -> Result<Self, SpecError> {
+        let mut map: BTreeMap<&str, (usize, &str)> = BTreeMap::new();
+        for (index, raw) in text.lines().enumerate() {
+            let lineno = index + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| SpecError::Parse {
+                line: lineno,
+                message: format!("expected `key = value`, got {line:?}"),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            if map.insert(key, (lineno, value)).is_some() {
+                return Err(SpecError::Parse {
+                    line: lineno,
+                    message: format!("duplicate key {key:?}"),
+                });
+            }
+        }
+
+        let scenario = take_required(&mut map, "scenario")?;
+        let kind = match scenario.1 {
+            "rumor" => ScenarioKind::RumorSpreading {
+                source: take_parsed(&mut map, "source")?.unwrap_or(0),
+            },
+            "plurality" => ScenarioKind::PluralityConsensus {
+                init: take_init(&mut map)?,
+            },
+            "stage2" => ScenarioKind::Stage2Only {
+                init: take_init(&mut map)?,
+            },
+            "dynamics" => {
+                let (line, rule) = take_required(&mut map, "rule")?;
+                let rule: RuleSpec = rule
+                    .parse()
+                    .map_err(|message: String| SpecError::Parse { line, message })?;
+                ScenarioKind::DynamicsRule {
+                    rule,
+                    init: take_init(&mut map)?,
+                    rounds: take_parsed(&mut map, "rounds")?,
+                }
+            }
+            other => {
+                return Err(SpecError::Parse {
+                    line: scenario.0,
+                    message: format!(
+                        "unknown scenario {other:?} (expected rumor, plurality, stage2 \
+                         or dynamics)"
+                    ),
+                })
+            }
+        };
+
+        let n = take_parsed(&mut map, "n")?.ok_or(SpecError::Missing { key: "n" })?;
+        let k = take_parsed(&mut map, "k")?.ok_or(SpecError::Missing { key: "k" })?;
+        let epsilon: f64 = take_parsed(&mut map, "epsilon")?.unwrap_or(0.2);
+        let noise = match map.remove("noise") {
+            Some((line, value)) => value
+                .parse::<NoiseSpec>()
+                .map_err(|e| SpecError::Parse {
+                    line,
+                    message: e.to_string(),
+                })?,
+            None => NoiseSpec::Uniform { epsilon },
+        };
+        let delivery = take_from_str(&mut map, "delivery")?.unwrap_or(DeliverySemantics::Exact);
+        let backend = take_from_str(&mut map, "backend")?.unwrap_or(ExecutionBackend::Auto);
+
+        let mut constants = ProtocolConstants::default();
+        for name in ProtocolConstants::FIELD_NAMES {
+            let key = format!("constants.{name}");
+            if let Some((line, value)) = map.remove(key.as_str()) {
+                let value: f64 = value.parse().map_err(|_| SpecError::Parse {
+                    line,
+                    message: format!("malformed number {value:?} for {key}"),
+                })?;
+                assert!(constants.set(name, value), "FIELD_NAMES entries are settable");
+            }
+        }
+
+        let trials = take_parsed(&mut map, "trials")?.unwrap_or(1);
+        let seed = take_parsed(&mut map, "seed")?.unwrap_or(0);
+        let sweep = SweepAxes {
+            k: take_list(&mut map, "sweep.k")?,
+            n: take_list(&mut map, "sweep.n")?,
+            eps: take_list(&mut map, "sweep.eps")?,
+            bias: take_list(&mut map, "sweep.bias")?,
+        };
+        let metrics = match map.remove("metrics") {
+            None => Vec::new(),
+            Some((line, value)) => value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    Metric::from_spec_name(s).ok_or_else(|| SpecError::Parse {
+                        line,
+                        message: format!("unknown metric {s:?}"),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        if let Some((&key, &(line, _))) = map.iter().next() {
+            return Err(SpecError::Parse {
+                line,
+                message: format!("unknown key {key:?} for scenario {scenario}", scenario = kind.name()),
+            });
+        }
+
+        let spec = ScenarioSpec {
+            kind,
+            n,
+            k,
+            epsilon,
+            noise,
+            delivery,
+            backend,
+            constants,
+            trials,
+            seed,
+            sweep,
+            metrics,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn init_lines(line: &mut impl FnMut(&str, String), init: &InitSpec) {
+    match init {
+        InitSpec::Biased { bias } => line("bias", bias.to_string()),
+        InitSpec::Counts(counts) => line("counts", join(counts)),
+    }
+}
+
+fn backend_name(backend: ExecutionBackend) -> &'static str {
+    match backend {
+        ExecutionBackend::Agent => "agent",
+        ExecutionBackend::Counting => "counting",
+        ExecutionBackend::Auto => "auto",
+    }
+}
+
+fn join<T: fmt::Display>(values: &[T]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+type RawMap<'a> = BTreeMap<&'a str, (usize, &'a str)>;
+
+fn take_required<'a>(map: &mut RawMap<'a>, key: &'static str) -> Result<(usize, &'a str), SpecError> {
+    map.remove(key).ok_or(SpecError::Missing { key })
+}
+
+fn take_parsed<T: std::str::FromStr>(
+    map: &mut RawMap<'_>,
+    key: &'static str,
+) -> Result<Option<T>, SpecError> {
+    match map.remove(key) {
+        None => Ok(None),
+        Some((line, value)) => value.parse().map(Some).map_err(|_| SpecError::Parse {
+            line,
+            message: format!("malformed value {value:?} for {key}"),
+        }),
+    }
+}
+
+fn take_from_str<T>(map: &mut RawMap<'_>, key: &'static str) -> Result<Option<T>, SpecError>
+where
+    T: std::str::FromStr<Err = String>,
+{
+    match map.remove(key) {
+        None => Ok(None),
+        Some((line, value)) => value
+            .parse()
+            .map(Some)
+            .map_err(|message| SpecError::Parse { line, message }),
+    }
+}
+
+fn take_list<T: std::str::FromStr>(
+    map: &mut RawMap<'_>,
+    key: &'static str,
+) -> Result<Vec<T>, SpecError> {
+    match map.remove(key) {
+        None => Ok(Vec::new()),
+        Some((line, value)) => value
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse().map_err(|_| SpecError::Parse {
+                    line,
+                    message: format!("malformed list entry {s:?} for {key}"),
+                })
+            })
+            .collect(),
+    }
+}
+
+fn take_init(map: &mut RawMap<'_>) -> Result<InitSpec, SpecError> {
+    let bias: Option<f64> = take_parsed(map, "bias")?;
+    let counts: Vec<usize> = take_list(map, "counts")?;
+    match (bias, counts.is_empty()) {
+        (Some(_), false) => Err(SpecError::Invalid(
+            "give either `bias = …` or `counts = …`, not both".into(),
+        )),
+        (Some(bias), true) => Ok(InitSpec::Biased { bias }),
+        (None, false) => Ok(InitSpec::Counts(counts)),
+        (None, true) => Err(SpecError::Missing { key: "bias (or counts)" }),
+    }
+}
+
+/// Errors from parsing, validating or executing a [`ScenarioSpec`].
+#[derive(Debug)]
+pub enum SpecError {
+    /// A line of the textual form could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A required key is absent.
+    Missing {
+        /// The missing key.
+        key: &'static str,
+    },
+    /// The spec is syntactically fine but internally inconsistent.
+    Invalid(String),
+    /// Protocol parameter validation failed when materializing a run.
+    Protocol(ProtocolError),
+    /// Noise-matrix construction failed when materializing a run.
+    Noise(NoiseError),
+    /// Simulator configuration failed when materializing a run.
+    Sim(SimError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { line, message } => write!(f, "spec line {line}: {message}"),
+            SpecError::Missing { key } => write!(f, "spec is missing required key `{key}`"),
+            SpecError::Invalid(message) => write!(f, "invalid spec: {message}"),
+            SpecError::Protocol(e) => write!(f, "invalid protocol parameters: {e}"),
+            SpecError::Noise(e) => write!(f, "invalid noise matrix: {e}"),
+            SpecError::Sim(e) => write!(f, "invalid simulation config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Protocol(e) => Some(e),
+            SpecError::Noise(e) => Some(e),
+            SpecError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for SpecError {
+    fn from(e: ProtocolError) -> Self {
+        SpecError::Protocol(e)
+    }
+}
+
+impl From<NoiseError> for SpecError {
+    fn from(e: NoiseError) -> Self {
+        SpecError::Noise(e)
+    }
+}
+
+impl From<SimError> for SpecError {
+    fn from(e: SimError) -> Self {
+        SpecError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rumor_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(ScenarioKind::RumorSpreading { source: 1 }, 2_000, 3);
+        spec.epsilon = 0.25;
+        spec.noise = NoiseSpec::Uniform { epsilon: 0.25 };
+        spec.trials = 5;
+        spec.seed = 242;
+        spec.sweep.eps = vec![0.1, 0.15, 0.2];
+        spec.metrics = vec![Metric::Success, Metric::Rounds];
+        spec
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        let spec = rumor_spec();
+        let text = spec.to_text();
+        let parsed = ScenarioSpec::from_text(&text).expect("canonical text parses");
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn dynamics_and_counts_round_trip() {
+        let mut spec = ScenarioSpec::new(
+            ScenarioKind::DynamicsRule {
+                rule: RuleSpec::HMajority { h: 15 },
+                init: InitSpec::Counts(vec![500, 300, 200]),
+                rounds: Some(1_200),
+            },
+            1_000,
+            3,
+        );
+        spec.constants.c = 12.0;
+        spec.delivery = DeliverySemantics::Poissonized;
+        spec.backend = ExecutionBackend::Counting;
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_order_are_tolerated() {
+        let spec = ScenarioSpec::from_text(
+            "# a comment\n\n  k = 2\nscenario = plurality  # trailing comment\n bias = 0.1\n n = 500\n",
+        )
+        .unwrap();
+        assert_eq!(spec.k, 2);
+        assert_eq!(spec.n, 500);
+        assert_eq!(
+            spec.kind,
+            ScenarioKind::PluralityConsensus {
+                init: InitSpec::Biased { bias: 0.1 }
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = ScenarioSpec::from_text("scenario = rumor\nn = 100\nk = 2\nwobble = 3\n")
+            .unwrap_err();
+        match err {
+            SpecError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("wobble"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = ScenarioSpec::from_text("scenario = rumor\nn = 100\nn = 200\nk = 2\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_required_keys_are_reported() {
+        assert!(matches!(
+            ScenarioSpec::from_text("scenario = rumor\nk = 2\n"),
+            Err(SpecError::Missing { key: "n" })
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_text("scenario = plurality\nn = 100\nk = 2\n"),
+            Err(SpecError::Missing { .. })
+        ));
+        assert!(matches!(
+            ScenarioSpec::from_text("scenario = dynamics\nn = 100\nk = 2\nbias = 0.1\n"),
+            Err(SpecError::Missing { key: "rule" })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        let mut spec = rumor_spec();
+        spec.sweep.bias = vec![0.1];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+
+        let mut spec = ScenarioSpec::new(ScenarioKind::RumorSpreading { source: 5 }, 100, 3);
+        assert!(spec.validate().is_err());
+        spec.kind = ScenarioKind::RumorSpreading { source: 2 };
+        assert!(spec.validate().is_ok());
+
+        let mut spec = ScenarioSpec::new(
+            ScenarioKind::PluralityConsensus {
+                init: InitSpec::Counts(vec![60, 40]),
+            },
+            100,
+            3,
+        );
+        assert!(spec.validate().is_err(), "2 counts for k = 3");
+        spec.k = 2;
+        assert!(spec.validate().is_ok());
+        spec.kind = ScenarioKind::PluralityConsensus {
+            init: InitSpec::Counts(vec![50, 50]),
+        };
+        assert!(spec.validate().is_err(), "tied counts have no unique plurality");
+
+        let mut spec = ScenarioSpec::new(
+            ScenarioKind::DynamicsRule {
+                rule: RuleSpec::Voter,
+                init: InitSpec::Biased { bias: 0.1 },
+                rounds: None,
+            },
+            100,
+            2,
+        );
+        spec.metrics = vec![Metric::Stage1Bias];
+        assert!(spec.validate().is_err(), "stage-1 bias is protocol-only");
+        spec.metrics = vec![Metric::Share, Metric::Rounds];
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn default_metrics_depend_on_the_kind() {
+        let rumor = ScenarioSpec::new(ScenarioKind::RumorSpreading { source: 0 }, 100, 2);
+        assert_eq!(
+            rumor.default_metrics(),
+            vec![Metric::Success, Metric::Rounds, Metric::RoundsNorm, Metric::Messages]
+        );
+        let dynamics = ScenarioSpec::new(
+            ScenarioKind::DynamicsRule {
+                rule: RuleSpec::Voter,
+                init: InitSpec::Biased { bias: 0.1 },
+                rounds: None,
+            },
+            100,
+            2,
+        );
+        assert_eq!(
+            dynamics.default_metrics(),
+            vec![Metric::Consensus, Metric::Correct, Metric::Share, Metric::Rounds]
+        );
+    }
+
+    #[test]
+    fn noise_defaults_to_uniform_at_the_schedule_epsilon() {
+        let spec =
+            ScenarioSpec::from_text("scenario = rumor\nn = 100\nk = 2\nepsilon = 0.3\n").unwrap();
+        assert_eq!(spec.noise, NoiseSpec::Uniform { epsilon: 0.3 });
+    }
+
+    #[test]
+    fn sweep_axes_count_points() {
+        let mut axes = SweepAxes::default();
+        assert!(axes.is_empty());
+        assert_eq!(axes.num_points(), 1);
+        axes.k = vec![2, 3];
+        axes.eps = vec![0.1, 0.2, 0.3];
+        assert_eq!(axes.num_points(), 6);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixed-seed parity test: the spec-API registry reproduces the
+//! pre-redesign harness bit for bit.
+//!
+//! `fixtures/f2_quick_pre_redesign.jsonl` is the verbatim `--json` output
+//! of the old hand-wired `fig_f2_rounds_vs_eps` binary (quick grid,
+//! default backend), captured immediately before the binaries were
+//! collapsed into the registry. Running the registry's `f2` spec through
+//! the generic [`Runner`] must produce identical rows: same sweep
+//! expansion, same parameter construction, same seeds, same trial
+//! parallelism semantics, same formatting.
+
+use noisy_bench::registry;
+use noisy_bench::runner::Runner;
+use noisy_bench::Scale;
+
+const PRE_REDESIGN: &str = include_str!("fixtures/f2_quick_pre_redesign.jsonl");
+
+#[test]
+fn f2_registry_run_matches_the_pre_redesign_binary_output() {
+    let experiment = registry::find("f2").expect("f2 is registered");
+    let spec = experiment
+        .spec(Scale::Quick)
+        .expect("f2 is spec-backed");
+    let report = Runner::new(spec).unwrap().run().unwrap();
+    let json = report.to_table().to_json_lines();
+    assert_eq!(
+        json, PRE_REDESIGN,
+        "registry f2 must reproduce the pre-redesign binary bit for bit"
+    );
+}

@@ -1,0 +1,43 @@
+//! Registry smoke test: every registered experiment runs end to end at
+//! quick scale.
+//!
+//! The run uses the CLI's `--trials`/`--backend` overrides to keep the
+//! suite fast: two trials per cell and the O(k²)-per-phase counting
+//! backend for protocol runs (experiments that are inherently agent-level,
+//! like F8's delivery comparison, ignore the backend override by design).
+
+use noisy_bench::{registry, Cli, Scale};
+use plurality_core::ExecutionBackend;
+
+fn smoke_cli() -> Cli {
+    Cli {
+        scale: Scale::Quick,
+        json: true,
+        backend: Some(ExecutionBackend::Counting),
+        trials: Some(2),
+        seed: None,
+    }
+}
+
+#[test]
+fn every_registered_experiment_runs_at_quick_scale() {
+    let cli = smoke_cli();
+    for experiment in registry::all() {
+        registry::run(experiment, &cli)
+            .unwrap_or_else(|e| panic!("experiment {} failed: {e}", experiment.name));
+    }
+}
+
+#[test]
+fn spec_backed_experiments_expose_valid_specs_at_both_scales() {
+    for experiment in registry::all() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let Some(spec) = experiment.spec(scale) else {
+                continue;
+            };
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} spec invalid at {scale:?}: {e}", experiment.name));
+            assert!(spec.sweep.num_points() >= 1);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the scenario spec text format: every valid
+//! [`ScenarioSpec`] serializes to text that parses back to an equal spec,
+//! and the serialization is canonical.
+
+use noisy_bench::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, SweepAxes};
+use noisy_channel::NoiseSpec;
+use opinion_dynamics::RuleSpec;
+use plurality_core::ExecutionBackend;
+use proptest::prelude::*;
+use pushsim::DeliverySemantics;
+
+fn noise_strategy() -> impl Strategy<Value = NoiseSpec> {
+    prop_oneof![
+        (0.01f64..0.6).prop_map(|epsilon| NoiseSpec::Uniform { epsilon }),
+        (0.01f64..0.5).prop_map(|epsilon| NoiseSpec::BinaryFlip { epsilon }),
+        (0.01f64..0.49).prop_map(|lambda| NoiseSpec::Cyclic { lambda }),
+        ((0.01f64..0.99), 0usize..4)
+            .prop_map(|(lambda, target)| NoiseSpec::Reset { lambda, target }),
+        (0.01f64..0.5).prop_map(|epsilon| NoiseSpec::DiagonallyDominant { epsilon }),
+        ((0.3f64..0.7), (0.05f64..0.2), (0.0f64..0.1)).prop_map(|(p, q_low, extra)| {
+            NoiseSpec::Band {
+                p,
+                q_low,
+                q_high: q_low + extra,
+            }
+        }),
+    ]
+}
+
+fn rule_strategy() -> impl Strategy<Value = RuleSpec> {
+    prop_oneof![
+        Just(RuleSpec::Voter),
+        Just(RuleSpec::ThreeMajority),
+        (1u32..100).prop_map(|h| RuleSpec::HMajority { h }),
+        Just(RuleSpec::Undecided),
+        Just(RuleSpec::Median),
+    ]
+}
+
+fn init_strategy(k: usize) -> impl Strategy<Value = InitSpec> {
+    prop_oneof![
+        (0.0f64..0.9).prop_map(|bias| InitSpec::Biased { bias }),
+        prop::collection::vec(1usize..10_000, k).prop_map(|mut counts| {
+            // Valid specs need a unique plurality opinion.
+            let max = counts.iter().max().copied().unwrap_or(0);
+            counts[0] = max + 1;
+            InitSpec::Counts(counts)
+        }),
+    ]
+}
+
+/// A kind consistent with the opinion count `k` by construction: the rumor
+/// source is below `k` and explicit counts have exactly `k` entries.
+fn kind_strategy(k: usize) -> impl Strategy<Value = ScenarioKind> {
+    prop_oneof![
+        (0..k).prop_map(|source| ScenarioKind::RumorSpreading { source }),
+        init_strategy(k).prop_map(|init| ScenarioKind::PluralityConsensus { init }),
+        init_strategy(k).prop_map(|init| ScenarioKind::Stage2Only { init }),
+        (rule_strategy(), init_strategy(k), prop::option::of(1u64..100_000)).prop_map(
+            |(rule, init, rounds)| ScenarioKind::DynamicsRule { rule, init, rounds }
+        ),
+    ]
+}
+
+/// Sweep axes consistent with the kind: a bias axis only for biased
+/// initial configurations, no k axis (so per-k structures like explicit
+/// counts stay valid).
+fn sweep_strategy(kind: &ScenarioKind) -> BoxedStrategy<SweepAxes> {
+    let bias_axis: BoxedStrategy<Vec<f64>> =
+        if matches!(kind.init(), Some(InitSpec::Biased { .. })) {
+            prop::collection::vec(0.0f64..0.9, 0..3).boxed()
+        } else {
+            Just(Vec::new()).boxed()
+        };
+    (
+        prop::collection::vec(100usize..50_000, 0..3),
+        prop::collection::vec(0.01f64..0.6, 0..4),
+        bias_axis,
+    )
+        .prop_map(|(n, eps, bias)| SweepAxes {
+            k: Vec::new(),
+            n,
+            eps,
+            bias,
+        })
+        .boxed()
+}
+
+fn metrics_strategy(kind: &ScenarioKind) -> BoxedStrategy<Vec<Metric>> {
+    let pool: Vec<Metric> = if matches!(kind, ScenarioKind::DynamicsRule { .. }) {
+        Metric::ALL
+            .into_iter()
+            .filter(|m| m.supports_dynamics())
+            .collect()
+    } else {
+        Metric::ALL.to_vec()
+    };
+    prop::collection::vec(prop::sample::select(pool), 0..5).boxed()
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (2usize..6)
+        .prop_flat_map(|k| (Just(k), kind_strategy(k)))
+        .prop_flat_map(|(k, kind)| {
+            let sweep = sweep_strategy(&kind);
+            let metrics = metrics_strategy(&kind);
+            (
+                (Just(k), Just(kind), 100usize..100_000, 0.01f64..0.9),
+                (
+                    noise_strategy(),
+                    prop::sample::select(DeliverySemantics::ALL.to_vec()),
+                    prop::sample::select(vec![
+                        ExecutionBackend::Agent,
+                        ExecutionBackend::Counting,
+                        ExecutionBackend::Auto,
+                    ]),
+                ),
+                (1u64..50, 0u64..u64::MAX, sweep, metrics),
+                (0.01f64..1.0, 0.5f64..4.0),
+            )
+        })
+        .prop_map(|(base, channel, run, consts)| {
+            let (k, kind, n, epsilon) = base;
+            let (noise, delivery, backend) = channel;
+            let (trials, seed, sweep, metrics) = run;
+            let mut spec = ScenarioSpec::new(kind, n, k);
+            spec.epsilon = epsilon;
+            spec.noise = noise;
+            spec.delivery = delivery;
+            spec.backend = backend;
+            spec.trials = trials;
+            spec.seed = seed;
+            spec.sweep = sweep;
+            spec.metrics = metrics;
+            // Exercise non-default constants while keeping the
+            // phi > beta > s ordering the params builder validates.
+            let (s, gap) = consts;
+            spec.constants.set("s", s);
+            spec.constants.set("beta", s + gap);
+            spec.constants.set("phi", s + 2.0 * gap);
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generated specs are valid by construction, and spec -> text -> spec
+    /// is the identity for every one of them.
+    #[test]
+    fn text_form_round_trips(spec in spec_strategy()) {
+        prop_assert!(spec.validate().is_ok(), "generator produced an invalid spec: {spec:?}");
+        let text = spec.to_text();
+        let parsed = ScenarioSpec::from_text(&text)
+            .unwrap_or_else(|e| panic!("serialized spec must parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Serialization is canonical: parsing and re-serializing reproduces
+    /// byte-identical text.
+    #[test]
+    fn text_form_is_canonical(spec in spec_strategy()) {
+        let text = spec.to_text();
+        let reparsed = ScenarioSpec::from_text(&text).unwrap();
+        prop_assert_eq!(reparsed.to_text(), text);
+    }
+}

@@ -51,6 +51,37 @@ impl Default for ProtocolConstants {
 }
 
 impl ProtocolConstants {
+    /// The names of the tunable constants, in canonical order — the key
+    /// suffixes scenario spec files use (`constants.c = 8`, …).
+    pub const FIELD_NAMES: [&'static str; 5] = ["s", "beta", "phi", "c", "c_final"];
+
+    /// Reads a constant by its [`FIELD_NAMES`](Self::FIELD_NAMES) name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        match name {
+            "s" => Some(self.s),
+            "beta" => Some(self.beta),
+            "phi" => Some(self.phi),
+            "c" => Some(self.c),
+            "c_final" => Some(self.c_final),
+            _ => None,
+        }
+    }
+
+    /// Overwrites a constant by name; returns `false` (and changes nothing)
+    /// for an unknown name. Range validation still happens at
+    /// [`ProtocolParamsBuilder::build`], the single validation point.
+    pub fn set(&mut self, name: &str, value: f64) -> bool {
+        match name {
+            "s" => self.s = value,
+            "beta" => self.beta = value,
+            "phi" => self.phi = value,
+            "c" => self.c = value,
+            "c_final" => self.c_final = value,
+            _ => return false,
+        }
+        true
+    }
+
     fn validate(&self) -> Result<(), ProtocolError> {
         let checks = [
             ("s", self.s),
@@ -443,6 +474,18 @@ mod tests {
         let c = ProtocolConstants::default();
         assert!(c.phi > c.beta && c.beta > c.s && c.s > 0.0);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn constants_are_addressable_by_name() {
+        let mut c = ProtocolConstants::default();
+        for name in ProtocolConstants::FIELD_NAMES {
+            let value = c.get(name).expect("every listed field is readable");
+            assert!(c.set(name, value + 0.5));
+            assert_eq!(c.get(name), Some(value + 0.5));
+        }
+        assert_eq!(c.get("gamma"), None);
+        assert!(!c.set("gamma", 1.0));
     }
 
     #[test]

@@ -453,7 +453,21 @@ impl TwoStageProtocol {
 
     /// Validates plurality-instance initial counts and returns the unique
     /// plurality opinion (the run's reference).
-    fn validate_initial_counts(&self, initial_counts: &[usize]) -> Result<Opinion, ProtocolError> {
+    ///
+    /// Public so callers that assemble runs from external data (the
+    /// experiment harness's scenario specs) can surface the same
+    /// validation as a recoverable error instead of reaching the
+    /// `run_*` entry points with inputs they will reject.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadInitialCounts`] unless `initial_counts` has
+    /// exactly `k` entries, sums to something in `1..=n`, and has a unique
+    /// maximum (the plurality opinion the run measures success against).
+    pub fn validate_initial_counts(
+        &self,
+        initial_counts: &[usize],
+    ) -> Result<Opinion, ProtocolError> {
         let k = self.params.num_opinions();
         let n = self.params.num_nodes();
         if initial_counts.len() != k {

@@ -92,12 +92,14 @@
 mod majority;
 mod median;
 mod outcome;
+mod rule;
 mod undecided;
 mod voter;
 
 pub use majority::{HMajority, ThreeMajority};
 pub use median::MedianRule;
 pub use outcome::DynamicsOutcome;
+pub use rule::RuleSpec;
 pub use undecided::UndecidedState;
 pub use voter::Voter;
 

@@ -1,0 +1,145 @@
+//! Declarative selection of a baseline dynamics rule.
+//!
+//! A [`RuleSpec`] names one of this crate's dynamics together with its
+//! parameters, deferring the choice of simulation backend: the boxed rule
+//! is materialized per run with [`RuleSpec::build`], which is generic over
+//! [`PushBackend`]. This is what makes the baselines configurable from
+//! scenario spec files — the experiment layer stores the textual form
+//! (`voter`, `h-majority(15)`, …) and instantiates the rule on whichever
+//! backend the run resolves to.
+//!
+//! ```
+//! use opinion_dynamics::RuleSpec;
+//! use pushsim::Network;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec: RuleSpec = "h-majority(15)".parse()?;
+//! let rule = spec.build::<Network>();
+//! assert_eq!(rule.name(), "h-majority");
+//! // The canonical text form round-trips.
+//! assert_eq!(spec.to_string().parse::<RuleSpec>()?, spec);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Dynamics, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter};
+use pushsim::PushBackend;
+use std::fmt;
+use std::str::FromStr;
+
+/// A baseline dynamics rule plus its parameters, independent of the
+/// simulation backend.
+///
+/// Textual forms accepted by [`FromStr`] (and produced by `Display`):
+/// `voter`, `3-majority`, `h-majority(h)`, `undecided`, `median`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleSpec {
+    /// The voter model ([`Voter`]).
+    Voter,
+    /// The 3-majority dynamics ([`ThreeMajority`]).
+    ThreeMajority,
+    /// The h-majority dynamics with sample size `h` ([`HMajority`]).
+    HMajority {
+        /// Number of received opinions sampled per update.
+        h: u32,
+    },
+    /// The undecided-state dynamics ([`UndecidedState`]).
+    Undecided,
+    /// The median rule ([`MedianRule`]).
+    Median,
+}
+
+impl RuleSpec {
+    /// Every rule family at its default parameterization, in the order the
+    /// experiment tables print them.
+    pub const ALL: [RuleSpec; 5] = [
+        RuleSpec::Voter,
+        RuleSpec::ThreeMajority,
+        RuleSpec::HMajority { h: 15 },
+        RuleSpec::Undecided,
+        RuleSpec::Median,
+    ];
+
+    /// Instantiates the rule for the backend `B`.
+    pub fn build<B: PushBackend>(&self) -> Box<dyn Dynamics<B>> {
+        match *self {
+            RuleSpec::Voter => Box::new(Voter::new()),
+            RuleSpec::ThreeMajority => Box::new(ThreeMajority::new()),
+            RuleSpec::HMajority { h } => Box::new(HMajority::new(h)),
+            RuleSpec::Undecided => Box::new(UndecidedState::new()),
+            RuleSpec::Median => Box::new(MedianRule::new()),
+        }
+    }
+}
+
+impl fmt::Display for RuleSpec {
+    /// The canonical textual form (parseable back via [`FromStr`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RuleSpec::Voter => write!(f, "voter"),
+            RuleSpec::ThreeMajority => write!(f, "3-majority"),
+            RuleSpec::HMajority { h } => write!(f, "h-majority({h})"),
+            RuleSpec::Undecided => write!(f, "undecided"),
+            RuleSpec::Median => write!(f, "median"),
+        }
+    }
+}
+
+impl FromStr for RuleSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s.to_ascii_lowercase().as_str() {
+            "voter" => return Ok(RuleSpec::Voter),
+            "3-majority" => return Ok(RuleSpec::ThreeMajority),
+            "undecided" => return Ok(RuleSpec::Undecided),
+            "median" => return Ok(RuleSpec::Median),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("h-majority(") {
+            if let Some(arg) = rest.strip_suffix(')') {
+                if let Ok(h) = arg.trim().parse::<u32>() {
+                    if h >= 1 {
+                        return Ok(RuleSpec::HMajority { h });
+                    }
+                }
+            }
+        }
+        Err(format!(
+            "unknown dynamics rule {s:?} (expected voter, 3-majority, h-majority(h), \
+             undecided or median)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushsim::{CountingNetwork, Network};
+
+    #[test]
+    fn display_round_trips_for_every_rule() {
+        for spec in RuleSpec::ALL {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<RuleSpec>().unwrap(), spec, "round-trip {text}");
+        }
+    }
+
+    #[test]
+    fn build_produces_the_named_rule_on_both_backends() {
+        assert_eq!(RuleSpec::Voter.build::<Network>().name(), "voter");
+        assert_eq!(
+            RuleSpec::HMajority { h: 7 }.build::<CountingNetwork>().name(),
+            "h-majority"
+        );
+        assert_eq!(RuleSpec::Median.build::<Network>().name(), "median");
+    }
+
+    #[test]
+    fn malformed_rules_are_rejected() {
+        for text in ["", "votter", "h-majority", "h-majority()", "h-majority(0)", "h-majority(x)"] {
+            assert!(text.parse::<RuleSpec>().is_err(), "{text:?} must not parse");
+        }
+    }
+}

@@ -55,6 +55,9 @@ pub enum NoiseError {
     /// The underlying linear program could not be solved (should not occur
     /// for valid inputs; indicates a bug or severe numerical trouble).
     LpFailure(String),
+    /// A textual [`NoiseSpec`](crate::NoiseSpec) could not be parsed, or a
+    /// fixed-size family was requested at an incompatible opinion count.
+    InvalidSpec(String),
 }
 
 impl fmt::Display for NoiseError {
@@ -89,6 +92,7 @@ impl fmt::Display for NoiseError {
                 "opinion {opinion} is out of range for a matrix over {num_opinions} opinions"
             ),
             NoiseError::LpFailure(msg) => write!(f, "majority-preservation LP failed: {msg}"),
+            NoiseError::InvalidSpec(msg) => write!(f, "invalid noise spec: {msg}"),
         }
     }
 }
@@ -131,6 +135,7 @@ mod tests {
                 "out of range",
             ),
             (NoiseError::LpFailure("x".into()), "LP"),
+            (NoiseError::InvalidSpec("y".into()), "spec"),
         ];
         for (err, needle) in cases {
             assert!(

@@ -28,7 +28,11 @@
 //!   Eq. (18);
 //! * [`sampling`] — exact binomial/multinomial samplers powering the
 //!   simulator's batched count-based delivery (one multinomial per opinion
-//!   row instead of one channel draw per message).
+//!   row instead of one channel draw per message);
+//! * [`NoiseSpec`] — a declarative, `k`-independent family-plus-parameters
+//!   description with a round-trippable textual form (`uniform(0.25)`,
+//!   `reset(0.4, 1)`, …), used by the experiment harness's scenario spec
+//!   files.
 //!
 //! # Example
 //!
@@ -60,10 +64,12 @@ pub mod families;
 mod matrix;
 pub mod mp;
 pub mod sampling;
+mod spec;
 pub mod spectral;
 
 pub use error::NoiseError;
 pub use matrix::NoiseMatrix;
+pub use spec::NoiseSpec;
 pub use mp::{MpReport, PairwiseMargin};
 pub use spectral::total_variation;
 

@@ -67,8 +67,11 @@ fn stirling_tail(k: u64) -> f64 {
     if k < 10 {
         return TABLE[k as usize];
     }
-    let kp1sq = ((k + 1) * (k + 1)) as f64;
-    (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1sq) / kp1sq) / (k + 1) as f64
+    // In f64: k + 1 can exceed 2^32, whose square overflows u64 (seen at
+    // the message volumes of the n = 10^7+ counting-backend runs).
+    let kp1 = (k + 1) as f64;
+    let kp1sq = kp1 * kp1;
+    (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1sq) / kp1sq) / kp1
 }
 
 /// BINV: sequential CDF inversion, exact, O(n·p) expected iterations.

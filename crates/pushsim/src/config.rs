@@ -42,6 +42,33 @@ impl DeliverySemantics {
             DeliverySemantics::Poissonized => "P",
         }
     }
+
+    /// The spelling used by scenario spec files and `--delivery`-style
+    /// flags; accepted back by the [`FromStr`](std::str::FromStr) impl.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            DeliverySemantics::Exact => "exact",
+            DeliverySemantics::BallsIntoBins => "balls",
+            DeliverySemantics::Poissonized => "poisson",
+        }
+    }
+}
+
+impl std::str::FromStr for DeliverySemantics {
+    type Err = String;
+
+    /// Parses the spec-file spelling (`"exact"`, `"balls"`, `"poisson"`) or
+    /// the paper's process letter (`"O"`, `"B"`, `"P"`), case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" | "o" => Ok(DeliverySemantics::Exact),
+            "balls" | "balls-into-bins" | "b" => Ok(DeliverySemantics::BallsIntoBins),
+            "poisson" | "poissonized" | "p" => Ok(DeliverySemantics::Poissonized),
+            other => Err(format!(
+                "unknown delivery semantics {other:?} (expected exact, balls or poisson)"
+            )),
+        }
+    }
 }
 
 /// Configuration of a [`Network`](crate::Network).
@@ -178,5 +205,14 @@ mod tests {
         assert_eq!(DeliverySemantics::Poissonized.label(), "P");
         assert_eq!(DeliverySemantics::ALL.len(), 3);
         assert_eq!(DeliverySemantics::default(), DeliverySemantics::Exact);
+    }
+
+    #[test]
+    fn delivery_spec_names_round_trip_through_from_str() {
+        for semantics in DeliverySemantics::ALL {
+            assert_eq!(semantics.spec_name().parse(), Ok(semantics));
+            assert_eq!(semantics.label().parse(), Ok(semantics));
+        }
+        assert!("teleport".parse::<DeliverySemantics>().is_err());
     }
 }

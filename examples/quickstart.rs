@@ -1,9 +1,13 @@
-//! Quickstart: spread a single rumor through a noisy anonymous population.
+//! Quickstart: describe an experiment as a [`ScenarioSpec`], run it, and
+//! round-trip it through the spec text format.
 //!
-//! One agent out of 2 000 knows the "correct" opinion (one of k = 3 values).
-//! Every message exchanged is garbled by a uniform ε-noise channel. The
-//! two-stage protocol of Fraigniaud & Natale (PODC 2016) nevertheless drives
-//! the whole population to the correct opinion in O(log n / ε²) rounds.
+//! One agent out of 2 000 knows the "correct" opinion (one of k = 3
+//! values); every message is garbled by a uniform ε-noise channel. The
+//! two-stage protocol of Fraigniaud & Natale (PODC 2016) nevertheless
+//! drives the whole population to the correct opinion in O(log n / ε²)
+//! rounds — and with the scenario API that experiment is *data*: the same
+//! text below could live in a `.spec` file and run via
+//! `xp run --spec path.spec`.
 //!
 //! Run with:
 //!
@@ -14,57 +18,48 @@
 use noisy_plurality::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let num_nodes = 2_000;
-    let num_opinions = 3;
-    let epsilon = 0.25;
+    // Describe the run declaratively: rumor spreading from source opinion
+    // 1, n = 2000 nodes, k = 3 opinions, swept over three noise levels,
+    // five trials per level.
+    let mut spec = ScenarioSpec::new(ScenarioKind::RumorSpreading { source: 1 }, 2_000, 3);
+    spec.epsilon = 0.25;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.25 };
+    spec.trials = 5;
+    spec.seed = 2016;
+    spec.sweep.eps = vec![0.15, 0.25, 0.4];
+    spec.metrics = vec![
+        Metric::Success,
+        Metric::Rounds,
+        Metric::RoundsNorm,
+        Metric::Stage1Bias,
+        Metric::MemoryBits,
+    ];
 
-    // The k-ary generalization of the paper's Eq. (1) noise: an opinion
-    // survives the channel with probability 1/k + eps.
-    let noise = NoiseMatrix::uniform(num_opinions, epsilon)?;
-    println!("noise matrix:\n{noise}");
+    // The spec *is* the experiment: its text form round-trips exactly.
+    let text = spec.to_text();
+    println!("scenario spec:\n\n{text}");
+    assert_eq!(ScenarioSpec::from_text(&text)?, spec);
 
-    let params = ProtocolParams::builder(num_nodes, num_opinions)
-        .epsilon(epsilon)
-        .seed(2016)
-        .build()?;
-    let schedule = params.schedule();
-    println!(
-        "schedule: {} Stage-1 phases ({} rounds), {} Stage-2 phases ({} rounds)",
-        schedule.stage1_phases(),
-        schedule.stage1_rounds(),
-        schedule.stage2_phases(),
-        schedule.stage2_rounds(),
-    );
+    // Execute it through the generic protocol stack. The backend is
+    // `auto`: each point resolves agent-level vs count-based simulation
+    // from the calibrated cost model.
+    let report = Runner::new(spec)?.run()?;
+    println!("results:\n");
+    print!("{}", report.to_table());
 
-    let protocol = TwoStageProtocol::new(params.clone(), noise)?;
-    let outcome = protocol.run_rumor_spreading(Opinion::new(1))?;
-
+    // The report is structured, not just text: the paper's prediction is a
+    // flat normalized round count, i.e. rounds scale like 1/eps^2.
     println!();
-    println!("correct opinion : {}", outcome.correct_opinion());
-    println!("final state     : {}", outcome.final_distribution());
-    println!("consensus       : {}", outcome.consensus_reached());
-    println!("succeeded       : {}", outcome.succeeded());
-    println!("rounds          : {}", outcome.rounds());
-    println!(
-        "rounds / (ln n / eps^2): {:.2}",
-        outcome.rounds() as f64 / params.theoretical_round_scale()
-    );
-    println!("messages        : {}", outcome.messages());
-    println!("memory per node : {} bits", outcome.memory().bits_per_node());
-
-    println!();
-    println!("bias towards the correct opinion after each phase:");
-    let mut table = Table::new(vec!["stage", "phase", "opinionated", "bias"]);
-    for record in outcome.phase_records() {
-        table.push_row(vec![
-            record.stage().to_string(),
-            record.phase().to_string(),
-            format!("{:.3}", record.opinionated_fraction_after()),
-            record
-                .bias_after()
-                .map_or("-".to_string(), |b| format!("{b:+.4}")),
-        ]);
+    for point in report.points() {
+        let noisy_bench::runner::PointSummary::Protocol(summary) = &point.summary else {
+            unreachable!("rumor scenarios aggregate protocol summaries");
+        };
+        println!(
+            "eps = {:<4}  ->  {:>5.0} rounds, success {}",
+            point.point.eps,
+            summary.rounds.mean(),
+            summary.success,
+        );
     }
-    print!("{table}");
     Ok(())
 }

@@ -18,6 +18,10 @@
 //!   undecided-state, median rule) running on the same substrate.
 //! * [`analysis`] — statistics, sweeps and table emitters used by the
 //!   experiment harness.
+//! * [`mod@bench`] — the declarative scenario API
+//!   ([`ScenarioSpec`](bench::spec::ScenarioSpec) +
+//!   [`Runner`](bench::runner::Runner)) and the registry behind the `xp`
+//!   experiment driver.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for the paper-vs-measured comparison produced by the
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use gossip_analysis as analysis;
+pub use noisy_bench as bench;
 pub use noisy_channel as noise;
 pub use noisy_lp as lp;
 pub use opinion_dynamics as dynamics;
@@ -61,9 +66,16 @@ pub mod prelude {
         sweep::{Sweep, SweepRow},
         table::Table,
     };
-    pub use noisy_channel::{families, MpReport, NoiseError, NoiseMatrix, PairwiseMargin};
+    pub use noisy_bench::{
+        runner::{RunReport, Runner},
+        spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, SpecError},
+    };
+    pub use noisy_channel::{
+        families, MpReport, NoiseError, NoiseMatrix, NoiseSpec, PairwiseMargin,
+    };
     pub use opinion_dynamics::{
-        Dynamics, DynamicsOutcome, HMajority, MedianRule, ThreeMajority, UndecidedState, Voter,
+        Dynamics, DynamicsOutcome, HMajority, MedianRule, RuleSpec, ThreeMajority,
+        UndecidedState, Voter,
     };
     pub use plurality_core::{
         bounds, run_plurality_consensus, run_rumor_spreading, ExecutionBackend, MemoryMeter,

@@ -7,8 +7,9 @@
 //! * the [`proptest!`] macro with `#![proptest_config(...)]` and
 //!   `arg in strategy` parameter lists;
 //! * [`Strategy`] for numeric ranges, tuples (up to 6), `.prop_map`,
-//!   [`Just`], `prop::collection::vec` (exact or ranged length) and
-//!   `prop::bool::ANY`;
+//!   `.prop_flat_map`, `.boxed` ([`BoxedStrategy`]), [`Just`],
+//!   [`prop_oneof!`], `prop::collection::vec` (exact or ranged length),
+//!   `prop::sample::select`, `prop::option::of` and `prop::bool::ANY`;
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
 //!   [`prop_assume!`].
 //!
@@ -61,6 +62,26 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Maps generated values through `f` into a *strategy*, then draws from
+    /// it — lets later components depend on earlier ones.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed to mix differently-typed branches,
+    /// e.g. in [`prop_oneof!`] arms built from closures).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -82,6 +103,71 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]); cheaply cloneable.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+/// Uniformly picks one of several type-erased strategies per case (the
+/// expansion of [`prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct UnionStrategy<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> UnionStrategy<T> {
+    /// Builds a union of the given branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Self(branches)
+    }
+}
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.0.len());
+        self.0[index].generate(rng)
+    }
+}
+
+/// Uniformly picks one of the listed strategies for each generated case
+/// (unweighted subset of proptest's macro of the same name).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::UnionStrategy::new(vec![$($crate::Strategy::boxed($branch)),+])
+    };
 }
 
 /// A strategy that always yields a clone of one value.
@@ -187,6 +273,60 @@ pub mod prop {
         }
     }
 
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// The strategy returned by [`select()`](fn@select).
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+
+        /// Uniformly selects one of the given values per case.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `values` is empty.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select() needs at least one value");
+            Select(values)
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// The strategy returned by [`of()`](fn@of).
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // Some three times out of four, like upstream proptest.
+                if rng.gen_range(0u32..4) > 0 {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `None` a quarter of the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
     /// Boolean strategies.
     pub mod bool {
         use crate::{Strategy, TestRng};
@@ -211,8 +351,8 @@ pub mod prop {
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -369,5 +509,34 @@ mod tests {
     fn seeds_differ_per_test_name() {
         assert_ne!(super::seed_for("a"), super::seed_for("b"));
         assert_eq!(super::seed_for("a"), super::seed_for("a"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_select_option_flat_map_compose(
+            choice in prop_oneof![
+                (0u32..10).prop_map(|v| v as u64),
+                Just(99u64),
+            ],
+            picked in prop::sample::select(vec!["a", "b", "c"]),
+            maybe in prop::option::of(1u8..5),
+            dependent in (2usize..5).prop_flat_map(|len| {
+                prop::collection::vec(0u32..10, len)
+            }),
+        ) {
+            prop_assert!(choice < 10 || choice == 99);
+            prop_assert!(["a", "b", "c"].contains(&picked));
+            if let Some(v) = maybe {
+                prop_assert!((1..5).contains(&v));
+            }
+            prop_assert!(dependent.len() >= 2 && dependent.len() <= 5);
+        }
+
+        #[test]
+        fn boxed_strategies_generate(x in (1i32..4).boxed()) {
+            prop_assert!((1..4).contains(&x));
+        }
     }
 }
