@@ -17,6 +17,11 @@
 //!   with repetitions and collecting rows.
 //! * [`table`] — fixed-width plain-text tables and CSV output for
 //!   EXPERIMENTS.md.
+//! * [`observe`] — ready-made observers for the core observation layer:
+//!   per-phase trajectory recording ([`observe::TrajectoryRecorder`]),
+//!   streaming per-phase aggregates over many runs
+//!   ([`observe::OnlineStats`]) and live JSONL emission
+//!   ([`observe::StreamSink`]).
 //!
 //! # Example
 //!
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ci;
+pub mod observe;
 pub mod stats;
 pub mod sweep;
 pub mod table;

@@ -100,16 +100,8 @@ impl Table {
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for row in &self.rows {
-            out.push('{');
-            for (i, (header, cell)) in self.headers.iter().zip(row).enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                json_escape_into(&mut out, header);
-                out.push(':');
-                json_escape_into(&mut out, cell);
-            }
-            out.push_str("}\n");
+            out.push_str(&json_line(&self.headers, row));
+            out.push('\n');
         }
         out
     }
@@ -140,6 +132,34 @@ impl Table {
         }
         out
     }
+}
+
+/// Renders one JSON object (without a trailing newline) from parallel
+/// header/cell slices, all values as strings — the row format shared by
+/// [`Table::to_json_lines`] and the streaming observers, so a streamed run
+/// and its final table are byte-compatible row by row.
+///
+/// # Panics
+///
+/// Panics if `headers` and `cells` have different lengths.
+pub fn json_line<H: AsRef<str>, C: AsRef<str>>(headers: &[H], cells: &[C]) -> String {
+    assert_eq!(
+        headers.len(),
+        cells.len(),
+        "a JSON row needs exactly one cell per header"
+    );
+    let mut out = String::new();
+    out.push('{');
+    for (i, (header, cell)) in headers.iter().zip(cells).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_escape_into(&mut out, header.as_ref());
+        out.push(':');
+        json_escape_into(&mut out, cell.as_ref());
+    }
+    out.push('}');
+    out
 }
 
 /// Appends `s` to `out` as a JSON string literal (quotes, backslashes and

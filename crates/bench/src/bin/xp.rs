@@ -156,10 +156,14 @@ fn run_spec_file(path: &str, cli: &Cli) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
+            // A spec file that cannot be loaded is a usage error (exit 2,
+            // like an unknown experiment name), reported with the path the
+            // lookup actually used so relative-path typos are obvious.
             eprintln!("error: cannot read spec file {path:?}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
+    // Parse errors keep their 1-based line numbers, prefixed with the path.
     let mut spec = match ScenarioSpec::from_text(&text) {
         Ok(spec) => spec,
         Err(e) => {
@@ -169,14 +173,27 @@ fn run_spec_file(path: &str, cli: &Cli) -> ExitCode {
     };
     registry::apply_cli(&mut spec, cli);
     cli.note(&format!("running spec {path} ({} scenario)\n", spec.kind.name()));
-    let report = match Runner::new(spec).and_then(|runner| runner.run()) {
-        Ok(report) => report,
+    let runner = match Runner::new(spec) {
+        Ok(runner) => runner,
         Err(e) => {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    cli.emit(&report.to_table());
+    if cli.stream {
+        if let Err(e) = runner.run_streamed(&mut std::io::stdout().lock()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        match runner.run() {
+            Ok(report) => cli.emit(&report.to_table()),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -80,6 +80,11 @@ impl Scale {
 /// * `--json` — emit result tables as JSON lines
 ///   ([`Table::to_json_lines`]) instead of aligned text, so figure
 ///   pipelines are scriptable;
+/// * `--stream` — emit result rows as JSON lines *while the run
+///   progresses* (per completed sweep point; per finished phase for
+///   trajectory specs) instead of one table at the end. Spec-backed
+///   experiments and `--spec` files stream natively; composite
+///   experiments fall back to JSON-at-the-end;
 /// * `--backend agent|counting|auto` (or `--backend=…`) — which simulation
 ///   backend protocol runs execute on (when absent, the spec/experiment
 ///   default applies — usually [`ExecutionBackend::Auto`], which resolves
@@ -99,6 +104,9 @@ pub struct Cli {
     pub scale: Scale,
     /// Emit tables as JSON lines (`--json`).
     pub json: bool,
+    /// Stream result rows as JSON lines while the run progresses
+    /// (`--stream`).
+    pub stream: bool,
     /// Backend override for protocol runs (`--backend …`); `None` keeps
     /// the experiment's own default.
     pub backend: Option<ExecutionBackend>,
@@ -114,6 +122,7 @@ impl Default for Cli {
         Cli {
             scale: Scale::Quick,
             json: false,
+            stream: false,
             backend: None,
             trials: None,
             seed: None,
@@ -143,6 +152,7 @@ impl Cli {
 options:
   --full               run the full experiment grid (default: reduced quick grid)
   --json               emit result tables as JSON lines
+  --stream             stream result rows as JSON lines while the run progresses
   --backend <agent|counting|auto>
                        simulation backend for protocol runs
   --trials <N>         override the number of trials/repetitions per cell
@@ -204,6 +214,7 @@ options:
             match flag.as_str() {
                 "--full" => cli.scale = Scale::Full,
                 "--json" => cli.json = true,
+                "--stream" => cli.stream = true,
                 "--backend" => {
                     let value = value(&mut args)?;
                     cli.backend = Some(value.parse().map_err(|e| {
@@ -254,19 +265,20 @@ options:
     }
 
     /// Prints `table` in the selected output format: aligned text by
-    /// default, JSON lines under `--json`.
+    /// default, JSON lines under `--json` (and under `--stream`, for the
+    /// composite experiments that cannot stream incrementally).
     pub fn emit(&self, table: &Table) {
-        if self.json {
+        if self.json || self.stream {
             print!("{}", table.to_json_lines());
         } else {
             print!("{table}");
         }
     }
 
-    /// Prints a free-form context line — suppressed under `--json` so the
-    /// output stream stays machine-parseable.
+    /// Prints a free-form context line — suppressed under `--json` and
+    /// `--stream` so the output stream stays machine-parseable.
     pub fn note(&self, line: &str) {
-        if !self.json {
+        if !self.json && !self.stream {
             println!("{line}");
         }
     }
@@ -403,7 +415,12 @@ pub fn stage2_only_trials_on(
     })
 }
 
-fn run_trials<F>(params: &ProtocolParams, noise: &NoiseMatrix, trials: u64, run: F) -> TrialSummary
+pub(crate) fn run_trials<F>(
+    params: &ProtocolParams,
+    noise: &NoiseMatrix,
+    trials: u64,
+    run: F,
+) -> TrialSummary
 where
     F: Fn(&TwoStageProtocol) -> Outcome + Sync,
 {

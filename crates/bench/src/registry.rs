@@ -17,16 +17,13 @@
 //! The registered names are `f1`–`f8`, `t1`–`t4`, `a1` and `scale`.
 
 use crate::runner::{PointResult, PointSummary, Runner};
-use crate::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec};
-use crate::{reseed, Cli, Scale, TrialSummary};
-use gossip_analysis::stats::SampleStats;
+use crate::spec::{InitSpec, Metric, ObserveMode, ScenarioKind, ScenarioSpec};
+use crate::{Cli, Scale, TrialSummary};
 use gossip_analysis::table::Table;
 use noisy_channel::{NoiseMatrix, NoiseSpec};
 use opinion_dynamics::RuleSpec;
-use plurality_core::{bounds, ProtocolParams, StageId, TwoStageProtocol};
-use pushsim::{DeliverySemantics, Network, Opinion, SimConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plurality_core::{bounds, ProtocolParams, TwoStageProtocol};
+use pushsim::DeliverySemantics;
 use std::error::Error;
 use std::time::Instant;
 
@@ -87,8 +84,12 @@ pub fn run(experiment: &Experiment, cli: &Cli) -> Result<(), Box<dyn Error>> {
             let mut spec = make(cli.scale);
             apply_cli(&mut spec, cli);
             cli.note(&format!("{}: {}\n", experiment.name.to_uppercase(), experiment.title));
-            let report = Runner::new(spec)?.run()?;
-            cli.emit(&report.to_table());
+            let runner = Runner::new(spec)?;
+            if cli.stream {
+                runner.run_streamed(&mut std::io::stdout().lock())?;
+            } else {
+                cli.emit(&runner.run()?.to_table());
+            }
             Ok(())
         }
         ExperimentKind::Custom(f) => f(cli),
@@ -128,12 +129,12 @@ static EXPERIMENTS: [Experiment; 14] = [
     Experiment {
         name: "f4",
         title: "sample-majority gap vs the Proposition 1 lower bound",
-        kind: ExperimentKind::Custom(run_f4),
+        kind: ExperimentKind::Spec(f4_spec),
     },
     Experiment {
         name: "f5",
         title: "per-phase bias trajectory (Lemmas 7 and 12)",
-        kind: ExperimentKind::Custom(run_f5),
+        kind: ExperimentKind::Spec(f5_spec),
     },
     Experiment {
         name: "f6",
@@ -148,7 +149,7 @@ static EXPERIMENTS: [Experiment; 14] = [
     Experiment {
         name: "f8",
         title: "delivery-semantics comparison (Claim 1 and Lemma 3: processes O, B, P)",
-        kind: ExperimentKind::Custom(run_f8),
+        kind: ExperimentKind::Spec(f8_spec),
     },
     Experiment {
         name: "t1",
@@ -163,7 +164,7 @@ static EXPERIMENTS: [Experiment; 14] = [
     Experiment {
         name: "t3",
         title: "Stage 1 activation growth and end-of-stage bias (Claims 2-3, Lemma 4)",
-        kind: ExperimentKind::Custom(run_t3),
+        kind: ExperimentKind::Spec(t3_spec),
     },
     Experiment {
         name: "t4",
@@ -275,6 +276,87 @@ fn f7_spec(scale: Scale) -> ScenarioSpec {
     spec.seed = 0xF7;
     spec.sweep.eps = vec![0.25, eps_small];
     spec.metrics = vec![Metric::Stage1Bias, Metric::Stage1BiasNorm, Metric::Success];
+    spec
+}
+
+/// F4 — Proposition 1 (and Lemmas 9–11): the sample-majority gap dominates
+/// the analytic lower bound `√(2ℓ/π)·g(δ,ℓ)/4^{k−2}` on a `(k, ℓ, δ)`
+/// grid. A pure `gap` spec: `trials` Monte-Carlo samples per cell, exact
+/// binomial column for k = 2.
+fn f4_spec(scale: Scale) -> ScenarioSpec {
+    // The gap is evaluated below the simulation level; n is unused.
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::SampleMajorityGap { ell: 25, delta: 0.1 },
+        1,
+        2,
+    );
+    spec.trials = scale.pick(40_000, 400_000);
+    spec.seed = 0xF4;
+    spec.sweep.k = vec![2, 3, 4, 5];
+    spec.sweep.ell = vec![9, 25, 51, 101];
+    spec.sweep.delta = vec![0.02, 0.05, 0.1, 0.2];
+    spec
+}
+
+/// F5 — Lemmas 7 and 12: a single seeded execution's full per-phase
+/// trajectory — activation fraction, bias, and the Stage 2 per-phase
+/// amplification ratio. A rumor spec under `observe.trajectory`.
+///
+/// This spec's fixed-seed quick-scale output is pinned bit-for-bit against
+/// the pre-observation-API harness by `tests/registry_parity.rs`.
+fn f5_spec(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::RumorSpreading { source: 0 },
+        scale.pick(5_000, 50_000),
+        3,
+    );
+    spec.epsilon = 0.25;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.25 };
+    spec.trials = 1;
+    spec.seed = 0xF5;
+    spec.observe = ObserveMode::Trajectory;
+    spec
+}
+
+/// F8 — Claim 1 and Lemma 3: one phase of pushing under each delivery
+/// semantics, comparing received totals, per-node inbox statistics and the
+/// Stage 1 adoption rule. A `phase` spec sweeping the delivery process;
+/// always agent-level (the per-node moments it measures only exist there),
+/// so `--backend` does not apply.
+fn f8_spec(scale: Scale) -> ScenarioSpec {
+    let n = scale.pick(2_000, 10_000);
+    let counts = vec![n * 5 / 10, n * 3 / 10, n * 2 / 10];
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::PhaseStats {
+            rounds: 10,
+            init: InitSpec::Counts(counts),
+        },
+        n,
+        3,
+    );
+    spec.epsilon = 0.2;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.2 };
+    spec.trials = scale.pick(20, 100);
+    spec.seed = 0xF8;
+    spec.sweep.delivery = DeliverySemantics::ALL.to_vec();
+    spec
+}
+
+/// T3 — Claims 2–3 and Lemma 4: Stage 1's phase-by-phase activation growth
+/// (predicted `β/ε² + 1` per middle phase) and end-of-stage bias
+/// (`Ω(√(log n / n))`). A rumor spec under `observe.phases`: per-phase
+/// activation/growth/bias aggregated over the trials.
+fn t3_spec(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::RumorSpreading { source: 0 },
+        scale.pick(10_000, 50_000),
+        3,
+    );
+    spec.epsilon = 0.2;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.2 };
+    spec.trials = scale.pick(3, 10);
+    spec.seed = 0x74;
+    spec.observe = ObserveMode::Phases;
     spec
 }
 
@@ -589,289 +671,6 @@ fn run_f6(cli: &Cli) -> Result<(), Box<dyn Error>> {
         "paper prediction: rows with 'm.p.? = true' succeed with rate ~1, rows with\n\
          'm.p.? = false' fail (the plurality is destroyed by the channel itself)",
     );
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// Sub-scenario experiments (below the ScenarioSpec abstraction).
-// ---------------------------------------------------------------------------
-
-/// A δ-biased received distribution over `k` opinions: opinion 0 gets
-/// `1/k + δ(k−1)/k`, every other opinion `1/k − δ/k`, so that the gap
-/// between opinion 0 and any rival is exactly δ.
-fn biased_distribution(k: usize, delta: f64) -> Vec<f64> {
-    let base = 1.0 / k as f64;
-    let mut dist = vec![base - delta / k as f64; k];
-    dist[0] = base + delta * (k as f64 - 1.0) / k as f64;
-    dist
-}
-
-/// F4 — Proposition 1 (and Lemmas 9–11): the sample-majority gap dominates
-/// the analytic lower bound `√(2ℓ/π)·g(δ,ℓ)/4^{k−2}` on a `(k, ℓ, δ)`
-/// grid (Monte-Carlo, exact binomial shown for k = 2).
-fn run_f4(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    let trials = cli.trials_or(cli.scale.pick(40_000, 400_000));
-    let mut rng = StdRng::seed_from_u64(cli.seed_or(0xF4));
-
-    cli.note("F4: sample-majority gap vs the Proposition 1 lower bound");
-    cli.note(&format!("({} Monte-Carlo trials per cell)\n", trials));
-
-    let mut table = Table::new(vec![
-        "k",
-        "ell",
-        "delta",
-        "measured gap",
-        "Prop.1 bound",
-        "exact (k=2)",
-        "bound holds",
-    ]);
-    for &k in &[2usize, 3, 4, 5] {
-        for &ell in &[9u64, 25, 51, 101] {
-            for &delta in &[0.02, 0.05, 0.1, 0.2] {
-                let dist = biased_distribution(k, delta);
-                let measured = bounds::sample_majority_gap(&dist, ell, 0, 1, trials, &mut rng);
-                let bound = bounds::proposition1_lower_bound(delta, ell, k);
-                let exact = if k == 2 {
-                    format!("{:.4}", bounds::exact_majority_gap_binary(dist[0], ell))
-                } else {
-                    "-".to_string()
-                };
-                table.push_row(vec![
-                    k.to_string(),
-                    ell.to_string(),
-                    format!("{delta}"),
-                    format!("{measured:.4}"),
-                    format!("{bound:.4}"),
-                    exact,
-                    // Allow the Monte-Carlo noise floor when comparing.
-                    (measured >= bound - 3.0 / (trials as f64).sqrt()).to_string(),
-                ]);
-            }
-        }
-    }
-    cli.emit(&table);
-    Ok(())
-}
-
-/// F5 — Lemmas 7 and 12: a single seeded execution's full per-phase
-/// trajectory — activation fraction, bias, and the Stage 2 per-phase
-/// amplification ratio.
-fn run_f5(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    let n = cli.scale.pick(5_000, 50_000);
-    let k = 3;
-    let epsilon = 0.25;
-
-    let noise = NoiseMatrix::uniform(k, epsilon)?;
-    let params = ProtocolParams::builder(n, k)
-        .epsilon(epsilon)
-        .seed(cli.seed_or(0xF5))
-        .build()?;
-    let protocol = TwoStageProtocol::new(params.clone(), noise)?;
-    let outcome = protocol.run_rumor_spreading_on(cli.backend_or_auto(), Opinion::new(0))?;
-
-    cli.note(&format!(
-        "F5: per-phase bias trajectory (rumor spreading, n = {n}, k = {k}, eps = {epsilon})"
-    ));
-    cli.note(&format!(
-        "stage-1 end-of-stage bias target Omega(sqrt(ln n / n)) = {:.4}; succeeded = {}\n",
-        ((n as f64).ln() / n as f64).sqrt(),
-        outcome.succeeded()
-    ));
-
-    let mut table = Table::new(vec![
-        "stage",
-        "phase",
-        "rounds",
-        "opinionated",
-        "bias",
-        "amplification",
-    ]);
-    let mut previous_bias: Option<f64> = None;
-    for record in outcome.phase_records() {
-        let bias = record.bias_after();
-        let amplification = match (record.stage(), previous_bias, bias) {
-            (StageId::Two, Some(prev), Some(curr)) if prev > 0.0 => {
-                format!("{:.2}x", curr / prev)
-            }
-            _ => "-".to_string(),
-        };
-        table.push_row(vec![
-            record.stage().to_string(),
-            record.phase().to_string(),
-            record.rounds().to_string(),
-            format!("{:.3}", record.opinionated_fraction_after()),
-            bias.map_or("-".to_string(), |b| format!("{b:+.4}")),
-            amplification,
-        ]);
-        previous_bias = bias;
-    }
-    cli.emit(&table);
-    Ok(())
-}
-
-/// F8 — Claim 1 and Lemma 3: one phase of pushing under each delivery
-/// semantics, comparing received totals, per-node inbox statistics and the
-/// Stage 1 adoption rule. This compares the three processes *within* the
-/// agent-level backend, so `--backend` does not apply.
-fn run_f8(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    let scale = cli.scale;
-    let n = scale.pick(2_000, 10_000);
-    let k = 3;
-    let eps = 0.2;
-    let rounds_per_phase = 10u64;
-    let repetitions = cli.trials_or(scale.pick(20, 100));
-    let base_seed = cli.seed_or(0xF8);
-    let counts = [n * 5 / 10, n * 3 / 10, n * 2 / 10];
-
-    cli.note(&format!(
-        "F8: delivery-semantics comparison (n = {n}, k = {k}, {rounds_per_phase} rounds/phase, {repetitions} repetitions)\n"
-    ));
-
-    let mut table = Table::new(vec![
-        "process",
-        "total received",
-        "mean recv/node",
-        "var recv/node",
-        "frac >=1 msg",
-        "adopters of opinion 0",
-    ]);
-
-    for semantics in DeliverySemantics::ALL {
-        let mut totals = SampleStats::new();
-        let mut mean_recv = SampleStats::new();
-        let mut var_recv = SampleStats::new();
-        let mut frac_any = SampleStats::new();
-        let mut adopters0 = SampleStats::new();
-
-        for rep in 0..repetitions {
-            let noise = NoiseMatrix::uniform(k, eps)?;
-            let config = SimConfig::builder(n, k)
-                .seed(base_seed + rep)
-                .delivery(semantics)
-                .build()?;
-            let mut net = Network::new(config, noise)?;
-            net.seed_counts(&counts)?;
-            net.begin_phase();
-            for _ in 0..rounds_per_phase {
-                net.push_round(|_, s| s.opinion());
-            }
-            let inboxes = net.end_phase();
-
-            totals.push(inboxes.total_messages() as f64);
-            let per_node: SampleStats = (0..n)
-                .map(|u| f64::from(inboxes.received_total(u)))
-                .collect();
-            mean_recv.push(per_node.mean());
-            var_recv.push(per_node.population_variance());
-            let any = (0..n).filter(|&u| inboxes.has_received(u)).count();
-            frac_any.push(any as f64 / n as f64);
-
-            // Stage-1 adoption rule applied to undecided nodes — here every
-            // node is opinionated, so instead count how many nodes *would*
-            // adopt opinion 0 if they re-sampled one received message.
-            let mut rng = StdRng::seed_from_u64(0x5AFE + rep);
-            let adopted0 = (0..n)
-                .filter(|&u| {
-                    inboxes
-                        .sample_one(u, &mut rng)
-                        .map(|o| o.index() == 0)
-                        .unwrap_or(false)
-                })
-                .count();
-            adopters0.push(adopted0 as f64 / n as f64);
-        }
-
-        table.push_row(vec![
-            format!("{} ({semantics:?})", semantics.label()),
-            format!("{:.0} ± {:.0}", totals.mean(), totals.ci95_half_width()),
-            format!("{:.3}", mean_recv.mean()),
-            format!("{:.3}", var_recv.mean()),
-            format!("{:.4}", frac_any.mean()),
-            format!("{:.4}", adopters0.mean()),
-        ]);
-    }
-    cli.emit(&table);
-    cli.note("");
-    cli.note(
-        "(O and B agree on every column; P matches all per-node statistics but its total\n\
-         message count fluctuates — the Poisson slack Lemma 3 accounts for)",
-    );
-    Ok(())
-}
-
-/// T3 — Claims 2–3 and Lemma 4: Stage 1's phase-by-phase activation growth
-/// (predicted `β/ε² + 1` per middle phase) and end-of-stage bias
-/// (`Ω(√(log n / n))`).
-fn run_t3(cli: &Cli) -> Result<(), Box<dyn Error>> {
-    let scale = cli.scale;
-    let n = scale.pick(10_000, 50_000);
-    let k = 3;
-    let eps = 0.2;
-    let trials = cli.trials_or(scale.pick(3, 10));
-    let base_seed = cli.seed_or(0x74);
-
-    let noise = NoiseMatrix::uniform(k, eps)?;
-    let params = ProtocolParams::builder(n, k).epsilon(eps).seed(base_seed).build()?;
-    let growth_prediction = params.constants().beta / (eps * eps) + 1.0;
-    let bias_target = ((n as f64).ln() / n as f64).sqrt();
-
-    cli.note(&format!(
-        "T3: Stage 1 activation growth and end-of-stage bias (n = {n}, k = {k}, eps = {eps})"
-    ));
-    cli.note(&format!(
-        "predicted per-phase growth factor ~ beta/eps^2 + 1 = {growth_prediction:.0}; \
-         end-of-stage bias target Omega(sqrt(ln n / n)) = {bias_target:.4}\n"
-    ));
-
-    // Collect per-phase statistics over the trials.
-    let mut per_phase: Vec<(SampleStats, SampleStats)> = Vec::new();
-    let mut end_bias = SampleStats::new();
-    for t in 0..trials {
-        let protocol = TwoStageProtocol::new(reseed(&params, base_seed + t), noise.clone())?;
-        let outcome = protocol.run_rumor_spreading_on(cli.backend_or_auto(), Opinion::new(0))?;
-        let records: Vec<_> = outcome.stage_records(StageId::One).collect();
-        if per_phase.len() < records.len() {
-            per_phase.resize_with(records.len(), || (SampleStats::new(), SampleStats::new()));
-        }
-        let mut previous = 1.0 / n as f64;
-        for (slot, record) in per_phase.iter_mut().zip(&records) {
-            let fraction = record.opinionated_fraction_after();
-            slot.0.push(fraction);
-            slot.1.push(fraction / previous);
-            previous = fraction.max(1.0 / n as f64);
-        }
-        if let Some(bias) = records.last().and_then(|r| r.bias_after()) {
-            end_bias.push(bias);
-        }
-    }
-
-    let mut table = Table::new(vec![
-        "phase",
-        "opinionated fraction",
-        "growth factor",
-        "predicted growth",
-    ]);
-    for (phase, (fraction, growth)) in per_phase.iter().enumerate() {
-        let predicted = if phase == 0 || phase + 1 == per_phase.len() {
-            "-".to_string()
-        } else {
-            format!("{growth_prediction:.0}")
-        };
-        table.push_row(vec![
-            phase.to_string(),
-            format!("{:.4}", fraction.mean()),
-            format!("{:.1}", growth.mean()),
-            predicted,
-        ]);
-    }
-    cli.emit(&table);
-    cli.note("");
-    cli.note(&format!(
-        "end-of-stage-1 bias: {:.4} (target >= {:.4}, ratio {:.2})",
-        end_bias.mean(),
-        bias_target,
-        end_bias.mean() / bias_target
-    ));
     Ok(())
 }
 

@@ -2,39 +2,64 @@
 //! stack.
 //!
 //! A [`Runner`] expands a spec's sweep axes into a grid (Cartesian product,
-//! axis order `k`, `n`, `eps`, `bias`), executes every point for the
-//! requested number of trials on the requested [`ExecutionBackend`], and
-//! returns a structured [`RunReport`]. [`RunReport::to_table`] renders the
-//! report with the spec's metric columns; callers that need bespoke tables
-//! (the registry's composite experiments) read the typed summaries
+//! axis order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`),
+//! executes every point for the requested number of trials on the
+//! requested [`ExecutionBackend`], and returns a structured [`RunReport`].
+//! [`RunReport::to_table`] renders the report; callers that need bespoke
+//! tables (the registry's composite experiments) read the typed summaries
 //! directly.
 //!
-//! Protocol scenarios run through the shared parallel trial harness
-//! ([`rumor_spreading_trials_from`] and
-//! friends), so their statistics are bit-identical to the pre-spec harness
-//! for the same parameters and seed. Dynamics scenarios derive one seed per
-//! `(point, trial)` cell with [`derive_seed`] and are likewise
-//! deterministic in the base seed.
+//! What a point *reports* is the spec's [`ObserveMode`]:
+//!
+//! * [`Summary`](ObserveMode::Summary) — end-of-run aggregates, one row
+//!   per point with the spec's metric columns (the default).
+//! * [`Trajectory`](ObserveMode::Trajectory) — the full per-phase
+//!   trajectory of every execution, recorded by an attached
+//!   [`TrajectoryRecorder`]: one row per phase (per trial).
+//! * [`Phases`](ObserveMode::Phases) — per-phase aggregates across the
+//!   trials through a shared [`OnlineStats`] observer.
+//!
+//! [`Runner::run_streamed`] additionally emits every result row as a JSON
+//! line the moment it exists — per completed point for summaries, *live
+//! per phase* for trajectory runs (via a [`StreamSink`] attached to the
+//! execution) — instead of holding everything for one final table.
+//!
+//! Protocol scenarios run through the shared parallel trial harness, so
+//! their statistics are bit-identical to the pre-spec harness for the same
+//! parameters and seed (attached observers and
+//! [`StopCondition::ScheduleExhausted`] provably leave RNG streams
+//! untouched). Dynamics scenarios derive one seed per `(point, trial)`
+//! cell with [`derive_seed`] and are likewise deterministic in the base
+//! seed.
 
-use crate::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, SpecError};
-use crate::{
-    biased_counts, plurality_trials_on, rumor_spreading_trials_from, stage2_only_trials_on,
-    TrialSummary,
-};
+use crate::spec::{InitSpec, Metric, ObserveMode, ScenarioKind, ScenarioSpec, SpecError};
+use crate::{biased_counts, run_trials, TrialSummary};
 use gossip_analysis::ci::WilsonInterval;
+use gossip_analysis::observe::{
+    OnlineStats, StreamSink, TrajectoryRecorder, PHASES_HEADERS, TRAJECTORY_HEADERS,
+};
 use gossip_analysis::stats::SampleStats;
 use gossip_analysis::sweep::derive_seed;
-use gossip_analysis::table::Table;
+use gossip_analysis::table::{json_line, Table};
 use noisy_channel::NoiseMatrix;
 use opinion_dynamics::RuleSpec;
+use plurality_core::observe::{Fanout, NoObserver, Observer, StopCondition};
 use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
-use pushsim::{CountingNetwork, Network, Opinion, PushBackend, SimConfig};
+use pushsim::{
+    CountingNetwork, DeliverySemantics, Network, Opinion, PhaseObservation, PushBackend,
+    SimConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::Write;
 
 /// Salt mixed into the base seed for dynamics decision randomness, so the
 /// decision RNG stream is unrelated to the delivery RNG stream.
 const DECISION_SEED_SALT: u64 = 0xD0_0DAD;
+
+/// Salt for the phase-statistics adoption probe (the "which opinion would
+/// the Stage 1 rule pick" re-sample), keeping it independent of delivery.
+const ADOPTION_SEED_SALT: u64 = 0x5AFE;
 
 /// One grid point of a sweep: the resolved parameter values and the point's
 /// position in the grid.
@@ -51,6 +76,13 @@ pub struct GridPoint {
     /// Initial bias at this point (scenarios with a biased initial
     /// configuration only).
     pub bias: Option<f64>,
+    /// Sample size ℓ at this point (`gap` scenarios only).
+    pub ell: Option<u64>,
+    /// Received-distribution bias δ at this point (`gap` scenarios only).
+    pub delta: Option<f64>,
+    /// Delivery process at this point (the spec's delivery unless a
+    /// `phase` scenario sweeps it).
+    pub delivery: DeliverySemantics,
 }
 
 /// Aggregated result of a dynamics scenario at one grid point.
@@ -66,14 +98,60 @@ pub struct DynamicsSummary {
     pub rounds: SampleStats,
 }
 
-/// The per-point result: protocol scenarios aggregate a [`TrialSummary`],
-/// dynamics scenarios a [`DynamicsSummary`].
+/// Result of a `gap` scenario at one grid point.
+#[derive(Debug, Clone)]
+pub struct GapSummary {
+    /// Monte-Carlo estimate of the sample-majority gap.
+    pub measured: f64,
+    /// The Proposition 1 analytic lower bound.
+    pub bound: f64,
+    /// The exact binomial gap (`k = 2` only).
+    pub exact: Option<f64>,
+    /// Whether the measured gap dominates the bound up to the Monte-Carlo
+    /// noise floor `3/√trials`.
+    pub holds: bool,
+}
+
+/// Result of a `phase` scenario at one grid point (statistics over the
+/// trials of one pushed phase).
+#[derive(Debug, Clone)]
+pub struct PhaseStatsSummary {
+    /// Total messages observed.
+    pub total: SampleStats,
+    /// Mean messages received per node.
+    pub mean_received: SampleStats,
+    /// Per-node received-count variance.
+    pub var_received: SampleStats,
+    /// Fraction of nodes that received at least one message.
+    pub frac_received: SampleStats,
+    /// Fraction of nodes whose Stage 1 adoption rule would pick opinion 0.
+    pub adopt0: SampleStats,
+}
+
+/// The recorded trajectories of one grid point, one recorder per trial
+/// ([`ObserveMode::Trajectory`]).
+#[derive(Debug, Clone)]
+pub struct TrajectorySet {
+    /// Per-trial recorders, in trial order.
+    pub trials: Vec<TrajectoryRecorder>,
+}
+
+/// The per-point result, shaped by the scenario kind and the spec's
+/// [`ObserveMode`].
 #[derive(Debug, Clone)]
 pub enum PointSummary {
     /// Result of a rumor / plurality / stage2 scenario.
     Protocol(TrialSummary),
     /// Result of a dynamics scenario.
     Dynamics(DynamicsSummary),
+    /// Result of a `gap` scenario.
+    Gap(GapSummary),
+    /// Result of a `phase` scenario.
+    PhaseStats(PhaseStatsSummary),
+    /// Per-trial trajectories ([`ObserveMode::Trajectory`]).
+    Trajectory(TrajectorySet),
+    /// Per-phase aggregates across trials ([`ObserveMode::Phases`]).
+    Phases(OnlineStats),
 }
 
 /// One executed grid point.
@@ -104,45 +182,123 @@ impl RunReport {
     }
 
     /// Renders the report as a table: one column per swept axis (in axis
-    /// order `k`, `n`, `eps`, `bias`) followed by the spec's metric
-    /// columns.
+    /// order) followed by the observe mode's data columns (the spec's
+    /// metrics for summaries, the trajectory / phase-aggregate columns
+    /// otherwise).
     pub fn to_table(&self) -> Table {
-        let metrics = self.spec.effective_metrics();
-        let sweep = &self.spec.sweep;
-        let axes: [(&str, bool); 4] = [
-            ("k", !sweep.k.is_empty()),
-            ("n", !sweep.n.is_empty()),
-            ("eps", !sweep.eps.is_empty()),
-            ("bias", !sweep.bias.is_empty()),
-        ];
-        let mut headers: Vec<String> = axes
-            .iter()
-            .filter(|(_, shown)| *shown)
-            .map(|(name, _)| name.to_string())
-            .collect();
-        headers.extend(metrics.iter().map(|m| m.header().to_string()));
-        let mut table = Table::new(headers);
+        let mut table = Table::new(headers(&self.spec));
         for result in &self.points {
-            let point = &result.point;
-            let mut row = Vec::new();
-            if axes[0].1 {
-                row.push(point.k.to_string());
+            for row in point_rows(&self.spec, result) {
+                table.push_row(row);
             }
-            if axes[1].1 {
-                row.push(point.n.to_string());
-            }
-            if axes[2].1 {
-                row.push(format!("{}", point.eps));
-            }
-            if axes[3].1 {
-                row.push(format!("{:.4}", point.bias.unwrap_or(f64::NAN)));
-            }
-            for &metric in &metrics {
-                row.push(format_metric(metric, result));
-            }
-            table.push_row(row);
         }
         table
+    }
+}
+
+/// Which axes are swept (and hence shown as columns), in axis order.
+fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 7] {
+    let sweep = &spec.sweep;
+    [
+        ("k", !sweep.k.is_empty()),
+        ("n", !sweep.n.is_empty()),
+        ("eps", !sweep.eps.is_empty()),
+        ("bias", !sweep.bias.is_empty()),
+        ("ell", !sweep.ell.is_empty()),
+        ("delta", !sweep.delta.is_empty()),
+        ("delivery", !sweep.delivery.is_empty()),
+    ]
+}
+
+/// The full header row of a spec's result table (axis columns + data
+/// columns); shared by [`RunReport::to_table`] and the streaming path so
+/// streamed rows and the final table are byte-compatible.
+pub fn headers(spec: &ScenarioSpec) -> Vec<String> {
+    let mut headers: Vec<String> = axis_columns(spec)
+        .iter()
+        .filter(|(_, shown)| *shown)
+        .map(|(name, _)| name.to_string())
+        .collect();
+    match spec.observe {
+        ObserveMode::Summary => {
+            headers.extend(spec.effective_metrics().iter().map(|m| m.header().to_string()));
+        }
+        ObserveMode::Trajectory => {
+            if spec.trials > 1 {
+                headers.push("trial".to_string());
+            }
+            headers.extend(TRAJECTORY_HEADERS.iter().map(|h| h.to_string()));
+        }
+        ObserveMode::Phases => {
+            headers.extend(PHASES_HEADERS.iter().map(|h| h.to_string()));
+        }
+    }
+    headers
+}
+
+/// The swept-axis cells of one grid point, in axis order.
+fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
+    let mut cells = Vec::new();
+    let axes = axis_columns(spec);
+    if axes[0].1 {
+        cells.push(point.k.to_string());
+    }
+    if axes[1].1 {
+        cells.push(point.n.to_string());
+    }
+    if axes[2].1 {
+        cells.push(format!("{}", point.eps));
+    }
+    if axes[3].1 {
+        cells.push(format!("{:.4}", point.bias.unwrap_or(f64::NAN)));
+    }
+    if axes[4].1 {
+        cells.push(point.ell.map_or_else(|| "-".to_string(), |e| e.to_string()));
+    }
+    if axes[5].1 {
+        cells.push(point.delta.map_or_else(|| "-".to_string(), |d| format!("{d}")));
+    }
+    if axes[6].1 {
+        cells.push(point.delivery.spec_name().to_string());
+    }
+    cells
+}
+
+/// All result rows of one executed point (one row for summaries, one per
+/// phase/trial for the observe modes), each prefixed with the point's
+/// swept-axis cells.
+pub fn point_rows(spec: &ScenarioSpec, result: &PointResult) -> Vec<Vec<String>> {
+    let prefix = axis_cells(spec, &result.point);
+    let with_prefix = |row: Vec<String>| -> Vec<String> {
+        let mut cells = prefix.clone();
+        cells.extend(row);
+        cells
+    };
+    match &result.summary {
+        PointSummary::Trajectory(set) => {
+            let mut rows = Vec::new();
+            for (trial, recorder) in set.trials.iter().enumerate() {
+                for mut row in recorder.rows() {
+                    if spec.trials > 1 {
+                        row.insert(0, trial.to_string());
+                    }
+                    rows.push(with_prefix(row));
+                }
+            }
+            rows
+        }
+        PointSummary::Phases(stats) => stats
+            .to_table()
+            .rows()
+            .iter()
+            .map(|row| with_prefix(row.clone()))
+            .collect(),
+        _ => {
+            let metrics = spec.effective_metrics();
+            vec![with_prefix(
+                metrics.iter().map(|&m| format_metric(m, result)).collect(),
+            )]
+        }
     }
 }
 
@@ -173,15 +329,69 @@ fn format_metric(metric: Metric, result: &PointResult) -> String {
             Metric::Consensus => s.consensus.to_string(),
             Metric::Correct => s.correct.to_string(),
             Metric::Share => format!("{:.3}", s.share.mean()),
+            // validate() restricts metrics per kind.
+            other => unreachable!("metric {other} on a protocol scenario"),
         },
         PointSummary::Dynamics(s) => match metric {
             Metric::Consensus => s.consensus.to_string(),
             Metric::Correct => s.correct.to_string(),
             Metric::Share => format!("{:.3}", s.share.mean()),
             Metric::Rounds => format!("{:.0}", s.rounds.mean()),
-            // validate() rejects protocol-only metrics on dynamics specs.
             other => unreachable!("metric {other} on a dynamics scenario"),
         },
+        PointSummary::Gap(s) => match metric {
+            Metric::Gap => format!("{:.4}", s.measured),
+            Metric::GapBound => format!("{:.4}", s.bound),
+            Metric::GapExact => {
+                s.exact.map_or_else(|| "-".to_string(), |e| format!("{e:.4}"))
+            }
+            Metric::GapHolds => s.holds.to_string(),
+            other => unreachable!("metric {other} on a gap scenario"),
+        },
+        PointSummary::PhaseStats(s) => match metric {
+            Metric::TotalReceived => {
+                format!("{:.0} ± {:.0}", s.total.mean(), s.total.ci95_half_width())
+            }
+            Metric::MeanReceived => format!("{:.3}", s.mean_received.mean()),
+            Metric::VarReceived => format!("{:.3}", s.var_received.mean()),
+            Metric::FracReceived => format!("{:.4}", s.frac_received.mean()),
+            Metric::Adopt0 => format!("{:.4}", s.adopt0.mean()),
+            other => unreachable!("metric {other} on a phase scenario"),
+        },
+        PointSummary::Trajectory(_) | PointSummary::Phases(_) => {
+            unreachable!("observe modes render rows, not metric cells")
+        }
+    }
+}
+
+/// How a protocol point runs (shared by the summary and observed paths).
+#[derive(Clone, Copy)]
+enum ProtocolRun<'a> {
+    Rumor(Opinion),
+    Plurality(&'a [usize]),
+    Stage2(&'a [usize]),
+}
+
+impl ProtocolRun<'_> {
+    fn execute(
+        self,
+        protocol: &TwoStageProtocol,
+        backend: ExecutionBackend,
+        stop: &StopCondition,
+        observer: &mut dyn Observer,
+    ) -> Result<plurality_core::Outcome, plurality_core::ProtocolError> {
+        let session = protocol.session().stop_when(stop.clone());
+        match self {
+            ProtocolRun::Rumor(source) => {
+                session.run_rumor_spreading_on(backend, source, observer)
+            }
+            ProtocolRun::Plurality(counts) => {
+                session.run_plurality_consensus_on(backend, counts, observer)
+            }
+            ProtocolRun::Stage2(counts) => {
+                session.run_stage2_only_on(backend, counts, observer)
+            }
+        }
     }
 }
 
@@ -207,6 +417,11 @@ impl Runner {
         &self.spec
     }
 
+    /// The header row of this runner's result table.
+    pub fn headers(&self) -> Vec<String> {
+        headers(&self.spec)
+    }
+
     /// Executes every grid point and returns the structured report.
     ///
     /// # Errors
@@ -215,6 +430,28 @@ impl Runner {
     /// offending grid point ([`SpecError::Protocol`], [`SpecError::Noise`],
     /// [`SpecError::Sim`]).
     pub fn run(&self) -> Result<RunReport, SpecError> {
+        self.run_inner(None::<&mut std::io::Sink>)
+    }
+
+    /// Executes the spec, emitting every result row to `out` as a JSON
+    /// line the moment it exists: per completed grid point for summary
+    /// runs, live per finished phase for trajectory runs (a
+    /// [`StreamSink`] rides along the execution). The rows are exactly
+    /// [`RunReport::to_table`]'s rows, so `--stream` output and the final
+    /// table are byte-compatible; the full report is still returned.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run); write errors on `out` are ignored (the
+    /// run completes and the report is still built).
+    pub fn run_streamed(&self, out: &mut dyn Write) -> Result<RunReport, SpecError> {
+        self.run_inner(Some(out))
+    }
+
+    fn run_inner<W: Write + ?Sized>(
+        &self,
+        mut stream: Option<&mut W>,
+    ) -> Result<RunReport, SpecError> {
         let spec = &self.spec;
         let ks = non_empty_or(&spec.sweep.k, spec.k);
         let ns = non_empty_or(&spec.sweep.n, spec.n);
@@ -228,6 +465,21 @@ impl Runner {
         } else {
             spec.sweep.bias.iter().map(|&b| Some(b)).collect()
         };
+        let (base_ell, base_delta) = match spec.kind {
+            ScenarioKind::SampleMajorityGap { ell, delta } => (Some(ell), Some(delta)),
+            _ => (None, None),
+        };
+        let ells: Vec<Option<u64>> = if spec.sweep.ell.is_empty() {
+            vec![base_ell]
+        } else {
+            spec.sweep.ell.iter().map(|&e| Some(e)).collect()
+        };
+        let deltas: Vec<Option<f64>> = if spec.sweep.delta.is_empty() {
+            vec![base_delta]
+        } else {
+            spec.sweep.delta.iter().map(|&d| Some(d)).collect()
+        };
+        let deliveries = non_empty_or(&spec.sweep.delivery, spec.delivery);
         let eps_swept = !spec.sweep.eps.is_empty();
 
         let mut points = Vec::new();
@@ -236,10 +488,37 @@ impl Runner {
             for &n in &ns {
                 for &eps in &epss {
                     for &bias in &biases {
-                        let point = GridPoint { index, k, n, eps, bias };
-                        let summary = self.run_point(point, eps_swept)?;
-                        points.push(PointResult { point, summary });
-                        index += 1;
+                        for &ell in &ells {
+                            for &delta in &deltas {
+                                for &delivery in &deliveries {
+                                    let point = GridPoint {
+                                        index,
+                                        k,
+                                        n,
+                                        eps,
+                                        bias,
+                                        ell,
+                                        delta,
+                                        delivery,
+                                    };
+                                    let summary = self.run_point(
+                                        point,
+                                        eps_swept,
+                                        stream.as_deref_mut(),
+                                    )?;
+                                    let result = PointResult { point, summary };
+                                    if let Some(out) = stream.as_mut() {
+                                        // Trajectory rows already streamed
+                                        // live from inside the run.
+                                        if spec.observe != ObserveMode::Trajectory {
+                                            emit_rows(out, spec, &result);
+                                        }
+                                    }
+                                    points.push(result);
+                                    index += 1;
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -250,8 +529,20 @@ impl Runner {
         })
     }
 
-    fn run_point(&self, point: GridPoint, eps_swept: bool) -> Result<PointSummary, SpecError> {
+    fn run_point<W: Write + ?Sized>(
+        &self,
+        point: GridPoint,
+        eps_swept: bool,
+        stream: Option<&mut W>,
+    ) -> Result<PointSummary, SpecError> {
         let spec = &self.spec;
+
+        // The below-simulation-level kinds first: no protocol parameters,
+        // no noise matrix.
+        if let ScenarioKind::SampleMajorityGap { .. } = &spec.kind {
+            return Ok(PointSummary::Gap(self.gap_point(point)));
+        }
+
         let GridPoint { k, n, eps, .. } = point;
         let params = ProtocolParams::builder(n, k)
             .epsilon(eps)
@@ -266,47 +557,316 @@ impl Runner {
         };
         let noise = noise_spec.build(k)?;
 
+        if let ScenarioKind::PhaseStats { rounds, init } = &spec.kind {
+            let counts = resolve_counts(init, point);
+            return Ok(PointSummary::PhaseStats(
+                self.phase_stats_point(point, *rounds, &counts, &noise)?,
+            ));
+        }
+
+        match spec.observe {
+            ObserveMode::Summary => self.summary_point(point, &params, &noise),
+            ObserveMode::Trajectory | ObserveMode::Phases => {
+                self.observed_point(point, &params, &noise, stream)
+            }
+        }
+    }
+
+    /// The default end-of-run summaries (one row per point).
+    fn summary_point(
+        &self,
+        point: GridPoint,
+        params: &ProtocolParams,
+        noise: &NoiseMatrix,
+    ) -> Result<PointSummary, SpecError> {
+        let spec = &self.spec;
+        let stop = spec.stop.to_condition();
         Ok(match &spec.kind {
             ScenarioKind::RumorSpreading { source } => PointSummary::Protocol(
-                rumor_spreading_trials_from(
-                    spec.backend,
-                    &params,
-                    &noise,
-                    Opinion::new(*source),
-                    spec.trials,
-                ),
+                self.protocol_trials(params, noise, &stop, ProtocolRun::Rumor(Opinion::new(*source))),
             ),
             ScenarioKind::PluralityConsensus { init } => {
                 let counts = resolve_counts(init, point);
-                validate_counts(&params, &noise, &counts)?;
-                PointSummary::Protocol(plurality_trials_on(
-                    spec.backend,
-                    &params,
-                    &noise,
-                    &counts,
-                    spec.trials,
+                validate_counts(params, noise, &counts)?;
+                PointSummary::Protocol(self.protocol_trials(
+                    params,
+                    noise,
+                    &stop,
+                    ProtocolRun::Plurality(&counts),
                 ))
             }
             ScenarioKind::Stage2Only { init } => {
                 let counts = resolve_counts(init, point);
-                validate_counts(&params, &noise, &counts)?;
-                PointSummary::Protocol(stage2_only_trials_on(
-                    spec.backend,
-                    &params,
-                    &noise,
-                    &counts,
-                    spec.trials,
+                validate_counts(params, noise, &counts)?;
+                PointSummary::Protocol(self.protocol_trials(
+                    params,
+                    noise,
+                    &stop,
+                    ProtocolRun::Stage2(&counts),
                 ))
             }
             ScenarioKind::DynamicsRule { rule, init, rounds } => {
                 let counts = resolve_counts(init, point);
-                let plurality = validate_counts(&params, &noise, &counts)?;
+                let plurality = validate_counts(params, noise, &counts)?;
                 let budget = rounds.unwrap_or_else(|| params.schedule().total_rounds());
                 PointSummary::Dynamics(self.dynamics_trials(
-                    point, *rule, &counts, plurality, budget, &noise,
+                    point, *rule, &counts, plurality, budget, noise,
                 )?)
             }
+            ScenarioKind::SampleMajorityGap { .. } | ScenarioKind::PhaseStats { .. } => {
+                unreachable!("handled before parameter construction")
+            }
         })
+    }
+
+    /// Runs the protocol trials of one grid point through the shared
+    /// parallel harness, with the spec's stop condition and no observer —
+    /// bit-identical to the pre-observation harness when no `stop.*` key
+    /// is set.
+    fn protocol_trials(
+        &self,
+        params: &ProtocolParams,
+        noise: &NoiseMatrix,
+        stop: &StopCondition,
+        run: ProtocolRun<'_>,
+    ) -> TrialSummary {
+        let backend = self.spec.backend;
+        run_trials(params, noise, self.spec.trials, |protocol| {
+            run.execute(protocol, backend, stop, &mut NoObserver)
+                .expect("the runner validated the configuration")
+        })
+    }
+
+    /// Runs the observed (trajectory / per-phase aggregate) path of one
+    /// protocol or dynamics point: sequential trials, one observer per
+    /// trial (trajectory) or shared across trials (phases), optionally a
+    /// live [`StreamSink`] riding along.
+    fn observed_point<W: Write + ?Sized>(
+        &self,
+        point: GridPoint,
+        params: &ProtocolParams,
+        noise: &NoiseMatrix,
+        mut stream: Option<&mut W>,
+    ) -> Result<PointSummary, SpecError> {
+        let spec = &self.spec;
+        let stop = spec.stop.to_condition();
+        let mut trajectories: Vec<TrajectoryRecorder> = Vec::new();
+        let mut aggregates = OnlineStats::new();
+
+        for trial in 0..spec.trials {
+            let mut recorder = TrajectoryRecorder::new();
+            // Only trajectory mode streams live per-phase rows (they ARE
+            // its result rows); phase aggregates only exist once the
+            // point's trials are done and stream from `run_inner` then.
+            let live = spec.observe == ObserveMode::Trajectory;
+            let mut sink = stream.as_mut().filter(|_| live).map(|out| {
+                let (mut prefix_headers, mut prefix) =
+                    (Vec::new(), axis_cells(spec, &point));
+                for (name, shown) in axis_columns(spec) {
+                    if shown {
+                        prefix_headers.push(name.to_string());
+                    }
+                }
+                if spec.trials > 1 {
+                    prefix_headers.push("trial".to_string());
+                    prefix.push(trial.to_string());
+                }
+                StreamSink::with_prefix(out, &prefix_headers, &prefix)
+            });
+
+            {
+                let mut observers: Vec<&mut dyn Observer> = Vec::new();
+                match spec.observe {
+                    ObserveMode::Trajectory => observers.push(&mut recorder),
+                    ObserveMode::Phases => observers.push(&mut aggregates),
+                    ObserveMode::Summary => unreachable!("summary points take the other path"),
+                }
+                if let Some(sink) = sink.as_mut() {
+                    observers.push(sink);
+                }
+                let mut fanout = Fanout::new(observers);
+                self.run_one_observed(point, params, noise, trial, &stop, &mut fanout)?;
+            }
+            if spec.observe == ObserveMode::Trajectory {
+                trajectories.push(recorder);
+            }
+        }
+        Ok(match spec.observe {
+            ObserveMode::Trajectory => PointSummary::Trajectory(TrajectorySet {
+                trials: trajectories,
+            }),
+            ObserveMode::Phases => PointSummary::Phases(aggregates),
+            ObserveMode::Summary => unreachable!("summary points take the other path"),
+        })
+    }
+
+    /// Executes one observed trial (protocol kinds through a [`Session`],
+    /// dynamics through `run_until`), seeded exactly like the
+    /// unobserved paths.
+    ///
+    /// [`Session`]: plurality_core::Session
+    fn run_one_observed(
+        &self,
+        point: GridPoint,
+        params: &ProtocolParams,
+        noise: &NoiseMatrix,
+        trial: u64,
+        stop: &StopCondition,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SpecError> {
+        let spec = &self.spec;
+        match &spec.kind {
+            ScenarioKind::RumorSpreading { .. }
+            | ScenarioKind::PluralityConsensus { .. }
+            | ScenarioKind::Stage2Only { .. } => {
+                // Same per-trial seed derivation as the parallel harness.
+                let seeded = crate::reseed(params, params.seed().wrapping_add(trial));
+                let protocol = TwoStageProtocol::new(seeded, noise.clone())?;
+                let counts;
+                let run = match &spec.kind {
+                    ScenarioKind::RumorSpreading { source } => {
+                        ProtocolRun::Rumor(Opinion::new(*source))
+                    }
+                    ScenarioKind::PluralityConsensus { init } => {
+                        counts = resolve_counts(init, point);
+                        ProtocolRun::Plurality(&counts)
+                    }
+                    ScenarioKind::Stage2Only { init } => {
+                        counts = resolve_counts(init, point);
+                        ProtocolRun::Stage2(&counts)
+                    }
+                    _ => unreachable!("outer match covers protocol kinds"),
+                };
+                run.execute(&protocol, spec.backend, stop, observer)?;
+                Ok(())
+            }
+            ScenarioKind::DynamicsRule { rule, init, rounds } => {
+                let counts = resolve_counts(init, point);
+                let plurality = validate_counts(params, noise, &counts)?;
+                let budget = rounds.unwrap_or_else(|| params.schedule().total_rounds());
+                let stop = dynamics_stop(budget, stop);
+                let resolved = spec.backend.resolve(point.n, point.k, spec.delivery);
+                let config = SimConfig::builder(point.n, point.k)
+                    .seed(derive_seed(spec.seed, point.index, trial))
+                    .delivery(spec.delivery)
+                    .build()?;
+                let mut rng = StdRng::seed_from_u64(derive_seed(
+                    spec.seed ^ DECISION_SEED_SALT,
+                    point.index,
+                    trial,
+                ));
+                match resolved {
+                    ExecutionBackend::Agent => {
+                        let mut net = Network::new(config, noise.clone())?;
+                        net.seed_counts(&counts)?;
+                        rule.build::<Network>().run_until(
+                            &mut net,
+                            &mut rng,
+                            Some(plurality),
+                            &stop,
+                            observer,
+                        );
+                    }
+                    ExecutionBackend::Counting => {
+                        let mut net = CountingNetwork::new(config, noise.clone())?;
+                        PushBackend::seed_counts(&mut net, &counts)?;
+                        rule.build::<CountingNetwork>().run_until(
+                            &mut net,
+                            &mut rng,
+                            Some(plurality),
+                            &stop,
+                            observer,
+                        );
+                    }
+                    ExecutionBackend::Auto => unreachable!("resolve never returns Auto"),
+                }
+                Ok(())
+            }
+            ScenarioKind::SampleMajorityGap { .. } | ScenarioKind::PhaseStats { .. } => {
+                unreachable!("observe modes are rejected for these kinds")
+            }
+        }
+    }
+
+    /// The Monte-Carlo sample-majority gap of one `(k, ℓ, δ)` grid cell
+    /// (Proposition 1 / Lemmas 9–11). `spec.trials` is the number of
+    /// Monte-Carlo samples; each cell derives its own RNG from the base
+    /// seed, so cells are independent of grid shape and order.
+    fn gap_point(&self, point: GridPoint) -> GapSummary {
+        let spec = &self.spec;
+        let ell = point.ell.expect("gap points carry ell");
+        let delta = point.delta.expect("gap points carry delta");
+        let trials = spec.trials;
+        let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, point.index, 0));
+        let dist = biased_received_distribution(point.k, delta);
+        let measured = bounds::sample_majority_gap(&dist, ell, 0, 1, trials, &mut rng);
+        let bound = bounds::proposition1_lower_bound(delta, ell, point.k);
+        let exact = (point.k == 2).then(|| bounds::exact_majority_gap_binary(dist[0], ell));
+        // Allow the Monte-Carlo noise floor when comparing.
+        let holds = measured >= bound - 3.0 / (trials as f64).sqrt();
+        GapSummary {
+            measured,
+            bound,
+            exact,
+            holds,
+        }
+    }
+
+    /// One pushed phase per trial on the agent-level backend, reporting
+    /// the phase observation's statistics plus the Stage 1 adoption probe
+    /// (experiment F8: Claim 1 / Lemma 3 across processes O, B, P). Always
+    /// agent-level: the per-node moments only exist there.
+    fn phase_stats_point(
+        &self,
+        point: GridPoint,
+        rounds: u64,
+        counts: &[usize],
+        noise: &NoiseMatrix,
+    ) -> Result<PhaseStatsSummary, SpecError> {
+        let spec = &self.spec;
+        let mut summary = PhaseStatsSummary {
+            total: SampleStats::new(),
+            mean_received: SampleStats::new(),
+            var_received: SampleStats::new(),
+            frac_received: SampleStats::new(),
+            adopt0: SampleStats::new(),
+        };
+        for trial in 0..spec.trials {
+            let config = SimConfig::builder(point.n, point.k)
+                .seed(derive_seed(spec.seed, point.index, trial))
+                .delivery(point.delivery)
+                .build()?;
+            let mut net = Network::new(config, noise.clone())?;
+            net.seed_counts(counts)?;
+            net.begin_phase();
+            for _ in 0..rounds {
+                net.push_round(|_, s| s.opinion());
+            }
+            let inboxes = net.end_phase();
+            summary.total.push(inboxes.total_received() as f64);
+            summary.mean_received.push(inboxes.mean_received());
+            summary.var_received.push(inboxes.received_variance());
+            summary.frac_received.push(inboxes.fraction_with_messages());
+
+            // The Stage 1 adoption rule applied as a probe: how many nodes
+            // would adopt opinion 0 if they re-sampled one received
+            // message (independent RNG, so delivery streams stay pure).
+            let mut rng = StdRng::seed_from_u64(derive_seed(
+                spec.seed ^ ADOPTION_SEED_SALT,
+                point.index,
+                trial,
+            ));
+            let adopted0 = (0..point.n)
+                .filter(|&node| {
+                    inboxes
+                        .sample_one(node, &mut rng)
+                        .map(|o| o.index() == 0)
+                        .unwrap_or(false)
+                })
+                .count();
+            summary.adopt0.push(adopted0 as f64 / point.n as f64);
+        }
+        Ok(summary)
     }
 
     /// Runs the dynamics rule for every trial of one grid point. Each
@@ -323,6 +883,7 @@ impl Runner {
     ) -> Result<DynamicsSummary, SpecError> {
         let spec = &self.spec;
         let resolved = spec.backend.resolve(point.n, point.k, spec.delivery);
+        let stop = dynamics_stop(budget, &spec.stop.to_condition());
 
         let mut consensus = 0u64;
         let mut correct = 0u64;
@@ -341,11 +902,25 @@ impl Runner {
             let outcome = match resolved {
                 ExecutionBackend::Agent => {
                     let mut net = Network::new(config, noise.clone())?;
-                    run_dynamics_once(&mut net, rule, counts, &mut rng, budget)?
+                    net.seed_counts(counts)?;
+                    rule.build::<Network>().run_until(
+                        &mut net,
+                        &mut rng,
+                        Some(plurality),
+                        &stop,
+                        &mut NoObserver,
+                    )
                 }
                 ExecutionBackend::Counting => {
                     let mut net = CountingNetwork::new(config, noise.clone())?;
-                    run_dynamics_once(&mut net, rule, counts, &mut rng, budget)?
+                    PushBackend::seed_counts(&mut net, counts)?;
+                    rule.build::<CountingNetwork>().run_until(
+                        &mut net,
+                        &mut rng,
+                        Some(plurality),
+                        &stop,
+                        &mut NoObserver,
+                    )
                 }
                 ExecutionBackend::Auto => unreachable!("resolve never returns Auto"),
             };
@@ -368,15 +943,27 @@ impl Runner {
     }
 }
 
-fn run_dynamics_once<B: PushBackend>(
-    net: &mut B,
-    rule: RuleSpec,
-    counts: &[usize],
-    rng: &mut StdRng,
-    budget: u64,
-) -> Result<opinion_dynamics::DynamicsOutcome, SpecError> {
-    net.seed_counts(counts)?;
-    Ok(rule.build::<B>().run(net, rng, budget))
+/// The dynamics' effective stop condition: the round budget and consensus
+/// (the classic behavior) plus whatever the spec's `stop.*` keys add.
+fn dynamics_stop(budget: u64, extra: &StopCondition) -> StopCondition {
+    let mut conditions = vec![
+        StopCondition::MaxRounds(budget),
+        StopCondition::ConsensusReached,
+    ];
+    if *extra != StopCondition::ScheduleExhausted {
+        conditions.push(extra.clone());
+    }
+    StopCondition::Any(conditions)
+}
+
+/// Streams all rows of one completed point as JSON lines (ignoring write
+/// errors: streaming is best-effort, the report is the source of truth).
+fn emit_rows<W: Write + ?Sized>(out: &mut W, spec: &ScenarioSpec, result: &PointResult) {
+    let headers = headers(spec);
+    for row in point_rows(spec, result) {
+        let _ = writeln!(out, "{}", json_line(&headers, &row));
+    }
+    let _ = out.flush();
 }
 
 fn non_empty_or<T: Copy>(values: &[T], base: T) -> Vec<T> {
@@ -411,10 +998,21 @@ fn resolve_counts(init: &InitSpec, point: GridPoint) -> Vec<usize> {
     }
 }
 
+/// A δ-biased received distribution over `k` opinions: opinion 0 gets
+/// `1/k + δ(k−1)/k`, every other opinion `1/k − δ/k`, so that the gap
+/// between opinion 0 and any rival is exactly δ (the configuration
+/// Proposition 1 is stated for).
+fn biased_received_distribution(k: usize, delta: f64) -> Vec<f64> {
+    let base = 1.0 / k as f64;
+    let mut dist = vec![base - delta / k as f64; k];
+    dist[0] = base + delta * (k as f64 - 1.0) / k as f64;
+    dist
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec};
+    use crate::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, StopSpec};
     use noisy_channel::NoiseSpec;
 
     fn quick_spec(kind: ScenarioKind) -> ScenarioSpec {
@@ -566,5 +1164,197 @@ mod tests {
             })
             .collect();
         assert!(rounds[0] > rounds[1]);
+    }
+
+    #[test]
+    fn gap_scenarios_sweep_k_ell_delta_and_check_the_bound() {
+        let mut spec = quick_spec(ScenarioKind::SampleMajorityGap {
+            ell: 25,
+            delta: 0.1,
+        });
+        spec.trials = 20_000;
+        spec.sweep.k = vec![2, 3];
+        spec.sweep.ell = vec![9, 25];
+        spec.sweep.delta = vec![0.05, 0.2];
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.points().len(), 8);
+        for point in report.points() {
+            let PointSummary::Gap(gap) = &point.summary else {
+                panic!("gap scenarios produce gap summaries");
+            };
+            assert!(gap.holds, "Proposition 1 must hold at {:?}", point.point);
+            assert_eq!(gap.exact.is_some(), point.point.k == 2);
+            if let Some(exact) = gap.exact {
+                assert!(
+                    (gap.measured - exact).abs() < 0.05,
+                    "Monte-Carlo ({}) far from exact ({exact})",
+                    gap.measured
+                );
+            }
+        }
+        let table = report.to_table();
+        assert_eq!(table.headers()[..3], ["k", "ell", "delta"].map(String::from));
+        assert_eq!(table.num_rows(), 8);
+    }
+
+    #[test]
+    fn phase_scenarios_sweep_the_delivery_process() {
+        let mut spec = quick_spec(ScenarioKind::PhaseStats {
+            rounds: 5,
+            init: InitSpec::Counts(vec![200, 100]),
+        });
+        spec.trials = 3;
+        spec.sweep.delivery = DeliverySemantics::ALL.to_vec();
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.points().len(), 3);
+        for point in report.points() {
+            let PointSummary::PhaseStats(stats) = &point.summary else {
+                panic!("phase scenarios produce phase summaries");
+            };
+            assert_eq!(stats.total.len(), 3);
+            // 5 rounds × 300 pushers per trial for processes O and B; the
+            // Poissonized totals fluctuate around it.
+            assert!(stats.total.mean() > 1_000.0);
+            let frac = stats.frac_received.mean();
+            assert!((0.0..=1.0).contains(&frac) && frac > 0.5);
+            let adopt = stats.adopt0.mean();
+            // Opinion 0 holds 2/3 of the pushers; noise pulls the adopters
+            // towards it but not all the way.
+            assert!(adopt > 0.4 && adopt < 0.9, "adopt0 = {adopt}");
+        }
+        let table = report.to_table();
+        assert_eq!(table.headers()[0], "delivery");
+        assert_eq!(table.rows()[0][0], "exact");
+        assert_eq!(table.rows()[2][0], "poisson");
+    }
+
+    #[test]
+    fn trajectory_mode_reports_per_phase_rows() {
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 1;
+        spec.observe = ObserveMode::Trajectory;
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        let PointSummary::Trajectory(set) = &report.points()[0].summary else {
+            panic!("trajectory mode produces trajectory summaries");
+        };
+        assert_eq!(set.trials.len(), 1);
+        assert!(!set.trials[0].is_empty());
+        let table = report.to_table();
+        assert_eq!(table.headers(), &TRAJECTORY_HEADERS.map(String::from));
+        assert_eq!(table.num_rows(), set.trials[0].len());
+        // Two trials add a trial column.
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 2;
+        spec.observe = ObserveMode::Trajectory;
+        let runner = Runner::new(spec).unwrap();
+        assert_eq!(runner.headers()[0], "trial");
+        let table = runner.run().unwrap().to_table();
+        assert_eq!(table.rows()[0][0], "0");
+    }
+
+    #[test]
+    fn phases_mode_aggregates_across_trials() {
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 3;
+        spec.observe = ObserveMode::Phases;
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        let PointSummary::Phases(stats) = &report.points()[0].summary else {
+            panic!("phases mode produces aggregate summaries");
+        };
+        assert_eq!(stats.runs(), 3);
+        assert!(!stats.phases().is_empty());
+        assert_eq!(stats.phases()[0].opinionated.len(), 3);
+        let table = report.to_table();
+        assert_eq!(table.num_rows(), stats.phases().len());
+    }
+
+    #[test]
+    fn stop_conditions_truncate_protocol_schedules() {
+        let full = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        let full_report = Runner::new(full.clone()).unwrap().run().unwrap();
+        let PointSummary::Protocol(full_summary) = &full_report.points()[0].summary else {
+            unreachable!()
+        };
+        let mut stopped = full;
+        stopped.stop = StopSpec {
+            max_rounds: Some(10),
+            ..StopSpec::default()
+        };
+        let report = Runner::new(stopped).unwrap().run().unwrap();
+        let PointSummary::Protocol(summary) = &report.points()[0].summary else {
+            unreachable!()
+        };
+        assert!(
+            summary.rounds.mean() < full_summary.rounds.mean(),
+            "stop.max_rounds must truncate the schedule ({} vs {})",
+            summary.rounds.mean(),
+            full_summary.rounds.mean()
+        );
+    }
+
+    #[test]
+    fn streamed_rows_match_the_final_table() {
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.sweep.eps = vec![0.3, 0.4];
+        let runner = Runner::new(spec).unwrap();
+        let mut out = Vec::new();
+        let report = runner.run_streamed(&mut out).unwrap();
+        let streamed = String::from_utf8(out).unwrap();
+        assert_eq!(streamed, report.to_table().to_json_lines());
+        assert_eq!(streamed.lines().count(), 2);
+    }
+
+    #[test]
+    fn streamed_trajectories_emit_rows_live_and_match_the_table() {
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 2;
+        spec.observe = ObserveMode::Trajectory;
+        let runner = Runner::new(spec).unwrap();
+        let mut out = Vec::new();
+        let report = runner.run_streamed(&mut out).unwrap();
+        let streamed = String::from_utf8(out).unwrap();
+        assert_eq!(streamed, report.to_table().to_json_lines());
+        assert!(streamed.lines().count() > 2, "one row per phase per trial");
+        assert!(streamed.lines().all(|l| l.starts_with("{\"trial\":")));
+    }
+
+    #[test]
+    fn streamed_phase_aggregates_match_the_final_table() {
+        // Phases mode cannot stream live (aggregates only exist once the
+        // trials are done); its rows stream per completed point and must
+        // still match the final table byte for byte.
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 2;
+        spec.observe = ObserveMode::Phases;
+        let runner = Runner::new(spec).unwrap();
+        let mut out = Vec::new();
+        let report = runner.run_streamed(&mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            report.to_table().to_json_lines()
+        );
+    }
+
+    #[test]
+    fn observed_runs_leave_outcomes_bit_identical() {
+        // The same spec through the summary path and the trajectory path:
+        // rounds/phase counts must agree because observation is RNG-free.
+        let base = quick_spec(ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.3 },
+        });
+        let summary_report = Runner::new(base.clone()).unwrap().run().unwrap();
+        let PointSummary::Protocol(summary) = &summary_report.points()[0].summary else {
+            unreachable!()
+        };
+        let mut observed = base;
+        observed.observe = ObserveMode::Trajectory;
+        let report = Runner::new(observed).unwrap().run().unwrap();
+        let PointSummary::Trajectory(set) = &report.points()[0].summary else {
+            unreachable!()
+        };
+        for recorder in &set.trials {
+            let total: u64 = recorder.snapshots().iter().map(|s| s.rounds()).sum();
+            assert_eq!(total as f64, summary.rounds.mean(), "same schedule executed");
+        }
     }
 }

@@ -1,12 +1,17 @@
 //! Declarative scenario specifications — experiment runs as *data*.
 //!
 //! A [`ScenarioSpec`] describes one complete experiment: what is being run
-//! (rumor spreading, plurality consensus, a baseline dynamics rule, or
-//! Stage 2 alone), on how many nodes and opinions, under which noise
+//! (rumor spreading, plurality consensus, a baseline dynamics rule,
+//! Stage 2 alone, the Proposition 1 sample-majority gap, or single-phase
+//! delivery statistics), on how many nodes and opinions, under which noise
 //! family ([`NoiseSpec`]), delivery process and simulation backend, over
-//! which sweep axes, for how many trials, and from which base seed. The
-//! [`Runner`](crate::runner::Runner) executes any spec through the generic
-//! protocol/dynamics stack and renders a result table.
+//! which sweep axes, for how many trials, from which base seed — and *how
+//! the run is observed*: end-of-run summaries (the default), the full
+//! per-phase trajectory (`observe.trajectory = true`), or per-phase
+//! aggregates across trials (`observe.phases = true`), optionally ended
+//! early by composable `stop.*` conditions instead of the full schedule.
+//! The [`Runner`](crate::runner::Runner) executes any spec through the
+//! generic protocol/dynamics stack and renders a result table.
 //!
 //! Specs have a line-oriented `key = value` textual form that round-trips
 //! exactly ([`ScenarioSpec::to_text`] / [`ScenarioSpec::from_text`]), so a
@@ -47,7 +52,7 @@
 
 use noisy_channel::{NoiseError, NoiseSpec};
 use opinion_dynamics::RuleSpec;
-use plurality_core::{ExecutionBackend, ProtocolConstants, ProtocolError};
+use plurality_core::{ExecutionBackend, ProtocolConstants, ProtocolError, StopCondition};
 use pushsim::{DeliverySemantics, SimError};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -99,6 +104,32 @@ pub enum ScenarioKind {
         /// length for the same `(n, k, ε)` when absent.
         rounds: Option<u64>,
     },
+    /// The Proposition 1 sample-majority gap, evaluated below the
+    /// simulation level (`scenario = gap`): Monte-Carlo estimate of
+    /// `Pr[maj = plurality] − Pr[maj = rival]` on a δ-biased received
+    /// distribution vs the analytic lower bound, on a `k × ℓ × δ` grid
+    /// (`sweep.k`, `sweep.ell`, `sweep.delta`). `trials` is the number of
+    /// Monte-Carlo samples per grid cell.
+    SampleMajorityGap {
+        /// Base sample size ℓ (overridden per point by `sweep.ell`).
+        ell: u64,
+        /// Base received-distribution bias δ (overridden per point by
+        /// `sweep.delta`).
+        delta: f64,
+    },
+    /// Statistics of a single push phase on the agent-level backend
+    /// (`scenario = phase`): seed an initial configuration, push for
+    /// `rounds` rounds, and report the phase observation's per-node
+    /// statistics plus the Stage 1 adoption rule — the Claim 1 / Lemma 3
+    /// comparison across delivery processes (`sweep.delivery`). Always
+    /// runs agent-level, because the per-node inbox moments it measures
+    /// only exist there.
+    PhaseStats {
+        /// Rounds pushed in the single phase.
+        rounds: u64,
+        /// The initial opinion configuration.
+        init: InitSpec,
+    },
 }
 
 impl ScenarioKind {
@@ -109,17 +140,31 @@ impl ScenarioKind {
             ScenarioKind::PluralityConsensus { .. } => "plurality",
             ScenarioKind::Stage2Only { .. } => "stage2",
             ScenarioKind::DynamicsRule { .. } => "dynamics",
+            ScenarioKind::SampleMajorityGap { .. } => "gap",
+            ScenarioKind::PhaseStats { .. } => "phase",
         }
     }
 
     /// The initial-configuration spec, for the kinds that have one.
     pub fn init(&self) -> Option<&InitSpec> {
         match self {
-            ScenarioKind::RumorSpreading { .. } => None,
+            ScenarioKind::RumorSpreading { .. } | ScenarioKind::SampleMajorityGap { .. } => None,
             ScenarioKind::PluralityConsensus { init }
             | ScenarioKind::Stage2Only { init }
-            | ScenarioKind::DynamicsRule { init, .. } => Some(init),
+            | ScenarioKind::DynamicsRule { init, .. }
+            | ScenarioKind::PhaseStats { init, .. } => Some(init),
         }
+    }
+
+    /// True for the kinds that execute full protocol runs (rumor spreading,
+    /// plurality consensus, Stage 2 alone).
+    pub fn is_protocol(&self) -> bool {
+        matches!(
+            self,
+            ScenarioKind::RumorSpreading { .. }
+                | ScenarioKind::PluralityConsensus { .. }
+                | ScenarioKind::Stage2Only { .. }
+        )
     }
 
     fn is_dynamics(&self) -> bool {
@@ -129,7 +174,7 @@ impl ScenarioKind {
 
 /// The sweep axes of a scenario: each non-empty axis contributes one output
 /// column and the grid is the Cartesian product of all non-empty axes, in
-/// the fixed order `k`, `n`, `eps`, `bias`.
+/// the fixed order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepAxes {
     /// Opinion counts to sweep (`sweep.k = 2, 3, 5`).
@@ -143,17 +188,37 @@ pub struct SweepAxes {
     /// Initial biases to sweep (`sweep.bias = …`); requires a
     /// [`InitSpec::Biased`] initial configuration.
     pub bias: Vec<f64>,
+    /// Sample sizes ℓ to sweep (`sweep.ell = …`); `gap` scenarios only.
+    pub ell: Vec<u64>,
+    /// Received-distribution biases δ to sweep (`sweep.delta = …`); `gap`
+    /// scenarios only.
+    pub delta: Vec<f64>,
+    /// Delivery processes to sweep (`sweep.delivery = exact, balls,
+    /// poisson`); `phase` scenarios only.
+    pub delivery: Vec<DeliverySemantics>,
 }
 
 impl SweepAxes {
     /// True if no axis is swept (the run is a single grid point).
     pub fn is_empty(&self) -> bool {
-        self.k.is_empty() && self.n.is_empty() && self.eps.is_empty() && self.bias.is_empty()
+        self.k.is_empty()
+            && self.n.is_empty()
+            && self.eps.is_empty()
+            && self.bias.is_empty()
+            && self.ell.is_empty()
+            && self.delta.is_empty()
+            && self.delivery.is_empty()
     }
 
     /// Number of grid points (product of non-empty axis lengths).
     pub fn num_points(&self) -> usize {
-        self.k.len().max(1) * self.n.len().max(1) * self.eps.len().max(1) * self.bias.len().max(1)
+        self.k.len().max(1)
+            * self.n.len().max(1)
+            * self.eps.len().max(1)
+            * self.bias.len().max(1)
+            * self.ell.len().max(1)
+            * self.delta.len().max(1)
+            * self.delivery.len().max(1)
     }
 }
 
@@ -185,11 +250,32 @@ pub enum Metric {
     Correct,
     /// Mean final share of the plurality opinion.
     Share,
+    /// Monte-Carlo sample-majority gap (`gap` scenarios).
+    Gap,
+    /// The Proposition 1 analytic lower bound (`gap` scenarios).
+    GapBound,
+    /// Exact binomial gap, defined for `k = 2` (`gap` scenarios).
+    GapExact,
+    /// Whether the measured gap dominates the bound up to the Monte-Carlo
+    /// noise floor (`gap` scenarios).
+    GapHolds,
+    /// Total messages observed in the phase, ± 95% CI (`phase` scenarios).
+    TotalReceived,
+    /// Mean messages received per node (`phase` scenarios).
+    MeanReceived,
+    /// Per-node received-count variance (`phase` scenarios).
+    VarReceived,
+    /// Fraction of nodes that received at least one message (`phase`
+    /// scenarios).
+    FracReceived,
+    /// Fraction of nodes whose Stage 1 adoption rule (one uniform received
+    /// message) would pick opinion 0 (`phase` scenarios).
+    Adopt0,
 }
 
 impl Metric {
     /// All metrics, in canonical order.
-    pub const ALL: [Metric; 10] = [
+    pub const ALL: [Metric; 19] = [
         Metric::Success,
         Metric::Rounds,
         Metric::RoundsNorm,
@@ -200,6 +286,15 @@ impl Metric {
         Metric::Consensus,
         Metric::Correct,
         Metric::Share,
+        Metric::Gap,
+        Metric::GapBound,
+        Metric::GapExact,
+        Metric::GapHolds,
+        Metric::TotalReceived,
+        Metric::MeanReceived,
+        Metric::VarReceived,
+        Metric::FracReceived,
+        Metric::Adopt0,
     ];
 
     /// The spec-file name of the metric (`metrics = success, rounds, …`).
@@ -215,6 +310,15 @@ impl Metric {
             Metric::Consensus => "consensus",
             Metric::Correct => "correct",
             Metric::Share => "share",
+            Metric::Gap => "gap",
+            Metric::GapBound => "gap_bound",
+            Metric::GapExact => "gap_exact",
+            Metric::GapHolds => "gap_holds",
+            Metric::TotalReceived => "total_received",
+            Metric::MeanReceived => "mean_received",
+            Metric::VarReceived => "var_received",
+            Metric::FracReceived => "frac_received",
+            Metric::Adopt0 => "adopt0",
         }
     }
 
@@ -231,6 +335,15 @@ impl Metric {
             Metric::Consensus => "exact consensus",
             Metric::Correct => "correct plurality",
             Metric::Share => "mean plurality share",
+            Metric::Gap => "measured gap",
+            Metric::GapBound => "Prop.1 bound",
+            Metric::GapExact => "exact (k=2)",
+            Metric::GapHolds => "bound holds",
+            Metric::TotalReceived => "total received",
+            Metric::MeanReceived => "mean recv/node",
+            Metric::VarReceived => "var recv/node",
+            Metric::FracReceived => "frac >=1 msg",
+            Metric::Adopt0 => "adopters of opinion 0",
         }
     }
 
@@ -240,6 +353,28 @@ impl Metric {
             self,
             Metric::Consensus | Metric::Correct | Metric::Share | Metric::Rounds
         )
+    }
+
+    /// True if `kind` can report this metric.
+    pub fn supported_by(self, kind: &ScenarioKind) -> bool {
+        let gap = matches!(
+            self,
+            Metric::Gap | Metric::GapBound | Metric::GapExact | Metric::GapHolds
+        );
+        let phase = matches!(
+            self,
+            Metric::TotalReceived
+                | Metric::MeanReceived
+                | Metric::VarReceived
+                | Metric::FracReceived
+                | Metric::Adopt0
+        );
+        match kind {
+            ScenarioKind::SampleMajorityGap { .. } => gap,
+            ScenarioKind::PhaseStats { .. } => phase,
+            ScenarioKind::DynamicsRule { .. } => self.supports_dynamics(),
+            _ => !gap && !phase,
+        }
     }
 
     fn from_spec_name(s: &str) -> Option<Metric> {
@@ -253,13 +388,77 @@ impl fmt::Display for Metric {
     }
 }
 
+/// What a scenario reports per grid point (`observe.*` keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObserveMode {
+    /// End-of-run summaries, one row per grid point rendered through the
+    /// spec's [`Metric`] columns (the default).
+    #[default]
+    Summary,
+    /// The full per-phase trajectory of every execution
+    /// (`observe.trajectory = true`): one row per phase per trial, through
+    /// an attached `TrajectoryRecorder` — the shape of experiment F5.
+    Trajectory,
+    /// Per-phase aggregates across the trials
+    /// (`observe.phases = true`): one row per phase index with streaming
+    /// mean activation / growth / bias / amplification, through an
+    /// attached `OnlineStats` — the shape of experiment T3.
+    Phases,
+}
+
+/// Early-stop conditions of a scenario (`stop.*` keys), combined
+/// disjunctively: the run ends at the first phase boundary where *any* set
+/// condition holds. With no key set, runs execute their complete schedule
+/// (protocol kinds) or their round budget (dynamics), exactly as before.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StopSpec {
+    /// `stop.max_rounds = N` — stop once at least `N` rounds have run.
+    pub max_rounds: Option<u64>,
+    /// `stop.consensus = true` — stop once every agent agrees.
+    pub consensus: bool,
+    /// `stop.bias = B` — stop once the bias towards the reference opinion
+    /// reaches `B`.
+    pub bias: Option<f64>,
+    /// `stop.plateau = W, T` — stop once the bias moved by at most `T`
+    /// over the last `W` phase transitions.
+    pub plateau: Option<(usize, f64)>,
+}
+
+impl StopSpec {
+    /// True if no condition is set.
+    pub fn is_empty(&self) -> bool {
+        self.max_rounds.is_none() && !self.consensus && self.bias.is_none() && self.plateau.is_none()
+    }
+
+    /// The composed [`StopCondition`]
+    /// ([`ScheduleExhausted`](StopCondition::ScheduleExhausted) when no
+    /// key is set).
+    pub fn to_condition(&self) -> StopCondition {
+        let mut conditions = Vec::new();
+        if let Some(rounds) = self.max_rounds {
+            conditions.push(StopCondition::MaxRounds(rounds));
+        }
+        if self.consensus {
+            conditions.push(StopCondition::ConsensusReached);
+        }
+        if let Some(bias) = self.bias {
+            conditions.push(StopCondition::BiasAtLeast(bias));
+        }
+        if let Some((window, tolerance)) = self.plateau {
+            conditions.push(StopCondition::Plateau { window, tolerance });
+        }
+        StopCondition::any(conditions)
+    }
+}
+
 /// A complete, serializable description of one experiment run.
 ///
 /// See the [module docs](self) for the textual form. Field defaults (used
 /// by [`ScenarioSpec::new`] and when a key is absent from a spec file):
 /// `epsilon = 0.2`, `noise = uniform(epsilon)`, `delivery = exact`,
 /// `backend = auto`, default [`ProtocolConstants`], `trials = 1`,
-/// `seed = 0`, no sweep axes, default metrics for the kind.
+/// `seed = 0`, no sweep axes, default metrics for the kind, summary
+/// observation, no stop conditions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// What is being run.
@@ -287,6 +486,10 @@ pub struct ScenarioSpec {
     pub sweep: SweepAxes,
     /// Result columns; empty means [`default_metrics`](Self::default_metrics).
     pub metrics: Vec<Metric>,
+    /// What is reported per grid point (`observe.*` keys).
+    pub observe: ObserveMode,
+    /// Early-stop conditions (`stop.*` keys).
+    pub stop: StopSpec,
 }
 
 impl ScenarioSpec {
@@ -306,17 +509,31 @@ impl ScenarioSpec {
             seed: 0,
             sweep: SweepAxes::default(),
             metrics: Vec::new(),
+            observe: ObserveMode::default(),
+            stop: StopSpec::default(),
         }
     }
 
     /// The metric columns used when [`metrics`](Self::metrics) is empty:
-    /// `success, rounds, rounds_norm, messages` for protocol scenarios and
-    /// `consensus, correct, share, rounds` for dynamics scenarios.
+    /// `success, rounds, rounds_norm, messages` for protocol scenarios,
+    /// `consensus, correct, share, rounds` for dynamics scenarios, and the
+    /// kind-specific column sets for `gap` and `phase` scenarios.
     pub fn default_metrics(&self) -> Vec<Metric> {
-        if self.kind.is_dynamics() {
-            vec![Metric::Consensus, Metric::Correct, Metric::Share, Metric::Rounds]
-        } else {
-            vec![Metric::Success, Metric::Rounds, Metric::RoundsNorm, Metric::Messages]
+        match &self.kind {
+            ScenarioKind::DynamicsRule { .. } => {
+                vec![Metric::Consensus, Metric::Correct, Metric::Share, Metric::Rounds]
+            }
+            ScenarioKind::SampleMajorityGap { .. } => {
+                vec![Metric::Gap, Metric::GapBound, Metric::GapExact, Metric::GapHolds]
+            }
+            ScenarioKind::PhaseStats { .. } => vec![
+                Metric::TotalReceived,
+                Metric::MeanReceived,
+                Metric::VarReceived,
+                Metric::FracReceived,
+                Metric::Adopt0,
+            ],
+            _ => vec![Metric::Success, Metric::Rounds, Metric::RoundsNorm, Metric::Messages],
         }
     }
 
@@ -401,14 +618,137 @@ impl ScenarioSpec {
                 }
             }
         }
-        if self.kind.is_dynamics() {
-            if let Some(bad) = self
-                .effective_metrics()
-                .into_iter()
-                .find(|m| !m.supports_dynamics())
-            {
+        if let Some(bad) = self
+            .effective_metrics()
+            .into_iter()
+            .find(|m| !m.supported_by(&self.kind))
+        {
+            return Err(SpecError::Invalid(format!(
+                "metric {bad} is not reported by {} scenarios",
+                self.kind.name()
+            )));
+        }
+        self.validate_kind_specific_axes()?;
+        self.validate_observe_and_stop()?;
+        Ok(())
+    }
+
+    /// Rejects sweep axes on kinds that cannot interpret them.
+    fn validate_kind_specific_axes(&self) -> Result<(), SpecError> {
+        let sweep = &self.sweep;
+        match &self.kind {
+            ScenarioKind::SampleMajorityGap { ell, delta } => {
+                if !sweep.n.is_empty() || !sweep.eps.is_empty() || !sweep.bias.is_empty() {
+                    return Err(SpecError::Invalid(
+                        "gap scenarios sweep only k, ell and delta".into(),
+                    ));
+                }
+                if !sweep.delivery.is_empty() {
+                    return Err(SpecError::Invalid(
+                        "sweep.delivery applies only to phase scenarios".into(),
+                    ));
+                }
+                let ells = if sweep.ell.is_empty() {
+                    std::slice::from_ref(ell)
+                } else {
+                    &sweep.ell
+                };
+                if ells.contains(&0) {
+                    return Err(SpecError::Invalid("ell must be at least 1".into()));
+                }
+                let deltas = if sweep.delta.is_empty() {
+                    std::slice::from_ref(delta)
+                } else {
+                    &sweep.delta
+                };
+                if let Some(&bad) =
+                    deltas.iter().find(|d| !(0.0..1.0).contains(*d) || !d.is_finite())
+                {
+                    return Err(SpecError::Invalid(format!(
+                        "delta {bad} must lie in [0, 1)"
+                    )));
+                }
+            }
+            ScenarioKind::PhaseStats { rounds, .. } => {
+                if *rounds == 0 {
+                    return Err(SpecError::Invalid(
+                        "phase scenarios need at least one round".into(),
+                    ));
+                }
+                if !sweep.ell.is_empty() || !sweep.delta.is_empty() {
+                    return Err(SpecError::Invalid(
+                        "sweep.ell / sweep.delta apply only to gap scenarios".into(),
+                    ));
+                }
+                if !sweep.k.is_empty() || !sweep.n.is_empty() || !sweep.eps.is_empty()
+                    || !sweep.bias.is_empty()
+                {
+                    return Err(SpecError::Invalid(
+                        "phase scenarios sweep only the delivery process".into(),
+                    ));
+                }
+            }
+            _ => {
+                if !sweep.ell.is_empty() || !sweep.delta.is_empty() {
+                    return Err(SpecError::Invalid(
+                        "sweep.ell / sweep.delta apply only to gap scenarios".into(),
+                    ));
+                }
+                if !sweep.delivery.is_empty() {
+                    return Err(SpecError::Invalid(
+                        "sweep.delivery applies only to phase scenarios".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the `observe.*` / `stop.*` keys against the kind.
+    fn validate_observe_and_stop(&self) -> Result<(), SpecError> {
+        let simulates = self.kind.is_protocol() || self.kind.is_dynamics();
+        if self.observe != ObserveMode::Summary {
+            if !simulates {
                 return Err(SpecError::Invalid(format!(
-                    "metric {bad} is not reported by dynamics scenarios"
+                    "observe.* applies to protocol and dynamics scenarios, not {}",
+                    self.kind.name()
+                )));
+            }
+            if !self.metrics.is_empty() {
+                return Err(SpecError::Invalid(
+                    "metrics and observe.* are mutually exclusive (the observe mode \
+                     fixes the columns)"
+                        .into(),
+                ));
+            }
+        }
+        if !self.stop.is_empty() && !simulates {
+            return Err(SpecError::Invalid(format!(
+                "stop.* applies to protocol and dynamics scenarios, not {}",
+                self.kind.name()
+            )));
+        }
+        if let Some(rounds) = self.stop.max_rounds {
+            if rounds == 0 {
+                return Err(SpecError::Invalid("stop.max_rounds must be at least 1".into()));
+            }
+        }
+        if let Some(bias) = self.stop.bias {
+            if !bias.is_finite() || !(0.0..=1.0).contains(&bias) || bias == 0.0 {
+                return Err(SpecError::Invalid(format!(
+                    "stop.bias {bias} must lie in (0, 1]"
+                )));
+            }
+        }
+        if let Some((window, tolerance)) = self.stop.plateau {
+            if window == 0 {
+                return Err(SpecError::Invalid(
+                    "stop.plateau needs a window of at least 1 phase".into(),
+                ));
+            }
+            if !tolerance.is_finite() || tolerance < 0.0 {
+                return Err(SpecError::Invalid(format!(
+                    "stop.plateau tolerance {tolerance} must be finite and non-negative"
                 )));
             }
         }
@@ -438,6 +778,14 @@ impl ScenarioSpec {
                     line("rounds", rounds.to_string());
                 }
             }
+            ScenarioKind::SampleMajorityGap { ell, delta } => {
+                line("ell", ell.to_string());
+                line("delta", delta.to_string());
+            }
+            ScenarioKind::PhaseStats { rounds, init } => {
+                init_lines(&mut line, init);
+                line("rounds", rounds.to_string());
+            }
         }
         line("n", self.n.to_string());
         line("k", self.k.to_string());
@@ -466,8 +814,35 @@ impl ScenarioSpec {
         if !self.sweep.bias.is_empty() {
             line("sweep.bias", join(&self.sweep.bias));
         }
+        if !self.sweep.ell.is_empty() {
+            line("sweep.ell", join(&self.sweep.ell));
+        }
+        if !self.sweep.delta.is_empty() {
+            line("sweep.delta", join(&self.sweep.delta));
+        }
+        if !self.sweep.delivery.is_empty() {
+            let names: Vec<&str> = self.sweep.delivery.iter().map(|d| d.spec_name()).collect();
+            line("sweep.delivery", names.join(", "));
+        }
         if !self.metrics.is_empty() {
             line("metrics", join(&self.metrics));
+        }
+        match self.observe {
+            ObserveMode::Summary => {}
+            ObserveMode::Trajectory => line("observe.trajectory", "true".to_string()),
+            ObserveMode::Phases => line("observe.phases", "true".to_string()),
+        }
+        if let Some(rounds) = self.stop.max_rounds {
+            line("stop.max_rounds", rounds.to_string());
+        }
+        if self.stop.consensus {
+            line("stop.consensus", "true".to_string());
+        }
+        if let Some(bias) = self.stop.bias {
+            line("stop.bias", bias.to_string());
+        }
+        if let Some((window, tolerance)) = self.stop.plateau {
+            line("stop.plateau", format!("{window}, {tolerance}"));
         }
         out
     }
@@ -524,12 +899,21 @@ impl ScenarioSpec {
                     rounds: take_parsed(&mut map, "rounds")?,
                 }
             }
+            "gap" => ScenarioKind::SampleMajorityGap {
+                ell: take_parsed(&mut map, "ell")?.unwrap_or(25),
+                delta: take_parsed(&mut map, "delta")?.unwrap_or(0.1),
+            },
+            "phase" => ScenarioKind::PhaseStats {
+                rounds: take_parsed(&mut map, "rounds")?
+                    .ok_or(SpecError::Missing { key: "rounds" })?,
+                init: take_init(&mut map)?,
+            },
             other => {
                 return Err(SpecError::Parse {
                     line: scenario.0,
                     message: format!(
-                        "unknown scenario {other:?} (expected rumor, plurality, stage2 \
-                         or dynamics)"
+                        "unknown scenario {other:?} (expected rumor, plurality, stage2, \
+                         dynamics, gap or phase)"
                     ),
                 })
             }
@@ -569,6 +953,49 @@ impl ScenarioSpec {
             n: take_list(&mut map, "sweep.n")?,
             eps: take_list(&mut map, "sweep.eps")?,
             bias: take_list(&mut map, "sweep.bias")?,
+            ell: take_list(&mut map, "sweep.ell")?,
+            delta: take_list(&mut map, "sweep.delta")?,
+            delivery: take_list(&mut map, "sweep.delivery")?,
+        };
+        let observe = {
+            let trajectory: bool =
+                take_parsed(&mut map, "observe.trajectory")?.unwrap_or(false);
+            let phases: bool = take_parsed(&mut map, "observe.phases")?.unwrap_or(false);
+            match (trajectory, phases) {
+                (true, true) => {
+                    return Err(SpecError::Invalid(
+                        "choose one of observe.trajectory and observe.phases".into(),
+                    ))
+                }
+                (true, false) => ObserveMode::Trajectory,
+                (false, true) => ObserveMode::Phases,
+                (false, false) => ObserveMode::Summary,
+            }
+        };
+        let stop = StopSpec {
+            max_rounds: take_parsed(&mut map, "stop.max_rounds")?,
+            consensus: take_parsed(&mut map, "stop.consensus")?.unwrap_or(false),
+            bias: take_parsed(&mut map, "stop.bias")?,
+            plateau: match map.remove("stop.plateau") {
+                None => None,
+                Some((line, value)) => {
+                    let parts: Vec<&str> =
+                        value.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                    let parsed = match parts.as_slice() {
+                        [window, tolerance] => window
+                            .parse::<usize>()
+                            .ok()
+                            .zip(tolerance.parse::<f64>().ok()),
+                        _ => None,
+                    };
+                    Some(parsed.ok_or_else(|| SpecError::Parse {
+                        line,
+                        message: format!(
+                            "stop.plateau expects `window, tolerance`, got {value:?}"
+                        ),
+                    })?)
+                }
+            },
         };
         let metrics = match map.remove("metrics") {
             None => Vec::new(),
@@ -605,6 +1032,8 @@ impl ScenarioSpec {
             seed,
             sweep,
             metrics,
+            observe,
+            stop,
         };
         spec.validate()?;
         Ok(spec)

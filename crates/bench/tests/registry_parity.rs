@@ -1,30 +1,59 @@
-//! Fixed-seed parity test: the spec-API registry reproduces the
-//! pre-redesign harness bit for bit.
+//! Fixed-seed parity tests: the spec-API registry reproduces the
+//! pre-redesign harnesses bit for bit.
 //!
 //! `fixtures/f2_quick_pre_redesign.jsonl` is the verbatim `--json` output
 //! of the old hand-wired `fig_f2_rounds_vs_eps` binary (quick grid,
 //! default backend), captured immediately before the binaries were
-//! collapsed into the registry. Running the registry's `f2` spec through
-//! the generic [`Runner`] must produce identical rows: same sweep
-//! expansion, same parameter construction, same seeds, same trial
-//! parallelism semantics, same formatting.
+//! collapsed into the registry. `fixtures/f5_quick_pre_redesign.jsonl` is
+//! the verbatim `xp run f5 --json` output of the *bespoke* F5 builder,
+//! captured immediately before F5 became a `ScenarioSpec` with
+//! `observe.trajectory` — it pins the whole observation path (Session →
+//! Observer → TrajectoryRecorder → table) to the pre-redesign execution:
+//! same seeds, same RNG streams, same per-phase numbers, same formatting.
+//!
+//! Running the registry specs through the generic [`Runner`] must produce
+//! identical rows in both cases.
 
 use noisy_bench::registry;
 use noisy_bench::runner::Runner;
 use noisy_bench::Scale;
 
-const PRE_REDESIGN: &str = include_str!("fixtures/f2_quick_pre_redesign.jsonl");
+const F2_PRE_REDESIGN: &str = include_str!("fixtures/f2_quick_pre_redesign.jsonl");
+const F5_PRE_REDESIGN: &str = include_str!("fixtures/f5_quick_pre_redesign.jsonl");
+
+fn registry_json(name: &str) -> String {
+    let experiment = registry::find(name).expect("experiment is registered");
+    let spec = experiment.spec(Scale::Quick).expect("experiment is spec-backed");
+    let report = Runner::new(spec).unwrap().run().unwrap();
+    report.to_table().to_json_lines()
+}
 
 #[test]
 fn f2_registry_run_matches_the_pre_redesign_binary_output() {
-    let experiment = registry::find("f2").expect("f2 is registered");
-    let spec = experiment
-        .spec(Scale::Quick)
-        .expect("f2 is spec-backed");
-    let report = Runner::new(spec).unwrap().run().unwrap();
-    let json = report.to_table().to_json_lines();
     assert_eq!(
-        json, PRE_REDESIGN,
+        registry_json("f2"),
+        F2_PRE_REDESIGN,
         "registry f2 must reproduce the pre-redesign binary bit for bit"
     );
+}
+
+#[test]
+fn f5_trajectory_spec_matches_the_pre_redesign_bespoke_output() {
+    assert_eq!(
+        registry_json("f5"),
+        F5_PRE_REDESIGN,
+        "the observe.trajectory spec must reproduce the bespoke F5 builder bit for bit"
+    );
+}
+
+#[test]
+fn f5_streamed_output_matches_the_pinned_fixture_too() {
+    // `--stream` must emit exactly the same rows, just incrementally.
+    let spec = registry::find("f5")
+        .unwrap()
+        .spec(Scale::Quick)
+        .unwrap();
+    let mut out = Vec::new();
+    Runner::new(spec).unwrap().run_streamed(&mut out).unwrap();
+    assert_eq!(String::from_utf8(out).unwrap(), F5_PRE_REDESIGN);
 }

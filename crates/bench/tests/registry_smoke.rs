@@ -13,6 +13,7 @@ fn smoke_cli() -> Cli {
     Cli {
         scale: Scale::Quick,
         json: true,
+        stream: false,
         backend: Some(ExecutionBackend::Counting),
         trials: Some(2),
         seed: None,

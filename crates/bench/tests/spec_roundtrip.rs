@@ -2,7 +2,7 @@
 //! [`ScenarioSpec`] serializes to text that parses back to an equal spec,
 //! and the serialization is canonical.
 
-use noisy_bench::spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, SweepAxes};
+use noisy_bench::spec::{InitSpec, Metric, ObserveMode, ScenarioKind, ScenarioSpec, StopSpec, SweepAxes};
 use noisy_channel::NoiseSpec;
 use opinion_dynamics::RuleSpec;
 use plurality_core::ExecutionBackend;
@@ -59,42 +59,102 @@ fn kind_strategy(k: usize) -> impl Strategy<Value = ScenarioKind> {
         (rule_strategy(), init_strategy(k), prop::option::of(1u64..100_000)).prop_map(
             |(rule, init, rounds)| ScenarioKind::DynamicsRule { rule, init, rounds }
         ),
+        ((1u64..500), (0.0f64..0.9))
+            .prop_map(|(ell, delta)| ScenarioKind::SampleMajorityGap { ell, delta }),
+        ((1u64..100), init_strategy(k))
+            .prop_map(|(rounds, init)| ScenarioKind::PhaseStats { rounds, init }),
     ]
 }
 
 /// Sweep axes consistent with the kind: a bias axis only for biased
 /// initial configurations, no k axis (so per-k structures like explicit
-/// counts stay valid).
+/// counts stay valid), ell/delta axes only for gap scenarios, a delivery
+/// axis only for phase scenarios.
 fn sweep_strategy(kind: &ScenarioKind) -> BoxedStrategy<SweepAxes> {
-    let bias_axis: BoxedStrategy<Vec<f64>> =
-        if matches!(kind.init(), Some(InitSpec::Biased { .. })) {
-            prop::collection::vec(0.0f64..0.9, 0..3).boxed()
-        } else {
-            Just(Vec::new()).boxed()
-        };
-    (
-        prop::collection::vec(100usize..50_000, 0..3),
-        prop::collection::vec(0.01f64..0.6, 0..4),
-        bias_axis,
-    )
-        .prop_map(|(n, eps, bias)| SweepAxes {
-            k: Vec::new(),
-            n,
-            eps,
-            bias,
-        })
+    match kind {
+        ScenarioKind::SampleMajorityGap { .. } => (
+            prop::collection::vec(1u64..500, 0..3),
+            prop::collection::vec(0.0f64..0.9, 0..3),
+        )
+            .prop_map(|(ell, delta)| SweepAxes {
+                ell,
+                delta,
+                ..SweepAxes::default()
+            })
+            .boxed(),
+        ScenarioKind::PhaseStats { .. } => {
+            prop::collection::vec(prop::sample::select(DeliverySemantics::ALL.to_vec()), 0..3)
+                .prop_map(|delivery| SweepAxes {
+                    delivery,
+                    ..SweepAxes::default()
+                })
+                .boxed()
+        }
+        _ => {
+            let bias_axis: BoxedStrategy<Vec<f64>> =
+                if matches!(kind.init(), Some(InitSpec::Biased { .. })) {
+                    prop::collection::vec(0.0f64..0.9, 0..3).boxed()
+                } else {
+                    Just(Vec::new()).boxed()
+                };
+            (
+                prop::collection::vec(100usize..50_000, 0..3),
+                prop::collection::vec(0.01f64..0.6, 0..4),
+                bias_axis,
+            )
+                .prop_map(|(n, eps, bias)| SweepAxes {
+                    n,
+                    eps,
+                    bias,
+                    ..SweepAxes::default()
+                })
+                .boxed()
+        }
+    }
+}
+
+/// An observe mode consistent with the kind (only the simulating kinds
+/// support trajectory / per-phase observation).
+fn observe_strategy(kind: &ScenarioKind) -> BoxedStrategy<ObserveMode> {
+    if kind.is_protocol() || matches!(kind, ScenarioKind::DynamicsRule { .. }) {
+        prop::sample::select(vec![
+            ObserveMode::Summary,
+            ObserveMode::Trajectory,
+            ObserveMode::Phases,
+        ])
         .boxed()
+    } else {
+        Just(ObserveMode::Summary).boxed()
+    }
+}
+
+/// Stop conditions consistent with the kind (empty for the
+/// below-simulation kinds).
+fn stop_strategy(kind: &ScenarioKind) -> BoxedStrategy<StopSpec> {
+    if kind.is_protocol() || matches!(kind, ScenarioKind::DynamicsRule { .. }) {
+        (
+            prop::option::of(1u64..1_000_000),
+            prop::sample::select(vec![false, true]),
+            prop::option::of(0.01f64..1.0),
+            prop::option::of((1usize..10, 0.0f64..0.5)),
+        )
+            .prop_map(|(max_rounds, consensus, bias, plateau)| StopSpec {
+                max_rounds,
+                consensus,
+                bias,
+                plateau,
+            })
+            .boxed()
+    } else {
+        Just(StopSpec::default()).boxed()
+    }
 }
 
 fn metrics_strategy(kind: &ScenarioKind) -> BoxedStrategy<Vec<Metric>> {
-    let pool: Vec<Metric> = if matches!(kind, ScenarioKind::DynamicsRule { .. }) {
-        Metric::ALL
-            .into_iter()
-            .filter(|m| m.supports_dynamics())
-            .collect()
-    } else {
-        Metric::ALL.to_vec()
-    };
+    let pool: Vec<Metric> = Metric::ALL
+        .into_iter()
+        .filter(|m| m.supported_by(kind))
+        .collect();
     prop::collection::vec(prop::sample::select(pool), 0..5).boxed()
 }
 
@@ -104,6 +164,8 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         .prop_flat_map(|(k, kind)| {
             let sweep = sweep_strategy(&kind);
             let metrics = metrics_strategy(&kind);
+            let observe = observe_strategy(&kind);
+            let stop = stop_strategy(&kind);
             (
                 (Just(k), Just(kind), 100usize..100_000, 0.01f64..0.9),
                 (
@@ -117,12 +179,14 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 ),
                 (1u64..50, 0u64..u64::MAX, sweep, metrics),
                 (0.01f64..1.0, 0.5f64..4.0),
+                (observe, stop),
             )
         })
-        .prop_map(|(base, channel, run, consts)| {
+        .prop_map(|(base, channel, run, consts, watch)| {
             let (k, kind, n, epsilon) = base;
             let (noise, delivery, backend) = channel;
             let (trials, seed, sweep, metrics) = run;
+            let (observe, stop) = watch;
             let mut spec = ScenarioSpec::new(kind, n, k);
             spec.epsilon = epsilon;
             spec.noise = noise;
@@ -131,7 +195,13 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             spec.trials = trials;
             spec.seed = seed;
             spec.sweep = sweep;
-            spec.metrics = metrics;
+            // The observe mode fixes the columns; explicit metrics are
+            // only valid in summary mode.
+            spec.observe = observe;
+            if observe == ObserveMode::Summary {
+                spec.metrics = metrics;
+            }
+            spec.stop = stop;
             // Exercise non-default constants while keeping the
             // phi > beta > s ordering the params builder validates.
             let (s, gap) = consts;

@@ -33,6 +33,10 @@
 //!   and [`run_stage2_only`](TwoStageProtocol::run_stage2_only).
 //! * [`Outcome`] / [`PhaseRecord`] — per-run and per-phase results
 //!   (consensus, winner, bias trajectory, message counts).
+//! * [`observe`] / [`Session`] — the observation layer: watch a run phase
+//!   by phase through an [`Observer`] (RNG-free, so attaching one never
+//!   perturbs an execution) and stop it early with a composable
+//!   [`StopCondition`] instead of a hard-coded round budget.
 //! * [`MemoryMeter`] — per-node memory accounting in bits.
 //! * [`bounds`] — the analytic quantities of the paper (the function
 //!   `g(δ, ℓ)`, the Proposition 1 lower bound, Lemma 16's tail bound, the
@@ -59,6 +63,7 @@
 pub mod bounds;
 mod error;
 mod memory;
+pub mod observe;
 mod params;
 mod protocol;
 mod record;
@@ -67,8 +72,12 @@ mod stage2;
 
 pub use error::ProtocolError;
 pub use memory::MemoryMeter;
+pub use observe::{
+    Fanout, NoObserver, Observer, PhaseSnapshot, RunProgress, StopCondition,
+};
 pub use params::{ProtocolConstants, ProtocolParams, ProtocolParamsBuilder, Schedule};
 pub use protocol::{
-    run_plurality_consensus, run_rumor_spreading, ExecutionBackend, Outcome, TwoStageProtocol,
+    run_plurality_consensus, run_rumor_spreading, ExecutionBackend, Outcome, Session,
+    TwoStageProtocol,
 };
 pub use record::{PhaseRecord, StageId};

@@ -2,6 +2,7 @@
 
 use crate::error::ProtocolError;
 use crate::memory::MemoryMeter;
+use crate::observe::{NoObserver, Observer, RunProgress, StopCondition};
 use crate::params::ProtocolParams;
 use crate::record::{PhaseRecord, StageId};
 use crate::{stage1, stage2};
@@ -295,17 +296,19 @@ impl TwoStageProtocol {
         backend: ExecutionBackend,
         source_opinion: Opinion,
     ) -> Result<Outcome, ProtocolError> {
-        if source_opinion.index() >= self.params.num_opinions() {
-            return Err(ProtocolError::OpinionOutOfRange {
-                opinion: source_opinion.index(),
-                num_opinions: self.params.num_opinions(),
-            });
+        self.session()
+            .run_rumor_spreading_on(backend, source_opinion, &mut NoObserver)
+    }
+
+    /// Starts an observable [`Session`] over this protocol: attach
+    /// [`Observer`]s and a [`StopCondition`] to its run methods. The
+    /// default session (no observer, no stop condition) executes exactly
+    /// like the plain `run_*` entry points.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            protocol: self,
+            stop: StopCondition::ScheduleExhausted,
         }
-        self.dispatch(
-            backend,
-            |net| self.run_rumor_spreading_generic(net, source_opinion),
-            |net| self.run_rumor_spreading_generic(net, source_opinion),
-        )
     }
 
     /// Seeds and runs a rumor-spreading instance on an already-built
@@ -314,11 +317,13 @@ impl TwoStageProtocol {
         &self,
         mut net: B,
         source_opinion: Opinion,
+        observer: &mut dyn Observer,
+        stop: &StopCondition,
     ) -> Result<Outcome, ProtocolError> {
         let mut rng = self.protocol_rng();
         let source = rng.gen_range(0..self.params.num_nodes());
         net.seed_rumor_at(source, source_opinion)?;
-        Ok(self.execute(net, rng, source_opinion))
+        Ok(self.execute(net, rng, source_opinion, observer, stop))
     }
 
     /// Runs the noisy **plurality consensus** instance: for every opinion
@@ -351,12 +356,8 @@ impl TwoStageProtocol {
         backend: ExecutionBackend,
         initial_counts: &[usize],
     ) -> Result<Outcome, ProtocolError> {
-        let reference = self.validate_initial_counts(initial_counts)?;
-        self.dispatch(
-            backend,
-            |net| self.run_plurality_generic(net, initial_counts, reference),
-            |net| self.run_plurality_generic(net, initial_counts, reference),
-        )
+        self.session()
+            .run_plurality_consensus_on(backend, initial_counts, &mut NoObserver)
     }
 
     /// Seeds and runs a plurality-consensus instance on an already-built
@@ -366,10 +367,12 @@ impl TwoStageProtocol {
         mut net: B,
         initial_counts: &[usize],
         reference: Opinion,
+        observer: &mut dyn Observer,
+        stop: &StopCondition,
     ) -> Result<Outcome, ProtocolError> {
         let rng = self.protocol_rng();
         net.seed_counts(initial_counts)?;
-        Ok(self.execute(net, rng, reference))
+        Ok(self.execute(net, rng, reference, observer, stop))
     }
 
     /// Runs only Stage 2 on an explicitly seeded network. This is the
@@ -395,28 +398,27 @@ impl TwoStageProtocol {
         backend: ExecutionBackend,
         initial_counts: &[usize],
     ) -> Result<Outcome, ProtocolError> {
-        let reference = self.validate_initial_counts(initial_counts)?;
-        self.dispatch(
-            backend,
-            |net| self.run_stage2_generic(net, initial_counts, reference),
-            |net| self.run_stage2_generic(net, initial_counts, reference),
-        )
+        self.session()
+            .run_stage2_only_on(backend, initial_counts, &mut NoObserver)
     }
 
     /// Resolves `backend` and runs the matching continuation on a freshly
     /// built network of the chosen kind — the single place the
     /// `ExecutionBackend` enum is matched on. Each continuation is usually
-    /// the same generic function, monomorphized per backend; a future
-    /// third backend adds one arm here instead of one per entry point.
+    /// the same generic function, monomorphized per backend; the observer
+    /// is handed through so both closures can share the one `&mut`
+    /// borrow. A future third backend adds one arm here instead of one
+    /// per entry point.
     fn dispatch<T>(
         &self,
         backend: ExecutionBackend,
-        agent: impl FnOnce(Network) -> Result<T, ProtocolError>,
-        counting: impl FnOnce(CountingNetwork) -> Result<T, ProtocolError>,
+        observer: &mut dyn Observer,
+        agent: impl FnOnce(Network, &mut dyn Observer) -> Result<T, ProtocolError>,
+        counting: impl FnOnce(CountingNetwork, &mut dyn Observer) -> Result<T, ProtocolError>,
     ) -> Result<T, ProtocolError> {
         match self.resolve(backend) {
-            ExecutionBackend::Agent => agent(self.build_network()?),
-            ExecutionBackend::Counting => counting(self.build_counting_network()?),
+            ExecutionBackend::Agent => agent(self.build_network()?, observer),
+            ExecutionBackend::Counting => counting(self.build_counting_network()?, observer),
             ExecutionBackend::Auto => unreachable!("resolve never returns Auto"),
         }
     }
@@ -426,19 +428,28 @@ impl TwoStageProtocol {
         mut net: B,
         initial_counts: &[usize],
         reference: Opinion,
+        observer: &mut dyn Observer,
+        stop: &StopCondition,
     ) -> Result<Outcome, ProtocolError> {
         let mut rng = self.protocol_rng();
         net.seed_counts(initial_counts)?;
         let schedule = self.params.schedule();
         let mut meter = MemoryMeter::new(self.params.num_opinions());
+        let mut progress = RunProgress::for_stop(stop);
+        progress.sync(0, net.is_consensus());
         let records = stage2::run(
             &mut net,
             schedule.stage2_sample_sizes(),
             reference,
             &mut rng,
             &mut meter,
+            observer,
+            stop,
+            &mut progress,
         );
-        Ok(self.outcome_from(net, records, meter, reference))
+        let outcome = self.outcome_from(net, records, meter, reference);
+        observer.on_finish();
+        Ok(outcome)
     }
 
     /// Resolves an [`ExecutionBackend`] request against this protocol's
@@ -522,25 +533,49 @@ impl TwoStageProtocol {
     }
 
     /// Runs both stages on an already-seeded network — the single generic
-    /// execution path shared by every backend.
-    fn execute<B: PushBackend>(&self, mut net: B, mut rng: StdRng, reference: Opinion) -> Outcome {
+    /// execution path shared by every backend. The observer is notified at
+    /// every phase boundary and the stop condition is evaluated there;
+    /// with [`NoObserver`] and
+    /// [`StopCondition::ScheduleExhausted`] this is byte-for-byte the
+    /// schedule-driven execution (observation touches no RNG stream).
+    fn execute<B: PushBackend>(
+        &self,
+        mut net: B,
+        mut rng: StdRng,
+        reference: Opinion,
+        observer: &mut dyn Observer,
+        stop: &StopCondition,
+    ) -> Outcome {
         let schedule = self.params.schedule();
         let mut meter = MemoryMeter::new(self.params.num_opinions());
+        let mut progress = RunProgress::for_stop(stop);
+        progress.sync(0, net.is_consensus());
         let mut records = stage1::run(
             &mut net,
             schedule.stage1_phase_lengths(),
             reference,
             &mut rng,
             &mut meter,
+            observer,
+            stop,
+            &mut progress,
         );
+        if !stop.should_stop(&progress) {
+            observer.on_stage_transition(StageId::One, StageId::Two);
+        }
         records.extend(stage2::run(
             &mut net,
             schedule.stage2_sample_sizes(),
             reference,
             &mut rng,
             &mut meter,
+            observer,
+            stop,
+            &mut progress,
         ));
-        self.outcome_from(net, records, meter, reference)
+        let outcome = self.outcome_from(net, records, meter, reference);
+        observer.on_finish();
+        outcome
     }
 
     fn outcome_from<B: PushBackend>(
@@ -558,6 +593,157 @@ impl TwoStageProtocol {
             phase_records: records,
             memory,
         }
+    }
+}
+
+/// An observable execution of a [`TwoStageProtocol`]: the same run entry
+/// points, plus an [`Observer`] parameter and a configurable
+/// [`StopCondition`].
+///
+/// Built with [`TwoStageProtocol::session`]. A default session (no stop
+/// condition) with [`NoObserver`] executes bit-for-bit like the plain
+/// `run_*` methods — observation never touches an RNG stream, and the
+/// default stop condition runs the complete schedule.
+///
+/// # Example
+///
+/// ```
+/// use noisy_channel::NoiseMatrix;
+/// use plurality_core::{
+///     Observer, PhaseSnapshot, ProtocolParams, StopCondition, TwoStageProtocol,
+/// };
+/// use plurality_core::ExecutionBackend;
+/// use pushsim::Opinion;
+///
+/// #[derive(Default)]
+/// struct BiasTrace(Vec<Option<f64>>);
+/// impl Observer for BiasTrace {
+///     fn on_phase_end(&mut self, snapshot: &PhaseSnapshot) {
+///         self.0.push(snapshot.bias());
+///     }
+/// }
+///
+/// # fn main() -> Result<(), plurality_core::ProtocolError> {
+/// let noise = NoiseMatrix::uniform(2, 0.35).expect("valid noise");
+/// let params = ProtocolParams::builder(500, 2).epsilon(0.35).seed(1).build()?;
+/// let protocol = TwoStageProtocol::new(params, noise)?;
+/// let mut trace = BiasTrace::default();
+/// let outcome = protocol
+///     .session()
+///     .stop_when(StopCondition::ConsensusReached)
+///     .run_rumor_spreading_on(ExecutionBackend::Auto, Opinion::new(0), &mut trace)?;
+/// assert_eq!(trace.0.len(), outcome.phase_records().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session<'p> {
+    protocol: &'p TwoStageProtocol,
+    stop: StopCondition,
+}
+
+impl Session<'_> {
+    /// Sets the session's stop condition (evaluated at phase boundaries;
+    /// the default, [`StopCondition::ScheduleExhausted`], never stops
+    /// early).
+    #[must_use]
+    pub fn stop_when(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// The session's stop condition.
+    pub fn stop(&self) -> &StopCondition {
+        &self.stop
+    }
+
+    /// The protocol this session runs.
+    pub fn protocol(&self) -> &TwoStageProtocol {
+        self.protocol
+    }
+
+    /// Observable variant of
+    /// [`TwoStageProtocol::run_rumor_spreading_on`]: `observer` is
+    /// notified at every phase boundary and the session's stop condition
+    /// may end the run early.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TwoStageProtocol::run_rumor_spreading`].
+    pub fn run_rumor_spreading_on(
+        &self,
+        backend: ExecutionBackend,
+        source_opinion: Opinion,
+        observer: &mut dyn Observer,
+    ) -> Result<Outcome, ProtocolError> {
+        let protocol = self.protocol;
+        if source_opinion.index() >= protocol.params.num_opinions() {
+            return Err(ProtocolError::OpinionOutOfRange {
+                opinion: source_opinion.index(),
+                num_opinions: protocol.params.num_opinions(),
+            });
+        }
+        protocol.dispatch(
+            backend,
+            observer,
+            |net, observer| {
+                protocol.run_rumor_spreading_generic(net, source_opinion, observer, &self.stop)
+            },
+            |net, observer| {
+                protocol.run_rumor_spreading_generic(net, source_opinion, observer, &self.stop)
+            },
+        )
+    }
+
+    /// Observable variant of
+    /// [`TwoStageProtocol::run_plurality_consensus_on`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TwoStageProtocol::run_plurality_consensus`].
+    pub fn run_plurality_consensus_on(
+        &self,
+        backend: ExecutionBackend,
+        initial_counts: &[usize],
+        observer: &mut dyn Observer,
+    ) -> Result<Outcome, ProtocolError> {
+        let protocol = self.protocol;
+        let reference = protocol.validate_initial_counts(initial_counts)?;
+        protocol.dispatch(
+            backend,
+            observer,
+            |net, observer| {
+                protocol.run_plurality_generic(net, initial_counts, reference, observer, &self.stop)
+            },
+            |net, observer| {
+                protocol.run_plurality_generic(net, initial_counts, reference, observer, &self.stop)
+            },
+        )
+    }
+
+    /// Observable variant of [`TwoStageProtocol::run_stage2_only_on`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TwoStageProtocol::run_stage2_only`].
+    pub fn run_stage2_only_on(
+        &self,
+        backend: ExecutionBackend,
+        initial_counts: &[usize],
+        observer: &mut dyn Observer,
+    ) -> Result<Outcome, ProtocolError> {
+        let protocol = self.protocol;
+        let reference = protocol.validate_initial_counts(initial_counts)?;
+        protocol.dispatch(
+            backend,
+            observer,
+            |net, observer| {
+                protocol.run_stage2_generic(net, initial_counts, reference, observer, &self.stop)
+            },
+            |net, observer| {
+                protocol.run_stage2_generic(net, initial_counts, reference, observer, &self.stop)
+            },
+        )
     }
 }
 

@@ -28,26 +28,41 @@
 //! "push the opinion held at the beginning of the phase" rule.
 
 use crate::memory::MemoryMeter;
+use crate::observe::{Observer, PhaseSnapshot, RunProgress, StopCondition};
 use crate::record::{PhaseRecord, StageId};
 use pushsim::{AdoptionScope, Opinion, PhaseObservation, PushBackend};
 use rand::rngs::StdRng;
 
-/// Runs all Stage 1 phases on `net` (any [`PushBackend`]).
+/// Runs Stage 1 phases on `net` (any [`PushBackend`]) until the schedule
+/// is exhausted or `stop` fires at a phase boundary.
 ///
 /// `phase_lengths` is the Stage 1 schedule (in rounds), `reference` is the
 /// correct opinion used for bias bookkeeping, `rng` drives the agents'
 /// adoption choices, and `meter` accumulates memory-footprint statistics.
+/// `observer` is notified at every phase boundary with a cheap
+/// [`PhaseSnapshot`]; observation never touches `rng` or the backend's
+/// delivery RNG, so attaching any observer leaves the execution
+/// bit-identical. `progress` carries the run's cumulative state for the
+/// stop condition (shared with Stage 2).
 ///
-/// Returns one [`PhaseRecord`] per phase.
+/// Returns one [`PhaseRecord`] per executed phase.
+#[allow(clippy::too_many_arguments)] // one argument per snapshot field
 pub(crate) fn run<B: PushBackend>(
     net: &mut B,
     phase_lengths: &[u64],
     reference: Opinion,
     rng: &mut StdRng,
     meter: &mut MemoryMeter,
+    observer: &mut dyn Observer,
+    stop: &StopCondition,
+    progress: &mut RunProgress,
 ) -> Vec<PhaseRecord> {
     let mut records = Vec::with_capacity(phase_lengths.len());
     for (phase_index, &length) in phase_lengths.iter().enumerate() {
+        if stop.should_stop(progress) {
+            break;
+        }
+        observer.on_phase_begin(Some(StageId::One), phase_index);
         net.begin_phase();
         let mut messages = 0u64;
         for _ in 0..length {
@@ -61,14 +76,27 @@ pub(crate) fn run<B: PushBackend>(
 
         meter.record_counter(net.observation().max_inbox());
         meter.record_phase();
-        records.push(PhaseRecord::new(
+        let record = PhaseRecord::new(
             StageId::One,
             phase_index,
             length,
             messages,
             net.distribution(),
             reference,
-        ));
+        );
+        let snapshot = PhaseSnapshot::new(
+            Some(StageId::One),
+            phase_index,
+            length,
+            net.rounds_executed(),
+            messages,
+            net.messages_sent(),
+            record.distribution_after().clone(),
+            record.bias_after(),
+        );
+        observer.on_phase_end(&snapshot);
+        progress.note_phase(&snapshot);
+        records.push(record);
     }
     records
 }
@@ -89,6 +117,27 @@ mod tests {
         Network::new(config, noise).unwrap()
     }
 
+    /// The stage with no observer and no early stop (the pre-observation
+    /// call shape).
+    fn run_all<B: PushBackend>(
+        net: &mut B,
+        phase_lengths: &[u64],
+        reference: Opinion,
+        rng: &mut StdRng,
+        meter: &mut MemoryMeter,
+    ) -> Vec<PhaseRecord> {
+        run(
+            net,
+            phase_lengths,
+            reference,
+            rng,
+            meter,
+            &mut crate::observe::NoObserver,
+            &StopCondition::ScheduleExhausted,
+            &mut RunProgress::new(),
+        )
+    }
+
     #[test]
     fn stage1_activates_every_node_from_a_single_source() {
         let n = 400;
@@ -99,7 +148,7 @@ mod tests {
         net.seed_rumor(0, Opinion::new(1)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let mut meter = MemoryMeter::new(3);
-        let records = run(
+        let records = run_all(
             &mut net,
             schedule.stage1_phase_lengths(),
             Opinion::new(1),
@@ -139,7 +188,7 @@ mod tests {
         let params = ProtocolParams::builder(n, 2).epsilon(eps).build().unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let mut meter = MemoryMeter::new(2);
-        run(
+        run_all(
             &mut net,
             params.schedule().stage1_phase_lengths(),
             Opinion::new(0),
@@ -163,7 +212,7 @@ mod tests {
         // Nobody is opinionated: no messages are ever sent.
         let mut rng = StdRng::seed_from_u64(6);
         let mut meter = MemoryMeter::new(2);
-        let records = run(&mut net, &[10], Opinion::new(0), &mut rng, &mut meter);
+        let records = run_all(&mut net, &[10], Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].messages(), 0);
         let dist: OpinionDistribution = net.distribution();
@@ -189,7 +238,7 @@ mod tests {
         net.seed_rumor(Opinion::new(1)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let mut meter = MemoryMeter::new(3);
-        let records = run(
+        let records = run_all(
             &mut net,
             schedule.stage1_phase_lengths(),
             Opinion::new(1),
@@ -222,7 +271,7 @@ mod tests {
         net.seed_rumor(0, Opinion::new(0)).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let mut meter = MemoryMeter::new(2);
-        let records = run(&mut net, &[1, 1], Opinion::new(0), &mut rng, &mut meter);
+        let records = run_all(&mut net, &[1, 1], Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(records[0].messages(), 1);
         // In phase 2 the source plus at most one adopter push.
         assert!(records[1].messages() <= 2);

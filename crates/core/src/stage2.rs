@@ -22,27 +22,39 @@
 //! `maj(Multinomial(L, h/H))` splits — see `pushsim::counting`).
 
 use crate::memory::MemoryMeter;
+use crate::observe::{Observer, PhaseSnapshot, RunProgress, StopCondition};
 use crate::record::{PhaseRecord, StageId};
 use pushsim::{Opinion, PhaseObservation, PushBackend};
 use rand::rngs::StdRng;
 
-/// Runs all Stage 2 phases on `net` (any [`PushBackend`]).
+/// Runs Stage 2 phases on `net` (any [`PushBackend`]) until the schedule
+/// is exhausted or `stop` fires at a phase boundary.
 ///
 /// `sample_sizes` lists the per-phase sample sizes `L` (each phase lasts
 /// `2L` rounds), `reference` is the plurality opinion used for bias
 /// bookkeeping, `rng` drives sampling and tie-breaking, and `meter`
-/// accumulates memory statistics.
+/// accumulates memory statistics. `observer` and `progress` behave exactly
+/// as in Stage 1's `run`: phase-boundary snapshots, no RNG access, shared
+/// stop-condition state.
 ///
-/// Returns one [`PhaseRecord`] per phase.
+/// Returns one [`PhaseRecord`] per executed phase.
+#[allow(clippy::too_many_arguments)] // one argument per snapshot field
 pub(crate) fn run<B: PushBackend>(
     net: &mut B,
     sample_sizes: &[u64],
     reference: Opinion,
     rng: &mut StdRng,
     meter: &mut MemoryMeter,
+    observer: &mut dyn Observer,
+    stop: &StopCondition,
+    progress: &mut RunProgress,
 ) -> Vec<PhaseRecord> {
     let mut records = Vec::with_capacity(sample_sizes.len());
     for (phase_index, &sample_size) in sample_sizes.iter().enumerate() {
+        if stop.should_stop(progress) {
+            break;
+        }
+        observer.on_phase_begin(Some(StageId::Two), phase_index);
         let rounds = 2 * sample_size;
         net.begin_phase();
         let mut messages = 0u64;
@@ -57,14 +69,27 @@ pub(crate) fn run<B: PushBackend>(
         meter.record_sample_size(sample_size);
         meter.record_counter(net.observation().max_inbox());
         meter.record_phase();
-        records.push(PhaseRecord::new(
+        let record = PhaseRecord::new(
             StageId::Two,
             phase_index,
             rounds,
             messages,
             net.distribution(),
             reference,
-        ));
+        );
+        let snapshot = PhaseSnapshot::new(
+            Some(StageId::Two),
+            phase_index,
+            rounds,
+            net.rounds_executed(),
+            messages,
+            net.messages_sent(),
+            record.distribution_after().clone(),
+            record.bias_after(),
+        );
+        observer.on_phase_end(&snapshot);
+        progress.note_phase(&snapshot);
+        records.push(record);
     }
     records
 }
@@ -84,6 +109,27 @@ mod tests {
         Network::new(config, noise).unwrap()
     }
 
+    /// The stage with no observer and no early stop (the pre-observation
+    /// call shape).
+    fn run_all<B: PushBackend>(
+        net: &mut B,
+        sample_sizes: &[u64],
+        reference: Opinion,
+        rng: &mut StdRng,
+        meter: &mut MemoryMeter,
+    ) -> Vec<PhaseRecord> {
+        run(
+            net,
+            sample_sizes,
+            reference,
+            rng,
+            meter,
+            &mut crate::observe::NoObserver,
+            &StopCondition::ScheduleExhausted,
+            &mut RunProgress::new(),
+        )
+    }
+
     #[test]
     fn stage2_amplifies_an_initial_bias_to_consensus() {
         let n = 600;
@@ -97,7 +143,7 @@ mod tests {
         let ell = 61;
         let ell_final = 201;
         let sizes = vec![ell, ell, ell, ell, ell_final];
-        let records = run(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
+        let records = run_all(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(records.len(), sizes.len());
         let final_dist: OpinionDistribution = net.distribution();
         assert!(
@@ -123,7 +169,7 @@ mod tests {
             net.seed_counts(&[majority, minority]).unwrap();
             let mut rng = StdRng::seed_from_u64(200 + seed);
             let mut meter = MemoryMeter::new(2);
-            let records = run(&mut net, &[41], Opinion::new(0), &mut rng, &mut meter);
+            let records = run_all(&mut net, &[41], Opinion::new(0), &mut rng, &mut meter);
             total_bias_after += records[0].bias_after().unwrap();
         }
         let avg = total_bias_after / trials as f64;
@@ -153,7 +199,7 @@ mod tests {
         let ell = 61;
         let ell_final = 201;
         let sizes = vec![ell, ell, ell, ell, ell_final];
-        let records = run(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
+        let records = run_all(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(records.len(), sizes.len());
         let final_dist = net.distribution();
         assert!(
@@ -180,7 +226,7 @@ mod tests {
         let before = net.distribution();
         let mut rng = StdRng::seed_from_u64(13);
         let mut meter = MemoryMeter::new(2);
-        run(&mut net, &[1001], Opinion::new(0), &mut rng, &mut meter);
+        run_all(&mut net, &[1001], Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(net.distribution().counts(), before.counts());
     }
 
@@ -193,7 +239,7 @@ mod tests {
         let before = net.distribution();
         let mut rng = StdRng::seed_from_u64(13);
         let mut meter = MemoryMeter::new(2);
-        run(&mut net, &[1001], Opinion::new(0), &mut rng, &mut meter);
+        run_all(&mut net, &[1001], Opinion::new(0), &mut rng, &mut meter);
         assert_eq!(net.distribution().counts(), before.counts());
     }
 
@@ -206,7 +252,7 @@ mod tests {
         net.seed_counts(&[200, 40]).unwrap(); // 60 undecided
         let mut rng = StdRng::seed_from_u64(15);
         let mut meter = MemoryMeter::new(2);
-        run(&mut net, &[31, 31, 101], Opinion::new(0), &mut rng, &mut meter);
+        run_all(&mut net, &[31, 31, 101], Opinion::new(0), &mut rng, &mut meter);
         let dist = net.distribution();
         assert_eq!(dist.undecided(), 0, "stragglers should be recruited: {dist}");
         assert!(dist.is_consensus_on(Opinion::new(0)));
@@ -222,7 +268,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let mut meter = MemoryMeter::new(2);
         let sizes = vec![31; 12];
-        run(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
+        run_all(&mut net, &sizes, Opinion::new(0), &mut rng, &mut meter);
         let dist = net.distribution();
         assert_eq!(dist.undecided(), 0);
         // Not asserting *which* opinion wins — only that the system is in a

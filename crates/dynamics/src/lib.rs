@@ -103,7 +103,8 @@ pub use rule::RuleSpec;
 pub use undecided::UndecidedState;
 pub use voter::Voter;
 
-use pushsim::{Network, PushBackend};
+use plurality_core::observe::{NoObserver, Observer, PhaseSnapshot, RunProgress, StopCondition};
+use pushsim::{Network, Opinion, PushBackend};
 use rand::rngs::StdRng;
 
 /// A synchronous opinion dynamics over the noisy uniform push model,
@@ -130,17 +131,78 @@ pub trait Dynamics<B: PushBackend = Network> {
     /// that was already in progress when the limit is hit is finished, so
     /// the actual round count can exceed `max_rounds` by one step).
     ///
-    /// The consensus poll uses [`PushBackend::is_consensus`], which is O(k)
-    /// on both backends — it never rescans the population.
+    /// Equivalent to [`run_until`](Dynamics::run_until) with the stop
+    /// condition `max-rounds OR consensus` and no observer; kept as the
+    /// concise entry point for budgeted runs.
     fn run(&mut self, net: &mut B, rng: &mut StdRng, max_rounds: u64) -> DynamicsOutcome {
+        self.run_until(
+            net,
+            rng,
+            None,
+            &StopCondition::Any(vec![
+                StopCondition::MaxRounds(max_rounds),
+                StopCondition::ConsensusReached,
+            ]),
+            &mut NoObserver,
+        )
+    }
+
+    /// Runs the dynamics until `stop` fires, notifying `observer` after
+    /// every step — the observable generalization of
+    /// [`run`](Dynamics::run), mirroring the protocol's
+    /// `Session` API.
+    ///
+    /// Each step is reported as one "phase" with `stage = None`;
+    /// `reference` (usually the initial plurality opinion) is the opinion
+    /// the snapshots' bias — and hence
+    /// [`StopCondition::BiasAtLeast`] / [`StopCondition::Plateau`] — is
+    /// measured against; with `None` the bias is undefined and those
+    /// conditions never fire. Observation never touches `rng` or the
+    /// backend's delivery RNG, so attaching any observer leaves the
+    /// execution bit-identical.
+    ///
+    /// The stop condition is evaluated *before* each step on the current
+    /// state (the consensus poll uses [`PushBackend::is_consensus`], O(k)
+    /// on both backends), so a [`StopCondition::ScheduleExhausted`]
+    /// condition — which never fires — would loop forever: budget the run
+    /// with [`StopCondition::MaxRounds`] or a convergence condition.
+    fn run_until(
+        &mut self,
+        net: &mut B,
+        rng: &mut StdRng,
+        reference: Option<Opinion>,
+        stop: &StopCondition,
+        observer: &mut dyn Observer,
+    ) -> DynamicsOutcome {
         let start_rounds = net.rounds_executed();
         let start_messages = net.messages_sent();
-        while net.rounds_executed() - start_rounds < max_rounds {
-            if net.is_consensus() {
-                break;
-            }
+        let mut progress = RunProgress::for_stop(stop);
+        progress.sync(0, net.is_consensus());
+        let mut step_index = 0usize;
+        let mut messages_before = 0u64;
+        while !stop.should_stop(&progress) {
+            observer.on_phase_begin(None, step_index);
             self.step(net, rng);
+            let distribution = net.distribution();
+            let bias = reference.and_then(|r| distribution.bias_towards(r));
+            let total_rounds = net.rounds_executed() - start_rounds;
+            let total_messages = net.messages_sent() - start_messages;
+            let snapshot = PhaseSnapshot::new(
+                None,
+                step_index,
+                total_rounds - progress.rounds(),
+                total_rounds,
+                total_messages - messages_before,
+                total_messages,
+                distribution,
+                bias,
+            );
+            observer.on_phase_end(&snapshot);
+            progress.note_phase(&snapshot);
+            messages_before = total_messages;
+            step_index += 1;
         }
+        observer.on_finish();
         let final_distribution = net.distribution();
         DynamicsOutcome::new(
             self.name(),
@@ -268,6 +330,95 @@ mod tests {
                 dyn_.name()
             );
         }
+    }
+
+    #[test]
+    fn run_until_observes_every_step_and_honours_stop_conditions() {
+        #[derive(Default)]
+        struct Trace {
+            steps: usize,
+            last_bias: Option<f64>,
+            finished: bool,
+        }
+        impl Observer for Trace {
+            fn on_phase_end(&mut self, snapshot: &PhaseSnapshot) {
+                assert_eq!(snapshot.stage(), None, "dynamics steps are stage-less");
+                assert_eq!(snapshot.phase(), self.steps);
+                self.steps += 1;
+                self.last_bias = snapshot.bias();
+            }
+            fn on_finish(&mut self) {
+                self.finished = true;
+            }
+        }
+
+        let noise = NoiseMatrix::identity(2).unwrap();
+        let config = SimConfig::builder(300, 2).seed(21).build().unwrap();
+        let mut net = Network::new(config, noise).unwrap();
+        net.seed_counts(&[210, 90]).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut trace = Trace::default();
+        let stop = StopCondition::Any(vec![
+            StopCondition::BiasAtLeast(0.9),
+            StopCondition::MaxRounds(5_000),
+        ]);
+        let outcome = ThreeMajority::new().run_until(
+            &mut net,
+            &mut rng,
+            Some(Opinion::new(0)),
+            &stop,
+            &mut trace,
+        );
+        assert!(trace.finished);
+        assert!(trace.steps > 0);
+        assert!(
+            trace.last_bias.unwrap() >= 0.9,
+            "the bias threshold ended the run: {:?}",
+            trace.last_bias
+        );
+        assert!(outcome.rounds() < 5_000, "stopped well before the budget");
+    }
+
+    #[test]
+    fn run_until_with_an_observer_matches_run_bit_for_bit() {
+        // Attaching an observer must not perturb the RNG streams: the same
+        // seeds produce the same outcome with and without observation.
+        let run_one = |observed: bool| {
+            let noise = NoiseMatrix::uniform(2, 0.35).unwrap();
+            let config = SimConfig::builder(400, 2).seed(31).build().unwrap();
+            let mut net = Network::new(config, noise).unwrap();
+            net.seed_counts(&[250, 100]).unwrap();
+            let mut rng = StdRng::seed_from_u64(32);
+            let stop = StopCondition::Any(vec![
+                StopCondition::MaxRounds(200),
+                StopCondition::ConsensusReached,
+            ]);
+            if observed {
+                struct Count(usize);
+                impl Observer for Count {
+                    fn on_phase_end(&mut self, _: &PhaseSnapshot) {
+                        self.0 += 1;
+                    }
+                }
+                let mut count = Count(0);
+                let outcome = Voter::new().run_until(
+                    &mut net,
+                    &mut rng,
+                    Some(Opinion::new(0)),
+                    &stop,
+                    &mut count,
+                );
+                assert!(count.0 > 0);
+                outcome
+            } else {
+                Voter::new().run(&mut net, &mut rng, 200)
+            }
+        };
+        let plain = run_one(false);
+        let observed = run_one(true);
+        assert_eq!(plain.final_distribution(), observed.final_distribution());
+        assert_eq!(plain.rounds(), observed.rounds());
+        assert_eq!(plain.messages(), observed.messages());
     }
 
     #[test]

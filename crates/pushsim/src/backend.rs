@@ -80,6 +80,21 @@ pub trait PhaseObservation {
     /// maximum on the agent backend, a Chernoff-style w.h.p. ceiling on the
     /// counting backend. Feeds the protocol's memory accounting.
     fn max_inbox(&self) -> u64;
+
+    /// Mean number of messages received per agent this phase.
+    fn mean_received(&self) -> f64;
+
+    /// Population variance of the per-agent received counts: measured
+    /// exactly on the agent backend (an O(n) scan of the inboxes), the
+    /// Poisson closed form `Var = Λ = mean` on the counting backend. The
+    /// F8 experiment compares these across processes O/B/P (Claim 1 and
+    /// Lemma 3 predict they agree per node while the totals differ).
+    fn received_variance(&self) -> f64;
+
+    /// Fraction of agents that received at least one message this phase:
+    /// measured on the agent backend, `1 − e^{−Λ}` on the counting
+    /// backend.
+    fn fraction_with_messages(&self) -> f64;
 }
 
 impl PhaseObservation for Inboxes {
@@ -94,6 +109,37 @@ impl PhaseObservation for Inboxes {
     fn max_inbox(&self) -> u64 {
         self.max_received()
     }
+
+    fn mean_received(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.total_messages() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    fn received_variance(&self) -> f64 {
+        let n = self.num_nodes();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean_received();
+        (0..n)
+            .map(|node| {
+                let d = f64::from(self.received_total(node)) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+
+    fn fraction_with_messages(&self) -> f64 {
+        let n = self.num_nodes();
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n).filter(|&node| self.has_received(node)).count() as f64 / n as f64
+    }
 }
 
 impl PhaseObservation for PhaseTally {
@@ -107,6 +153,20 @@ impl PhaseObservation for PhaseTally {
 
     fn max_inbox(&self) -> u64 {
         self.typical_max_inbox()
+    }
+
+    fn mean_received(&self) -> f64 {
+        self.mean_inbox()
+    }
+
+    fn received_variance(&self) -> f64 {
+        // Per-node inboxes are independent Poisson(Λ) sums under process P
+        // (Definition 4), so the variance equals the mean.
+        self.mean_inbox()
+    }
+
+    fn fraction_with_messages(&self) -> f64 {
+        self.activation_probability()
     }
 }
 
@@ -649,6 +709,30 @@ mod tests {
             net.seed_rumor_at(50, Opinion::new(1)),
             Err(SimError::NodeOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn phase_statistics_are_consistent_on_both_backends() {
+        // Agent backend: measured moments over the real inboxes.
+        let mut agent = agent_net(500, 11);
+        PushBackend::seed_counts(&mut agent, &[200, 100, 50]).unwrap();
+        one_phase(&mut agent, 4);
+        let obs = PushBackend::observation(&agent);
+        let n = 500.0;
+        assert!((obs.mean_received() - obs.total_received() as f64 / n).abs() < 1e-12);
+        let frac = obs.fraction_with_messages();
+        assert!((0.0..=1.0).contains(&frac));
+        assert!(frac > 0.5, "4 rounds of 350 pushers reach most of 500 nodes");
+        assert!(obs.received_variance() > 0.0);
+
+        // Counting backend: the Poisson closed forms.
+        let mut counting = counting_net(500, 11);
+        PushBackend::seed_counts(&mut counting, &[200, 100, 50]).unwrap();
+        one_phase(&mut counting, 4);
+        let obs = PushBackend::observation(&counting);
+        let lambda = obs.mean_received();
+        assert!((obs.received_variance() - lambda).abs() < 1e-12);
+        assert!((obs.fraction_with_messages() - (1.0 - (-lambda).exp())).abs() < 1e-9);
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! * [`sim`] — the noisy uniform push model simulator with the three delivery
 //!   semantics (processes **O**, **B**, **P**) used in the paper's analysis.
 //! * [`protocol`] — the paper's two-stage rumor-spreading / plurality
-//!   consensus protocol, phase schedules, theoretical bounds and memory
-//!   accounting.
+//!   consensus protocol, phase schedules, theoretical bounds, memory
+//!   accounting, and the observation layer
+//!   ([`Session`](protocol::Session) / [`Observer`](protocol::Observer) /
+//!   [`StopCondition`](protocol::StopCondition)) that makes executions
+//!   watchable phase by phase and stoppable early.
 //! * [`dynamics`] — baseline opinion dynamics (voter, 3-majority, h-majority,
 //!   undecided-state, median rule) running on the same substrate.
-//! * [`analysis`] — statistics, sweeps and table emitters used by the
-//!   experiment harness.
+//! * [`analysis`] — statistics, sweeps, table emitters and the built-in
+//!   observers (trajectory recorder, streaming per-phase aggregates, JSONL
+//!   stream sink) used by the experiment harness.
 //! * [`mod@bench`] — the declarative scenario API
 //!   ([`ScenarioSpec`](bench::spec::ScenarioSpec) +
 //!   [`Runner`](bench::runner::Runner)) and the registry behind the `xp`
@@ -62,13 +66,14 @@ pub use pushsim as sim;
 pub mod prelude {
     pub use gossip_analysis::{
         ci::WilsonInterval,
+        observe::{OnlineStats, StreamSink, TrajectoryRecorder},
         stats::SampleStats,
         sweep::{Sweep, SweepRow},
         table::Table,
     };
     pub use noisy_bench::{
         runner::{RunReport, Runner},
-        spec::{InitSpec, Metric, ScenarioKind, ScenarioSpec, SpecError},
+        spec::{InitSpec, Metric, ObserveMode, ScenarioKind, ScenarioSpec, SpecError, StopSpec},
     };
     pub use noisy_channel::{
         families, MpReport, NoiseError, NoiseMatrix, NoiseSpec, PairwiseMargin,
@@ -79,7 +84,8 @@ pub mod prelude {
     };
     pub use plurality_core::{
         bounds, run_plurality_consensus, run_rumor_spreading, ExecutionBackend, MemoryMeter,
-        Outcome, PhaseRecord, ProtocolConstants, ProtocolError, ProtocolParams, Schedule, StageId,
+        NoObserver, Observer, Outcome, PhaseRecord, PhaseSnapshot, ProtocolConstants,
+        ProtocolError, ProtocolParams, Schedule, Session, StageId, StopCondition,
         TwoStageProtocol,
     };
     pub use pushsim::{
