@@ -24,9 +24,18 @@ use plurality_core::observe::{Observer, PhaseSnapshot};
 use plurality_core::StageId;
 use std::io::Write;
 
-/// The column headers of the canonical trajectory table.
-pub const TRAJECTORY_HEADERS: [&str; 6] =
-    ["stage", "phase", "rounds", "opinionated", "bias", "amplification"];
+/// The column headers of the canonical trajectory table. The final
+/// `topology` column records which communication graph produced the
+/// trajectory (`"complete"` for the paper's model).
+pub const TRAJECTORY_HEADERS: [&str; 7] = [
+    "stage",
+    "phase",
+    "rounds",
+    "opinionated",
+    "bias",
+    "amplification",
+    "topology",
+];
 
 /// The column headers of the per-phase aggregate table
 /// ([`OnlineStats::to_table`]); shared with the experiment runner so
@@ -60,6 +69,7 @@ pub fn trajectory_row(snapshot: &PhaseSnapshot, previous_bias: Option<f64>) -> V
         format!("{:.3}", snapshot.opinionated_fraction()),
         bias.map_or_else(|| "-".to_string(), |b| format!("{b:+.4}")),
         amplification,
+        snapshot.topology().to_string(),
     ]
 }
 
@@ -419,13 +429,13 @@ mod tests {
         let s1 = snapshot(Some(StageId::One), 0, vec![40, 10], 50, Some(0.6));
         assert_eq!(
             trajectory_row(&s1, Some(0.3)),
-            vec!["stage 1", "0", "10", "0.500", "+0.6000", "-"]
+            vec!["stage 1", "0", "10", "0.500", "+0.6000", "-", "complete"]
         );
         // Stage 2 rows show it once the previous bias is positive.
         let s2 = snapshot(Some(StageId::Two), 1, vec![90, 10], 0, Some(0.8));
         assert_eq!(
             trajectory_row(&s2, Some(0.4)),
-            vec!["stage 2", "1", "10", "1.000", "+0.8000", "2.00x"]
+            vec!["stage 2", "1", "10", "1.000", "+0.8000", "2.00x", "complete"]
         );
         assert_eq!(trajectory_row(&s2, None)[5], "-");
         assert_eq!(trajectory_row(&s2, Some(0.0))[5], "-");
@@ -434,6 +444,10 @@ mod tests {
         let row = trajectory_row(&dynamics, Some(0.4));
         assert_eq!(row[0], "-");
         assert_eq!(row[5], "2.00x");
+        // The topology label rides along in the final column.
+        let ring = snapshot(Some(StageId::One), 0, vec![40, 10], 50, Some(0.6))
+            .with_topology("ring");
+        assert_eq!(trajectory_row(&ring, None)[6], "ring");
         // Undefined bias renders as a dash.
         let empty = snapshot(Some(StageId::One), 0, vec![0, 0], 100, None);
         assert_eq!(trajectory_row(&empty, None)[4], "-");
@@ -488,6 +502,39 @@ mod tests {
     }
 
     #[test]
+    fn online_stats_tolerate_runs_of_unequal_length() {
+        // Stop conditions make per-run phase counts differ; the aggregates
+        // must keep per-phase-index sample counts honest instead of
+        // misaligning later runs.
+        let mut stats = OnlineStats::new();
+        // Run 1: three phases.
+        stats.on_phase_end(&snapshot(Some(StageId::One), 0, vec![10, 0], 90, Some(1.0)));
+        stats.on_phase_end(&snapshot(Some(StageId::One), 1, vec![50, 0], 50, Some(1.0)));
+        stats.on_phase_end(&snapshot(Some(StageId::Two), 0, vec![90, 10], 0, Some(0.8)));
+        stats.on_finish();
+        // Run 2: stopped after one phase.
+        stats.on_phase_end(&snapshot(Some(StageId::One), 0, vec![20, 0], 80, Some(1.0)));
+        stats.on_finish();
+        // Run 3: two phases.
+        stats.on_phase_end(&snapshot(Some(StageId::One), 0, vec![10, 0], 90, Some(1.0)));
+        stats.on_phase_end(&snapshot(Some(StageId::One), 1, vec![40, 0], 60, Some(1.0)));
+        stats.on_finish();
+
+        assert_eq!(stats.runs(), 3);
+        let slots = stats.phases();
+        assert_eq!(slots.len(), 3, "the longest run defines the phase axis");
+        assert_eq!(slots[0].opinionated.len(), 3, "every run reached phase 0");
+        assert_eq!(slots[1].opinionated.len(), 2, "two runs reached phase 1");
+        assert_eq!(slots[2].opinionated.len(), 1, "one run reached phase 2");
+        // Growth after a truncated run restarts cleanly: the short run
+        // must not leak its last fraction into the next run's phase 0.
+        assert_eq!(slots[0].growth.len(), 0);
+        assert_eq!(slots[1].growth.len(), 2);
+        // The rendered table still has one row per phase index.
+        assert_eq!(stats.to_table().num_rows(), 3);
+    }
+
+    #[test]
     fn stream_sink_emits_one_flushed_json_line_per_phase() {
         let mut out = Vec::new();
         {
@@ -502,8 +549,9 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"trial\":\"0\",\"stage\":\"stage 1\",\"phase\":\"0\",\"rounds\":\"10\",\
-             \"opinionated\":\"0.500\",\"bias\":\"+0.2000\",\"amplification\":\"-\"}"
+            "{\"trial\":0,\"stage\":\"stage 1\",\"phase\":0,\"rounds\":10,\
+             \"opinionated\":0.500,\"bias\":0.2000,\"amplification\":\"-\",\
+             \"topology\":\"complete\"}"
         );
         assert!(lines[1].contains("\"amplification\":\"3.00x\""));
     }

@@ -84,18 +84,24 @@ impl Table {
     }
 
     /// Renders the table as [JSON Lines](https://jsonlines.org/): one JSON
-    /// object per data row, keyed by the column headers, all values as
-    /// strings. This is the machine-readable form behind the experiment
-    /// binaries' shared `--json` flag, so figure pipelines can consume
-    /// experiment output with `jq` or a dataframe library without parsing
-    /// aligned columns.
+    /// object per data row, keyed by the column headers. Cells that parse
+    /// as finite numbers are emitted as bare JSON numbers (so `"n": 1000`,
+    /// not `"n": "1000"` — consumers get typed values without a second
+    /// parse); non-finite numeric cells become `null`; everything else
+    /// stays a JSON string. This is the machine-readable form behind the
+    /// experiment binaries' shared `--json` flag, so figure pipelines can
+    /// consume experiment output with `jq` or a dataframe library without
+    /// parsing aligned columns.
     ///
     /// ```
     /// use gossip_analysis::table::Table;
     ///
-    /// let mut table = Table::new(vec!["n", "rounds"]);
-    /// table.push_row(vec!["1000".into(), "813".into()]);
-    /// assert_eq!(table.to_json_lines(), "{\"n\":\"1000\",\"rounds\":\"813\"}\n");
+    /// let mut table = Table::new(vec!["n", "rounds", "note"]);
+    /// table.push_row(vec!["1000".into(), "813".into(), "ok".into()]);
+    /// assert_eq!(
+    ///     table.to_json_lines(),
+    ///     "{\"n\":1000,\"rounds\":813,\"note\":\"ok\"}\n"
+    /// );
     /// ```
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
@@ -135,9 +141,16 @@ impl Table {
 }
 
 /// Renders one JSON object (without a trailing newline) from parallel
-/// header/cell slices, all values as strings — the row format shared by
+/// header/cell slices — the row format shared by
 /// [`Table::to_json_lines`] and the streaming observers, so a streamed run
 /// and its final table are byte-compatible row by row.
+///
+/// Values are **typed**: a cell that parses as a finite `f64` is emitted
+/// as a bare JSON number (preserving the cell's own formatting when it is
+/// already valid JSON number syntax, e.g. trailing zeros in `"0.250"`; a
+/// leading `+` sign is stripped), a cell that parses as a non-finite
+/// number (`inf`, `NaN`) becomes `null`, and any other cell is emitted as
+/// a JSON string. Keys are always strings.
 ///
 /// # Panics
 ///
@@ -156,10 +169,65 @@ pub fn json_line<H: AsRef<str>, C: AsRef<str>>(headers: &[H], cells: &[C]) -> St
         }
         json_escape_into(&mut out, header.as_ref());
         out.push(':');
-        json_escape_into(&mut out, cell.as_ref());
+        json_value_into(&mut out, cell.as_ref());
     }
     out.push('}');
     out
+}
+
+/// Appends one cell to `out` as a typed JSON value (see [`json_line`]).
+fn json_value_into(out: &mut String, cell: &str) {
+    match cell.parse::<f64>() {
+        Ok(value) if value.is_finite() => {
+            // Keep the cell's own formatting whenever it is already a
+            // valid JSON number token (Rust's f64 grammar is wider than
+            // JSON's: leading '+', "3.", ".5", "inf" …).
+            let unsigned = cell.strip_prefix('+').unwrap_or(cell);
+            if is_json_number(unsigned) {
+                out.push_str(unsigned);
+            } else {
+                // Rare fallback (e.g. "3." or ".5"): normalize through the
+                // parsed value.
+                out.push_str(&value.to_string());
+            }
+        }
+        Ok(_) => out.push_str("null"),
+        Err(_) => json_escape_into(out, cell),
+    }
+}
+
+/// `true` if `s` is a valid JSON number token:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+fn is_json_number(s: &str) -> bool {
+    let mut chars = s.as_bytes();
+    if let [b'-', rest @ ..] = chars {
+        chars = rest;
+    }
+    // Integer part: "0" alone or a non-zero leading digit run.
+    let digits = chars.iter().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 || (digits > 1 && chars[0] == b'0') {
+        return false;
+    }
+    chars = &chars[digits..];
+    if let [b'.', rest @ ..] = chars {
+        let frac = rest.iter().take_while(|c| c.is_ascii_digit()).count();
+        if frac == 0 {
+            return false;
+        }
+        chars = &rest[frac..];
+    }
+    if let [b'e' | b'E', rest @ ..] = chars {
+        let rest = match rest {
+            [b'+' | b'-', digits @ ..] => digits,
+            digits => digits,
+        };
+        let exp = rest.iter().take_while(|c| c.is_ascii_digit()).count();
+        if exp == 0 {
+            return false;
+        }
+        chars = &rest[exp..];
+    }
+    chars.is_empty()
 }
 
 /// Appends `s` to `out` as a JSON string literal (quotes, backslashes and
@@ -245,13 +313,55 @@ mod tests {
     }
 
     #[test]
-    fn json_lines_emit_one_object_per_row() {
+    fn json_lines_emit_one_object_per_row_with_typed_cells() {
         let table = sample_table();
         let json = table.to_json_lines();
         let lines: Vec<&str> = json.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], "{\"name\":\"alpha\",\"value\":\"1\"}");
-        assert_eq!(lines[1], "{\"name\":\"beta\",\"value\":\"23456\"}");
+        assert_eq!(lines[0], "{\"name\":\"alpha\",\"value\":1}");
+        assert_eq!(lines[1], "{\"name\":\"beta\",\"value\":23456}");
+    }
+
+    #[test]
+    fn json_cells_are_typed_by_content() {
+        let headers = ["a"];
+        let case = |cell: &str| json_line(&headers, &[cell]);
+        // Numbers pass through with their own formatting.
+        assert_eq!(case("1000"), "{\"a\":1000}");
+        assert_eq!(case("0.250"), "{\"a\":0.250}");
+        assert_eq!(case("-3.5"), "{\"a\":-3.5}");
+        assert_eq!(case("2.00e7"), "{\"a\":2.00e7}");
+        assert_eq!(case("1e-3"), "{\"a\":1e-3}");
+        // A leading '+' (the bias column's rendering) is stripped — "+0.5"
+        // parses as a number but is not valid JSON number syntax.
+        assert_eq!(case("+0.4058"), "{\"a\":0.4058}");
+        // Rust-parseable but JSON-invalid spellings normalize via f64.
+        assert_eq!(case("3."), "{\"a\":3}");
+        assert_eq!(case(".5"), "{\"a\":0.5}");
+        // Non-finite numeric cells map to null.
+        assert_eq!(case("inf"), "{\"a\":null}");
+        assert_eq!(case("-inf"), "{\"a\":null}");
+        assert_eq!(case("NaN"), "{\"a\":null}");
+        // Everything else stays a string.
+        assert_eq!(case("-"), "{\"a\":\"-\"}");
+        assert_eq!(case("true"), "{\"a\":\"true\"}");
+        assert_eq!(case("3.27x"), "{\"a\":\"3.27x\"}");
+        assert_eq!(case("stage 1"), "{\"a\":\"stage 1\"}");
+        assert_eq!(
+            case("5/5 = 1.000 [0.566, 1.000]"),
+            "{\"a\":\"5/5 = 1.000 [0.566, 1.000]\"}"
+        );
+        assert_eq!(case(""), "{\"a\":\"\"}");
+    }
+
+    #[test]
+    fn json_number_syntax_checker_matches_the_json_grammar() {
+        for valid in ["0", "-0", "10", "3.5", "0.250", "1e5", "1E+5", "2.5e-3"] {
+            assert!(is_json_number(valid), "{valid} is a JSON number");
+        }
+        for invalid in ["+1", "01", "3.", ".5", "1e", "1e+", "--1", "0x10", "", "1 "] {
+            assert!(!is_json_number(invalid), "{invalid} is not a JSON number");
+        }
     }
 
     #[test]
@@ -263,6 +373,10 @@ mod tests {
             json,
             "{\"a\":\"quote\\\" back\\\\slash\\nnewline\\ttab\"}\n"
         );
+        // Numeric-looking *headers* stay strings — only values are typed.
+        let mut table = Table::new(vec!["100"]);
+        table.push_row(vec!["x".into()]);
+        assert_eq!(table.to_json_lines(), "{\"100\":\"x\"}\n");
     }
 
     #[test]

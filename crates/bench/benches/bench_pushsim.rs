@@ -11,7 +11,7 @@ use noisy_channel::NoiseMatrix;
 use plurality_core::observe::{NoObserver, Observer, PhaseSnapshot};
 use pushsim::{
     CountingNetwork, DeliverySemantics, Network, Opinion, PhaseObservation, PushBackend,
-    SimConfig,
+    SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -392,6 +392,42 @@ fn bench_observer_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The topology cost guard: one exact-delivery push round at n = 10⁵ with
+/// full participation, on the complete graph (destination is a bare
+/// `gen_range(0..n)`, the pre-topology hot path) vs the ring and a random
+/// 8-regular graph (destination is a CSR neighbor-list lookup). Sparse
+/// topologies add one offset indirection per message; the group documents
+/// that the whole topology subsystem costs nothing when it is not used
+/// and only a small constant when it is.
+fn bench_topology_round(c: &mut Criterion) {
+    let n = 100_000usize;
+    let k = 3usize;
+    let mut group = c.benchmark_group("pushsim_topology_round_n1e5");
+    group.sample_size(10);
+    for topology in [
+        TopologySpec::Complete,
+        TopologySpec::Ring,
+        TopologySpec::RandomRegular { degree: 8 },
+    ] {
+        group.bench_function(topology.to_string(), |b| {
+            let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+            let config = SimConfig::builder(n, k)
+                .seed(12)
+                .topology(topology)
+                .build()
+                .expect("valid config");
+            let mut net = Network::new(config, noise).expect("valid network");
+            net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+            b.iter(|| {
+                net.begin_phase();
+                net.push_round(|_, s| s.opinion());
+                net.end_phase().total_messages()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -404,6 +440,7 @@ criterion_group! {
     config = configured();
     targets = bench_round_throughput, bench_poissonized_phase,
               bench_end_phase_per_message_vs_batched, bench_backend_scaling,
-              bench_generic_vs_concrete_dispatch, bench_observer_dispatch
+              bench_generic_vs_concrete_dispatch, bench_observer_dispatch,
+              bench_topology_round
 }
 criterion_main!(benches);

@@ -507,6 +507,7 @@ pub fn reseed(params: &ProtocolParams, seed: u64) -> ProtocolParams {
     ProtocolParams::builder(params.num_nodes(), params.num_opinions())
         .epsilon(params.epsilon())
         .delivery(params.delivery())
+        .topology(params.topology())
         .constants(*params.constants())
         .seed(seed)
         .build()
@@ -702,10 +703,16 @@ mod tests {
 
     #[test]
     fn reseed_changes_only_the_seed() {
-        let params = ProtocolParams::builder(300, 3).epsilon(0.3).seed(2).build().unwrap();
+        let params = ProtocolParams::builder(300, 3)
+            .epsilon(0.3)
+            .seed(2)
+            .topology(pushsim::TopologySpec::Ring)
+            .build()
+            .unwrap();
         let reseeded = reseed(&params, 99);
         assert_eq!(reseeded.seed(), 99);
         assert_eq!(reseeded.num_nodes(), params.num_nodes());
         assert_eq!(reseeded.epsilon(), params.epsilon());
+        assert_eq!(reseeded.topology(), params.topology());
     }
 }

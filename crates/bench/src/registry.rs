@@ -14,7 +14,8 @@
 //!   the scenario level (F8's delivery-semantics statistics, F4/T4's
 //!   analytic bounds). These still honour the shared [`Cli`] flags.
 //!
-//! The registered names are `f1`–`f8`, `t1`–`t4`, `a1` and `scale`.
+//! The registered names are `f1`–`f8`, `t1`–`t4`, `a1`, `topo` and
+//! `scale`.
 
 use crate::runner::{PointResult, PointSummary, Runner};
 use crate::spec::{InitSpec, Metric, ObserveMode, ScenarioKind, ScenarioSpec};
@@ -23,7 +24,7 @@ use gossip_analysis::table::Table;
 use noisy_channel::{NoiseMatrix, NoiseSpec};
 use opinion_dynamics::RuleSpec;
 use plurality_core::{bounds, ProtocolParams, TwoStageProtocol};
-use pushsim::DeliverySemantics;
+use pushsim::{DeliverySemantics, TopologySpec};
 use std::error::Error;
 use std::time::Instant;
 
@@ -110,7 +111,7 @@ pub fn apply_cli(spec: &mut ScenarioSpec, cli: &Cli) {
     }
 }
 
-static EXPERIMENTS: [Experiment; 14] = [
+static EXPERIMENTS: [Experiment; 15] = [
     Experiment {
         name: "f1",
         title: "rounds to consensus vs n (Theorem 1: O(log n / eps^2) rumor spreading)",
@@ -175,6 +176,11 @@ static EXPERIMENTS: [Experiment; 14] = [
         name: "a1",
         title: "protocol ablations: Stage 2 samples, Stage 1 final phase, schedule eps",
         kind: ExperimentKind::Custom(run_a1),
+    },
+    Experiment {
+        name: "topo",
+        title: "plurality consensus across communication topologies (complete vs sparse graphs)",
+        kind: ExperimentKind::Spec(topo_spec),
     },
     Experiment {
         name: "scale",
@@ -357,6 +363,49 @@ fn t3_spec(scale: Scale) -> ScenarioSpec {
     spec.trials = scale.pick(3, 10);
     spec.seed = 0x74;
     spec.observe = ObserveMode::Phases;
+    spec
+}
+
+/// `topo` — the new scenario family the topology subsystem opens: the same
+/// plurality-consensus instance swept across communication topologies × ε
+/// at fixed `(n, k)`. On the complete graph the paper's guarantees apply
+/// and success is ≈ 1; on sparse graphs (ring, torus, `regular(8)`,
+/// `er(p)`) the uniform-push mixing assumption breaks down and the
+/// schedule's `O(log n / ε²)` budget stops being sufficient — exactly the
+/// gap to the LOCAL-model literature the repo tracks. Every non-complete
+/// point resolves to the agent backend (counting is complete-graph-only).
+///
+/// `n` is a perfect square at both scales so the torus points are
+/// feasible; `er(0.01)` gives mean degree ≈ 10 at quick scale
+/// (comfortably connected w.h.p.) and ≈ 100 at full scale.
+fn topo_spec(scale: Scale) -> ScenarioSpec {
+    let n = scale.pick(1_024, 10_000);
+    let er_p = 0.01;
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.2 },
+        },
+        n,
+        3,
+    );
+    spec.epsilon = 0.25;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.25 };
+    spec.trials = scale.pick(3, 10);
+    spec.seed = 0x70;
+    spec.sweep.eps = scale.pick(vec![0.2, 0.3], vec![0.15, 0.25, 0.35]);
+    spec.sweep.topology = vec![
+        TopologySpec::Complete,
+        TopologySpec::Ring,
+        TopologySpec::Torus2D,
+        TopologySpec::RandomRegular { degree: 8 },
+        TopologySpec::ErdosRenyi { p: er_p },
+    ];
+    spec.metrics = vec![
+        Metric::Success,
+        Metric::Consensus,
+        Metric::Share,
+        Metric::Rounds,
+    ];
     spec
 }
 
@@ -730,9 +779,15 @@ fn run_scale(cli: &Cli) -> Result<(), Box<dyn Error>> {
     ]);
     for &n in sizes {
         let noise = NoiseMatrix::uniform(k, eps)?;
+        // Poissonized delivery is requested *explicitly*: the counting
+        // backend only implements process P, and the semantics-preserving
+        // Auto policy no longer silently swaps an exact-delivery run onto
+        // it — stating the process here keeps Auto resolving to the
+        // O(k²)-per-phase engine these sizes need.
         let params = ProtocolParams::builder(n, k)
             .epsilon(eps)
             .seed(cli.seed_or(7))
+            .delivery(DeliverySemantics::Poissonized)
             .build()?;
         let protocol = TwoStageProtocol::new(params, noise)?;
         let resolved = protocol.resolve(cli.backend_or_auto());
@@ -770,13 +825,26 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 14, "all 14 experiments are registered");
+        assert_eq!(names.len(), 15, "all 15 experiments are registered");
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14, "names are unique");
+        assert_eq!(names.len(), 15, "names are unique");
         assert!(find("f2").is_some());
+        assert!(find("topo").is_some());
         assert!(find("scale").is_some());
         assert!(find("f99").is_none());
+    }
+
+    #[test]
+    fn topo_spec_sweeps_topologies_feasibly_at_both_scales() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let spec = topo_spec(scale);
+            spec.validate().expect("topo spec validates");
+            assert_eq!(spec.sweep.topology.len(), 5);
+            // n is a perfect square so the torus points are buildable.
+            let side = (spec.n as f64).sqrt() as usize;
+            assert_eq!(side * side, spec.n);
+        }
     }
 
     #[test]

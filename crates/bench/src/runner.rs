@@ -2,7 +2,8 @@
 //! stack.
 //!
 //! A [`Runner`] expands a spec's sweep axes into a grid (Cartesian product,
-//! axis order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`),
+//! axis order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`,
+//! `topology`),
 //! executes every point for the requested number of trials on the
 //! requested [`ExecutionBackend`], and returns a structured [`RunReport`].
 //! [`RunReport::to_table`] renders the report; callers that need bespoke
@@ -47,7 +48,7 @@ use plurality_core::observe::{Fanout, NoObserver, Observer, StopCondition};
 use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
 use pushsim::{
     CountingNetwork, DeliverySemantics, Network, Opinion, PhaseObservation, PushBackend,
-    SimConfig,
+    SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +84,9 @@ pub struct GridPoint {
     /// Delivery process at this point (the spec's delivery unless a
     /// `phase` scenario sweeps it).
     pub delivery: DeliverySemantics,
+    /// Communication topology at this point (the spec's topology unless
+    /// `sweep.topology` overrides it).
+    pub topology: TopologySpec,
 }
 
 /// Aggregated result of a dynamics scenario at one grid point.
@@ -197,7 +201,10 @@ impl RunReport {
 }
 
 /// Which axes are swept (and hence shown as columns), in axis order.
-fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 7] {
+/// Trajectory rows already end with the canonical `topology` column
+/// ([`TRAJECTORY_HEADERS`]), so a swept topology axis is suppressed there
+/// — otherwise every JSON row would carry two identical `topology` keys.
+fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 8] {
     let sweep = &spec.sweep;
     [
         ("k", !sweep.k.is_empty()),
@@ -207,6 +214,10 @@ fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 7] {
         ("ell", !sweep.ell.is_empty()),
         ("delta", !sweep.delta.is_empty()),
         ("delivery", !sweep.delivery.is_empty()),
+        (
+            "topology",
+            !sweep.topology.is_empty() && spec.observe != ObserveMode::Trajectory,
+        ),
     ]
 }
 
@@ -260,6 +271,9 @@ fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
     }
     if axes[6].1 {
         cells.push(point.delivery.spec_name().to_string());
+    }
+    if axes[7].1 {
+        cells.push(point.topology.to_string());
     }
     cells
 }
@@ -480,6 +494,7 @@ impl Runner {
             spec.sweep.delta.iter().map(|&d| Some(d)).collect()
         };
         let deliveries = non_empty_or(&spec.sweep.delivery, spec.delivery);
+        let topologies = non_empty_or(&spec.sweep.topology, spec.topology);
         let eps_swept = !spec.sweep.eps.is_empty();
 
         let mut points = Vec::new();
@@ -491,31 +506,34 @@ impl Runner {
                         for &ell in &ells {
                             for &delta in &deltas {
                                 for &delivery in &deliveries {
-                                    let point = GridPoint {
-                                        index,
-                                        k,
-                                        n,
-                                        eps,
-                                        bias,
-                                        ell,
-                                        delta,
-                                        delivery,
-                                    };
-                                    let summary = self.run_point(
-                                        point,
-                                        eps_swept,
-                                        stream.as_deref_mut(),
-                                    )?;
-                                    let result = PointResult { point, summary };
-                                    if let Some(out) = stream.as_mut() {
-                                        // Trajectory rows already streamed
-                                        // live from inside the run.
-                                        if spec.observe != ObserveMode::Trajectory {
-                                            emit_rows(out, spec, &result);
+                                    for &topology in &topologies {
+                                        let point = GridPoint {
+                                            index,
+                                            k,
+                                            n,
+                                            eps,
+                                            bias,
+                                            ell,
+                                            delta,
+                                            delivery,
+                                            topology,
+                                        };
+                                        let summary = self.run_point(
+                                            point,
+                                            eps_swept,
+                                            stream.as_deref_mut(),
+                                        )?;
+                                        let result = PointResult { point, summary };
+                                        if let Some(out) = stream.as_mut() {
+                                            // Trajectory rows already streamed
+                                            // live from inside the run.
+                                            if spec.observe != ObserveMode::Trajectory {
+                                                emit_rows(out, spec, &result);
+                                            }
                                         }
+                                        points.push(result);
+                                        index += 1;
                                     }
-                                    points.push(result);
-                                    index += 1;
                                 }
                             }
                         }
@@ -548,6 +566,7 @@ impl Runner {
             .epsilon(eps)
             .seed(spec.seed)
             .delivery(spec.delivery)
+            .topology(point.topology)
             .constants(spec.constants)
             .build()?;
         let noise_spec = if eps_swept {
@@ -745,10 +764,13 @@ impl Runner {
                 let plurality = validate_counts(params, noise, &counts)?;
                 let budget = rounds.unwrap_or_else(|| params.schedule().total_rounds());
                 let stop = dynamics_stop(budget, stop);
-                let resolved = spec.backend.resolve(point.n, point.k, spec.delivery);
+                let resolved =
+                    spec.backend
+                        .resolve(point.n, point.k, spec.delivery, point.topology);
                 let config = SimConfig::builder(point.n, point.k)
                     .seed(derive_seed(spec.seed, point.index, trial))
                     .delivery(spec.delivery)
+                    .topology(point.topology)
                     .build()?;
                 let mut rng = StdRng::seed_from_u64(derive_seed(
                     spec.seed ^ DECISION_SEED_SALT,
@@ -835,6 +857,7 @@ impl Runner {
             let config = SimConfig::builder(point.n, point.k)
                 .seed(derive_seed(spec.seed, point.index, trial))
                 .delivery(point.delivery)
+                .topology(point.topology)
                 .build()?;
             let mut net = Network::new(config, noise.clone())?;
             net.seed_counts(counts)?;
@@ -882,7 +905,9 @@ impl Runner {
         noise: &NoiseMatrix,
     ) -> Result<DynamicsSummary, SpecError> {
         let spec = &self.spec;
-        let resolved = spec.backend.resolve(point.n, point.k, spec.delivery);
+        let resolved = spec
+            .backend
+            .resolve(point.n, point.k, spec.delivery, point.topology);
         let stop = dynamics_stop(budget, &spec.stop.to_condition());
 
         let mut consensus = 0u64;
@@ -893,6 +918,7 @@ impl Runner {
             let config = SimConfig::builder(point.n, point.k)
                 .seed(derive_seed(spec.seed, point.index, trial))
                 .delivery(spec.delivery)
+                .topology(point.topology)
                 .build()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(
                 spec.seed ^ DECISION_SEED_SALT,
@@ -1226,6 +1252,104 @@ mod tests {
         assert_eq!(table.headers()[0], "delivery");
         assert_eq!(table.rows()[0][0], "exact");
         assert_eq!(table.rows()[2][0], "poisson");
+    }
+
+    #[test]
+    fn topology_sweeps_expand_and_label_their_rows() {
+        let mut spec = quick_spec(ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.3 },
+        });
+        spec.n = 400;
+        spec.metrics = vec![Metric::Success, Metric::Share];
+        spec.sweep.topology = vec![
+            TopologySpec::Complete,
+            TopologySpec::Ring,
+            TopologySpec::RandomRegular { degree: 8 },
+        ];
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.points().len(), 3);
+        let table = report.to_table();
+        assert_eq!(
+            table.headers(),
+            &[
+                "topology".to_string(),
+                "success".to_string(),
+                "mean plurality share".to_string()
+            ]
+        );
+        assert_eq!(table.rows()[0][0], "complete");
+        assert_eq!(table.rows()[1][0], "ring");
+        assert_eq!(table.rows()[2][0], "regular(8)");
+        for point in report.points() {
+            let PointSummary::Protocol(summary) = &point.summary else {
+                panic!("plurality scenarios produce protocol summaries");
+            };
+            assert_eq!(summary.success.trials(), 2);
+        }
+        // The complete-graph point behaves like a topology-free run of the
+        // same spec (same seeds, same RNG streams).
+        let mut plain = quick_spec(ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.3 },
+        });
+        plain.n = 400;
+        plain.metrics = vec![Metric::Success, Metric::Share];
+        let plain_report = Runner::new(plain).unwrap().run().unwrap();
+        assert_eq!(
+            plain_report.to_table().rows()[0],
+            table.rows()[0][1..].to_vec(),
+            "complete sweep point ≡ unswept run"
+        );
+    }
+
+    #[test]
+    fn trajectory_mode_with_a_topology_sweep_has_one_topology_column() {
+        // The swept axis and the canonical trajectory column would
+        // otherwise both emit a "topology" key — duplicate keys in one
+        // JSON object break strict parsers.
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 1;
+        spec.observe = ObserveMode::Trajectory;
+        spec.sweep.topology = vec![TopologySpec::Complete, TopologySpec::Ring];
+        let runner = Runner::new(spec).unwrap();
+        let headers = runner.headers();
+        assert_eq!(
+            headers.iter().filter(|h| *h == "topology").count(),
+            1,
+            "exactly one topology column: {headers:?}"
+        );
+        let mut out = Vec::new();
+        let report = runner.run_streamed(&mut out).unwrap();
+        let streamed = String::from_utf8(out).unwrap();
+        assert_eq!(streamed, report.to_table().to_json_lines());
+        // Every streamed row has exactly one "topology" key, labelled by
+        // its point's graph.
+        for line in streamed.lines() {
+            assert_eq!(line.matches("\"topology\":").count(), 1, "{line}");
+        }
+        let table = report.to_table();
+        let col = table.column_index("topology").unwrap();
+        let labels: std::collections::HashSet<&str> =
+            table.rows().iter().map(|r| r[col].as_str()).collect();
+        assert_eq!(
+            labels,
+            ["complete", "ring"].into_iter().collect(),
+            "both sweep points appear, each with its own label"
+        );
+    }
+
+    #[test]
+    fn trajectory_rows_carry_the_topology_label() {
+        let mut spec = quick_spec(ScenarioKind::RumorSpreading { source: 0 });
+        spec.trials = 1;
+        spec.topology = TopologySpec::RandomRegular { degree: 8 };
+        spec.observe = ObserveMode::Trajectory;
+        let report = Runner::new(spec).unwrap().run().unwrap();
+        let table = report.to_table();
+        let topology_col = table.column_index("topology").unwrap();
+        assert!(table.num_rows() > 0);
+        for row in table.rows() {
+            assert_eq!(row[topology_col], "regular(8)");
+        }
     }
 
     #[test]

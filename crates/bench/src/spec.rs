@@ -26,12 +26,27 @@
 //! epsilon = 0.25
 //! noise = uniform(0.25)
 //! delivery = exact
+//! topology = complete
 //! backend = auto
 //! trials = 5
 //! seed = 242
 //! sweep.eps = 0.1, 0.15, 0.2, 0.25, 0.3, 0.4
 //! metrics = success, rounds, rounds_norm, messages
 //! ```
+//!
+//! ## Topologies
+//!
+//! The `topology` key selects the communication graph pushes travel along
+//! (see [`TopologySpec`]): `complete` (the paper's model; the default),
+//! `ring`, `torus` (`n` must be a perfect square), `regular(d)` (a random
+//! simple `d`-regular graph) or `er(p)` (Erdős–Rényi `G(n, p)`). The
+//! `sweep.topology` axis sweeps it, e.g.
+//! `sweep.topology = complete, ring, regular(8)`. Non-complete topologies
+//! run on the agent backend with exact (process O) delivery only — the
+//! deferred processes B/P and the counting backend are complete-graph
+//! notions — and [`validate`](ScenarioSpec::validate) rejects
+//! inconsistent combinations (including topology parameters that are
+//! infeasible for the swept `n` values).
 //!
 //! Run it with `xp run --spec path.spec` (see the `xp` binary), or from
 //! code:
@@ -53,7 +68,7 @@
 use noisy_channel::{NoiseError, NoiseSpec};
 use opinion_dynamics::RuleSpec;
 use plurality_core::{ExecutionBackend, ProtocolConstants, ProtocolError, StopCondition};
-use pushsim::{DeliverySemantics, SimError};
+use pushsim::{DeliverySemantics, SimError, TopologySpec};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -174,7 +189,8 @@ impl ScenarioKind {
 
 /// The sweep axes of a scenario: each non-empty axis contributes one output
 /// column and the grid is the Cartesian product of all non-empty axes, in
-/// the fixed order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`.
+/// the fixed order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`,
+/// `topology`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepAxes {
     /// Opinion counts to sweep (`sweep.k = 2, 3, 5`).
@@ -196,6 +212,10 @@ pub struct SweepAxes {
     /// Delivery processes to sweep (`sweep.delivery = exact, balls,
     /// poisson`); `phase` scenarios only.
     pub delivery: Vec<DeliverySemantics>,
+    /// Communication topologies to sweep
+    /// (`sweep.topology = complete, ring, regular(8)`); any scenario that
+    /// simulates a network (protocol kinds, dynamics, phase).
+    pub topology: Vec<TopologySpec>,
 }
 
 impl SweepAxes {
@@ -208,6 +228,7 @@ impl SweepAxes {
             && self.ell.is_empty()
             && self.delta.is_empty()
             && self.delivery.is_empty()
+            && self.topology.is_empty()
     }
 
     /// Number of grid points (product of non-empty axis lengths).
@@ -219,6 +240,7 @@ impl SweepAxes {
             * self.ell.len().max(1)
             * self.delta.len().max(1)
             * self.delivery.len().max(1)
+            * self.topology.len().max(1)
     }
 }
 
@@ -456,9 +478,9 @@ impl StopSpec {
 /// See the [module docs](self) for the textual form. Field defaults (used
 /// by [`ScenarioSpec::new`] and when a key is absent from a spec file):
 /// `epsilon = 0.2`, `noise = uniform(epsilon)`, `delivery = exact`,
-/// `backend = auto`, default [`ProtocolConstants`], `trials = 1`,
-/// `seed = 0`, no sweep axes, default metrics for the kind, summary
-/// observation, no stop conditions.
+/// `topology = complete`, `backend = auto`, default
+/// [`ProtocolConstants`], `trials = 1`, `seed = 0`, no sweep axes,
+/// default metrics for the kind, summary observation, no stop conditions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// What is being run.
@@ -473,6 +495,8 @@ pub struct ScenarioSpec {
     pub noise: NoiseSpec,
     /// Delivery semantics (process O, B or P).
     pub delivery: DeliverySemantics,
+    /// Communication topology (overridden per point by `sweep.topology`).
+    pub topology: TopologySpec,
     /// Requested simulation backend.
     pub backend: ExecutionBackend,
     /// Protocol constants (spec files override individual fields with
@@ -503,6 +527,7 @@ impl ScenarioSpec {
             epsilon: 0.2,
             noise: NoiseSpec::Uniform { epsilon: 0.2 },
             delivery: DeliverySemantics::Exact,
+            topology: TopologySpec::Complete,
             backend: ExecutionBackend::Auto,
             constants: ProtocolConstants::default(),
             trials: 1,
@@ -629,7 +654,68 @@ impl ScenarioSpec {
             )));
         }
         self.validate_kind_specific_axes()?;
+        self.validate_topology()?;
         self.validate_observe_and_stop()?;
+        Ok(())
+    }
+
+    /// The topology values a run will actually use (base or swept).
+    fn effective_topologies(&self) -> &[TopologySpec] {
+        if self.sweep.topology.is_empty() {
+            std::slice::from_ref(&self.topology)
+        } else {
+            &self.sweep.topology
+        }
+    }
+
+    /// Checks topology/kind/delivery/backend consistency and that every
+    /// `(topology, n)` grid combination is feasible, so topology errors
+    /// surface at spec validation instead of as run-time panics deep in
+    /// the trial harness.
+    fn validate_topology(&self) -> Result<(), SpecError> {
+        let simulates = self.kind.is_protocol()
+            || self.kind.is_dynamics()
+            || matches!(self.kind, ScenarioKind::PhaseStats { .. });
+        if !simulates {
+            if !self.topology.is_complete() || !self.sweep.topology.is_empty() {
+                return Err(SpecError::Invalid(format!(
+                    "topology applies only to scenarios that simulate a network, not {}",
+                    self.kind.name()
+                )));
+            }
+            return Ok(());
+        }
+        let ns = if self.sweep.n.is_empty() {
+            std::slice::from_ref(&self.n)
+        } else {
+            &self.sweep.n
+        };
+        for topology in self.effective_topologies() {
+            for &n in ns {
+                topology.check(n).map_err(|e| SpecError::Invalid(e.to_string()))?;
+            }
+            if topology.is_complete() {
+                continue;
+            }
+            let deliveries_exact = self.delivery == DeliverySemantics::Exact
+                && self
+                    .sweep
+                    .delivery
+                    .iter()
+                    .all(|&d| d == DeliverySemantics::Exact);
+            if !deliveries_exact {
+                return Err(SpecError::Invalid(format!(
+                    "topology {topology} requires exact (process O) delivery — the \
+                     deferred processes B and P are complete-graph-only"
+                )));
+            }
+            if self.backend == ExecutionBackend::Counting {
+                return Err(SpecError::Invalid(format!(
+                    "topology {topology} cannot run on the counting backend \
+                     (it is statically complete-graph-only); use agent or auto"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -792,6 +878,7 @@ impl ScenarioSpec {
         line("epsilon", self.epsilon.to_string());
         line("noise", self.noise.to_string());
         line("delivery", self.delivery.spec_name().to_string());
+        line("topology", self.topology.to_string());
         line("backend", backend_name(self.backend).to_string());
         line("trials", self.trials.to_string());
         line("seed", self.seed.to_string());
@@ -823,6 +910,9 @@ impl ScenarioSpec {
         if !self.sweep.delivery.is_empty() {
             let names: Vec<&str> = self.sweep.delivery.iter().map(|d| d.spec_name()).collect();
             line("sweep.delivery", names.join(", "));
+        }
+        if !self.sweep.topology.is_empty() {
+            line("sweep.topology", join(&self.sweep.topology));
         }
         if !self.metrics.is_empty() {
             line("metrics", join(&self.metrics));
@@ -932,6 +1022,7 @@ impl ScenarioSpec {
             None => NoiseSpec::Uniform { epsilon },
         };
         let delivery = take_from_str(&mut map, "delivery")?.unwrap_or(DeliverySemantics::Exact);
+        let topology = take_from_str(&mut map, "topology")?.unwrap_or(TopologySpec::Complete);
         let backend = take_from_str(&mut map, "backend")?.unwrap_or(ExecutionBackend::Auto);
 
         let mut constants = ProtocolConstants::default();
@@ -956,6 +1047,7 @@ impl ScenarioSpec {
             ell: take_list(&mut map, "sweep.ell")?,
             delta: take_list(&mut map, "sweep.delta")?,
             delivery: take_list(&mut map, "sweep.delivery")?,
+            topology: take_list(&mut map, "sweep.topology")?,
         };
         let observe = {
             let trajectory: bool =
@@ -1026,6 +1118,7 @@ impl ScenarioSpec {
             epsilon,
             noise,
             delivery,
+            topology,
             backend,
             constants,
             trials,
@@ -1234,6 +1327,68 @@ mod tests {
         spec.backend = ExecutionBackend::Counting;
         let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn topology_keys_round_trip_and_validate() {
+        // The base key and the sweep axis round-trip through the text form.
+        let mut spec = rumor_spec();
+        spec.topology = TopologySpec::RandomRegular { degree: 8 };
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.topology, TopologySpec::RandomRegular { degree: 8 });
+
+        let mut spec = rumor_spec();
+        spec.sweep.topology = vec![
+            TopologySpec::Complete,
+            TopologySpec::Ring,
+            TopologySpec::ErdosRenyi { p: 0.01 },
+        ];
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.sweep.num_points(), 9, "3 eps x 3 topologies");
+
+        // The key parses from a raw file too.
+        let spec = ScenarioSpec::from_text(
+            "scenario = rumor\nn = 100\nk = 2\ntopology = ring\n",
+        )
+        .unwrap();
+        assert_eq!(spec.topology, TopologySpec::Ring);
+    }
+
+    #[test]
+    fn topology_validation_rejects_inconsistent_combinations() {
+        // Non-complete topologies need exact delivery…
+        let mut spec = rumor_spec();
+        spec.topology = TopologySpec::Ring;
+        spec.delivery = DeliverySemantics::Poissonized;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // …and cannot be forced onto the counting backend.
+        let mut spec = rumor_spec();
+        spec.sweep.topology = vec![TopologySpec::Ring];
+        spec.backend = ExecutionBackend::Counting;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // Infeasible (topology, n) grid combinations fail statically.
+        let mut spec = rumor_spec();
+        spec.topology = TopologySpec::Torus2D;
+        spec.n = 1_000; // not a perfect square
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        let mut spec = rumor_spec();
+        spec.sweep.n = vec![1_024, 1_000];
+        spec.sweep.topology = vec![TopologySpec::Torus2D];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // Below-simulation kinds have no network to shape.
+        let mut spec = ScenarioSpec::new(
+            ScenarioKind::SampleMajorityGap { ell: 25, delta: 0.1 },
+            100,
+            2,
+        );
+        spec.topology = TopologySpec::Ring;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // A feasible sparse spec passes.
+        let mut spec = rumor_spec();
+        spec.sweep.topology = vec![TopologySpec::Ring, TopologySpec::RandomRegular { degree: 4 }];
+        assert!(spec.validate().is_ok());
     }
 
     #[test]

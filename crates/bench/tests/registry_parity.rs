@@ -1,15 +1,21 @@
 //! Fixed-seed parity tests: the spec-API registry reproduces the
 //! pre-redesign harnesses bit for bit.
 //!
-//! `fixtures/f2_quick_pre_redesign.jsonl` is the verbatim `--json` output
-//! of the old hand-wired `fig_f2_rounds_vs_eps` binary (quick grid,
-//! default backend), captured immediately before the binaries were
-//! collapsed into the registry. `fixtures/f5_quick_pre_redesign.jsonl` is
-//! the verbatim `xp run f5 --json` output of the *bespoke* F5 builder,
-//! captured immediately before F5 became a `ScenarioSpec` with
-//! `observe.trajectory` — it pins the whole observation path (Session →
-//! Observer → TrajectoryRecorder → table) to the pre-redesign execution:
-//! same seeds, same RNG streams, same per-phase numbers, same formatting.
+//! `fixtures/f2_quick_pre_redesign.jsonl` pins the numbers of the old
+//! hand-wired `fig_f2_rounds_vs_eps` binary (quick grid, default
+//! backend), captured immediately before the binaries were collapsed into
+//! the registry. `fixtures/f5_quick_pre_redesign.jsonl` pins the `xp run
+//! f5 --json` output of the *bespoke* F5 builder, captured immediately
+//! before F5 became a `ScenarioSpec` with `observe.trajectory` — it pins
+//! the whole observation path (Session → Observer → TrajectoryRecorder →
+//! table) to the pre-redesign execution: same seeds, same RNG streams,
+//! same per-phase numbers.
+//!
+//! Both fixtures were re-rendered (numbers verified unchanged field by
+//! field) when `--json` switched from all-string cells to typed JSON
+//! numbers and the trajectory table gained its `topology` column; the
+//! *values* are still the pre-redesign ones, so any drift in the RNG
+//! streams or the execution path fails these tests.
 //!
 //! Running the registry specs through the generic [`Runner`] must produce
 //! identical rows in both cases.

@@ -24,6 +24,14 @@ fn smoke_cli() -> Cli {
 fn every_registered_experiment_runs_at_quick_scale() {
     let cli = smoke_cli();
     for experiment in registry::all() {
+        let mut cli = cli;
+        // `topo` sweeps non-complete topologies, which the counting
+        // backend statically cannot represent; the spec's own backend
+        // (auto, which resolves sparse points to agent) is the only
+        // meaningful choice there.
+        if experiment.name == "topo" {
+            cli.backend = None;
+        }
         registry::run(experiment, &cli)
             .unwrap_or_else(|e| panic!("experiment {} failed: {e}", experiment.name));
     }

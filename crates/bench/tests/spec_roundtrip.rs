@@ -7,7 +7,7 @@ use noisy_channel::NoiseSpec;
 use opinion_dynamics::RuleSpec;
 use plurality_core::ExecutionBackend;
 use proptest::prelude::*;
-use pushsim::DeliverySemantics;
+use pushsim::{DeliverySemantics, TopologySpec};
 
 fn noise_strategy() -> impl Strategy<Value = NoiseSpec> {
     prop_oneof![
@@ -24,6 +24,19 @@ fn noise_strategy() -> impl Strategy<Value = NoiseSpec> {
                 q_high: q_low + extra,
             }
         }),
+    ]
+}
+
+/// Topologies that are feasible for every generated `n` (all generated
+/// node counts are ≥ 100): even regular degrees keep `n·d` even for odd
+/// `n`, and the torus (which needs perfect-square `n`) is covered by unit
+/// tests instead.
+fn topology_strategy() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        Just(TopologySpec::Complete),
+        Just(TopologySpec::Ring),
+        (1usize..6).prop_map(|half| TopologySpec::RandomRegular { degree: 2 * half }),
+        (0.001f64..1.0).prop_map(|p| TopologySpec::ErdosRenyi { p }),
     ]
 }
 
@@ -180,13 +193,18 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 (1u64..50, 0u64..u64::MAX, sweep, metrics),
                 (0.01f64..1.0, 0.5f64..4.0),
                 (observe, stop),
+                (
+                    topology_strategy(),
+                    prop::collection::vec(topology_strategy(), 0..3),
+                ),
             )
         })
-        .prop_map(|(base, channel, run, consts, watch)| {
+        .prop_map(|(base, channel, run, consts, watch, topo)| {
             let (k, kind, n, epsilon) = base;
             let (noise, delivery, backend) = channel;
             let (trials, seed, sweep, metrics) = run;
             let (observe, stop) = watch;
+            let (topology, topology_axis) = topo;
             let mut spec = ScenarioSpec::new(kind, n, k);
             spec.epsilon = epsilon;
             spec.noise = noise;
@@ -195,6 +213,22 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             spec.trials = trials;
             spec.seed = seed;
             spec.sweep = sweep;
+            // Non-complete topologies are only valid with exact delivery
+            // on a non-counting backend (and `gap` has no network at
+            // all); apply the generated topology where it is consistent.
+            let simulates = spec.kind.is_protocol()
+                || matches!(
+                    spec.kind,
+                    ScenarioKind::DynamicsRule { .. } | ScenarioKind::PhaseStats { .. }
+                );
+            if simulates
+                && spec.delivery == DeliverySemantics::Exact
+                && spec.backend != ExecutionBackend::Counting
+                && spec.sweep.delivery.is_empty()
+            {
+                spec.topology = topology;
+                spec.sweep.topology = topology_axis;
+            }
             // The observe mode fixes the columns; explicit metrics are
             // only valid in summary mode.
             spec.observe = observe;

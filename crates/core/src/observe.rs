@@ -44,12 +44,16 @@ pub struct PhaseSnapshot {
     total_messages: u64,
     distribution: OpinionDistribution,
     bias: Option<f64>,
+    topology: String,
 }
 
 impl PhaseSnapshot {
     /// Assembles a snapshot. `stage` is `None` for stage-less executions
     /// (the baseline dynamics); `bias` is measured towards the run's
-    /// reference opinion and `None` while nobody is opinionated.
+    /// reference opinion and `None` while nobody is opinionated. The
+    /// topology label defaults to `"complete"` (the paper's model); runs
+    /// on other topologies attach theirs with
+    /// [`with_topology`](Self::with_topology).
     #[allow(clippy::too_many_arguments)] // one argument per snapshot field
     pub fn new(
         stage: Option<StageId>,
@@ -70,7 +74,17 @@ impl PhaseSnapshot {
             total_messages,
             distribution,
             bias,
+            topology: "complete".to_string(),
         }
+    }
+
+    /// Attaches the label of the communication topology the run executes
+    /// on (`"complete"`, `"ring"`, `"regular(8)"`, …), so trajectory
+    /// output records which graph produced it.
+    #[must_use]
+    pub fn with_topology(mut self, label: impl Into<String>) -> Self {
+        self.topology = label.into();
+        self
     }
 
     /// The stage the phase belongs to (`None` for stage-less executions
@@ -120,6 +134,13 @@ impl PhaseSnapshot {
     /// phase (Definition 1), or `None` if nobody was opinionated.
     pub fn bias(&self) -> Option<f64> {
         self.bias
+    }
+
+    /// The label of the communication topology the run executes on
+    /// (`"complete"` unless the run attached another with
+    /// [`with_topology`](Self::with_topology)).
+    pub fn topology(&self) -> &str {
+        &self.topology
     }
 
     /// `true` if every agent supported the same opinion at the end of the
@@ -437,6 +458,8 @@ mod tests {
         assert!((s.opinionated_fraction() - 1.0).abs() < 1e-12);
         assert_eq!(s.bias(), Some(0.3));
         assert!(!s.is_consensus());
+        assert_eq!(s.topology(), "complete", "the default label");
+        assert_eq!(s.with_topology("ring").topology(), "ring");
         let c = snapshot(10, vec![100, 0, 0], 0, Some(1.0));
         assert!(c.is_consensus());
     }
@@ -501,6 +524,30 @@ mod tests {
             tolerance: 1.0,
         };
         assert!(!degenerate.should_stop(&progress));
+    }
+
+    #[test]
+    fn plateau_window_longer_than_the_run_never_fires() {
+        // A window of W needs W + 1 finished phases; a run shorter than
+        // that must execute its complete schedule even with a perfectly
+        // flat bias.
+        let plateau = StopCondition::Plateau {
+            window: 10,
+            tolerance: 1.0,
+        };
+        let mut progress = RunProgress::for_stop(&plateau);
+        for round in 1..=8u64 {
+            progress.note_phase(&snapshot(round, vec![60, 40, 0], 0, Some(0.2)));
+            assert!(
+                !plateau.should_stop(&progress),
+                "only {round} phases finished, the window needs 11"
+            );
+        }
+        // Once enough history exists, the same flat bias does fire.
+        for round in 9..=11u64 {
+            progress.note_phase(&snapshot(round, vec![60, 40, 0], 0, Some(0.2)));
+        }
+        assert!(plateau.should_stop(&progress));
     }
 
     #[test]

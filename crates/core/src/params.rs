@@ -1,7 +1,7 @@
 //! Protocol parameters and the phase schedules of the two stages.
 
 use crate::error::ProtocolError;
-use pushsim::DeliverySemantics;
+use pushsim::{DeliverySemantics, TopologySpec};
 
 /// The protocol's tunable constants.
 ///
@@ -180,6 +180,7 @@ pub struct ProtocolParams {
     epsilon: f64,
     seed: u64,
     delivery: DeliverySemantics,
+    topology: TopologySpec,
     constants: ProtocolConstants,
 }
 
@@ -193,6 +194,7 @@ impl ProtocolParams {
             epsilon: 0.2,
             seed: 0,
             delivery: DeliverySemantics::Exact,
+            topology: TopologySpec::Complete,
             constants: ProtocolConstants::default(),
         }
     }
@@ -222,6 +224,12 @@ impl ProtocolParams {
     /// The delivery semantics (process O, B or P) used by the simulation.
     pub fn delivery(&self) -> DeliverySemantics {
         self.delivery
+    }
+
+    /// The communication topology the run's network is built over (the
+    /// complete graph — the paper's model — unless overridden).
+    pub fn topology(&self) -> TopologySpec {
+        self.topology
     }
 
     /// The tunable protocol constants.
@@ -308,6 +316,7 @@ pub struct ProtocolParamsBuilder {
     epsilon: f64,
     seed: u64,
     delivery: DeliverySemantics,
+    topology: TopologySpec,
     constants: ProtocolConstants,
 }
 
@@ -327,6 +336,14 @@ impl ProtocolParamsBuilder {
     /// Sets the delivery semantics (default [`DeliverySemantics::Exact`]).
     pub fn delivery(mut self, delivery: DeliverySemantics) -> Self {
         self.delivery = delivery;
+        self
+    }
+
+    /// Sets the communication topology (default
+    /// [`TopologySpec::Complete`]). Feasibility against `n` and the
+    /// delivery process is validated when the run's network is built.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -368,6 +385,7 @@ impl ProtocolParamsBuilder {
             epsilon: self.epsilon,
             seed: self.seed,
             delivery: self.delivery,
+            topology: self.topology,
             constants: self.constants,
         })
     }
@@ -501,5 +519,15 @@ mod tests {
         assert_eq!(params.epsilon(), 0.3);
         assert_eq!(params.seed(), 11);
         assert_eq!(params.delivery(), DeliverySemantics::Poissonized);
+        assert_eq!(params.topology(), TopologySpec::Complete);
+
+        let params = ProtocolParams::builder(500, 4)
+            .topology(TopologySpec::RandomRegular { degree: 8 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            params.topology(),
+            TopologySpec::RandomRegular { degree: 8 }
+        );
     }
 }

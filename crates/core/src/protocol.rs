@@ -9,18 +9,10 @@ use crate::{stage1, stage2};
 use noisy_channel::NoiseMatrix;
 use pushsim::{
     CountingNetwork, DeliverySemantics, Network, Opinion, OpinionDistribution, PushBackend,
-    SimConfig,
+    SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-/// Population ceiling up to which [`ExecutionBackend::Auto`] honours an
-/// exact-semantics request (processes O and B) by staying on the agent
-/// backend. Beyond it, the O(n·k) per-phase cost of exact simulation is
-/// prohibitive and Auto falls back to the counting backend, whose per-phase
-/// behaviour is the process-P law the paper itself transfers to O and B at
-/// phase granularity (Claim 1 + Lemma 3).
-const AUTO_EXACT_CEILING: usize = 100_000;
 
 /// Calibrated agent-backend phase cost: nanoseconds per (agent × opinion).
 /// From `BENCH_pushsim.json` (`pushsim_phase_scaling/agent_batched_B`:
@@ -65,49 +57,66 @@ pub enum ExecutionBackend {
     Agent,
     /// Count-based simulation (process P at population level, O(k²)/phase).
     Counting,
-    /// Choose automatically per run: agent-level while an exact-semantics
-    /// request (process O or B) is feasible, otherwise whichever backend
-    /// the calibrated cost model predicts is cheaper.
+    /// Choose automatically per run, **without changing semantics**: the
+    /// counting backend is only eligible when the run already requests its
+    /// native Poissonized delivery on the complete graph; everything else
+    /// stays agent-level. Among eligible backends the calibrated cost
+    /// model picks the cheaper one.
     Auto,
 }
 
 impl ExecutionBackend {
     /// Resolves this request to a concrete backend ([`Agent`] or
     /// [`Counting`](Self::Counting) — never [`Auto`](Self::Auto)) for a run
-    /// with `num_nodes` agents, `num_opinions` opinions and the given
-    /// delivery semantics.
+    /// with `num_nodes` agents, `num_opinions` opinions, the given
+    /// delivery semantics and communication topology.
     ///
     /// [`Agent`]: Self::Agent
     ///
-    /// The `Auto` policy:
+    /// The `Auto` policy is **semantics-preserving**: it is a *speed*
+    /// choice among backends that implement the requested process, never a
+    /// silent change of process.
     ///
-    /// 1. **Exactness first.** Processes O and B are only simulated exactly
-    ///    by the agent backend; if the configuration requests one of them
-    ///    and `num_nodes ≤ 100_000`, Auto honours the request and picks
-    ///    `Agent`. (Beyond the ceiling, exact per-message simulation is no
-    ///    longer practical and the counting backend's process-P phase law —
-    ///    equivalent at phase granularity by Claim 1 + Lemma 3 — is used
-    ///    instead.)
-    /// 2. **Cost model otherwise.** Per-phase cost is estimated as
-    ///    `1.5 ns · n · k` for the agent backend (message volume dominates)
-    ///    vs `50 ns · k²` for the counting backend (one multinomial per
-    ///    noise-matrix row); the cheaper backend wins. Constants are
-    ///    calibrated from the archived `BENCH_pushsim.json` baseline.
+    /// 1. **Topology first.** Non-complete topologies always resolve to
+    ///    `Agent` — the counting backend is statically complete-graph-only
+    ///    ([`PushBackend::SUPPORTS_SPARSE_TOPOLOGY`] is `false` for it).
+    /// 2. **Delivery semantics.** The counting backend implements only the
+    ///    Poissonized process P, so requests for process O or B resolve to
+    ///    `Agent` at *any* scale. (Historically Auto silently switched
+    ///    exact runs above `n = 10⁵` to the counting backend's process-P
+    ///    law — a semantics change, not a speed choice. Callers that want
+    ///    the O(k²)-per-phase engine at scale request Poissonized delivery
+    ///    or the `Counting` backend explicitly; Claim 1 + Lemma 3 justify
+    ///    that substitution *statistically*, but it is now the caller's
+    ///    stated intent instead of a hidden fallback.)
+    /// 3. **Cost model.** For Poissonized complete-graph runs, per-phase
+    ///    cost is estimated as `1.5 ns · n · k` for the agent backend
+    ///    (message volume dominates) vs `50 ns · k²` for the counting
+    ///    backend (one multinomial per noise-matrix row); the cheaper
+    ///    backend wins. Constants are calibrated from the archived
+    ///    `BENCH_pushsim.json` baseline.
     ///
-    /// In practice: process O/B stays agent-level up to `n = 10⁵`
-    /// (`Auto.resolve(1_000, 3, Exact) == Agent`), and very large runs go
-    /// count-based (`Auto.resolve(10_000_000, 3, Exact) == Counting`).
+    /// Explicit `Agent` / `Counting` requests are never overridden (an
+    /// infeasible explicit request — counting on a ring — fails at network
+    /// construction with [`SimError::UnsupportedTopology`](pushsim::SimError)
+    /// instead of being silently rerouted).
     pub fn resolve(
         self,
         num_nodes: usize,
         num_opinions: usize,
         delivery: DeliverySemantics,
+        topology: TopologySpec,
     ) -> ExecutionBackend {
         match self {
             ExecutionBackend::Agent | ExecutionBackend::Counting => self,
             ExecutionBackend::Auto => {
-                let wants_exact = !matches!(delivery, DeliverySemantics::Poissonized);
-                if wants_exact && num_nodes <= AUTO_EXACT_CEILING {
+                // The counting backend is only eligible when it can
+                // represent the run at all: its declared topology
+                // capability, and its native Poissonized delivery law.
+                let counting_eligible = (topology.is_complete()
+                    || <CountingNetwork as PushBackend>::SUPPORTS_SPARSE_TOPOLOGY)
+                    && matches!(delivery, DeliverySemantics::Poissonized);
+                if !counting_eligible {
                     return ExecutionBackend::Agent;
                 }
                 let agent_cost =
@@ -459,6 +468,7 @@ impl TwoStageProtocol {
             self.params.num_nodes(),
             self.params.num_opinions(),
             self.params.delivery(),
+            self.params.topology(),
         )
     }
 
@@ -512,6 +522,7 @@ impl TwoStageProtocol {
         let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
             .seed(self.params.seed())
             .delivery(self.params.delivery())
+            .topology(self.params.topology())
             .build()?;
         Ok(Network::new(config, self.noise.clone())?)
     }
@@ -521,6 +532,7 @@ impl TwoStageProtocol {
         let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
             .seed(self.params.seed())
             .delivery(self.params.delivery())
+            .topology(self.params.topology())
             .build()?;
         Ok(CountingNetwork::new(config, self.noise.clone())?)
     }
@@ -926,41 +938,82 @@ mod tests {
     }
 
     #[test]
-    fn auto_selects_agent_for_small_exact_runs_and_counting_at_scale() {
+    fn auto_resolution_preserves_the_requested_semantics() {
         use pushsim::DeliverySemantics::{BallsIntoBins, Exact, Poissonized};
-        // The acceptance criteria of the backend-selection policy: exact
-        // process O stays agent-level at n = 10³, goes count-based at 10⁷.
+        let complete = TopologySpec::Complete;
+        // Exact-semantics requests (processes O and B) stay agent-level at
+        // *every* scale: the counting backend only implements process P,
+        // so resolving them to it would change the delivery law, not just
+        // the speed. (The historical policy did exactly that above
+        // n = 10⁵.)
         assert_eq!(
-            ExecutionBackend::Auto.resolve(1_000, 3, Exact),
+            ExecutionBackend::Auto.resolve(1_000, 3, Exact, complete),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact),
-            ExecutionBackend::Counting
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, complete),
+            ExecutionBackend::Agent
         );
-        // Process B follows the same exactness rule.
         assert_eq!(
-            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins),
+            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins, complete),
             ExecutionBackend::Agent
         );
         // Process P is native to the counting backend: the cost model picks
         // counting as soon as n·k message work exceeds k² draw work.
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized),
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete),
             ExecutionBackend::Counting
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(30, 3, Poissonized),
+            ExecutionBackend::Auto.resolve(30, 3, Poissonized, complete),
+            ExecutionBackend::Agent
+        );
+        // Non-complete topologies always run agent-level, whatever the
+        // scale — the counting backend cannot represent them at all.
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, TopologySpec::Ring),
             ExecutionBackend::Agent
         );
         // Explicit requests are never overridden.
         assert_eq!(
-            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact),
+            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact, complete),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Counting.resolve(10, 2, Exact),
+            ExecutionBackend::Counting.resolve(10, 2, Exact, complete),
             ExecutionBackend::Counting
+        );
+    }
+
+    #[test]
+    fn sparse_topology_runs_resolve_to_agent_and_solve_rumor_spreading() {
+        // End-to-end: the protocol runs on a random-regular graph through
+        // Auto, which must resolve to the agent backend.
+        let eps = 0.35;
+        let params = ProtocolParams::builder(400, 2)
+            .epsilon(eps)
+            .seed(13)
+            .topology(TopologySpec::RandomRegular { degree: 8 })
+            .build()
+            .unwrap();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(2, eps)).unwrap();
+        assert_eq!(
+            protocol.resolve(ExecutionBackend::Auto),
+            ExecutionBackend::Agent
+        );
+        let outcome = protocol
+            .run_rumor_spreading_on(ExecutionBackend::Auto, Opinion::new(0))
+            .unwrap();
+        assert!(outcome.rounds() > 0);
+        assert_eq!(outcome.final_distribution().num_nodes(), 400);
+        // An explicit counting request on a sparse topology fails loudly
+        // instead of silently switching semantics.
+        let err = protocol
+            .run_rumor_spreading_on(ExecutionBackend::Counting, Opinion::new(0))
+            .unwrap_err();
+        assert!(
+            matches!(&err, ProtocolError::Simulation(msg) if msg.contains("topology")),
+            "expected an unsupported-topology error, got {err}"
         );
     }
 
@@ -1016,6 +1069,36 @@ mod tests {
             .run_rumor_spreading_on(ExecutionBackend::Counting, Opinion::new(1))
             .unwrap();
         assert_eq!(auto, counting);
+    }
+
+    #[test]
+    fn plateau_stop_with_an_oversized_window_runs_the_full_schedule() {
+        let eps = 0.35;
+        let params = ProtocolParams::builder(400, 2)
+            .epsilon(eps)
+            .seed(17)
+            .build()
+            .unwrap();
+        let schedule_rounds = params.schedule().total_rounds();
+        let protocol = TwoStageProtocol::new(params, uniform_noise(2, eps)).unwrap();
+        let plain = protocol.run_rumor_spreading(Opinion::new(0)).unwrap();
+        // A plateau window longer than the whole run can never accumulate
+        // enough history: the session must behave exactly like the
+        // stop-free run, not stall or stop early.
+        let stopped = protocol
+            .session()
+            .stop_when(StopCondition::Plateau {
+                window: 100_000,
+                tolerance: 1.0,
+            })
+            .run_rumor_spreading_on(
+                ExecutionBackend::Agent,
+                Opinion::new(0),
+                &mut NoObserver,
+            )
+            .unwrap();
+        assert_eq!(stopped.rounds(), schedule_rounds);
+        assert_eq!(stopped, plain);
     }
 
     #[test]

@@ -86,7 +86,8 @@ pub(crate) fn run<B: PushBackend>(
             net.messages_sent(),
             record.distribution_after().clone(),
             record.bias_after(),
-        );
+        )
+        .with_topology(net.config().topology().label());
         observer.on_phase_end(&snapshot);
         progress.note_phase(&snapshot);
         records.push(record);

@@ -196,7 +196,8 @@ pub trait Dynamics<B: PushBackend = Network> {
                 total_messages,
                 distribution,
                 bias,
-            );
+            )
+            .with_topology(net.config().topology().label());
             observer.on_phase_end(&snapshot);
             progress.note_phase(&snapshot);
             messages_before = total_messages;

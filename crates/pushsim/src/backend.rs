@@ -191,6 +191,16 @@ pub trait PushBackend {
     /// The phase result type ([`Inboxes`] or [`PhaseTally`]).
     type Observation: PhaseObservation;
 
+    /// Static capability: `true` if the backend can simulate non-complete
+    /// [`TopologySpec`](crate::TopologySpec)s. The agent backend can (it
+    /// pushes along explicit neighbor lists); the counting backend cannot
+    /// — its whole O(k²)-per-phase reformulation rests on agent
+    /// exchangeability, which only the complete graph provides — and its
+    /// constructor rejects non-complete configurations. Backend-selection
+    /// policies consult this constant instead of hard-coding backend
+    /// names.
+    const SUPPORTS_SPARSE_TOPOLOGY: bool;
+
     /// The simulation configuration.
     fn config(&self) -> &SimConfig;
 
@@ -301,6 +311,8 @@ pub trait PushBackend {
 
 impl PushBackend for Network {
     type Observation = Inboxes;
+
+    const SUPPORTS_SPARSE_TOPOLOGY: bool = true;
 
     fn config(&self) -> &SimConfig {
         Network::config(self)
@@ -432,6 +444,8 @@ impl PushBackend for Network {
 
 impl PushBackend for CountingNetwork {
     type Observation = PhaseTally;
+
+    const SUPPORTS_SPARSE_TOPOLOGY: bool = false;
 
     fn config(&self) -> &SimConfig {
         CountingNetwork::config(self)

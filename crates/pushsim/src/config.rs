@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::error::SimError;
+use crate::topology::TopologySpec;
 
 /// How messages pushed during a phase are delivered to the agents.
 ///
@@ -81,6 +82,7 @@ pub struct SimConfig {
     num_opinions: usize,
     seed: u64,
     delivery: DeliverySemantics,
+    topology: TopologySpec,
 }
 
 impl SimConfig {
@@ -92,6 +94,7 @@ impl SimConfig {
             num_opinions,
             seed: 0,
             delivery: DeliverySemantics::Exact,
+            topology: TopologySpec::Complete,
         }
     }
 
@@ -114,6 +117,11 @@ impl SimConfig {
     pub fn delivery(&self) -> DeliverySemantics {
         self.delivery
     }
+
+    /// The communication topology (the complete graph unless overridden).
+    pub fn topology(&self) -> TopologySpec {
+        self.topology
+    }
 }
 
 /// Builder for [`SimConfig`].
@@ -123,6 +131,7 @@ pub struct SimConfigBuilder {
     num_opinions: usize,
     seed: u64,
     delivery: DeliverySemantics,
+    topology: TopologySpec,
 }
 
 impl SimConfigBuilder {
@@ -139,12 +148,26 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the communication topology (default
+    /// [`TopologySpec::Complete`], the paper's model). Non-complete
+    /// topologies require [`DeliverySemantics::Exact`]: the deferred
+    /// processes B and P scatter phase messages into *uniform* bins, which
+    /// only makes sense on the complete graph.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
     ///
     /// * [`SimError::TooFewNodes`] if fewer than 2 nodes are requested.
     /// * [`SimError::TooFewOpinions`] if fewer than 2 opinions are requested.
+    /// * [`SimError::InvalidTopology`] if the topology parameters are
+    ///   infeasible for the node count ([`TopologySpec::check`]).
+    /// * [`SimError::UnsupportedTopology`] if a non-complete topology is
+    ///   combined with deferred delivery (process B or P).
     pub fn build(self) -> Result<SimConfig, SimError> {
         if self.num_nodes < 2 {
             return Err(SimError::TooFewNodes {
@@ -156,11 +179,19 @@ impl SimConfigBuilder {
                 found: self.num_opinions,
             });
         }
+        self.topology.check(self.num_nodes)?;
+        if !self.topology.is_complete() && self.delivery != DeliverySemantics::Exact {
+            return Err(SimError::UnsupportedTopology {
+                topology: self.topology.label(),
+                context: format!("deferred delivery (process {})", self.delivery.label()),
+            });
+        }
         Ok(SimConfig {
             num_nodes: self.num_nodes,
             num_opinions: self.num_opinions,
             seed: self.seed,
             delivery: self.delivery,
+            topology: self.topology,
         })
     }
 }
@@ -205,6 +236,38 @@ mod tests {
         assert_eq!(DeliverySemantics::Poissonized.label(), "P");
         assert_eq!(DeliverySemantics::ALL.len(), 3);
         assert_eq!(DeliverySemantics::default(), DeliverySemantics::Exact);
+    }
+
+    #[test]
+    fn topology_defaults_to_complete_and_validates_at_build() {
+        let c = SimConfig::builder(10, 3).build().unwrap();
+        assert_eq!(c.topology(), TopologySpec::Complete);
+
+        let c = SimConfig::builder(10, 3)
+            .topology(TopologySpec::Ring)
+            .build()
+            .unwrap();
+        assert_eq!(c.topology(), TopologySpec::Ring);
+
+        // Infeasible parameters fail at build.
+        assert!(matches!(
+            SimConfig::builder(10, 3).topology(TopologySpec::Torus2D).build(),
+            Err(SimError::InvalidTopology { .. })
+        ));
+        // Deferred delivery is complete-graph-only.
+        for delivery in [DeliverySemantics::BallsIntoBins, DeliverySemantics::Poissonized] {
+            assert!(matches!(
+                SimConfig::builder(10, 3)
+                    .topology(TopologySpec::Ring)
+                    .delivery(delivery)
+                    .build(),
+                Err(SimError::UnsupportedTopology { .. })
+            ));
+        }
+        // The complete graph keeps all three processes.
+        for delivery in DeliverySemantics::ALL {
+            assert!(SimConfig::builder(10, 3).delivery(delivery).build().is_ok());
+        }
     }
 
     #[test]

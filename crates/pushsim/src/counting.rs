@@ -231,13 +231,31 @@ impl CountingNetwork {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoiseDimensionMismatch`] if the noise matrix is
-    /// not defined over exactly `config.num_opinions()` opinions.
+    /// * [`SimError::NoiseDimensionMismatch`] if the noise matrix is not
+    ///   defined over exactly `config.num_opinions()` opinions.
+    /// * [`SimError::UnsupportedTopology`] if the configuration requests a
+    ///   non-complete topology: the count-based backend is statically
+    ///   complete-graph-only (see
+    ///   [`PushBackend::SUPPORTS_SPARSE_TOPOLOGY`](crate::PushBackend::SUPPORTS_SPARSE_TOPOLOGY)).
     pub fn new(config: SimConfig, noise: NoiseMatrix) -> Result<Self, SimError> {
         if noise.num_opinions() != config.num_opinions() {
             return Err(SimError::NoiseDimensionMismatch {
                 expected: config.num_opinions(),
                 found: noise.num_opinions(),
+            });
+        }
+        // The count-level reformulation is built on agent exchangeability,
+        // which only the complete graph provides: on a sparse topology the
+        // paper's `h_j` totals do not determine any agent's inbox law.
+        // (The same fact is declared statically as
+        // `PushBackend::SUPPORTS_SPARSE_TOPOLOGY`, which backend-selection
+        // policies consult.)
+        if !<Self as crate::PushBackend>::SUPPORTS_SPARSE_TOPOLOGY
+            && !config.topology().is_complete()
+        {
+            return Err(SimError::UnsupportedTopology {
+                topology: config.topology().label(),
+                context: "the count-based backend".to_string(),
             });
         }
         let k = config.num_opinions();

@@ -45,6 +45,21 @@ pub enum SimError {
         /// Number of nodes available.
         num_nodes: usize,
     },
+    /// A topology could not be built for the requested parameters (e.g. a
+    /// torus over a non-square node count, an infeasible regular degree).
+    InvalidTopology {
+        /// What made the parameters infeasible.
+        reason: String,
+    },
+    /// The requested topology is not supported in this configuration: the
+    /// deferred delivery processes (B, P) and the count-based backend are
+    /// complete-graph-only.
+    UnsupportedTopology {
+        /// The offending topology's label.
+        topology: String,
+        /// Which complete-graph-only feature was combined with it.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +91,14 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "requested {requested} initially opinionated nodes but the network has {num_nodes}"
+            ),
+            SimError::InvalidTopology { reason } => {
+                write!(f, "invalid topology: {reason}")
+            }
+            SimError::UnsupportedTopology { topology, context } => write!(
+                f,
+                "topology {topology} is not supported by {context} \
+                 (non-complete topologies require the agent backend with exact delivery)"
             ),
         }
     }

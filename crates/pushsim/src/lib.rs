@@ -6,10 +6,14 @@
 //!
 //! ## The model
 //!
-//! * `n` anonymous agents form a complete communication graph.
+//! * `n` anonymous agents form a communication graph — the complete graph
+//!   in the paper's model (the default), or any [`TopologySpec`] family
+//!   (`ring`, `torus`, `regular(d)`, `er(p)`; see the [`topology`]
+//!   module).
 //! * Time proceeds in synchronous rounds. In each round, every *opinionated*
 //!   agent may **push** its opinion (an integer in `{0, …, k−1}`) to an agent
-//!   chosen uniformly at random; senders and receivers never learn each
+//!   chosen uniformly at random (a uniformly random *neighbor* on
+//!   non-complete topologies); senders and receivers never learn each
 //!   other's identity.
 //! * Every pushed opinion passes through a noisy channel described by a
 //!   row-stochastic [`NoiseMatrix`](noisy_channel::NoiseMatrix): opinion `i`
@@ -128,6 +132,7 @@ mod inbox;
 mod network;
 mod opinion;
 pub mod poisson;
+pub mod topology;
 
 pub use backend::{AdoptionScope, PhaseObservation, PushBackend};
 pub use config::{DeliverySemantics, SimConfig, SimConfigBuilder};
@@ -137,3 +142,4 @@ pub use error::SimError;
 pub use inbox::Inboxes;
 pub use network::{Network, RoundReport};
 pub use opinion::{NodeState, Opinion};
+pub use topology::{Topology, TopologySpec};

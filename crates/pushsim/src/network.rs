@@ -6,10 +6,18 @@ use crate::error::SimError;
 use crate::inbox::Inboxes;
 use crate::opinion::{NodeState, Opinion};
 use crate::poisson;
+use crate::topology::Topology;
 use noisy_channel::NoiseMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+
+/// Salt mixed into the simulation seed for the topology-construction RNG,
+/// so building a random graph (`regular(d)`, `er(p)`) never perturbs the
+/// delivery RNG stream — complete-graph runs stay bit-for-bit identical to
+/// the pre-topology simulator, and the graph is a deterministic function
+/// of the seed.
+const TOPOLOGY_SEED_SALT: u64 = 0x7090_1091_C5F0_12AD;
 
 /// Statistics of a single executed round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +63,9 @@ impl RoundReport {
 pub struct Network {
     config: SimConfig,
     noise: NoiseMatrix,
+    /// The communication graph pushes travel along (built once from
+    /// `config.topology()`; the complete graph stores no adjacency).
+    topology: Topology,
     states: Vec<NodeState>,
     /// Per-opinion population tallies, kept in sync with `states` by every
     /// mutation path so that [`distribution`](Network::distribution) and
@@ -76,8 +87,10 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoiseDimensionMismatch`] if the noise matrix is
-    /// not defined over exactly `config.num_opinions()` opinions.
+    /// * [`SimError::NoiseDimensionMismatch`] if the noise matrix is not
+    ///   defined over exactly `config.num_opinions()` opinions.
+    /// * [`SimError::InvalidTopology`] if the configured topology cannot
+    ///   be realized (see [`Topology::build`]).
     pub fn new(config: SimConfig, noise: NoiseMatrix) -> Result<Self, SimError> {
         if noise.num_opinions() != config.num_opinions() {
             return Err(SimError::NoiseDimensionMismatch {
@@ -87,7 +100,13 @@ impl Network {
         }
         let n = config.num_nodes();
         let k = config.num_opinions();
+        // A dedicated RNG for graph construction: the delivery stream
+        // (seeded below) must match the pre-topology simulator exactly on
+        // the complete graph.
+        let mut topology_rng = StdRng::seed_from_u64(config.seed() ^ TOPOLOGY_SEED_SALT);
+        let topology = Topology::build(config.topology(), n, &mut topology_rng)?;
         Ok(Self {
+            topology,
             rng: StdRng::seed_from_u64(config.seed()),
             states: vec![NodeState::Undecided; n],
             opinion_counts: vec![0; k],
@@ -120,6 +139,11 @@ impl Network {
     /// The noise matrix acting on every transmitted message.
     pub fn noise(&self) -> &NoiseMatrix {
         &self.noise
+    }
+
+    /// The communication graph pushes travel along.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The current state of every agent.
@@ -297,9 +321,12 @@ impl Network {
     /// index and current state and returns `Some(opinion)` to push or `None`
     /// to stay silent).
     ///
-    /// Under process O the messages are noised and delivered immediately;
-    /// under processes B and P they are accumulated and delivered at
-    /// [`end_phase`](Network::end_phase).
+    /// Under process O the messages are noised and delivered immediately —
+    /// to a uniformly random node on the complete graph, to a uniformly
+    /// random *neighbor* of the sender under any other topology (an agent
+    /// with no neighbors, possible under `er(p)`, stays silent). Under
+    /// processes B and P (complete graph only) they are accumulated and
+    /// delivered at [`end_phase`](Network::end_phase).
     ///
     /// # Panics
     ///
@@ -321,11 +348,14 @@ impl Network {
                 opinion.index() < k,
                 "decide returned {opinion} but the system has {k} opinions"
             );
+            if !self.topology.can_push(node) {
+                continue;
+            }
             sent_this_round += 1;
             match self.config.delivery() {
                 DeliverySemantics::Exact => {
                     let received_as = self.noise.sample(opinion.index(), &mut self.rng);
-                    let destination = self.rng.gen_range(0..n);
+                    let destination = self.topology.push_destination(node, &mut self.rng);
                     self.inboxes.deliver(destination, received_as);
                 }
                 DeliverySemantics::BallsIntoBins | DeliverySemantics::Poissonized => {
