@@ -22,6 +22,11 @@
 //!   streaming per-phase aggregates over many runs
 //!   ([`observe::OnlineStats`]) and live JSONL emission
 //!   ([`observe::StreamSink`]).
+//! * [`oracle`] — invariant oracles for fault-injection campaigns:
+//!   per-run pass/fail judgments ([`oracle::Oracle`],
+//!   [`oracle::OracleSuite`]) returning structured
+//!   [`Violation`](oracle::Violation)s (count conservation, consensus
+//!   correctness, bias monotonicity, the paper's round envelope).
 //!
 //! # Example
 //!
@@ -41,6 +46,7 @@
 
 pub mod ci;
 pub mod observe;
+pub mod oracle;
 pub mod stats;
 pub mod sweep;
 pub mod table;

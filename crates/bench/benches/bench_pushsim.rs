@@ -428,6 +428,73 @@ fn bench_topology_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fault-subsystem cost guard: one phase at n = 10⁵ with full
+/// participation, fault-free (no `fault` key at all vs an explicit
+/// all-disabled [`FaultSpec`] — these two must be within noise of each
+/// other, since a disabled spec never seeds the fault RNG and never
+/// enters the fault branch) and under enabled per-message faults
+/// (`drop(0.1)`, then the full drop+dup+delay ladder), on both backends
+/// where the semantics allow. Enabled faults pay one Bernoulli draw per
+/// affected message on the agent backend and O(k) binomial splits on the
+/// counting backend; the disabled path is the hot path the campaigns
+/// leave untouched.
+fn bench_fault_overhead(c: &mut Criterion) {
+    let n = 100_000usize;
+    let k = 3usize;
+    let mut group = c.benchmark_group("pushsim_fault_overhead_n1e5");
+    group.sample_size(10);
+
+    let agent_net = |fault: Option<&str>| {
+        let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+        let mut builder = SimConfig::builder(n, k)
+            .seed(13)
+            .delivery(DeliverySemantics::BallsIntoBins);
+        if let Some(fault) = fault {
+            builder = builder.fault(fault.parse().expect("valid fault spec"));
+        }
+        let config = builder.build().expect("valid config");
+        let mut net = Network::new(config, noise).expect("valid network");
+        net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+        net
+    };
+    for (name, fault) in [
+        ("agent_no_fault_key", None),
+        ("agent_fault_none", Some("none")),
+        ("agent_drop", Some("drop(0.1)")),
+        ("agent_drop_dup_delay", Some("drop(0.1)+dup(0.1)+delay(0.1)")),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = agent_net(fault);
+            b.iter(|| black_box(drive_phase_generic(&mut net)));
+        });
+    }
+
+    let counting_net = |fault: Option<&str>| {
+        let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+        let mut builder = SimConfig::builder(n, k)
+            .seed(14)
+            .delivery(DeliverySemantics::Poissonized);
+        if let Some(fault) = fault {
+            builder = builder.fault(fault.parse().expect("valid fault spec"));
+        }
+        let config = builder.build().expect("valid config");
+        let mut net = CountingNetwork::new(config, noise).expect("valid network");
+        net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+        net
+    };
+    for (name, fault) in [
+        ("counting_no_fault_key", None),
+        ("counting_fault_none", Some("none")),
+        ("counting_drop_dup", Some("drop(0.1)+dup(0.1)")),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = counting_net(fault);
+            b.iter(|| black_box(drive_phase_generic(&mut net)));
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -441,6 +508,6 @@ criterion_group! {
     targets = bench_round_throughput, bench_poissonized_phase,
               bench_end_phase_per_message_vs_batched, bench_backend_scaling,
               bench_generic_vs_concrete_dispatch, bench_observer_dispatch,
-              bench_topology_round
+              bench_topology_round, bench_fault_overhead
 }
 criterion_main!(benches);

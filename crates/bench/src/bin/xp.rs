@@ -5,13 +5,22 @@
 //! xp run f2 [--full --json --backend agent|counting|auto --trials N --seed S]
 //! xp run --spec path.spec [...]   # run a scenario spec file
 //! xp show f2 [--full]             # print a spec-backed experiment's spec text
+//! xp campaign --spec c.spec [--seeds N --tolerance T --slack S]
+//! xp campaign --replay c.spec <seed> [--seeds N]
 //! xp help
 //! ```
 //!
 //! Registered experiments live in [`noisy_bench::registry`]; spec files are
-//! parsed by [`noisy_bench::spec::ScenarioSpec::from_text`].
+//! parsed by [`noisy_bench::spec::ScenarioSpec::from_text`]; campaigns run
+//! through [`noisy_bench::campaign`].
+//!
+//! Exit codes: 0 on success (campaigns: every oracle passed), 1 on run
+//! failures (campaigns: an oracle violation, with a ready-to-paste replay
+//! command), 2 on usage errors (unknown command/experiment, unreadable
+//! spec file, malformed flags).
 
 use gossip_analysis::table::Table;
+use noisy_bench::campaign::{self, CampaignOptions};
 use noisy_bench::registry;
 use noisy_bench::runner::Runner;
 use noisy_bench::spec::ScenarioSpec;
@@ -24,6 +33,12 @@ usage:
   xp run <name> [options]      run a registered experiment
   xp run --spec <path> [opts]  run a scenario spec file
   xp show <name> [--full]      print a spec-backed experiment's spec text
+  xp campaign <name|--spec <path>> [--seeds N] [--tolerance T] [--slack S]
+                               fault-injection campaign: run every sweep cell
+                               over N seeds under the invariant oracles;
+                               exit 1 + replay command on any violation
+  xp campaign --replay <name|path> <seed> [--seeds N]
+                               re-run one campaign seed with a trajectory dump
   xp help                      print this message
 ";
 
@@ -41,6 +56,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "show" => cmd_show(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             ExitCode::SUCCESS
@@ -240,6 +256,249 @@ fn cmd_show(rest: &[String]) -> ExitCode {
     }
 }
 
+/// Campaign-specific arguments: the spec source (registered name or file
+/// path), the optional replay seed, the engine knobs, and the leftover
+/// shared CLI flags.
+struct CampaignArgs {
+    source: Option<String>,
+    replay: bool,
+    replay_seed: Option<String>,
+    seeds: Option<u64>,
+    tolerance: Option<f64>,
+    slack: Option<f64>,
+    cli_args: Vec<String>,
+}
+
+fn split_campaign_args(rest: &[String]) -> Result<CampaignArgs, String> {
+    let mut parsed = CampaignArgs {
+        source: None,
+        replay: false,
+        replay_seed: None,
+        seeds: None,
+        tolerance: None,
+        slack: None,
+        cli_args: Vec::new(),
+    };
+    let mut iter = rest.iter();
+    let value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| {
+        iter.next().cloned().ok_or(format!("{flag} requires a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--replay" => parsed.replay = true,
+            "--spec" => parsed.source = Some(value(&mut iter, "--spec")?),
+            "--seeds" => {
+                let v = value(&mut iter, "--seeds")?;
+                let seeds: u64 =
+                    v.parse().map_err(|_| format!("invalid --seeds value {v:?}"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                parsed.seeds = Some(seeds);
+            }
+            "--tolerance" => {
+                let v = value(&mut iter, "--tolerance")?;
+                parsed.tolerance =
+                    Some(v.parse().map_err(|_| format!("invalid --tolerance value {v:?}"))?);
+            }
+            "--slack" => {
+                let v = value(&mut iter, "--slack")?;
+                parsed.slack =
+                    Some(v.parse().map_err(|_| format!("invalid --slack value {v:?}"))?);
+            }
+            "--backend" | "--trials" | "--seed" => {
+                parsed.cli_args.push(arg.clone());
+                if let Some(v) = iter.next() {
+                    parsed.cli_args.push(v.clone());
+                }
+            }
+            other if !other.starts_with('-') => {
+                if parsed.source.is_none() {
+                    parsed.source = Some(arg.clone());
+                } else if parsed.replay && parsed.replay_seed.is_none() {
+                    parsed.replay_seed = Some(arg.clone());
+                } else {
+                    return Err(format!("unexpected argument {other:?}"));
+                }
+            }
+            _ => {
+                if let Some(v) = arg.strip_prefix("--spec=") {
+                    parsed.source = Some(v.to_string());
+                } else {
+                    parsed.cli_args.push(arg.clone());
+                }
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_campaign(rest: &[String]) -> ExitCode {
+    let args = match split_campaign_args(rest) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if args.cli_args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let cli = match Cli::try_parse_from(args.cli_args.clone()) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(source) = args.source.clone() else {
+        eprintln!(
+            "error: `xp campaign` needs an experiment name or --spec <path>\n\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    };
+
+    // Resolve the spec: registered experiment names first, file paths
+    // otherwise. An unreadable path is a usage error (exit 2); a file that
+    // loads but does not parse is a run failure (exit 1).
+    let mut spec = if let Some(experiment) = registry::find(&source) {
+        match experiment.spec(cli.scale) {
+            Some(spec) => spec,
+            None => {
+                eprintln!("error: {source} is a composite experiment; campaigns need one spec");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let text = match std::fs::read_to_string(&source) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read spec file {source:?}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match ScenarioSpec::from_text(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {source}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    registry::apply_cli(&mut spec, &cli);
+
+    let mut options = CampaignOptions::default();
+    if let Some(seeds) = args.seeds {
+        options.seeds = seeds;
+    }
+    if let Some(tolerance) = args.tolerance {
+        options.tolerance = tolerance;
+    }
+    if let Some(slack) = args.slack {
+        options.slack = slack;
+    }
+
+    if args.replay {
+        let Some(seed_text) = args.replay_seed else {
+            eprintln!("error: --replay needs the failing seed to re-run\n\n{}", usage());
+            return ExitCode::from(2);
+        };
+        let seed = match parse_seed(&seed_text) {
+            Ok(seed) => seed,
+            Err(message) => {
+                eprintln!("error: {message}\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        };
+        return replay_campaign(&spec, &options, seed, &cli);
+    }
+
+    cli.note(&format!(
+        "campaign: {} scenario, {} seeds per cell (oracles: count conservation, consensus \
+         correctness, bias monotonicity @ {}, round envelope @ {}x)\n",
+        spec.kind.name(),
+        options.seeds,
+        options.tolerance,
+        options.slack,
+    ));
+    match campaign::run_campaign(&spec, &options) {
+        Ok(report) => {
+            cli.emit(&report.to_table());
+            if report.passed() {
+                cli.note(&format!(
+                    "\ncampaign PASS: {} cells x {} seeds, no oracle violations",
+                    report.cells().len(),
+                    options.seeds,
+                ));
+                ExitCode::SUCCESS
+            } else {
+                // Failure details go to stderr so `--json` stdout stays
+                // machine-parseable.
+                for line in report.failure_lines(&source) {
+                    eprintln!("{line}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {source}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay_campaign(
+    spec: &ScenarioSpec,
+    options: &CampaignOptions,
+    seed: u64,
+    cli: &Cli,
+) -> ExitCode {
+    match campaign::replay(spec, options, seed) {
+        Ok(outcome) => {
+            cli.note(&format!(
+                "replaying seed {} (cell {}, seed index {})\n",
+                outcome.seed, outcome.point.index, outcome.seed_index,
+            ));
+            let mut table = Table::new(
+                gossip_analysis::observe::TRAJECTORY_HEADERS
+                    .iter()
+                    .map(|h| h.to_string())
+                    .collect::<Vec<_>>(),
+            );
+            for row in outcome.trajectory.rows() {
+                table.push_row(row);
+            }
+            cli.emit(&table);
+            if outcome.violations.is_empty() {
+                cli.note("\nreplay PASS: no oracle violations reproduced");
+                ExitCode::SUCCESS
+            } else {
+                for violation in &outcome.violations {
+                    eprintln!("{violation}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        // A seed that is not part of the campaign is a usage error, like
+        // an unknown experiment name.
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses a replay seed (decimal, or hexadecimal with an `0x` prefix).
+fn parse_seed(text: &str) -> Result<u64, String> {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| format!("invalid replay seed {text:?}"))
+}
+
 fn known_names() -> String {
     registry::all()
         .iter()
@@ -280,5 +539,37 @@ mod tests {
         assert_eq!(spec.as_deref(), Some("b.spec"));
 
         assert!(split_run_args(&to_args(&["--spec"])).is_err());
+    }
+
+    #[test]
+    fn campaign_args_split_source_seed_and_knobs() {
+        let args =
+            split_campaign_args(&to_args(&["--spec", "c.spec", "--seeds", "64", "--json"]))
+                .unwrap();
+        assert_eq!(args.source.as_deref(), Some("c.spec"));
+        assert!(!args.replay);
+        assert_eq!(args.seeds, Some(64));
+        assert_eq!(args.cli_args, to_args(&["--json"]));
+
+        // The pasted replay command: `--replay <source> <seed> --seeds N`.
+        let args = split_campaign_args(&to_args(&[
+            "--replay", "c.spec", "1234", "--seeds", "100",
+        ]))
+        .unwrap();
+        assert!(args.replay);
+        assert_eq!(args.source.as_deref(), Some("c.spec"));
+        assert_eq!(args.replay_seed.as_deref(), Some("1234"));
+        assert_eq!(args.seeds, Some(100));
+
+        assert!(split_campaign_args(&to_args(&["--seeds", "0"])).is_err());
+        assert!(split_campaign_args(&to_args(&["--seeds"])).is_err());
+        assert!(split_campaign_args(&to_args(&["a.spec", "extra"])).is_err());
+    }
+
+    #[test]
+    fn replay_seeds_parse_in_decimal_and_hex() {
+        assert_eq!(parse_seed("1234").unwrap(), 1234);
+        assert_eq!(parse_seed("0xBEEF").unwrap(), 0xBEEF);
+        assert!(parse_seed("nope").is_err());
     }
 }

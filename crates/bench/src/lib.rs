@@ -30,6 +30,7 @@
 //! `benches/` holds the Criterion micro-benchmarks that document the
 //! simulator's cost model.
 
+pub mod campaign;
 pub mod registry;
 pub mod runner;
 pub mod spec;
@@ -508,6 +509,7 @@ pub fn reseed(params: &ProtocolParams, seed: u64) -> ProtocolParams {
         .epsilon(params.epsilon())
         .delivery(params.delivery())
         .topology(params.topology())
+        .fault(params.fault())
         .constants(*params.constants())
         .seed(seed)
         .build()
@@ -714,5 +716,14 @@ mod tests {
         assert_eq!(reseeded.num_nodes(), params.num_nodes());
         assert_eq!(reseeded.epsilon(), params.epsilon());
         assert_eq!(reseeded.topology(), params.topology());
+
+        // Faults must survive re-seeding, or campaign trials past the
+        // first would silently run fault-free.
+        let faulty = ProtocolParams::builder(300, 3)
+            .epsilon(0.3)
+            .fault("drop(0.1)+byz(0.05:0)".parse().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(reseed(&faulty, 7).fault(), faulty.fault());
     }
 }

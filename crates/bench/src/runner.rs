@@ -3,7 +3,7 @@
 //!
 //! A [`Runner`] expands a spec's sweep axes into a grid (Cartesian product,
 //! axis order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`,
-//! `topology`),
+//! `topology`, `fault`),
 //! executes every point for the requested number of trials on the
 //! requested [`ExecutionBackend`], and returns a structured [`RunReport`].
 //! [`RunReport::to_table`] renders the report; callers that need bespoke
@@ -47,8 +47,8 @@ use opinion_dynamics::RuleSpec;
 use plurality_core::observe::{Fanout, NoObserver, Observer, StopCondition};
 use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
 use pushsim::{
-    CountingNetwork, DeliverySemantics, Network, Opinion, PhaseObservation, PushBackend,
-    SimConfig, TopologySpec,
+    CountingNetwork, DeliverySemantics, FaultSpec, Network, Opinion, PhaseObservation,
+    PushBackend, SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +87,9 @@ pub struct GridPoint {
     /// Communication topology at this point (the spec's topology unless
     /// `sweep.topology` overrides it).
     pub topology: TopologySpec,
+    /// Fault-injection model at this point (the spec's `fault` unless
+    /// `sweep.fault` makes it a campaign axis).
+    pub fault: FaultSpec,
 }
 
 /// Aggregated result of a dynamics scenario at one grid point.
@@ -204,7 +207,7 @@ impl RunReport {
 /// Trajectory rows already end with the canonical `topology` column
 /// ([`TRAJECTORY_HEADERS`]), so a swept topology axis is suppressed there
 /// — otherwise every JSON row would carry two identical `topology` keys.
-fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 8] {
+pub(crate) fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 9] {
     let sweep = &spec.sweep;
     [
         ("k", !sweep.k.is_empty()),
@@ -218,6 +221,7 @@ fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 8] {
             "topology",
             !sweep.topology.is_empty() && spec.observe != ObserveMode::Trajectory,
         ),
+        ("fault", !sweep.fault.is_empty()),
     ]
 }
 
@@ -248,7 +252,7 @@ pub fn headers(spec: &ScenarioSpec) -> Vec<String> {
 }
 
 /// The swept-axis cells of one grid point, in axis order.
-fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
+pub(crate) fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
     let mut cells = Vec::new();
     let axes = axis_columns(spec);
     if axes[0].1 {
@@ -274,6 +278,9 @@ fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
     }
     if axes[7].1 {
         cells.push(point.topology.to_string());
+    }
+    if axes[8].1 {
+        cells.push(point.fault.to_string());
     }
     cells
 }
@@ -378,16 +385,17 @@ fn format_metric(metric: Metric, result: &PointResult) -> String {
     }
 }
 
-/// How a protocol point runs (shared by the summary and observed paths).
+/// How a protocol point runs (shared by the summary and observed paths,
+/// and by the campaign engine's per-seed runs).
 #[derive(Clone, Copy)]
-enum ProtocolRun<'a> {
+pub(crate) enum ProtocolRun<'a> {
     Rumor(Opinion),
     Plurality(&'a [usize]),
     Stage2(&'a [usize]),
 }
 
 impl ProtocolRun<'_> {
-    fn execute(
+    pub(crate) fn execute(
         self,
         protocol: &TwoStageProtocol,
         backend: ExecutionBackend,
@@ -467,79 +475,18 @@ impl Runner {
         mut stream: Option<&mut W>,
     ) -> Result<RunReport, SpecError> {
         let spec = &self.spec;
-        let ks = non_empty_or(&spec.sweep.k, spec.k);
-        let ns = non_empty_or(&spec.sweep.n, spec.n);
-        let epss = non_empty_or(&spec.sweep.eps, spec.epsilon);
-        let base_bias = match spec.kind.init() {
-            Some(InitSpec::Biased { bias }) => Some(*bias),
-            _ => None,
-        };
-        let biases: Vec<Option<f64>> = if spec.sweep.bias.is_empty() {
-            vec![base_bias]
-        } else {
-            spec.sweep.bias.iter().map(|&b| Some(b)).collect()
-        };
-        let (base_ell, base_delta) = match spec.kind {
-            ScenarioKind::SampleMajorityGap { ell, delta } => (Some(ell), Some(delta)),
-            _ => (None, None),
-        };
-        let ells: Vec<Option<u64>> = if spec.sweep.ell.is_empty() {
-            vec![base_ell]
-        } else {
-            spec.sweep.ell.iter().map(|&e| Some(e)).collect()
-        };
-        let deltas: Vec<Option<f64>> = if spec.sweep.delta.is_empty() {
-            vec![base_delta]
-        } else {
-            spec.sweep.delta.iter().map(|&d| Some(d)).collect()
-        };
-        let deliveries = non_empty_or(&spec.sweep.delivery, spec.delivery);
-        let topologies = non_empty_or(&spec.sweep.topology, spec.topology);
         let eps_swept = !spec.sweep.eps.is_empty();
-
         let mut points = Vec::new();
-        let mut index = 0usize;
-        for &k in &ks {
-            for &n in &ns {
-                for &eps in &epss {
-                    for &bias in &biases {
-                        for &ell in &ells {
-                            for &delta in &deltas {
-                                for &delivery in &deliveries {
-                                    for &topology in &topologies {
-                                        let point = GridPoint {
-                                            index,
-                                            k,
-                                            n,
-                                            eps,
-                                            bias,
-                                            ell,
-                                            delta,
-                                            delivery,
-                                            topology,
-                                        };
-                                        let summary = self.run_point(
-                                            point,
-                                            eps_swept,
-                                            stream.as_deref_mut(),
-                                        )?;
-                                        let result = PointResult { point, summary };
-                                        if let Some(out) = stream.as_mut() {
-                                            // Trajectory rows already streamed
-                                            // live from inside the run.
-                                            if spec.observe != ObserveMode::Trajectory {
-                                                emit_rows(out, spec, &result);
-                                            }
-                                        }
-                                        points.push(result);
-                                        index += 1;
-                                    }
-                                }
-                            }
-                        }
-                    }
+        for point in expand_grid(spec) {
+            let summary = self.run_point(point, eps_swept, stream.as_deref_mut())?;
+            let result = PointResult { point, summary };
+            if let Some(out) = stream.as_mut() {
+                // Trajectory rows already streamed live from inside the run.
+                if spec.observe != ObserveMode::Trajectory {
+                    emit_rows(out, spec, &result);
                 }
             }
+            points.push(result);
         }
         Ok(RunReport {
             spec: spec.clone(),
@@ -567,6 +514,7 @@ impl Runner {
             .seed(spec.seed)
             .delivery(spec.delivery)
             .topology(point.topology)
+            .fault(point.fault)
             .constants(spec.constants)
             .build()?;
         let noise_spec = if eps_swept {
@@ -764,9 +712,13 @@ impl Runner {
                 let plurality = validate_counts(params, noise, &counts)?;
                 let budget = rounds.unwrap_or_else(|| params.schedule().total_rounds());
                 let stop = dynamics_stop(budget, stop);
-                let resolved =
-                    spec.backend
-                        .resolve(point.n, point.k, spec.delivery, point.topology);
+                let resolved = spec.backend.resolve(
+                    point.n,
+                    point.k,
+                    spec.delivery,
+                    point.topology,
+                    point.fault,
+                );
                 let config = SimConfig::builder(point.n, point.k)
                     .seed(derive_seed(spec.seed, point.index, trial))
                     .delivery(spec.delivery)
@@ -905,9 +857,13 @@ impl Runner {
         noise: &NoiseMatrix,
     ) -> Result<DynamicsSummary, SpecError> {
         let spec = &self.spec;
-        let resolved = spec
-            .backend
-            .resolve(point.n, point.k, spec.delivery, point.topology);
+        let resolved = spec.backend.resolve(
+            point.n,
+            point.k,
+            spec.delivery,
+            point.topology,
+            point.fault,
+        );
         let stop = dynamics_stop(budget, &spec.stop.to_condition());
 
         let mut consensus = 0u64;
@@ -1000,6 +956,78 @@ fn non_empty_or<T: Copy>(values: &[T], base: T) -> Vec<T> {
     }
 }
 
+/// Expands a spec's sweep axes into the full grid (Cartesian product, axis
+/// order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`, `topology`,
+/// `fault`). Shared by the [`Runner`] and the campaign engine, so a
+/// campaign cell index addresses exactly the point the plain runner would
+/// execute at that index.
+pub(crate) fn expand_grid(spec: &ScenarioSpec) -> Vec<GridPoint> {
+    let ks = non_empty_or(&spec.sweep.k, spec.k);
+    let ns = non_empty_or(&spec.sweep.n, spec.n);
+    let epss = non_empty_or(&spec.sweep.eps, spec.epsilon);
+    let base_bias = match spec.kind.init() {
+        Some(InitSpec::Biased { bias }) => Some(*bias),
+        _ => None,
+    };
+    let biases: Vec<Option<f64>> = if spec.sweep.bias.is_empty() {
+        vec![base_bias]
+    } else {
+        spec.sweep.bias.iter().map(|&b| Some(b)).collect()
+    };
+    let (base_ell, base_delta) = match spec.kind {
+        ScenarioKind::SampleMajorityGap { ell, delta } => (Some(ell), Some(delta)),
+        _ => (None, None),
+    };
+    let ells: Vec<Option<u64>> = if spec.sweep.ell.is_empty() {
+        vec![base_ell]
+    } else {
+        spec.sweep.ell.iter().map(|&e| Some(e)).collect()
+    };
+    let deltas: Vec<Option<f64>> = if spec.sweep.delta.is_empty() {
+        vec![base_delta]
+    } else {
+        spec.sweep.delta.iter().map(|&d| Some(d)).collect()
+    };
+    let deliveries = non_empty_or(&spec.sweep.delivery, spec.delivery);
+    let topologies = non_empty_or(&spec.sweep.topology, spec.topology);
+    let faults = non_empty_or(&spec.sweep.fault, spec.fault);
+
+    let mut points = Vec::new();
+    let mut index = 0usize;
+    for &k in &ks {
+        for &n in &ns {
+            for &eps in &epss {
+                for &bias in &biases {
+                    for &ell in &ells {
+                        for &delta in &deltas {
+                            for &delivery in &deliveries {
+                                for &topology in &topologies {
+                                    for &fault in &faults {
+                                        points.push(GridPoint {
+                                            index,
+                                            k,
+                                            n,
+                                            eps,
+                                            bias,
+                                            ell,
+                                            delta,
+                                            delivery,
+                                            topology,
+                                            fault,
+                                        });
+                                        index += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
 /// Surfaces the protocol's own initial-counts validation as a recoverable
 /// [`SpecError`] *before* entering the trial harness (whose entry points
 /// treat invalid counts as a harness programming error and panic), and
@@ -1015,7 +1043,7 @@ fn validate_counts(
 
 /// Materializes the initial counts of one grid point ([`InitSpec::Biased`]
 /// uses the point's bias, which the bias axis may have overridden).
-fn resolve_counts(init: &InitSpec, point: GridPoint) -> Vec<usize> {
+pub(crate) fn resolve_counts(init: &InitSpec, point: GridPoint) -> Vec<usize> {
     match init {
         InitSpec::Biased { bias } => {
             biased_counts(point.n, point.k, point.bias.unwrap_or(*bias))

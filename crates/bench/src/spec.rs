@@ -48,6 +48,20 @@
 //! inconsistent combinations (including topology parameters that are
 //! infeasible for the swept `n` values).
 //!
+//! ## Faults
+//!
+//! The `fault` key injects failures into the delivery path of protocol
+//! scenarios (see [`FaultSpec`]): `drop(p)` loses each message with
+//! probability `p`, `dup(p)` duplicates it, `delay(p)` defers it to the
+//! next phase, `crash(f@s)` silences a fraction `f` of the agents after
+//! phase `s`, and `byz(f:j)` makes a fraction `f` always push opinion `j`;
+//! families combine with `+`. The `sweep.fault` axis sweeps fault specs,
+//! e.g. `sweep.fault = none, drop(0.1), byz(0.1:1)`. Faults are
+//! complete-graph-only, and delayed delivery needs the agent backend;
+//! [`validate`](ScenarioSpec::validate) rejects inconsistent combinations
+//! statically. The `xp campaign` driver runs a spec's fault grid against
+//! invariant oracles over many seeds.
+//!
 //! Run it with `xp run --spec path.spec` (see the `xp` binary), or from
 //! code:
 //!
@@ -68,7 +82,7 @@
 use noisy_channel::{NoiseError, NoiseSpec};
 use opinion_dynamics::RuleSpec;
 use plurality_core::{ExecutionBackend, ProtocolConstants, ProtocolError, StopCondition};
-use pushsim::{DeliverySemantics, SimError, TopologySpec};
+use pushsim::{DeliverySemantics, FaultSpec, SimError, TopologySpec};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -190,7 +204,7 @@ impl ScenarioKind {
 /// The sweep axes of a scenario: each non-empty axis contributes one output
 /// column and the grid is the Cartesian product of all non-empty axes, in
 /// the fixed order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`,
-/// `topology`.
+/// `topology`, `fault`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepAxes {
     /// Opinion counts to sweep (`sweep.k = 2, 3, 5`).
@@ -216,6 +230,9 @@ pub struct SweepAxes {
     /// (`sweep.topology = complete, ring, regular(8)`); any scenario that
     /// simulates a network (protocol kinds, dynamics, phase).
     pub topology: Vec<TopologySpec>,
+    /// Fault specs to sweep (`sweep.fault = none, drop(0.1), byz(0.1:1)`);
+    /// protocol scenarios only — the axis of fault-injection campaigns.
+    pub fault: Vec<FaultSpec>,
 }
 
 impl SweepAxes {
@@ -229,6 +246,7 @@ impl SweepAxes {
             && self.delta.is_empty()
             && self.delivery.is_empty()
             && self.topology.is_empty()
+            && self.fault.is_empty()
     }
 
     /// Number of grid points (product of non-empty axis lengths).
@@ -241,6 +259,7 @@ impl SweepAxes {
             * self.delta.len().max(1)
             * self.delivery.len().max(1)
             * self.topology.len().max(1)
+            * self.fault.len().max(1)
     }
 }
 
@@ -497,6 +516,9 @@ pub struct ScenarioSpec {
     pub delivery: DeliverySemantics,
     /// Communication topology (overridden per point by `sweep.topology`).
     pub topology: TopologySpec,
+    /// Injected faults (overridden per point by `sweep.fault`); all
+    /// disabled by default. Protocol scenarios only.
+    pub fault: FaultSpec,
     /// Requested simulation backend.
     pub backend: ExecutionBackend,
     /// Protocol constants (spec files override individual fields with
@@ -528,6 +550,7 @@ impl ScenarioSpec {
             noise: NoiseSpec::Uniform { epsilon: 0.2 },
             delivery: DeliverySemantics::Exact,
             topology: TopologySpec::Complete,
+            fault: FaultSpec::default(),
             backend: ExecutionBackend::Auto,
             constants: ProtocolConstants::default(),
             trials: 1,
@@ -655,6 +678,7 @@ impl ScenarioSpec {
         }
         self.validate_kind_specific_axes()?;
         self.validate_topology()?;
+        self.validate_fault()?;
         self.validate_observe_and_stop()?;
         Ok(())
     }
@@ -714,6 +738,71 @@ impl ScenarioSpec {
                     "topology {topology} cannot run on the counting backend \
                      (it is statically complete-graph-only); use agent or auto"
                 )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault values a run will actually use (base or swept).
+    fn effective_faults(&self) -> &[FaultSpec] {
+        if self.sweep.fault.is_empty() {
+            std::slice::from_ref(&self.fault)
+        } else {
+            &self.sweep.fault
+        }
+    }
+
+    /// Checks fault/kind/topology/backend consistency statically, so fault
+    /// campaigns fail at spec validation instead of per grid cell at run
+    /// time.
+    fn validate_fault(&self) -> Result<(), SpecError> {
+        let enabled = !self.fault.is_none() || !self.sweep.fault.is_empty();
+        if !enabled {
+            return Ok(());
+        }
+        if !self.kind.is_protocol() {
+            return Err(SpecError::Invalid(format!(
+                "fault / sweep.fault apply only to protocol scenarios \
+                 (rumor, plurality, stage2), not {}",
+                self.kind.name()
+            )));
+        }
+        let ks = if self.sweep.k.is_empty() {
+            std::slice::from_ref(&self.k)
+        } else {
+            &self.sweep.k
+        };
+        for fault in self.effective_faults() {
+            for &k in ks {
+                fault
+                    .check(k)
+                    .map_err(|e| SpecError::Invalid(e.to_string()))?;
+            }
+            if fault.is_none() {
+                continue;
+            }
+            if let Some(bad) = self.effective_topologies().iter().find(|t| !t.is_complete()) {
+                return Err(SpecError::Invalid(format!(
+                    "fault {fault} requires the complete graph, not topology {bad}"
+                )));
+            }
+            if fault.delay > 0.0 && self.backend == ExecutionBackend::Counting {
+                return Err(SpecError::Invalid(format!(
+                    "fault {fault} uses delayed delivery, which the counting backend \
+                     cannot buffer; use agent or auto"
+                )));
+            }
+            if let (Some(crash), Some(max_rounds)) = (fault.crash, self.stop.max_rounds) {
+                // Completing phase s takes at least s + 1 rounds (every
+                // phase runs at least one round), so a crash scheduled
+                // after phase s can never act before the stop fires.
+                if crash.after_phase + 1 >= max_rounds {
+                    return Err(SpecError::Invalid(format!(
+                        "crash after phase {} can never activate: stop.max_rounds = \
+                         {max_rounds} ends the run first",
+                        crash.after_phase
+                    )));
+                }
             }
         }
         Ok(())
@@ -879,6 +968,9 @@ impl ScenarioSpec {
         line("noise", self.noise.to_string());
         line("delivery", self.delivery.spec_name().to_string());
         line("topology", self.topology.to_string());
+        if !self.fault.is_none() {
+            line("fault", self.fault.to_string());
+        }
         line("backend", backend_name(self.backend).to_string());
         line("trials", self.trials.to_string());
         line("seed", self.seed.to_string());
@@ -913,6 +1005,9 @@ impl ScenarioSpec {
         }
         if !self.sweep.topology.is_empty() {
             line("sweep.topology", join(&self.sweep.topology));
+        }
+        if !self.sweep.fault.is_empty() {
+            line("sweep.fault", join(&self.sweep.fault));
         }
         if !self.metrics.is_empty() {
             line("metrics", join(&self.metrics));
@@ -1023,6 +1118,7 @@ impl ScenarioSpec {
         };
         let delivery = take_from_str(&mut map, "delivery")?.unwrap_or(DeliverySemantics::Exact);
         let topology = take_from_str(&mut map, "topology")?.unwrap_or(TopologySpec::Complete);
+        let fault = take_from_str(&mut map, "fault")?.unwrap_or_default();
         let backend = take_from_str(&mut map, "backend")?.unwrap_or(ExecutionBackend::Auto);
 
         let mut constants = ProtocolConstants::default();
@@ -1048,6 +1144,7 @@ impl ScenarioSpec {
             delta: take_list(&mut map, "sweep.delta")?,
             delivery: take_list(&mut map, "sweep.delivery")?,
             topology: take_list(&mut map, "sweep.topology")?,
+            fault: take_list(&mut map, "sweep.fault")?,
         };
         let observe = {
             let trajectory: bool =
@@ -1119,6 +1216,7 @@ impl ScenarioSpec {
             noise,
             delivery,
             topology,
+            fault,
             backend,
             constants,
             trials,
@@ -1388,6 +1486,75 @@ mod tests {
         // A feasible sparse spec passes.
         let mut spec = rumor_spec();
         spec.sweep.topology = vec![TopologySpec::Ring, TopologySpec::RandomRegular { degree: 4 }];
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_keys_round_trip_and_validate() {
+        // The base key and the sweep axis round-trip through the text form.
+        let mut spec = rumor_spec();
+        spec.fault = "drop(0.1)+byz(0.05:0)".parse().unwrap();
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let mut spec = rumor_spec();
+        spec.sweep.fault = vec![
+            FaultSpec::none(),
+            "drop(0.2)".parse().unwrap(),
+            "crash(0.1@2)".parse().unwrap(),
+        ];
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.sweep.num_points(), 9, "3 eps x 3 faults");
+
+        // The key parses from a raw file too.
+        let spec = ScenarioSpec::from_text(
+            "scenario = rumor\nn = 100\nk = 2\nfault = dup(0.3)\n",
+        )
+        .unwrap();
+        assert_eq!(spec.fault, "dup(0.3)".parse().unwrap());
+    }
+
+    #[test]
+    fn fault_validation_rejects_inconsistent_combinations() {
+        // Faults are protocol-only…
+        let mut spec = ScenarioSpec::new(
+            ScenarioKind::SampleMajorityGap { ell: 25, delta: 0.1 },
+            100,
+            2,
+        );
+        spec.fault = "drop(0.1)".parse().unwrap();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // …and complete-graph-only.
+        let mut spec = rumor_spec();
+        spec.fault = "drop(0.1)".parse().unwrap();
+        spec.sweep.topology = vec![TopologySpec::Ring];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // A Byzantine opinion must exist at every swept k.
+        let mut spec = rumor_spec();
+        spec.fault = "byz(0.1:2)".parse().unwrap();
+        spec.sweep.k = vec![3, 2];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.sweep.k = vec![3, 4];
+        assert!(spec.validate().is_ok());
+        // Delayed delivery cannot be forced onto the counting backend.
+        let mut spec = rumor_spec();
+        spec.fault = "delay(0.2)".parse().unwrap();
+        spec.backend = ExecutionBackend::Counting;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.backend = ExecutionBackend::Auto;
+        assert!(spec.validate().is_ok());
+        // A crash the stop condition cuts off is dead weight.
+        let mut spec = rumor_spec();
+        spec.fault = "crash(0.1@50)".parse().unwrap();
+        spec.stop.max_rounds = Some(20);
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.stop.max_rounds = Some(2_000);
+        assert!(spec.validate().is_ok());
+        // An all-disabled spec composes with everything.
+        let mut spec = rumor_spec();
+        spec.fault = FaultSpec::none();
+        spec.sweep.topology = vec![TopologySpec::Ring];
         assert!(spec.validate().is_ok());
     }
 

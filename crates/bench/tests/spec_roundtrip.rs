@@ -7,7 +7,7 @@ use noisy_channel::NoiseSpec;
 use opinion_dynamics::RuleSpec;
 use plurality_core::ExecutionBackend;
 use proptest::prelude::*;
-use pushsim::{DeliverySemantics, TopologySpec};
+use pushsim::{ByzantineFault, CrashFault, DeliverySemantics, FaultSpec, TopologySpec};
 
 fn noise_strategy() -> impl Strategy<Value = NoiseSpec> {
     prop_oneof![
@@ -38,6 +38,32 @@ fn topology_strategy() -> impl Strategy<Value = TopologySpec> {
         (1usize..6).prop_map(|half| TopologySpec::RandomRegular { degree: 2 * half }),
         (0.001f64..1.0).prop_map(|p| TopologySpec::ErdosRenyi { p }),
     ]
+}
+
+/// Fault specs valid for a `k`-opinion protocol by construction:
+/// probabilities stay inside `[0, 1]`, the Byzantine opinion is below
+/// `k`, and the crashed + Byzantine fractions sum below 1 (each stays
+/// under 0.5). Crash phases are small so they can be clamped against any
+/// generated `stop.max_rounds`. All-disabled specs (`none`) are generated
+/// too and must round-trip like any other value.
+fn fault_strategy(k: usize) -> impl Strategy<Value = FaultSpec> {
+    (
+        prop::option::of(0.01f64..1.0),
+        prop::option::of(0.01f64..1.0),
+        prop::option::of(0.01f64..1.0),
+        prop::option::of(((0.01f64..0.5), 0u64..4)),
+        prop::option::of(((0.01f64..0.5), 0..k)),
+    )
+        .prop_map(|(drop, duplicate, delay, crash, byzantine)| FaultSpec {
+            drop: drop.unwrap_or(0.0),
+            duplicate: duplicate.unwrap_or(0.0),
+            delay: delay.unwrap_or(0.0),
+            crash: crash.map(|(fraction, after_phase)| CrashFault {
+                fraction,
+                after_phase,
+            }),
+            byzantine: byzantine.map(|(fraction, opinion)| ByzantineFault { fraction, opinion }),
+        })
 }
 
 fn rule_strategy() -> impl Strategy<Value = RuleSpec> {
@@ -179,6 +205,17 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             let metrics = metrics_strategy(&kind);
             let observe = observe_strategy(&kind);
             let stop = stop_strategy(&kind);
+            // Faults apply only to protocol scenarios; everything else
+            // keeps the all-disabled default.
+            let faults: BoxedStrategy<(FaultSpec, Vec<FaultSpec>)> = if kind.is_protocol() {
+                (
+                    fault_strategy(k),
+                    prop::collection::vec(fault_strategy(k), 0..3),
+                )
+                    .boxed()
+            } else {
+                Just((FaultSpec::none(), Vec::new())).boxed()
+            };
             (
                 (Just(k), Just(kind), 100usize..100_000, 0.01f64..0.9),
                 (
@@ -192,7 +229,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 ),
                 (1u64..50, 0u64..u64::MAX, sweep, metrics),
                 (0.01f64..1.0, 0.5f64..4.0),
-                (observe, stop),
+                (observe, stop, faults),
                 (
                     topology_strategy(),
                     prop::collection::vec(topology_strategy(), 0..3),
@@ -203,7 +240,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             let (k, kind, n, epsilon) = base;
             let (noise, delivery, backend) = channel;
             let (trials, seed, sweep, metrics) = run;
-            let (observe, stop) = watch;
+            let (observe, stop, (fault, fault_axis)) = watch;
             let (topology, topology_axis) = topo;
             let mut spec = ScenarioSpec::new(kind, n, k);
             spec.epsilon = epsilon;
@@ -213,9 +250,36 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             spec.trials = trials;
             spec.seed = seed;
             spec.sweep = sweep;
+            // Delayed delivery needs a backend that can buffer messages
+            // across phases (not counting), and a crash must be able to
+            // activate before any round budget stops the run; repair the
+            // generated faults where those static checks would fire.
+            fn fix_fault(fault: &mut FaultSpec, counting: bool, max_rounds: Option<u64>) {
+                if counting {
+                    fault.delay = 0.0;
+                }
+                if let Some(max) = max_rounds {
+                    match &mut fault.crash {
+                        Some(crash) if max >= 2 => {
+                            crash.after_phase = crash.after_phase.min(max - 2);
+                        }
+                        Some(_) => fault.crash = None,
+                        None => {}
+                    }
+                }
+            }
+            spec.fault = fault;
+            spec.sweep.fault = fault_axis;
+            let counting = spec.backend == ExecutionBackend::Counting;
+            fix_fault(&mut spec.fault, counting, stop.max_rounds);
+            for fault in &mut spec.sweep.fault {
+                fix_fault(fault, counting, stop.max_rounds);
+            }
+            let faults_enabled = !spec.fault.is_none() || !spec.sweep.fault.is_empty();
             // Non-complete topologies are only valid with exact delivery
-            // on a non-counting backend (and `gap` has no network at
-            // all); apply the generated topology where it is consistent.
+            // on a non-counting backend, without faults (which require the
+            // complete graph), and `gap` has no network at all; apply the
+            // generated topology where it is consistent.
             let simulates = spec.kind.is_protocol()
                 || matches!(
                     spec.kind,
@@ -225,6 +289,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 && spec.delivery == DeliverySemantics::Exact
                 && spec.backend != ExecutionBackend::Counting
                 && spec.sweep.delivery.is_empty()
+                && !faults_enabled
             {
                 spec.topology = topology;
                 spec.sweep.topology = topology_axis;
@@ -268,4 +333,63 @@ proptest! {
         let reparsed = ScenarioSpec::from_text(&text).unwrap();
         prop_assert_eq!(reparsed.to_text(), text);
     }
+}
+
+/// Malformed fault configurations are caught statically — `from_text`
+/// runs `validate()`, so fault campaigns fail at spec load, not per grid
+/// cell at run time.
+fn load_error(text: &str) -> String {
+    ScenarioSpec::from_text(text)
+        .expect_err("spec must be rejected at load time")
+        .to_string()
+}
+
+#[test]
+fn fault_probabilities_outside_the_unit_interval_are_rejected_statically() {
+    let err =
+        load_error("scenario = plurality\nbias = 0.2\nn = 500\nk = 3\nfault = drop(1.5)\n");
+    assert!(
+        err.contains("probability in [0, 1]"),
+        "expected a probability-range error, got: {err}"
+    );
+}
+
+#[test]
+fn byzantine_opinions_must_name_a_real_opinion() {
+    let err =
+        load_error("scenario = plurality\nbias = 0.2\nn = 500\nk = 3\nfault = byz(0.1:3)\n");
+    assert!(
+        err.contains("out of range"),
+        "expected an opinion-range error, got: {err}"
+    );
+
+    // The same check runs against every point of a k sweep, not just the
+    // base k: opinion 3 is fine for k = 4 but not for the swept k = 2.
+    let err = load_error(
+        "scenario = rumor\nsource = 0\nn = 500\nk = 4\nsweep.k = 2, 4\nfault = byz(0.1:3)\n",
+    );
+    assert!(
+        err.contains("out of range"),
+        "swept k = 2 cannot satisfy byz opinion 3, got: {err}"
+    );
+}
+
+#[test]
+fn crashes_that_can_never_activate_are_rejected_statically() {
+    let err = load_error(
+        "scenario = plurality\nbias = 0.2\nn = 500\nk = 3\n\
+         fault = crash(0.1@10)\nstop.max_rounds = 5\n",
+    );
+    assert!(
+        err.contains("can never activate"),
+        "expected a crash-vs-stop error, got: {err}"
+    );
+
+    // With a budget that does reach past the crash phase, the same spec
+    // is fine.
+    ScenarioSpec::from_text(
+        "scenario = plurality\nbias = 0.2\nn = 500\nk = 3\n\
+         fault = crash(0.1@10)\nstop.max_rounds = 500\n",
+    )
+    .expect("a reachable crash phase is valid");
 }

@@ -1,7 +1,7 @@
 //! Protocol parameters and the phase schedules of the two stages.
 
 use crate::error::ProtocolError;
-use pushsim::{DeliverySemantics, TopologySpec};
+use pushsim::{DeliverySemantics, FaultSpec, TopologySpec};
 
 /// The protocol's tunable constants.
 ///
@@ -181,6 +181,7 @@ pub struct ProtocolParams {
     seed: u64,
     delivery: DeliverySemantics,
     topology: TopologySpec,
+    fault: FaultSpec,
     constants: ProtocolConstants,
 }
 
@@ -195,6 +196,7 @@ impl ProtocolParams {
             seed: 0,
             delivery: DeliverySemantics::Exact,
             topology: TopologySpec::Complete,
+            fault: FaultSpec::default(),
             constants: ProtocolConstants::default(),
         }
     }
@@ -230,6 +232,12 @@ impl ProtocolParams {
     /// complete graph — the paper's model — unless overridden).
     pub fn topology(&self) -> TopologySpec {
         self.topology
+    }
+
+    /// The faults injected into the run's network (all disabled — the
+    /// paper's fault-free model — unless overridden).
+    pub fn fault(&self) -> FaultSpec {
+        self.fault
     }
 
     /// The tunable protocol constants.
@@ -317,6 +325,7 @@ pub struct ProtocolParamsBuilder {
     seed: u64,
     delivery: DeliverySemantics,
     topology: TopologySpec,
+    fault: FaultSpec,
     constants: ProtocolConstants,
 }
 
@@ -344,6 +353,14 @@ impl ProtocolParamsBuilder {
     /// delivery process is validated when the run's network is built.
     pub fn topology(mut self, topology: TopologySpec) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Sets the injected faults (default [`FaultSpec::none`], the paper's
+    /// fault-free model). Feasibility against `k`, the topology and the
+    /// execution backend is validated when the run's network is built.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -386,6 +403,7 @@ impl ProtocolParamsBuilder {
             seed: self.seed,
             delivery: self.delivery,
             topology: self.topology,
+            fault: self.fault,
             constants: self.constants,
         })
     }
@@ -520,6 +538,11 @@ mod tests {
         assert_eq!(params.seed(), 11);
         assert_eq!(params.delivery(), DeliverySemantics::Poissonized);
         assert_eq!(params.topology(), TopologySpec::Complete);
+        assert!(params.fault().is_none());
+
+        let fault: FaultSpec = "drop(0.1)".parse().unwrap();
+        let params = ProtocolParams::builder(500, 4).fault(fault).build().unwrap();
+        assert_eq!(params.fault(), fault);
 
         let params = ProtocolParams::builder(500, 4)
             .topology(TopologySpec::RandomRegular { degree: 8 })

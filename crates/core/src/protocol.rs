@@ -8,8 +8,8 @@ use crate::record::{PhaseRecord, StageId};
 use crate::{stage1, stage2};
 use noisy_channel::NoiseMatrix;
 use pushsim::{
-    CountingNetwork, DeliverySemantics, Network, Opinion, OpinionDistribution, PushBackend,
-    SimConfig, TopologySpec,
+    CountingNetwork, DeliverySemantics, FaultSpec, Network, Opinion, OpinionDistribution,
+    PushBackend, SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,7 +69,7 @@ impl ExecutionBackend {
     /// Resolves this request to a concrete backend ([`Agent`] or
     /// [`Counting`](Self::Counting) — never [`Auto`](Self::Auto)) for a run
     /// with `num_nodes` agents, `num_opinions` opinions, the given
-    /// delivery semantics and communication topology.
+    /// delivery semantics, communication topology and fault spec.
     ///
     /// [`Agent`]: Self::Agent
     ///
@@ -89,7 +89,12 @@ impl ExecutionBackend {
     ///    or the `Counting` backend explicitly; Claim 1 + Lemma 3 justify
     ///    that substitution *statistically*, but it is now the caller's
     ///    stated intent instead of a hidden fallback.)
-    /// 3. **Cost model.** For Poissonized complete-graph runs, per-phase
+    /// 3. **Faults.** Delayed-delivery faults resolve to `Agent` — the
+    ///    counting backend cannot buffer individual messages across phase
+    ///    boundaries ([`PushBackend::SUPPORTS_DELAY_FAULTS`] is `false`
+    ///    for it). The aggregatable fault families (drop, duplication,
+    ///    crash, Byzantine) leave both backends eligible.
+    /// 4. **Cost model.** For Poissonized complete-graph runs, per-phase
     ///    cost is estimated as `1.5 ns · n · k` for the agent backend
     ///    (message volume dominates) vs `50 ns · k²` for the counting
     ///    backend (one multinomial per noise-matrix row); the cheaper
@@ -106,15 +111,19 @@ impl ExecutionBackend {
         num_opinions: usize,
         delivery: DeliverySemantics,
         topology: TopologySpec,
+        fault: FaultSpec,
     ) -> ExecutionBackend {
         match self {
             ExecutionBackend::Agent | ExecutionBackend::Counting => self,
             ExecutionBackend::Auto => {
                 // The counting backend is only eligible when it can
-                // represent the run at all: its declared topology
-                // capability, and its native Poissonized delivery law.
+                // represent the run at all: its declared topology and
+                // fault capabilities, and its native Poissonized
+                // delivery law.
                 let counting_eligible = (topology.is_complete()
                     || <CountingNetwork as PushBackend>::SUPPORTS_SPARSE_TOPOLOGY)
+                    && (fault.aggregatable()
+                        || <CountingNetwork as PushBackend>::SUPPORTS_DELAY_FAULTS)
                     && matches!(delivery, DeliverySemantics::Poissonized);
                 if !counting_eligible {
                     return ExecutionBackend::Agent;
@@ -469,6 +478,7 @@ impl TwoStageProtocol {
             self.params.num_opinions(),
             self.params.delivery(),
             self.params.topology(),
+            self.params.fault(),
         )
     }
 
@@ -523,6 +533,7 @@ impl TwoStageProtocol {
             .seed(self.params.seed())
             .delivery(self.params.delivery())
             .topology(self.params.topology())
+            .fault(self.params.fault())
             .build()?;
         Ok(Network::new(config, self.noise.clone())?)
     }
@@ -533,6 +544,7 @@ impl TwoStageProtocol {
             .seed(self.params.seed())
             .delivery(self.params.delivery())
             .topology(self.params.topology())
+            .fault(self.params.fault())
             .build()?;
         Ok(CountingNetwork::new(config, self.noise.clone())?)
     }
@@ -941,46 +953,59 @@ mod tests {
     fn auto_resolution_preserves_the_requested_semantics() {
         use pushsim::DeliverySemantics::{BallsIntoBins, Exact, Poissonized};
         let complete = TopologySpec::Complete;
+        let no_fault = FaultSpec::none();
         // Exact-semantics requests (processes O and B) stay agent-level at
         // *every* scale: the counting backend only implements process P,
         // so resolving them to it would change the delivery law, not just
         // the speed. (The historical policy did exactly that above
         // n = 10⁵.)
         assert_eq!(
-            ExecutionBackend::Auto.resolve(1_000, 3, Exact, complete),
+            ExecutionBackend::Auto.resolve(1_000, 3, Exact, complete, no_fault),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, complete),
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, complete, no_fault),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins, complete),
+            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins, complete, no_fault),
             ExecutionBackend::Agent
         );
         // Process P is native to the counting backend: the cost model picks
         // counting as soon as n·k message work exceeds k² draw work.
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete),
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, no_fault),
             ExecutionBackend::Counting
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(30, 3, Poissonized, complete),
+            ExecutionBackend::Auto.resolve(30, 3, Poissonized, complete, no_fault),
             ExecutionBackend::Agent
         );
         // Non-complete topologies always run agent-level, whatever the
         // scale — the counting backend cannot represent them at all.
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, TopologySpec::Ring),
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, TopologySpec::Ring, no_fault),
+            ExecutionBackend::Agent
+        );
+        // Aggregatable faults keep the counting backend eligible; delayed
+        // delivery forces the agent backend, which buffers real messages.
+        let aggregatable: FaultSpec = "drop(0.1)+byz(0.05:0)".parse().unwrap();
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, aggregatable),
+            ExecutionBackend::Counting
+        );
+        let delayed: FaultSpec = "delay(0.2)".parse().unwrap();
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, delayed),
             ExecutionBackend::Agent
         );
         // Explicit requests are never overridden.
         assert_eq!(
-            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact, complete),
+            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact, complete, no_fault),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Counting.resolve(10, 2, Exact, complete),
+            ExecutionBackend::Counting.resolve(10, 2, Exact, complete, no_fault),
             ExecutionBackend::Counting
         );
     }

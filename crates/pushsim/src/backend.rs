@@ -201,6 +201,19 @@ pub trait PushBackend {
     /// names.
     const SUPPORTS_SPARSE_TOPOLOGY: bool;
 
+    /// Static capability: `true` if the backend can simulate the `delay`
+    /// family of [`FaultSpec`](crate::FaultSpec) (messages deferred to the
+    /// next phase). The agent backend can (it buffers the delayed
+    /// post-noise counts and scatters them at the next `begin_phase`); the
+    /// counting backend cannot — deferring individual messages across the
+    /// phase boundary needs per-message identity its aggregate
+    /// reformulation gives up — and its constructor rejects such
+    /// configurations. All other fault families (drop, dup, crash,
+    /// Byzantine) are supported by both backends. Backend-selection
+    /// policies consult this constant instead of hard-coding backend
+    /// names.
+    const SUPPORTS_DELAY_FAULTS: bool;
+
     /// The simulation configuration.
     fn config(&self) -> &SimConfig;
 
@@ -314,6 +327,8 @@ impl PushBackend for Network {
 
     const SUPPORTS_SPARSE_TOPOLOGY: bool = true;
 
+    const SUPPORTS_DELAY_FAULTS: bool = true;
+
     fn config(&self) -> &SimConfig {
         Network::config(self)
     }
@@ -369,6 +384,9 @@ impl PushBackend for Network {
     fn resolve_uniform_adoption(&mut self, scope: AdoptionScope, rng: &mut StdRng) {
         let mut changes: Vec<(usize, Opinion)> = Vec::new();
         for node in 0..self.num_nodes() {
+            if self.fault_frozen(node) {
+                continue;
+            }
             if scope == AdoptionScope::UndecidedOnly && self.state(node).opinion().is_some() {
                 continue;
             }
@@ -385,6 +403,9 @@ impl PushBackend for Network {
         let sample_size_u32 = u32::try_from(sample_size).unwrap_or(u32::MAX);
         let mut changes: Vec<(usize, Opinion)> = Vec::new();
         for node in 0..self.num_nodes() {
+            if self.fault_frozen(node) {
+                continue;
+            }
             let Some(sample) = self
                 .inboxes()
                 .sample_without_replacement(node, sample_size_u32, rng)
@@ -403,6 +424,9 @@ impl PushBackend for Network {
     fn resolve_undecided_state(&mut self, rng: &mut StdRng) {
         let mut changes: Vec<(usize, Option<Opinion>)> = Vec::new();
         for node in 0..self.num_nodes() {
+            if self.fault_frozen(node) {
+                continue;
+            }
             let Some(message) = self.inboxes().sample_one(node, rng) else {
                 continue;
             };
@@ -420,6 +444,9 @@ impl PushBackend for Network {
     fn resolve_median(&mut self, rng: &mut StdRng) {
         let mut changes: Vec<(usize, Opinion)> = Vec::new();
         for node in 0..self.num_nodes() {
+            if self.fault_frozen(node) {
+                continue;
+            }
             let Some(first) = self.inboxes().sample_one(node, rng) else {
                 continue;
             };
@@ -446,6 +473,8 @@ impl PushBackend for CountingNetwork {
     type Observation = PhaseTally;
 
     const SUPPORTS_SPARSE_TOPOLOGY: bool = false;
+
+    const SUPPORTS_DELAY_FAULTS: bool = false;
 
     fn config(&self) -> &SimConfig {
         CountingNetwork::config(self)

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::error::SimError;
+use crate::fault::FaultSpec;
 use crate::topology::TopologySpec;
 
 /// How messages pushed during a phase are delivered to the agents.
@@ -83,6 +84,7 @@ pub struct SimConfig {
     seed: u64,
     delivery: DeliverySemantics,
     topology: TopologySpec,
+    fault: FaultSpec,
 }
 
 impl SimConfig {
@@ -95,6 +97,7 @@ impl SimConfig {
             seed: 0,
             delivery: DeliverySemantics::Exact,
             topology: TopologySpec::Complete,
+            fault: FaultSpec::default(),
         }
     }
 
@@ -122,6 +125,11 @@ impl SimConfig {
     pub fn topology(&self) -> TopologySpec {
         self.topology
     }
+
+    /// The injected faults (all disabled unless overridden).
+    pub fn fault(&self) -> FaultSpec {
+        self.fault
+    }
 }
 
 /// Builder for [`SimConfig`].
@@ -132,6 +140,7 @@ pub struct SimConfigBuilder {
     seed: u64,
     delivery: DeliverySemantics,
     topology: TopologySpec,
+    fault: FaultSpec,
 }
 
 impl SimConfigBuilder {
@@ -158,6 +167,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the injected faults (default [`FaultSpec::none`], i.e. the
+    /// fault-free paper model). Enabled faults require the complete
+    /// graph: a duplicated or delayed message is re-scattered *uniformly*,
+    /// which only makes sense when every agent can reach every other.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -168,6 +186,10 @@ impl SimConfigBuilder {
     ///   infeasible for the node count ([`TopologySpec::check`]).
     /// * [`SimError::UnsupportedTopology`] if a non-complete topology is
     ///   combined with deferred delivery (process B or P).
+    /// * [`SimError::InvalidFault`] if the fault parameters are infeasible
+    ///   ([`FaultSpec::check`]).
+    /// * [`SimError::UnsupportedFault`] if enabled faults are combined
+    ///   with a non-complete topology.
     pub fn build(self) -> Result<SimConfig, SimError> {
         if self.num_nodes < 2 {
             return Err(SimError::TooFewNodes {
@@ -186,12 +208,20 @@ impl SimConfigBuilder {
                 context: format!("deferred delivery (process {})", self.delivery.label()),
             });
         }
+        self.fault.check(self.num_opinions)?;
+        if !self.fault.is_none() && !self.topology.is_complete() {
+            return Err(SimError::UnsupportedFault {
+                fault: self.fault.label(),
+                context: format!("the non-complete topology {}", self.topology.label()),
+            });
+        }
         Ok(SimConfig {
             num_nodes: self.num_nodes,
             num_opinions: self.num_opinions,
             seed: self.seed,
             delivery: self.delivery,
             topology: self.topology,
+            fault: self.fault,
         })
     }
 }
@@ -268,6 +298,51 @@ mod tests {
         for delivery in DeliverySemantics::ALL {
             assert!(SimConfig::builder(10, 3).delivery(delivery).build().is_ok());
         }
+    }
+
+    #[test]
+    fn fault_defaults_to_none_and_validates_at_build() {
+        use crate::fault::ByzantineFault;
+
+        let c = SimConfig::builder(10, 3).build().unwrap();
+        assert!(c.fault().is_none());
+
+        let byz = FaultSpec {
+            byzantine: Some(ByzantineFault {
+                fraction: 0.1,
+                opinion: 1,
+            }),
+            ..FaultSpec::default()
+        };
+        let c = SimConfig::builder(10, 3).fault(byz).build().unwrap();
+        assert_eq!(c.fault(), byz);
+
+        // Infeasible fault parameters fail at build (opinion >= k).
+        let bad = FaultSpec {
+            byzantine: Some(ByzantineFault {
+                fraction: 0.1,
+                opinion: 3,
+            }),
+            ..FaultSpec::default()
+        };
+        assert!(matches!(
+            SimConfig::builder(10, 3).fault(bad).build(),
+            Err(SimError::InvalidFault { .. })
+        ));
+        // Faults are complete-graph-only.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .topology(TopologySpec::Ring)
+                .fault(byz)
+                .build(),
+            Err(SimError::UnsupportedFault { .. })
+        ));
+        // A disabled spec composes with every topology.
+        assert!(SimConfig::builder(10, 3)
+            .topology(TopologySpec::Ring)
+            .fault(FaultSpec::none())
+            .build()
+            .is_ok());
     }
 
     #[test]

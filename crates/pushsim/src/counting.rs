@@ -42,7 +42,8 @@
 use crate::config::SimConfig;
 use crate::distribution::OpinionDistribution;
 use crate::error::SimError;
-use crate::network::RoundReport;
+use crate::fault::FaultSpec;
+use crate::network::{membership_count, RoundReport, FAULT_SEED_SALT};
 use crate::opinion::Opinion;
 use noisy_channel::sampling::{binomial, multinomial};
 use noisy_channel::NoiseMatrix;
@@ -199,6 +200,71 @@ pub fn sample_majority_splits<R: Rng + ?Sized>(
     out
 }
 
+/// The fault pools of a count-based network: Byzantine and crashed agents
+/// are carved out of the live population as per-opinion count transfers
+/// (the aggregatable reformulation of the agent backend's per-node flags).
+#[derive(Debug, Clone)]
+struct CountingFaults {
+    spec: FaultSpec,
+    rng: StdRng,
+    /// Opinions the Byzantine agents were *seeded* with (they hold them
+    /// forever and always push the fixed Byzantine opinion instead).
+    byz_counts: Vec<u64>,
+    byz_undecided: u64,
+    /// Opinions the crashed agents held at the moment the crash phase
+    /// ended; empty until then.
+    crashed_counts: Vec<u64>,
+    crashed_undecided: u64,
+    crash_carved: bool,
+    phases_completed: u64,
+}
+
+impl CountingFaults {
+    fn byz_total(&self) -> u64 {
+        self.byz_counts.iter().sum::<u64>() + self.byz_undecided
+    }
+
+    fn frozen_counts(&self) -> Vec<u64> {
+        self.byz_counts
+            .iter()
+            .zip(&self.crashed_counts)
+            .map(|(&b, &c)| b + c)
+            .collect()
+    }
+}
+
+/// Largest-remainder proportional allocation of `draw` agents over
+/// population `groups` (exact: each share never exceeds its group and the
+/// shares sum to `draw`). The count-level stand-in for drawing the faulty
+/// agents uniformly without replacement — the composition of the faulty
+/// pool is pinned to its expectation, one more of the bounded
+/// approximations the backend documents.
+fn proportional_split(groups: &[u64], draw: u64) -> Vec<u64> {
+    let population: u64 = groups.iter().sum();
+    debug_assert!(draw <= population);
+    if population == 0 {
+        return vec![0; groups.len()];
+    }
+    let mut shares: Vec<u64> = Vec::with_capacity(groups.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(groups.len());
+    let mut assigned = 0u64;
+    for (i, &g) in groups.iter().enumerate() {
+        let exact = u128::from(draw) * u128::from(g);
+        let base = (exact / u128::from(population)) as u64;
+        shares.push(base);
+        assigned += base;
+        remainders.push((exact % u128::from(population), i));
+    }
+    // Hand the leftover to the largest fractional remainders; a group
+    // with remainder 0 has an integral (hence already met) quota.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(remainder, i) in remainders.iter().take((draw - assigned) as usize) {
+        debug_assert!(remainder > 0);
+        shares[i] += 1;
+    }
+    shares
+}
+
 /// A complete synchronous network of anonymous agents, represented purely by
 /// per-opinion population counts — the batched counterpart of
 /// [`Network`](crate::Network).
@@ -221,6 +287,10 @@ pub struct CountingNetwork {
     rng: StdRng,
     pending: Vec<u64>,
     tally: PhaseTally,
+    /// Fault pools; `None` when the config's [`FaultSpec`] is all-disabled,
+    /// in which case no fault code path is entered and no fault RNG is
+    /// seeded.
+    faults: Option<CountingFaults>,
     phase_open: bool,
     rounds_executed: u64,
     messages_sent: u64,
@@ -237,6 +307,11 @@ impl CountingNetwork {
     ///   non-complete topology: the count-based backend is statically
     ///   complete-graph-only (see
     ///   [`PushBackend::SUPPORTS_SPARSE_TOPOLOGY`](crate::PushBackend::SUPPORTS_SPARSE_TOPOLOGY)).
+    /// * [`SimError::UnsupportedFault`] if the configuration enables the
+    ///   `delay` fault: deferring individual messages across the phase
+    ///   boundary needs per-message identity, which the count-based
+    ///   backend gives up (see
+    ///   [`PushBackend::SUPPORTS_DELAY_FAULTS`](crate::PushBackend::SUPPORTS_DELAY_FAULTS)).
     pub fn new(config: SimConfig, noise: NoiseMatrix) -> Result<Self, SimError> {
         if noise.num_opinions() != config.num_opinions() {
             return Err(SimError::NoiseDimensionMismatch {
@@ -258,7 +333,23 @@ impl CountingNetwork {
                 context: "the count-based backend".to_string(),
             });
         }
+        if !<Self as crate::PushBackend>::SUPPORTS_DELAY_FAULTS && config.fault().delay > 0.0 {
+            return Err(SimError::UnsupportedFault {
+                fault: config.fault().label(),
+                context: "the count-based backend".to_string(),
+            });
+        }
         let k = config.num_opinions();
+        let faults = (!config.fault().is_none()).then(|| CountingFaults {
+            spec: config.fault(),
+            rng: StdRng::seed_from_u64(config.seed() ^ FAULT_SEED_SALT),
+            byz_counts: vec![0; k],
+            byz_undecided: 0,
+            crashed_counts: vec![0; k],
+            crashed_undecided: 0,
+            crash_carved: false,
+            phases_completed: 0,
+        });
         Ok(Self {
             rng: StdRng::seed_from_u64(config.seed()),
             counts: vec![0; k],
@@ -268,6 +359,7 @@ impl CountingNetwork {
                 post_noise: vec![0; k],
                 num_nodes: config.num_nodes(),
             },
+            faults,
             phase_open: false,
             rounds_executed: 0,
             messages_sent: 0,
@@ -296,23 +388,32 @@ impl CountingNetwork {
         &self.noise
     }
 
-    /// Per-opinion population counts.
+    /// Per-opinion population counts of the **live** agents — under faults,
+    /// Byzantine and already-crashed agents sit in frozen pools excluded
+    /// from these counts (adoption rules only move live agents); use
+    /// [`distribution`](Self::distribution) for the whole population.
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
-    /// The number of undecided agents.
+    /// The number of live undecided agents (see [`counts`](Self::counts)).
     pub fn undecided(&self) -> u64 {
         self.undecided
     }
 
-    /// The current opinion distribution.
+    /// The current opinion distribution of the whole population, frozen
+    /// fault pools included (Byzantine and crashed agents count with the
+    /// opinion they froze with, mirroring the agent-level backend).
     pub fn distribution(&self) -> OpinionDistribution {
-        OpinionDistribution::from_counts(
-            self.counts.iter().map(|&c| c as usize).collect(),
-            self.undecided as usize,
-        )
-        .expect("k >= 2 by construction")
+        let mut counts: Vec<usize> = self.counts.iter().map(|&c| c as usize).collect();
+        let mut undecided = self.undecided as usize;
+        if let Some(f) = &self.faults {
+            for (c, frozen) in counts.iter_mut().zip(f.frozen_counts()) {
+                *c += frozen as usize;
+            }
+            undecided += (f.byz_undecided + f.crashed_undecided) as usize;
+        }
+        OpinionDistribution::from_counts(counts, undecided).expect("k >= 2 by construction")
     }
 
     /// Total number of rounds executed so far.
@@ -337,9 +438,86 @@ impl CountingNetwork {
     }
 
     /// Resets every agent to undecided (keeping round/message counters).
+    /// Under faults this dissolves the frozen pools; they are carved again
+    /// at the next seeding (`seed_counts` / `seed_rumor`).
     pub fn clear_opinions(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
         self.undecided = self.num_nodes() as u64;
+        self.reset_fault_pools();
+    }
+
+    /// Zeroes the fault pools ahead of a wholesale repopulation of the
+    /// live counts (the caller overwrites `counts`/`undecided` entirely).
+    fn reset_fault_pools(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.byz_counts.iter_mut().for_each(|c| *c = 0);
+            f.byz_undecided = 0;
+            f.crashed_counts.iter_mut().for_each(|c| *c = 0);
+            f.crashed_undecided = 0;
+            f.crash_carved = false;
+        }
+    }
+
+    /// Carves the Byzantine pool out of the freshly seeded live
+    /// population: a proportional (largest-remainder) share of every
+    /// opinion group and of the undecided pool, matching the uniform
+    /// membership draw of the agent-level backend in expectation.
+    fn carve_byzantine(&mut self) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(byz) = f.spec.byzantine else {
+            return;
+        };
+        let byz_count = membership_count(byz.fraction, self.config.num_nodes()) as u64;
+        let mut groups: Vec<u64> = self.counts.clone();
+        groups.push(self.undecided);
+        let shares = proportional_split(&groups, byz_count);
+        for ((live, pool), &share) in self
+            .counts
+            .iter_mut()
+            .zip(f.byz_counts.iter_mut())
+            .zip(&shares)
+        {
+            *live -= share;
+            *pool += share;
+        }
+        let undecided_share = shares[shares.len() - 1];
+        self.undecided -= undecided_share;
+        f.byz_undecided += undecided_share;
+    }
+
+    /// Carves the crashed pool out of the live population once the crash
+    /// phase has fully ended (called from `end_phase`).
+    fn carve_crashed(&mut self) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(crash) = f.spec.crash else {
+            return;
+        };
+        if f.crash_carved || f.phases_completed <= crash.after_phase {
+            return;
+        }
+        let live: u64 = self.counts.iter().sum::<u64>() + self.undecided;
+        let crash_count =
+            (membership_count(crash.fraction, self.config.num_nodes()) as u64).min(live);
+        let mut groups: Vec<u64> = self.counts.clone();
+        groups.push(self.undecided);
+        let shares = proportional_split(&groups, crash_count);
+        for ((live, pool), &share) in self
+            .counts
+            .iter_mut()
+            .zip(f.crashed_counts.iter_mut())
+            .zip(&shares)
+        {
+            *live -= share;
+            *pool += share;
+        }
+        let undecided_share = shares[shares.len() - 1];
+        self.undecided -= undecided_share;
+        f.crashed_undecided += undecided_share;
+        f.crash_carved = true;
     }
 
     /// Seeds a plurality-consensus instance: `counts[i]` agents adopt
@@ -365,10 +543,12 @@ impl CountingNetwork {
                 num_nodes: self.num_nodes(),
             });
         }
+        self.reset_fault_pools();
         for (slot, &c) in self.counts.iter_mut().zip(counts) {
             *slot = c as u64;
         }
         self.undecided = (self.num_nodes() - total) as u64;
+        self.carve_byzantine();
         Ok(())
     }
 
@@ -389,6 +569,7 @@ impl CountingNetwork {
         self.clear_opinions();
         self.counts[opinion.index()] = 1;
         self.undecided -= 1;
+        self.carve_byzantine();
         Ok(())
     }
 
@@ -403,9 +584,11 @@ impl CountingNetwork {
         self.phase_open = true;
     }
 
-    /// Executes one synchronous round in which `senders[i]` agents push
-    /// opinion `i` — the counts-in counterpart of
-    /// [`Network::push_round`](crate::Network::push_round).
+    /// Executes one synchronous round in which `senders[i]` **live** agents
+    /// push opinion `i` — the counts-in counterpart of
+    /// [`Network::push_round`](crate::Network::push_round). Under a
+    /// Byzantine fault, the whole Byzantine pool additionally pushes its
+    /// fixed opinion every round (included in the report's message count).
     ///
     /// # Panics
     ///
@@ -418,15 +601,23 @@ impl CountingNetwork {
             self.num_opinions(),
             "senders vector must have one entry per opinion"
         );
-        let sent: u64 = senders.iter().sum();
+        let mut sent: u64 = senders.iter().sum();
+        for (p, &s) in self.pending.iter_mut().zip(senders) {
+            *p += s;
+        }
+        if let Some(f) = &self.faults {
+            let byz_total = f.byz_total();
+            if byz_total > 0 {
+                let opinion = f.spec.byzantine.expect("byzantine pool implies a spec").opinion;
+                self.pending[opinion] += byz_total;
+                sent += byz_total;
+            }
+        }
         assert!(
             sent <= self.num_nodes() as u64,
             "{sent} senders exceed the {}-agent population",
             self.num_nodes()
         );
-        for (p, &s) in self.pending.iter_mut().zip(senders) {
-            *p += s;
-        }
         self.messages_sent += sent;
         self.rounds_executed += 1;
         RoundReport::new(self.rounds_executed - 1, sent)
@@ -440,19 +631,33 @@ impl CountingNetwork {
     }
 
     /// Finishes the open phase: applies the noise at the count level (O(k²)
-    /// multinomial draws) and returns the post-noise tally.
+    /// multinomial draws), then any aggregatable faults — binomial thinning
+    /// for `drop`, binomial inflation for `dup`, both from the dedicated
+    /// fault RNG — and returns the post-noise tally. The crashed pool is
+    /// carved out of the live population the first time the crash phase
+    /// has fully ended.
     ///
     /// # Panics
     ///
     /// Panics if no phase is open.
     pub fn end_phase(&mut self) -> &PhaseTally {
         assert!(self.phase_open, "end_phase called without an open phase");
-        let post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        let mut post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        if let Some(f) = self.faults.as_mut() {
+            if f.spec.drop > 0.0 || f.spec.duplicate > 0.0 {
+                for h in post_noise.iter_mut() {
+                    let survivors = *h - binomial(*h, f.spec.drop, &mut f.rng);
+                    *h = survivors + binomial(survivors, f.spec.duplicate, &mut f.rng);
+                }
+            }
+            f.phases_completed += 1;
+        }
         self.tally = PhaseTally {
             post_noise,
             num_nodes: self.num_nodes(),
         };
         self.phase_open = false;
+        self.carve_crashed();
         &self.tally
     }
 

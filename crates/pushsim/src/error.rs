@@ -60,6 +60,22 @@ pub enum SimError {
         /// Which complete-graph-only feature was combined with it.
         context: String,
     },
+    /// A fault spec's parameters are infeasible (a probability outside
+    /// `[0, 1]`, a Byzantine opinion `>= k`, faulty fractions summing past
+    /// the whole population).
+    InvalidFault {
+        /// What made the parameters infeasible.
+        reason: String,
+    },
+    /// The requested fault spec is not supported in this configuration:
+    /// fault injection is complete-graph-only, and delayed delivery is
+    /// agent-backend-only.
+    UnsupportedFault {
+        /// The offending fault spec's label.
+        fault: String,
+        /// Which feature it was combined with.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -99,6 +115,14 @@ impl fmt::Display for SimError {
                 f,
                 "topology {topology} is not supported by {context} \
                  (non-complete topologies require the agent backend with exact delivery)"
+            ),
+            SimError::InvalidFault { reason } => {
+                write!(f, "invalid fault spec: {reason}")
+            }
+            SimError::UnsupportedFault { fault, context } => write!(
+                f,
+                "fault spec {fault} is not supported by {context} \
+                 (faults are complete-graph-only; delayed delivery needs the agent backend)"
             ),
         }
     }

@@ -87,6 +87,15 @@
 //! that resample the *same* inbox more than once with replacement (only
 //! the median baseline dynamics does) are mean-field approximated.
 //!
+//! ## Fault injection
+//!
+//! Beyond the ε-noisy channel, runs can inject classical faults through a
+//! [`FaultSpec`] (`drop`, `dup`, `delay`, `crash`, `byz` — see the
+//! [`fault`] module): the agent backend supports everything, the counting
+//! backend the aggregatable subset (no `delay`). All fault randomness is
+//! drawn from a dedicated seed-derived RNG, so a disabled spec keeps every
+//! RNG stream above bit-for-bit identical to the fault-free simulator.
+//!
 //! Protocols built on top of this crate (see the `plurality-core` crate)
 //! interact with the network through *phases*: they call
 //! [`Network::begin_phase`], then [`Network::push_round`] once per round,
@@ -128,6 +137,7 @@ mod config;
 pub mod counting;
 mod distribution;
 mod error;
+pub mod fault;
 mod inbox;
 mod network;
 mod opinion;
@@ -139,6 +149,7 @@ pub use config::{DeliverySemantics, SimConfig, SimConfigBuilder};
 pub use counting::{CountingNetwork, PhaseTally};
 pub use distribution::OpinionDistribution;
 pub use error::SimError;
+pub use fault::{ByzantineFault, CrashFault, FaultSpec};
 pub use inbox::Inboxes;
 pub use network::{Network, RoundReport};
 pub use opinion::{NodeState, Opinion};

@@ -3,14 +3,15 @@
 use crate::config::{DeliverySemantics, SimConfig};
 use crate::distribution::OpinionDistribution;
 use crate::error::SimError;
+use crate::fault::FaultSpec;
 use crate::inbox::Inboxes;
 use crate::opinion::{NodeState, Opinion};
 use crate::poisson;
 use crate::topology::Topology;
-use noisy_channel::NoiseMatrix;
+use noisy_channel::{sampling, NoiseMatrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Salt mixed into the simulation seed for the topology-construction RNG,
 /// so building a random graph (`regular(d)`, `er(p)`) never perturbs the
@@ -18,6 +19,105 @@ use rand::SeedableRng;
 /// the pre-topology simulator, and the graph is a deterministic function
 /// of the seed.
 const TOPOLOGY_SEED_SALT: u64 = 0x7090_1091_C5F0_12AD;
+
+/// Salt mixed into the simulation seed for the fault-injection RNG (both
+/// backends), so every drop/dup/delay coin and every crash/Byzantine
+/// membership draw comes from a stream of its own — a run with faults
+/// disabled never touches it and keeps the delivery and decision streams
+/// bit-for-bit identical to the fault-free simulator.
+pub(crate) const FAULT_SEED_SALT: u64 = 0xFA17_5EED_0B5E_55ED;
+
+/// The materialized fault state of an agent-level network: who is
+/// Byzantine, who will crash, the dedicated fault RNG, and the buffer of
+/// delayed messages awaiting the next phase. Built only when the config's
+/// [`FaultSpec`] enables at least one family.
+#[derive(Debug, Clone)]
+struct AgentFaults {
+    spec: FaultSpec,
+    rng: StdRng,
+    /// Per-node flag: always pushes the fixed Byzantine opinion, never
+    /// adopts.
+    byzantine: Vec<bool>,
+    /// Per-node flag: falls silent once `phases_completed` passes the
+    /// crash phase.
+    crashed: Vec<bool>,
+    /// How many phases have fully ended; phase `p` is in flight while
+    /// this equals `p`.
+    phases_completed: u64,
+    /// Post-noise counts of messages delayed out of earlier phases,
+    /// delivered (uniform scatter) at the next `begin_phase`.
+    delayed: Vec<u64>,
+}
+
+impl AgentFaults {
+    fn new(spec: FaultSpec, seed: u64, num_nodes: usize, num_opinions: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT);
+        let mut byzantine = vec![false; num_nodes];
+        let mut crashed = vec![false; num_nodes];
+        let byz_count = spec
+            .byzantine
+            .map_or(0, |b| membership_count(b.fraction, num_nodes));
+        // `check` bounds the un-rounded fractions by 1.0, but the two
+        // rounded counts can still overshoot `n` by one between them
+        // (e.g. 0.55 and 0.45 at odd n both rounding up) — clamp the
+        // crash pool to whatever population remains.
+        let crash_count = spec
+            .crash
+            .map_or(0, |c| membership_count(c.fraction, num_nodes))
+            .min(num_nodes - byz_count);
+        if byz_count + crash_count > 0 {
+            // One shuffle assigns both disjoint pools (`check` guarantees
+            // the fractions fit together in the population).
+            let mut ids: Vec<usize> = (0..num_nodes).collect();
+            ids.shuffle(&mut rng);
+            for &node in &ids[..byz_count] {
+                byzantine[node] = true;
+            }
+            for &node in &ids[byz_count..byz_count + crash_count] {
+                crashed[node] = true;
+            }
+        }
+        Self {
+            spec,
+            rng,
+            byzantine,
+            crashed,
+            phases_completed: 0,
+            delayed: vec![0; num_opinions],
+        }
+    }
+
+    /// `true` once the crash phase has fully ended.
+    fn crash_active(&self) -> bool {
+        self.spec
+            .crash
+            .is_some_and(|c| self.phases_completed > c.after_phase)
+    }
+
+    /// Thins (drop), inflates (dup) and splits off delayed copies from the
+    /// post-noise per-opinion counts of a deferred-delivery phase,
+    /// returning what is delivered *now*; the delayed share lands in
+    /// `self.delayed` for the next phase.
+    fn apply_aggregate(&mut self, post_noise: &[u64]) -> Vec<u64> {
+        post_noise
+            .iter()
+            .enumerate()
+            .map(|(opinion, &h)| {
+                let survivors = h - sampling::binomial(h, self.spec.drop, &mut self.rng);
+                let copies =
+                    survivors + sampling::binomial(survivors, self.spec.duplicate, &mut self.rng);
+                let deferred = sampling::binomial(copies, self.spec.delay, &mut self.rng);
+                self.delayed[opinion] += deferred;
+                copies - deferred
+            })
+            .collect()
+    }
+}
+
+/// The number of agents a fraction of the population rounds to.
+pub(crate) fn membership_count(fraction: f64, num_nodes: usize) -> usize {
+    ((fraction * num_nodes as f64).round() as usize).min(num_nodes)
+}
 
 /// Statistics of a single executed round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +177,10 @@ pub struct Network {
     /// Pre-noise counts of opinions pushed during the open phase; only used
     /// by the deferred (B and P) delivery semantics.
     pending: Vec<u64>,
+    /// Materialized fault state; `None` when the config's [`FaultSpec`] is
+    /// all-disabled, in which case no fault code path is ever entered and
+    /// no fault RNG is ever seeded.
+    faults: Option<AgentFaults>,
     phase_open: bool,
     rounds_executed: u64,
     messages_sent: u64,
@@ -105,8 +209,11 @@ impl Network {
         // the complete graph.
         let mut topology_rng = StdRng::seed_from_u64(config.seed() ^ TOPOLOGY_SEED_SALT);
         let topology = Topology::build(config.topology(), n, &mut topology_rng)?;
+        let faults = (!config.fault().is_none())
+            .then(|| AgentFaults::new(config.fault(), config.seed(), n, k));
         Ok(Self {
             topology,
+            faults,
             rng: StdRng::seed_from_u64(config.seed()),
             states: vec![NodeState::Undecided; n],
             opinion_counts: vec![0; k],
@@ -304,7 +411,9 @@ impl Network {
         &self.inboxes
     }
 
-    /// Starts a new phase: clears every agent's inbox.
+    /// Starts a new phase: clears every agent's inbox, then (under an
+    /// enabled `delay` fault) scatters the messages delayed out of the
+    /// previous phase into the fresh inboxes.
     ///
     /// # Panics
     ///
@@ -313,7 +422,24 @@ impl Network {
         assert!(!self.phase_open, "begin_phase called while a phase is open");
         self.inboxes.clear();
         self.pending.iter_mut().for_each(|c| *c = 0);
+        if let Some(f) = self.faults.as_mut() {
+            if f.delayed.iter().any(|&c| c > 0) {
+                self.inboxes.scatter_uniform(&f.delayed, &mut f.rng);
+                f.delayed.iter_mut().for_each(|c| *c = 0);
+            }
+        }
         self.phase_open = true;
+    }
+
+    /// `true` if `node` never adopts an opinion under the configured
+    /// faults: it is Byzantine, or it crashed in an already-ended phase.
+    /// Always `false` on a fault-free network. Adoption steps
+    /// (`resolve_*`) skip frozen agents.
+    pub fn fault_frozen(&self, node: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.byzantine[node] || (f.crashed[node] && f.crash_active()),
+            None => false,
+        }
     }
 
     /// Executes one synchronous round: every agent is offered the chance to
@@ -341,7 +467,17 @@ impl Network {
         let k = self.num_opinions();
         let mut sent_this_round = 0u64;
         for node in 0..n {
-            let Some(opinion) = decide(node, self.states[node]) else {
+            // Byzantine agents always push their fixed opinion and crashed
+            // agents whose crash phase has ended push nothing; neither
+            // consults `decide`.
+            let decision = match &self.faults {
+                Some(f) if f.byzantine[node] => Some(Opinion::new(
+                    f.spec.byzantine.expect("byzantine pool implies a spec").opinion,
+                )),
+                Some(f) if f.crashed[node] && f.crash_active() => None,
+                _ => decide(node, self.states[node]),
+            };
+            let Some(opinion) = decision else {
                 continue;
             };
             assert!(
@@ -353,11 +489,38 @@ impl Network {
             }
             sent_this_round += 1;
             match self.config.delivery() {
-                DeliverySemantics::Exact => {
-                    let received_as = self.noise.sample(opinion.index(), &mut self.rng);
-                    let destination = self.topology.push_destination(node, &mut self.rng);
-                    self.inboxes.deliver(destination, received_as);
-                }
+                DeliverySemantics::Exact => match self.faults.as_mut() {
+                    None => {
+                        let received_as = self.noise.sample(opinion.index(), &mut self.rng);
+                        let destination = self.topology.push_destination(node, &mut self.rng);
+                        self.inboxes.deliver(destination, received_as);
+                    }
+                    Some(f) => {
+                        // Lost in transit (still counted as sent).
+                        if f.spec.drop > 0.0 && f.rng.gen_bool(f.spec.drop) {
+                            continue;
+                        }
+                        let received_as = self.noise.sample(opinion.index(), &mut self.rng);
+                        let copies = 1 + u32::from(
+                            f.spec.duplicate > 0.0 && f.rng.gen_bool(f.spec.duplicate),
+                        );
+                        for copy in 0..copies {
+                            if f.spec.delay > 0.0 && f.rng.gen_bool(f.spec.delay) {
+                                // Deferred to the next phase's inboxes.
+                                f.delayed[received_as] += 1;
+                            } else if copy == 0 {
+                                let destination =
+                                    self.topology.push_destination(node, &mut self.rng);
+                                self.inboxes.deliver(destination, received_as);
+                            } else {
+                                // The duplicate lands on an independent
+                                // agent drawn from the fault stream.
+                                let destination = f.rng.gen_range(0..n);
+                                self.inboxes.deliver(destination, received_as);
+                            }
+                        }
+                    }
+                },
                 DeliverySemantics::BallsIntoBins | DeliverySemantics::Poissonized => {
                     self.pending[opinion.index()] += 1;
                 }
@@ -384,6 +547,9 @@ impl Network {
             DeliverySemantics::BallsIntoBins => self.deliver_balls_into_bins(),
             DeliverySemantics::Poissonized => self.deliver_poissonized(),
         }
+        if let Some(f) = self.faults.as_mut() {
+            f.phases_completed += 1;
+        }
         self.phase_open = false;
         &self.inboxes
     }
@@ -400,7 +566,10 @@ impl Network {
     /// because balls are exchangeable and destinations are independent of
     /// colors.
     fn deliver_balls_into_bins(&mut self) {
-        let post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        let mut post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        if let Some(f) = self.faults.as_mut() {
+            post_noise = f.apply_aggregate(&post_noise);
+        }
         self.inboxes.scatter_uniform(&post_noise, &mut self.rng);
     }
 
@@ -415,7 +584,13 @@ impl Network {
     /// `Poisson(h)`, and conditioned on the sum the placement is uniform
     /// multinomial over the n agents).
     fn deliver_poissonized(&mut self) {
-        let post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        let mut post_noise = self.noise.recolor_counts(&self.pending, &mut self.rng);
+        if let Some(f) = self.faults.as_mut() {
+            // Messages are thinned/duplicated/delayed before the delivery
+            // counts are Poissonized (binomial thinning of a Poisson draw
+            // commutes, so the order does not change the law).
+            post_noise = f.apply_aggregate(&post_noise);
+        }
         let totals: Vec<u64> = post_noise
             .iter()
             .map(|&h| poisson::sample(h as f64, &mut self.rng))
