@@ -283,29 +283,45 @@ fn bench_generic_vs_concrete_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-/// One phase with the exact per-phase observation work the protocol
-/// stages add when an observer is attached: an `on_phase_begin` dyn call,
-/// an O(k) snapshot built from the population tallies, and an
-/// `on_phase_end` dyn call. Compare against [`drive_phase_generic`] (the
-/// observer-free loop) to see the cost of the observation layer.
-fn drive_phase_observed<B: PushBackend>(net: &mut B, observer: &mut dyn Observer) -> u64 {
-    observer.on_phase_begin(None, 0);
+/// One phase with the per-phase observation work the protocol stages add
+/// when an observer is attached — an `on_phase_begin` dyn call, an O(k)
+/// snapshot built from the population tallies, and an `on_phase_end` dyn
+/// call — behind an `Option` so the *same* monomorphized function also
+/// serves as the observer-free arm.
+///
+/// All three arms of [`bench_observer_dispatch`] must run this one
+/// function. An earlier shape of the group drove the unobserved arm
+/// through [`drive_phase_generic`] and the observed arms through a
+/// separate helper: two separately monomorphized functions whose phase
+/// loops the optimizer is free to lay out differently, so the arms were
+/// measuring different machine code for the same logical phase (the
+/// archived `counting_k64` baseline showed the *unobserved* arm at
+/// 460 µs vs 232 µs with a no-op observer — a codegen artifact, not
+/// observation cost). Sharing one function makes the subtraction
+/// "observed − unobserved = observation layer" meaningful again.
+fn drive_phase_maybe_observed<B: PushBackend>(
+    net: &mut B,
+    observer: Option<&mut dyn Observer>,
+) -> u64 {
     net.begin_phase();
     net.push_opinionated_round();
     let received = net.end_phase().total_received();
-    let distribution = net.distribution();
-    let bias = distribution.bias_towards(Opinion::new(0));
-    let snapshot = PhaseSnapshot::new(
-        None,
-        0,
-        1,
-        net.rounds_executed(),
-        received,
-        net.messages_sent(),
-        distribution,
-        bias,
-    );
-    observer.on_phase_end(&snapshot);
+    if let Some(observer) = observer {
+        observer.on_phase_begin(None, 0);
+        let distribution = net.distribution();
+        let bias = distribution.bias_towards(Opinion::new(0));
+        let snapshot = PhaseSnapshot::new(
+            None,
+            0,
+            1,
+            net.rounds_executed(),
+            received,
+            net.messages_sent(),
+            distribution,
+            bias,
+        );
+        observer.on_phase_end(&snapshot);
+    }
     received
 }
 
@@ -314,14 +330,10 @@ fn drive_phase_observed<B: PushBackend>(net: &mut B, observer: &mut dyn Observer
 /// recording observer — at n = 10⁵ on the agent backend and k = 64 on the
 /// counting backend. The snapshot + dyn-call overhead must stay within
 /// noise of the observer-free loop (it is O(k) per *phase* against O(n·k)
-/// or O(k²) phase work).
-///
-/// Archived baseline (`BENCH_pushsim.json`): agent n = 10⁵ runs 438 µs
-/// unobserved vs 465 µs no-op vs 451 µs recording — the recording variant
-/// sits *between* the two no-op-level measurements, i.e. the spread is
-/// machine jitter, not observation cost; counting k = 64 runs 283 µs vs
-/// 280 µs vs 283 µs. Observer-attached loops are within noise of
-/// observer-free on both backends.
+/// or O(k²) phase work). All three arms share one monomorphized phase
+/// function ([`drive_phase_maybe_observed`]) and differ only in the
+/// `Option<&mut dyn Observer>` they pass, so the comparison isolates the
+/// observation layer rather than codegen differences.
 fn bench_observer_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("pushsim_observer_dispatch");
     group.sample_size(10);
@@ -341,18 +353,18 @@ fn bench_observer_dispatch(c: &mut Criterion) {
     };
     group.bench_function("agent_n1e5_unobserved", |b| {
         let mut net = agent_net();
-        b.iter(|| black_box(drive_phase_generic(&mut net)));
+        b.iter(|| black_box(drive_phase_maybe_observed(&mut net, None)));
     });
     group.bench_function("agent_n1e5_noop_observer", |b| {
         let mut net = agent_net();
-        b.iter(|| black_box(drive_phase_observed(&mut net, &mut NoObserver)));
+        b.iter(|| black_box(drive_phase_maybe_observed(&mut net, Some(&mut NoObserver))));
     });
     group.bench_function("agent_n1e5_trajectory_recorder", |b| {
         let mut net = agent_net();
         let mut recorder = TrajectoryRecorder::new();
         b.iter(|| {
             recorder.clear();
-            black_box(drive_phase_observed(&mut net, &mut recorder))
+            black_box(drive_phase_maybe_observed(&mut net, Some(&mut recorder)))
         });
     });
 
@@ -375,18 +387,18 @@ fn bench_observer_dispatch(c: &mut Criterion) {
     };
     group.bench_function("counting_k64_unobserved", |b| {
         let mut net = counting_net();
-        b.iter(|| black_box(drive_phase_generic(&mut net)));
+        b.iter(|| black_box(drive_phase_maybe_observed(&mut net, None)));
     });
     group.bench_function("counting_k64_noop_observer", |b| {
         let mut net = counting_net();
-        b.iter(|| black_box(drive_phase_observed(&mut net, &mut NoObserver)));
+        b.iter(|| black_box(drive_phase_maybe_observed(&mut net, Some(&mut NoObserver))));
     });
     group.bench_function("counting_k64_trajectory_recorder", |b| {
         let mut net = counting_net();
         let mut recorder = TrajectoryRecorder::new();
         b.iter(|| {
             recorder.clear();
-            black_box(drive_phase_observed(&mut net, &mut recorder))
+            black_box(drive_phase_maybe_observed(&mut net, Some(&mut recorder)))
         });
     });
     group.finish();
@@ -424,6 +436,83 @@ fn bench_topology_round(c: &mut Criterion) {
                 net.end_phase().total_messages()
             });
         });
+    }
+    group.finish();
+}
+
+/// Sparse-topology phases at scale: one full phase (push round +
+/// end-phase delivery) on the agent backend (exact process O over the
+/// materialized graph, O(n) per round) vs the degree-class block-counting
+/// backend (Poissonized process P over the `C × k` class matrix, O(k²·C)
+/// per phase) at n = 10⁶ and 10⁷. This is the acceptance benchmark of the
+/// block-counting backend: at n = 10⁷ a ring phase must cost ≤ 100 µs —
+/// more than 1000× under the agent backend's phase at the same size. The
+/// torus arm runs at 10⁶ only (10⁷ is not a perfect square), and the
+/// agent arm at 10⁷ runs the ring only (a random 8-regular graph at that
+/// size spends gigabytes on the CSR and minutes in construction for no
+/// extra information — the per-message cost is already visible at 10⁶).
+fn bench_topology_phase_scaling(c: &mut Criterion) {
+    let k = 3usize;
+    let mut group = c.benchmark_group("pushsim_topology_phase");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let agent_arms: [(TopologySpec, usize); 3] = [
+        (TopologySpec::Ring, 1_000_000),
+        (TopologySpec::RandomRegular { degree: 8 }, 1_000_000),
+        (TopologySpec::Ring, 10_000_000),
+    ];
+    for (topology, n) in agent_arms {
+        group.bench_with_input(
+            BenchmarkId::new(format!("agent_{topology}"), n),
+            &n,
+            |b, &n| {
+                let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+                let config = SimConfig::builder(n, k)
+                    .seed(15)
+                    .topology(topology)
+                    .build()
+                    .expect("valid config");
+                let mut net = Network::new(config, noise).expect("valid network");
+                net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+                b.iter(|| {
+                    net.begin_phase();
+                    net.push_round(|_, s| s.opinion());
+                    net.end_phase().total_messages()
+                });
+            },
+        );
+    }
+
+    let block_arms: [(TopologySpec, usize); 5] = [
+        (TopologySpec::Ring, 1_000_000),
+        (TopologySpec::Torus2D, 1_000_000),
+        (TopologySpec::RandomRegular { degree: 8 }, 1_000_000),
+        (TopologySpec::Ring, 10_000_000),
+        (TopologySpec::RandomRegular { degree: 8 }, 10_000_000),
+    ];
+    for (topology, n) in block_arms {
+        group.bench_with_input(
+            BenchmarkId::new(format!("block_{topology}"), n),
+            &n,
+            |b, &n| {
+                let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+                let config = SimConfig::builder(n, k)
+                    .seed(16)
+                    .delivery(DeliverySemantics::Poissonized)
+                    .topology(topology)
+                    .build()
+                    .expect("valid config");
+                let mut net =
+                    pushsim::BlockCountingNetwork::new(config, noise).expect("valid network");
+                net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+                b.iter(|| {
+                    net.begin_phase();
+                    net.push_round_all_opinionated();
+                    net.end_phase().total()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -508,6 +597,7 @@ criterion_group! {
     targets = bench_round_throughput, bench_poissonized_phase,
               bench_end_phase_per_message_vs_batched, bench_backend_scaling,
               bench_generic_vs_concrete_dispatch, bench_observer_dispatch,
-              bench_topology_round, bench_fault_overhead
+              bench_topology_round, bench_topology_phase_scaling,
+              bench_fault_overhead
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! xp list                         # all registered experiments
-//! xp run f2 [--full --json --backend agent|counting|auto --trials N --seed S]
+//! xp run f2 [--full --json --backend agent|counting|blockcounting|auto --trials N --seed S]
 //! xp run --spec path.spec [...]   # run a scenario spec file
 //! xp show f2 [--full]             # print a spec-backed experiment's spec text
 //! xp campaign --spec c.spec [--seeds N --tolerance T --slack S]

@@ -86,7 +86,7 @@ impl Scale {
 ///   trajectory specs) instead of one table at the end. Spec-backed
 ///   experiments and `--spec` files stream natively; composite
 ///   experiments fall back to JSON-at-the-end;
-/// * `--backend agent|counting|auto` (or `--backend=…`) — which simulation
+/// * `--backend agent|counting|blockcounting|auto` (or `--backend=…`) — which simulation
 ///   backend protocol runs execute on (when absent, the spec/experiment
 ///   default applies — usually [`ExecutionBackend::Auto`], which resolves
 ///   per run from the calibrated cost model; see
@@ -154,7 +154,7 @@ options:
   --full               run the full experiment grid (default: reduced quick grid)
   --json               emit result tables as JSON lines
   --stream             stream result rows as JSON lines while the run progresses
-  --backend <agent|counting|auto>
+  --backend <agent|counting|blockcounting|auto>
                        simulation backend for protocol runs
   --trials <N>         override the number of trials/repetitions per cell
   --seed <S>           override the base RNG seed

@@ -47,8 +47,8 @@ use opinion_dynamics::RuleSpec;
 use plurality_core::observe::{Fanout, NoObserver, Observer, StopCondition};
 use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
 use pushsim::{
-    CountingNetwork, DeliverySemantics, FaultSpec, Network, Opinion, PhaseObservation,
-    PushBackend, SimConfig, TopologySpec,
+    BlockCountingNetwork, CountingNetwork, DeliverySemantics, FaultSpec, Network, Opinion,
+    PhaseObservation, PushBackend, SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -752,6 +752,17 @@ impl Runner {
                             observer,
                         );
                     }
+                    ExecutionBackend::BlockCounting => {
+                        let mut net = BlockCountingNetwork::new(config, noise.clone())?;
+                        PushBackend::seed_counts(&mut net, &counts)?;
+                        rule.build::<BlockCountingNetwork>().run_until(
+                            &mut net,
+                            &mut rng,
+                            Some(plurality),
+                            &stop,
+                            observer,
+                        );
+                    }
                     ExecutionBackend::Auto => unreachable!("resolve never returns Auto"),
                 }
                 Ok(())
@@ -897,6 +908,17 @@ impl Runner {
                     let mut net = CountingNetwork::new(config, noise.clone())?;
                     PushBackend::seed_counts(&mut net, counts)?;
                     rule.build::<CountingNetwork>().run_until(
+                        &mut net,
+                        &mut rng,
+                        Some(plurality),
+                        &stop,
+                        &mut NoObserver,
+                    )
+                }
+                ExecutionBackend::BlockCounting => {
+                    let mut net = BlockCountingNetwork::new(config, noise.clone())?;
+                    PushBackend::seed_counts(&mut net, counts)?;
+                    rule.build::<BlockCountingNetwork>().run_until(
                         &mut net,
                         &mut rng,
                         Some(plurality),

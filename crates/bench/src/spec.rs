@@ -42,11 +42,14 @@
 //! simple `d`-regular graph) or `er(p)` (Erdős–Rényi `G(n, p)`). The
 //! `sweep.topology` axis sweeps it, e.g.
 //! `sweep.topology = complete, ring, regular(8)`. Non-complete topologies
-//! run on the agent backend with exact (process O) delivery only — the
-//! deferred processes B/P and the counting backend are complete-graph
-//! notions — and [`validate`](ScenarioSpec::validate) rejects
-//! inconsistent combinations (including topology parameters that are
-//! infeasible for the swept `n` values).
+//! run on the agent backend with exact (process O) delivery, or — for the
+//! vertex-transitive families (`ring`, `torus`, `regular(d)`) — on the
+//! degree-class block-counting backend (`backend = blockcounting`) with
+//! Poissonized (process P) delivery, where a phase costs O(k²·C)
+//! regardless of `n`. Process B and the plain counting backend remain
+//! complete-graph notions, and [`validate`](ScenarioSpec::validate)
+//! rejects inconsistent combinations (including topology parameters that
+//! are infeasible for the swept `n` values).
 //!
 //! ## Faults
 //!
@@ -714,6 +717,11 @@ impl ScenarioSpec {
         } else {
             &self.sweep.n
         };
+        let deliveries = if self.sweep.delivery.is_empty() {
+            std::slice::from_ref(&self.delivery)
+        } else {
+            &self.sweep.delivery
+        };
         for topology in self.effective_topologies() {
             for &n in ns {
                 topology.check(n).map_err(|e| SpecError::Invalid(e.to_string()))?;
@@ -721,22 +729,31 @@ impl ScenarioSpec {
             if topology.is_complete() {
                 continue;
             }
-            let deliveries_exact = self.delivery == DeliverySemantics::Exact
-                && self
-                    .sweep
-                    .delivery
-                    .iter()
-                    .all(|&d| d == DeliverySemantics::Exact);
-            if !deliveries_exact {
-                return Err(SpecError::Invalid(format!(
-                    "topology {topology} requires exact (process O) delivery — the \
-                     deferred processes B and P are complete-graph-only"
-                )));
+            // Each delivery the grid uses must be admissible on this
+            // topology: process O always (agent backend), process P on the
+            // vertex-transitive families only (the block-counting
+            // backend's certified set), process B never.
+            for &delivery in deliveries {
+                let admitted = match delivery {
+                    DeliverySemantics::Exact => true,
+                    DeliverySemantics::Poissonized => topology.is_vertex_transitive(),
+                    DeliverySemantics::BallsIntoBins => false,
+                };
+                if !admitted {
+                    return Err(SpecError::Invalid(format!(
+                        "topology {topology} does not admit {} delivery — sparse \
+                         graphs run process O on the agent backend, and the \
+                         vertex-transitive families additionally run process P \
+                         on the block-counting backend",
+                        delivery.spec_name()
+                    )));
+                }
             }
             if self.backend == ExecutionBackend::Counting {
                 return Err(SpecError::Invalid(format!(
                     "topology {topology} cannot run on the counting backend \
-                     (it is statically complete-graph-only); use agent or auto"
+                     (it is statically complete-graph-only); use blockcounting, \
+                     agent or auto"
                 )));
             }
         }
@@ -784,6 +801,12 @@ impl ScenarioSpec {
             if let Some(bad) = self.effective_topologies().iter().find(|t| !t.is_complete()) {
                 return Err(SpecError::Invalid(format!(
                     "fault {fault} requires the complete graph, not topology {bad}"
+                )));
+            }
+            if self.backend == ExecutionBackend::BlockCounting {
+                return Err(SpecError::Invalid(format!(
+                    "fault {fault} cannot run on the block-counting backend \
+                     (it rejects all faults); use agent, counting or auto"
                 )));
             }
             if fault.delay > 0.0 && self.backend == ExecutionBackend::Counting {
@@ -1242,6 +1265,7 @@ fn backend_name(backend: ExecutionBackend) -> &'static str {
     match backend {
         ExecutionBackend::Agent => "agent",
         ExecutionBackend::Counting => "counting",
+        ExecutionBackend::BlockCounting => "blockcounting",
         ExecutionBackend::Auto => "auto",
     }
 }
@@ -1456,9 +1480,20 @@ mod tests {
 
     #[test]
     fn topology_validation_rejects_inconsistent_combinations() {
-        // Non-complete topologies need exact delivery…
+        // Non-complete topologies never admit process B…
         let mut spec = rumor_spec();
         spec.topology = TopologySpec::Ring;
+        spec.delivery = DeliverySemantics::BallsIntoBins;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // …admit process P only on the vertex-transitive families (ring is
+        // fine — that is the block-counting backend's home turf — but
+        // Erdős–Rényi is not)…
+        let mut spec = rumor_spec();
+        spec.topology = TopologySpec::Ring;
+        spec.delivery = DeliverySemantics::Poissonized;
+        assert!(spec.validate().is_ok());
+        let mut spec = rumor_spec();
+        spec.topology = TopologySpec::ErdosRenyi { p: 0.01 };
         spec.delivery = DeliverySemantics::Poissonized;
         assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
         // …and cannot be forced onto the counting backend.
@@ -1544,6 +1579,11 @@ mod tests {
         assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
         spec.backend = ExecutionBackend::Auto;
         assert!(spec.validate().is_ok());
+        // The block-counting backend rejects every enabled fault family.
+        let mut spec = rumor_spec();
+        spec.fault = "drop(0.1)".parse().unwrap();
+        spec.backend = ExecutionBackend::BlockCounting;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
         // A crash the stop condition cuts off is dead weight.
         let mut spec = rumor_spec();
         spec.fault = "crash(0.1@50)".parse().unwrap();

@@ -19,6 +19,16 @@
 //!   the population level in O(k²) random draws per phase regardless of
 //!   `n`; justified for O/B configurations by Claim 1 + Lemma 3 (phase
 //!   granularity). Its [`PhaseObservation`] is [`PhaseTally`].
+//! * [`BlockCountingNetwork`] — the degree-class block-counting backend:
+//!   the same count-level process P, aggregated per (degree class,
+//!   opinion) block instead of per opinion, which extends the O(k²·C)
+//!   phase cost to sparse degree-homogeneous topologies (ring, torus,
+//!   `regular(d)`; `C = 1` there). Its [`PhaseObservation`] is
+//!   [`BlockPhaseTally`].
+//!
+//! Which topologies a backend is certified for is a static capability
+//! ([`TopologyCapability`]) that backend-selection policies consult
+//! instead of hard-coding backend names.
 //!
 //! ## The phase lifecycle
 //!
@@ -53,14 +63,17 @@
 //! protocol can keep its own reproducible decision stream, separate from
 //! the network's delivery RNG.
 
+use crate::blockcounting::{BlockCountingNetwork, BlockPhaseTally};
 use crate::config::SimConfig;
-use crate::counting::{CountingNetwork, PhaseTally};
+use crate::counting::{
+    median_plan, undecided_state_plan, uniform_adoption_all_plan, CountingNetwork, PhaseTally,
+};
 use crate::distribution::OpinionDistribution;
 use crate::error::SimError;
 use crate::inbox::Inboxes;
 use crate::network::{Network, RoundReport};
 use crate::opinion::{NodeState, Opinion};
-use noisy_channel::sampling::{binomial, multinomial};
+use crate::topology::TopologySpec;
 use noisy_channel::NoiseMatrix;
 use rand::rngs::StdRng;
 
@@ -170,6 +183,74 @@ impl PhaseObservation for PhaseTally {
     }
 }
 
+impl PhaseObservation for BlockPhaseTally {
+    fn received_totals(&self) -> Vec<u64> {
+        BlockPhaseTally::received_totals(self)
+    }
+
+    fn total_received(&self) -> u64 {
+        self.total()
+    }
+
+    fn max_inbox(&self) -> u64 {
+        self.typical_max_inbox()
+    }
+
+    fn mean_received(&self) -> f64 {
+        self.mean_inbox()
+    }
+
+    fn received_variance(&self) -> f64 {
+        // A Poisson mixture over the degree classes: law of total variance
+        // (equals the mean when C = 1, where the mixture degenerates).
+        BlockPhaseTally::received_variance(self)
+    }
+
+    fn fraction_with_messages(&self) -> f64 {
+        BlockPhaseTally::fraction_with_messages(self)
+    }
+}
+
+/// The set of topology families a backend is statically certified for.
+///
+/// Ordered by inclusion: `Complete ⊂ VertexTransitive ⊂ Any`. Each backend
+/// declares its capability as
+/// [`PushBackend::TOPOLOGY_CAPABILITY`]; backend-selection policies (the
+/// `Auto` resolver in the core crate) consult [`supports`](Self::supports)
+/// instead of hard-coding backend names, so adding a backend never changes
+/// the policy code.
+///
+/// The capability is the *certified* set — the families on which the
+/// backend's law provably matches the agent-level model, hence the only
+/// families an automatic policy may route to it. A backend may still
+/// *accept* more at construction time as an explicit opt-in (the
+/// block-counting backend accepts `er(p)` by exact-degree bucketing, a
+/// documented mean-field approximation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyCapability {
+    /// Only the complete graph (the paper's model): the backend needs
+    /// global agent exchangeability.
+    Complete,
+    /// Every degree-homogeneous family — complete, ring, torus,
+    /// `regular(d)` (see [`TopologySpec::is_vertex_transitive`]): the
+    /// backend needs exchangeability only within a degree class.
+    VertexTransitive,
+    /// Every family, including `er(p)`: the backend tracks individual
+    /// agents and neighbor lists.
+    Any,
+}
+
+impl TopologyCapability {
+    /// `true` if `topology` belongs to this certified set.
+    pub fn supports(self, topology: TopologySpec) -> bool {
+        match self {
+            TopologyCapability::Complete => topology.is_complete(),
+            TopologyCapability::VertexTransitive => topology.is_vertex_transitive(),
+            TopologyCapability::Any => true,
+        }
+    }
+}
+
 /// Which agents the uniform-adoption decision operator applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdoptionScope {
@@ -191,15 +272,17 @@ pub trait PushBackend {
     /// The phase result type ([`Inboxes`] or [`PhaseTally`]).
     type Observation: PhaseObservation;
 
-    /// Static capability: `true` if the backend can simulate non-complete
-    /// [`TopologySpec`](crate::TopologySpec)s. The agent backend can (it
-    /// pushes along explicit neighbor lists); the counting backend cannot
-    /// — its whole O(k²)-per-phase reformulation rests on agent
-    /// exchangeability, which only the complete graph provides — and its
-    /// constructor rejects non-complete configurations. Backend-selection
-    /// policies consult this constant instead of hard-coding backend
-    /// names.
-    const SUPPORTS_SPARSE_TOPOLOGY: bool;
+    /// Static capability: the set of topology families this backend is
+    /// certified for. The agent backend handles [`TopologyCapability::Any`]
+    /// (it pushes along explicit neighbor lists); the counting backend only
+    /// [`TopologyCapability::Complete`] — its whole O(k²)-per-phase
+    /// reformulation rests on global agent exchangeability; the
+    /// block-counting backend [`TopologyCapability::VertexTransitive`] —
+    /// within-class exchangeability on degree-homogeneous families.
+    /// Constructors reject configurations outside their certified set
+    /// (modulo documented opt-ins) and backend-selection policies consult
+    /// this constant instead of hard-coding backend names.
+    const TOPOLOGY_CAPABILITY: TopologyCapability;
 
     /// Static capability: `true` if the backend can simulate the `delay`
     /// family of [`FaultSpec`](crate::FaultSpec) (messages deferred to the
@@ -325,7 +408,7 @@ pub trait PushBackend {
 impl PushBackend for Network {
     type Observation = Inboxes;
 
-    const SUPPORTS_SPARSE_TOPOLOGY: bool = true;
+    const TOPOLOGY_CAPABILITY: TopologyCapability = TopologyCapability::Any;
 
     const SUPPORTS_DELAY_FAULTS: bool = true;
 
@@ -472,7 +555,7 @@ impl PushBackend for Network {
 impl PushBackend for CountingNetwork {
     type Observation = PhaseTally;
 
-    const SUPPORTS_SPARSE_TOPOLOGY: bool = false;
+    const TOPOLOGY_CAPABILITY: TopologyCapability = TopologyCapability::Complete;
 
     const SUPPORTS_DELAY_FAULTS: bool = false;
 
@@ -544,26 +627,9 @@ impl PushBackend for CountingNetwork {
                 self.apply_deltas(&leavers, &adoptions, -(adopted as i64));
             }
             AdoptionScope::AllAgents => {
-                // Every agent that received something re-adopts a uniform
-                // received message, independent of its current state.
-                let p_active = self.tally().activation_probability();
-                let weights: Vec<f64> =
-                    self.tally().post_noise().iter().map(|&h| h as f64).collect();
-                let k = self.num_opinions();
-                let mut leavers = vec![0u64; k];
-                let mut active_total = 0u64;
-                for (o, leave) in leavers.iter_mut().enumerate() {
-                    *leave = binomial(self.counts()[o], p_active, rng);
-                    active_total += *leave;
-                }
-                let undecided_active = binomial(self.undecided(), p_active, rng);
-                active_total += undecided_active;
-                let joiners = if active_total == 0 {
-                    vec![0; k]
-                } else {
-                    multinomial(active_total, &weights, rng)
-                };
-                self.apply_deltas(&leavers, &joiners, -(undecided_active as i64));
+                let (leavers, joiners, undecided_delta) =
+                    uniform_adoption_all_plan(self.counts(), self.undecided(), self.tally(), rng);
+                self.apply_deltas(&leavers, &joiners, undecided_delta);
             }
         }
     }
@@ -573,80 +639,93 @@ impl PushBackend for CountingNetwork {
     }
 
     fn resolve_undecided_state(&mut self, rng: &mut StdRng) {
-        let p_active = self.tally().activation_probability();
-        let weights: Vec<f64> = self.tally().post_noise().iter().map(|&h| h as f64).collect();
-        let total_weight: f64 = weights.iter().sum();
-        let k = self.num_opinions();
-        // Opinionated agents look at one received message: agreement keeps
-        // the opinion, disagreement resets to undecided.
-        let mut leavers = vec![0u64; k];
-        let mut resets = 0u64;
-        for (o, leave) in leavers.iter_mut().enumerate() {
-            let active = binomial(self.counts()[o], p_active, rng);
-            if active == 0 {
-                continue;
-            }
-            let p_agree = if total_weight > 0.0 {
-                weights[o] / total_weight
-            } else {
-                0.0
-            };
-            let disagree = active - binomial(active, p_agree, rng);
-            *leave = disagree;
-            resets += disagree;
-        }
-        // Undecided agents adopt one received message.
-        let undecided_active = binomial(self.undecided(), p_active, rng);
-        let joiners = if undecided_active == 0 {
-            vec![0; k]
-        } else {
-            multinomial(undecided_active, &weights, rng)
-        };
-        self.apply_deltas(&leavers, &joiners, resets as i64 - undecided_active as i64);
+        let (leavers, joiners, undecided_delta) =
+            undecided_state_plan(self.counts(), self.undecided(), self.tally(), rng);
+        self.apply_deltas(&leavers, &joiners, undecided_delta);
     }
 
-    /// Count-level median rule. The two draws are treated as independent
-    /// categorical draws from the phase mix, ignoring an `O(1/Λ)`
-    /// correlation through the shared inbox size — the mean-field limit the
-    /// dynamics literature analyses.
+    /// Count-level median rule (see `median_plan` in the counting module
+    /// for the mean-field approximation it documents).
     fn resolve_median(&mut self, rng: &mut StdRng) {
-        let p_active = self.tally().activation_probability();
-        let weights: Vec<f64> = self.tally().post_noise().iter().map(|&h| h as f64).collect();
-        let total_weight: f64 = weights.iter().sum();
-        let k = self.num_opinions();
-        // Pair distribution q ⊗ q over the k² (first, second) observations.
-        let pair_weights: Vec<f64> = if total_weight > 0.0 {
-            (0..k * k)
-                .map(|cell| weights[cell / k] * weights[cell % k])
-                .collect()
-        } else {
-            vec![0.0; k * k]
-        };
-        let mut leavers = vec![0u64; k];
-        let mut joiners = vec![0u64; k];
-        for (o, leave) in leavers.iter_mut().enumerate() {
-            let active = binomial(self.counts()[o], p_active, rng);
-            if active == 0 {
-                continue;
-            }
-            *leave = active;
-            let pairs = multinomial(active, &pair_weights, rng);
-            for a in 0..k {
-                for b in 0..k {
-                    let mut triple = [o, a, b];
-                    triple.sort_unstable();
-                    joiners[triple[1]] += pairs[a * k + b];
-                }
-            }
-        }
-        let undecided_active = binomial(self.undecided(), p_active, rng);
-        if undecided_active > 0 {
-            let adopted = multinomial(undecided_active, &weights, rng);
-            for (j, a) in joiners.iter_mut().zip(adopted) {
-                *j += a;
-            }
-        }
-        self.apply_deltas(&leavers, &joiners, -(undecided_active as i64));
+        let (leavers, joiners, undecided_delta) =
+            median_plan(self.counts(), self.undecided(), self.tally(), rng);
+        self.apply_deltas(&leavers, &joiners, undecided_delta);
+    }
+}
+
+impl PushBackend for BlockCountingNetwork {
+    type Observation = BlockPhaseTally;
+
+    const TOPOLOGY_CAPABILITY: TopologyCapability = TopologyCapability::VertexTransitive;
+
+    const SUPPORTS_DELAY_FAULTS: bool = false;
+
+    fn config(&self) -> &SimConfig {
+        BlockCountingNetwork::config(self)
+    }
+
+    fn noise(&self) -> &NoiseMatrix {
+        BlockCountingNetwork::noise(self)
+    }
+
+    fn distribution(&self) -> OpinionDistribution {
+        BlockCountingNetwork::distribution(self)
+    }
+
+    fn clear_opinions(&mut self) {
+        BlockCountingNetwork::clear_opinions(self);
+    }
+
+    fn seed_counts(&mut self, counts: &[usize]) -> Result<(), SimError> {
+        BlockCountingNetwork::seed_counts(self, counts)
+    }
+
+    fn seed_rumor_at(&mut self, source: usize, opinion: Opinion) -> Result<(), SimError> {
+        BlockCountingNetwork::seed_rumor_at(self, source, opinion)
+    }
+
+    fn begin_phase(&mut self) {
+        BlockCountingNetwork::begin_phase(self);
+    }
+
+    fn push_opinionated_round(&mut self) -> RoundReport {
+        self.push_round_all_opinionated()
+    }
+
+    fn end_phase(&mut self) -> &BlockPhaseTally {
+        BlockCountingNetwork::end_phase(self)
+    }
+
+    fn observation(&self) -> &BlockPhaseTally {
+        self.tally()
+    }
+
+    fn rounds_executed(&self) -> u64 {
+        BlockCountingNetwork::rounds_executed(self)
+    }
+
+    fn messages_sent(&self) -> u64 {
+        BlockCountingNetwork::messages_sent(self)
+    }
+
+    fn rng_mut(&mut self) -> &mut StdRng {
+        BlockCountingNetwork::rng_mut(self)
+    }
+
+    fn resolve_uniform_adoption(&mut self, scope: AdoptionScope, rng: &mut StdRng) {
+        BlockCountingNetwork::resolve_uniform_adoption_per_class(self, scope, rng);
+    }
+
+    fn resolve_sample_majority(&mut self, sample_size: u64, rng: &mut StdRng) {
+        BlockCountingNetwork::resolve_sample_majority_per_class(self, sample_size, rng);
+    }
+
+    fn resolve_undecided_state(&mut self, rng: &mut StdRng) {
+        BlockCountingNetwork::resolve_undecided_state_per_class(self, rng);
+    }
+
+    fn resolve_median(&mut self, rng: &mut StdRng) {
+        BlockCountingNetwork::resolve_median_per_class(self, rng);
     }
 }
 

@@ -159,9 +159,13 @@ impl SimConfigBuilder {
 
     /// Sets the communication topology (default
     /// [`TopologySpec::Complete`], the paper's model). Non-complete
-    /// topologies require [`DeliverySemantics::Exact`]: the deferred
-    /// processes B and P scatter phase messages into *uniform* bins, which
-    /// only makes sense on the complete graph.
+    /// topologies allow [`DeliverySemantics::Exact`] (agent-level push
+    /// along neighbor lists) and — on degree-homogeneous families
+    /// ([`TopologySpec::is_vertex_transitive`]) —
+    /// [`DeliverySemantics::Poissonized`], realized per degree class by
+    /// the block-counting backend. Process B stays complete-graph-only:
+    /// its balls-into-bins scatter is a *uniform*-bin notion no backend
+    /// localizes to a sparse graph.
     pub fn topology(mut self, topology: TopologySpec) -> Self {
         self.topology = topology;
         self
@@ -185,7 +189,8 @@ impl SimConfigBuilder {
     /// * [`SimError::InvalidTopology`] if the topology parameters are
     ///   infeasible for the node count ([`TopologySpec::check`]).
     /// * [`SimError::UnsupportedTopology`] if a non-complete topology is
-    ///   combined with deferred delivery (process B or P).
+    ///   combined with process B, or a non-vertex-transitive one (`er(p)`)
+    ///   with process P.
     /// * [`SimError::InvalidFault`] if the fault parameters are infeasible
     ///   ([`FaultSpec::check`]).
     /// * [`SimError::UnsupportedFault`] if enabled faults are combined
@@ -202,11 +207,24 @@ impl SimConfigBuilder {
             });
         }
         self.topology.check(self.num_nodes)?;
-        if !self.topology.is_complete() && self.delivery != DeliverySemantics::Exact {
-            return Err(SimError::UnsupportedTopology {
-                topology: self.topology.label(),
-                context: format!("deferred delivery (process {})", self.delivery.label()),
-            });
+        // Process B is a uniform-bins notion no backend localizes to a
+        // sparse graph; process P localizes per degree class, so it is
+        // admitted exactly on the degree-homogeneous families the
+        // block-counting backend is certified for. Keeping `er(p) + P`
+        // out here guarantees automatic backend selection never faces a
+        // Poissonized configuration it cannot route faithfully.
+        if !self.topology.is_complete() {
+            let admitted = match self.delivery {
+                DeliverySemantics::Exact => true,
+                DeliverySemantics::Poissonized => self.topology.is_vertex_transitive(),
+                DeliverySemantics::BallsIntoBins => false,
+            };
+            if !admitted {
+                return Err(SimError::UnsupportedTopology {
+                    topology: self.topology.label(),
+                    context: format!("deferred delivery (process {})", self.delivery.label()),
+                });
+            }
         }
         self.fault.check(self.num_opinions)?;
         if !self.fault.is_none() && !self.topology.is_complete() {
@@ -284,16 +302,34 @@ mod tests {
             SimConfig::builder(10, 3).topology(TopologySpec::Torus2D).build(),
             Err(SimError::InvalidTopology { .. })
         ));
-        // Deferred delivery is complete-graph-only.
-        for delivery in [DeliverySemantics::BallsIntoBins, DeliverySemantics::Poissonized] {
-            assert!(matches!(
-                SimConfig::builder(10, 3)
-                    .topology(TopologySpec::Ring)
-                    .delivery(delivery)
-                    .build(),
-                Err(SimError::UnsupportedTopology { .. })
-            ));
+        // Process B is complete-graph-only.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .topology(TopologySpec::Ring)
+                .delivery(DeliverySemantics::BallsIntoBins)
+                .build(),
+            Err(SimError::UnsupportedTopology { .. })
+        ));
+        // Process P is admitted on vertex-transitive sparse families (the
+        // block-counting backend realizes it per degree class) …
+        for topology in [
+            TopologySpec::Ring,
+            TopologySpec::RandomRegular { degree: 4 },
+        ] {
+            assert!(SimConfig::builder(10, 3)
+                .topology(topology)
+                .delivery(DeliverySemantics::Poissonized)
+                .build()
+                .is_ok());
         }
+        // … but not on er(p), whose realizations are degree-heterogeneous.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .topology(TopologySpec::ErdosRenyi { p: 0.5 })
+                .delivery(DeliverySemantics::Poissonized)
+                .build(),
+            Err(SimError::UnsupportedTopology { .. })
+        ));
         // The complete graph keeps all three processes.
         for delivery in DeliverySemantics::ALL {
             assert!(SimConfig::builder(10, 3).delivery(delivery).build().is_ok());

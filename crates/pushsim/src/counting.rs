@@ -59,6 +59,24 @@ pub struct PhaseTally {
 }
 
 impl PhaseTally {
+    /// Builds a tally over a population of `num_nodes` agents. Crate-only:
+    /// the block-counting backend assembles one tally per degree class
+    /// (with `num_nodes` the class population `n_c`), reusing every
+    /// closed-form query and count-level decision rule below per class.
+    pub(crate) fn new(post_noise: Vec<u64>, num_nodes: usize) -> Self {
+        Self {
+            post_noise,
+            num_nodes,
+        }
+    }
+
+    /// The population the tally is over: `n` for a whole-network phase, a
+    /// class population `n_c` for the block-counting backend's per-class
+    /// tallies.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
     /// The post-noise totals `h_j`: how many messages carrying opinion `j`
     /// the phase delivered in aggregate (before Poisson thinning).
     pub fn post_noise(&self) -> &[u64] {
@@ -238,8 +256,10 @@ impl CountingFaults {
 /// shares sum to `draw`). The count-level stand-in for drawing the faulty
 /// agents uniformly without replacement — the composition of the faulty
 /// pool is pinned to its expectation, one more of the bounded
-/// approximations the backend documents.
-fn proportional_split(groups: &[u64], draw: u64) -> Vec<u64> {
+/// approximations the backend documents. Also reused by the
+/// block-counting backend to spread seeded opinion counts over degree
+/// classes deterministically.
+pub(crate) fn proportional_split(groups: &[u64], draw: u64) -> Vec<u64> {
     let population: u64 = groups.iter().sum();
     debug_assert!(draw <= population);
     if population == 0 {
@@ -305,8 +325,11 @@ impl CountingNetwork {
     ///   defined over exactly `config.num_opinions()` opinions.
     /// * [`SimError::UnsupportedTopology`] if the configuration requests a
     ///   non-complete topology: the count-based backend is statically
-    ///   complete-graph-only (see
-    ///   [`PushBackend::SUPPORTS_SPARSE_TOPOLOGY`](crate::PushBackend::SUPPORTS_SPARSE_TOPOLOGY)).
+    ///   complete-graph-only (its
+    ///   [`PushBackend::TOPOLOGY_CAPABILITY`](crate::PushBackend::TOPOLOGY_CAPABILITY)
+    ///   is [`TopologyCapability::Complete`](crate::TopologyCapability);
+    ///   sparse degree-homogeneous families go through
+    ///   [`BlockCountingNetwork`](crate::BlockCountingNetwork)).
     /// * [`SimError::UnsupportedFault`] if the configuration enables the
     ///   `delay` fault: deferring individual messages across the phase
     ///   boundary needs per-message identity, which the count-based
@@ -319,15 +342,13 @@ impl CountingNetwork {
                 found: noise.num_opinions(),
             });
         }
-        // The count-level reformulation is built on agent exchangeability,
-        // which only the complete graph provides: on a sparse topology the
-        // paper's `h_j` totals do not determine any agent's inbox law.
-        // (The same fact is declared statically as
-        // `PushBackend::SUPPORTS_SPARSE_TOPOLOGY`, which backend-selection
+        // The whole-population reformulation is built on global agent
+        // exchangeability, which only the complete graph provides: on a
+        // sparse topology the paper's `h_j` totals do not determine any
+        // agent's inbox law. (The same fact is declared statically as
+        // `PushBackend::TOPOLOGY_CAPABILITY`, which backend-selection
         // policies consult.)
-        if !<Self as crate::PushBackend>::SUPPORTS_SPARSE_TOPOLOGY
-            && !config.topology().is_complete()
-        {
+        if !<Self as crate::PushBackend>::TOPOLOGY_CAPABILITY.supports(config.topology()) {
             return Err(SimError::UnsupportedTopology {
                 topology: config.topology().label(),
                 context: "the count-based backend".to_string(),
@@ -749,7 +770,12 @@ impl CountingNetwork {
 /// Computes the sample-majority population update against a finished phase:
 /// `(leavers, joiners, undecided_delta)` for
 /// [`CountingNetwork::apply_deltas`].
-fn sample_majority_plan<R: Rng + ?Sized>(
+///
+/// The plan functions below are crate-visible so the block-counting
+/// backend can apply the identical count-level decision rules once per
+/// degree class (each class's tally plays the role of the whole-network
+/// tally here).
+pub(crate) fn sample_majority_plan<R: Rng + ?Sized>(
     counts: &[u64],
     undecided: u64,
     tally: &PhaseTally,
@@ -771,7 +797,7 @@ fn sample_majority_plan<R: Rng + ?Sized>(
 
 /// Computes the "adopt one uniformly received opinion" split for a group of
 /// agents against a finished phase.
-fn sample_one_plan<R: Rng + ?Sized>(
+pub(crate) fn sample_one_plan<R: Rng + ?Sized>(
     tally: &PhaseTally,
     num_opinions: usize,
     group: u64,
@@ -786,6 +812,126 @@ fn sample_one_plan<R: Rng + ?Sized>(
         multinomial(active, &weights, rng)
     };
     (split, group - active)
+}
+
+/// Computes the voter-model update (every agent that received at least one
+/// message re-adopts a uniform received message, independent of its current
+/// state): `(leavers, joiners, undecided_delta)`.
+pub(crate) fn uniform_adoption_all_plan<R: Rng + ?Sized>(
+    counts: &[u64],
+    undecided: u64,
+    tally: &PhaseTally,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<u64>, i64) {
+    let p_active = tally.activation_probability();
+    let weights: Vec<f64> = tally.post_noise.iter().map(|&h| h as f64).collect();
+    let k = counts.len();
+    let mut leavers = vec![0u64; k];
+    let mut active_total = 0u64;
+    for (leave, &group) in leavers.iter_mut().zip(counts) {
+        *leave = binomial(group, p_active, rng);
+        active_total += *leave;
+    }
+    let undecided_active = binomial(undecided, p_active, rng);
+    active_total += undecided_active;
+    let joiners = if active_total == 0 {
+        vec![0; k]
+    } else {
+        multinomial(active_total, &weights, rng)
+    };
+    (leavers, joiners, -(undecided_active as i64))
+}
+
+/// Computes the undecided-state dynamics update (one uniform draw per
+/// active agent: agreement keeps the opinion, disagreement resets to
+/// undecided, undecided agents adopt): `(leavers, joiners,
+/// undecided_delta)`.
+pub(crate) fn undecided_state_plan<R: Rng + ?Sized>(
+    counts: &[u64],
+    undecided: u64,
+    tally: &PhaseTally,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<u64>, i64) {
+    let p_active = tally.activation_probability();
+    let weights: Vec<f64> = tally.post_noise.iter().map(|&h| h as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let k = counts.len();
+    // Opinionated agents look at one received message: agreement keeps
+    // the opinion, disagreement resets to undecided.
+    let mut leavers = vec![0u64; k];
+    let mut resets = 0u64;
+    for (o, (leave, &group)) in leavers.iter_mut().zip(counts).enumerate() {
+        let active = binomial(group, p_active, rng);
+        if active == 0 {
+            continue;
+        }
+        let p_agree = if total_weight > 0.0 {
+            weights[o] / total_weight
+        } else {
+            0.0
+        };
+        let disagree = active - binomial(active, p_agree, rng);
+        *leave = disagree;
+        resets += disagree;
+    }
+    // Undecided agents adopt one received message.
+    let undecided_active = binomial(undecided, p_active, rng);
+    let joiners = if undecided_active == 0 {
+        vec![0; k]
+    } else {
+        multinomial(undecided_active, &weights, rng)
+    };
+    (leavers, joiners, resets as i64 - undecided_active as i64)
+}
+
+/// Computes the count-level median-rule update. The two draws are treated
+/// as independent categorical draws from the phase mix, ignoring an
+/// `O(1/Λ)` correlation through the shared inbox size — the mean-field
+/// limit the dynamics literature analyses. Returns `(leavers, joiners,
+/// undecided_delta)`.
+pub(crate) fn median_plan<R: Rng + ?Sized>(
+    counts: &[u64],
+    undecided: u64,
+    tally: &PhaseTally,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<u64>, i64) {
+    let p_active = tally.activation_probability();
+    let weights: Vec<f64> = tally.post_noise.iter().map(|&h| h as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let k = counts.len();
+    // Pair distribution q ⊗ q over the k² (first, second) observations.
+    let pair_weights: Vec<f64> = if total_weight > 0.0 {
+        (0..k * k)
+            .map(|cell| weights[cell / k] * weights[cell % k])
+            .collect()
+    } else {
+        vec![0.0; k * k]
+    };
+    let mut leavers = vec![0u64; k];
+    let mut joiners = vec![0u64; k];
+    for (o, (leave, &group)) in leavers.iter_mut().zip(counts).enumerate() {
+        let active = binomial(group, p_active, rng);
+        if active == 0 {
+            continue;
+        }
+        *leave = active;
+        let pairs = multinomial(active, &pair_weights, rng);
+        for a in 0..k {
+            for b in 0..k {
+                let mut triple = [o, a, b];
+                triple.sort_unstable();
+                joiners[triple[1]] += pairs[a * k + b];
+            }
+        }
+    }
+    let undecided_active = binomial(undecided, p_active, rng);
+    if undecided_active > 0 {
+        let adopted = multinomial(undecided_active, &weights, rng);
+        for (j, a) in joiners.iter_mut().zip(adopted) {
+            *j += a;
+        }
+    }
+    (leavers, joiners, -(undecided_active as i64))
 }
 
 #[cfg(test)]

@@ -51,13 +51,15 @@ pub enum SimError {
         /// What made the parameters infeasible.
         reason: String,
     },
-    /// The requested topology is not supported in this configuration: the
-    /// deferred delivery processes (B, P) and the count-based backend are
-    /// complete-graph-only.
+    /// The requested topology is not supported in this configuration:
+    /// process B and the count-based backend are complete-graph-only, the
+    /// agent backend's deferred delivery and the block-counting backend's
+    /// process P have their own boundaries (see
+    /// [`TopologyCapability`](crate::TopologyCapability)).
     UnsupportedTopology {
         /// The offending topology's label.
         topology: String,
-        /// Which complete-graph-only feature was combined with it.
+        /// Which topology-restricted feature was combined with it.
         context: String,
     },
     /// A fault spec's parameters are infeasible (a probability outside
@@ -68,8 +70,9 @@ pub enum SimError {
         reason: String,
     },
     /// The requested fault spec is not supported in this configuration:
-    /// fault injection is complete-graph-only, and delayed delivery is
-    /// agent-backend-only.
+    /// fault injection is complete-graph-only, delayed delivery is
+    /// agent-backend-only, and the block-counting backend rejects all
+    /// faults.
     UnsupportedFault {
         /// The offending fault spec's label.
         fault: String,
@@ -114,7 +117,8 @@ impl fmt::Display for SimError {
             SimError::UnsupportedTopology { topology, context } => write!(
                 f,
                 "topology {topology} is not supported by {context} \
-                 (non-complete topologies require the agent backend with exact delivery)"
+                 (non-complete topologies run on the agent backend with exact delivery, \
+                 or — if vertex-transitive — on the block-counting backend with process P)"
             ),
             SimError::InvalidFault { reason } => {
                 write!(f, "invalid fault spec: {reason}")
@@ -122,7 +126,8 @@ impl fmt::Display for SimError {
             SimError::UnsupportedFault { fault, context } => write!(
                 f,
                 "fault spec {fault} is not supported by {context} \
-                 (faults are complete-graph-only; delayed delivery needs the agent backend)"
+                 (faults are complete-graph-only; delayed delivery needs the agent backend; \
+                 the block-counting backend rejects all faults)"
             ),
         }
     }

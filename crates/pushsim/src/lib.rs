@@ -43,35 +43,56 @@
 //!   in the phase (Definition 4; Lemma 3 transfers w.h.p. events back to
 //!   process O).
 //!
-//! ## The two backends, one trait
+//! ## The three backends, one trait
 //!
-//! The simulator ships **two backends** over the same model, both
+//! The simulator ships **three backends** over the same model, all
 //! implementing the [`PushBackend`] trait (the shared phase lifecycle plus
 //! the paper's decision operators — see the [`backend`] module docs for the
 //! contract and the lemmas behind it):
 //!
 //! * [`Network`] — the **agent-level** backend: every agent is a
 //!   [`NodeState`], inboxes are per-agent multisets. Memory and per-phase
-//!   cost scale with `n` and the message volume.
+//!   cost scale with `n` and the message volume. The only backend that
+//!   handles every topology family and every fault.
 //! * [`CountingNetwork`] — the **count-based** backend: agents are
 //!   anonymous and exchangeable, so the population is represented as a
 //!   `k`-vector of per-opinion counts and a phase costs O(k²) random draws
 //!   (one multinomial per noise-matrix row) *independent of `n`* — the
 //!   same reformulation the paper's own analysis uses (it reasons about
 //!   the counts `h_i` of Definition 4, never about individuals).
+//!   Complete-graph-only.
+//! * [`BlockCountingNetwork`] — the **degree-class block-counting**
+//!   backend: the count-based reformulation localized per degree class
+//!   ([`DegreeClasses`](topology::DegreeClasses)), extending the O(k²·C)
+//!   phase cost to sparse degree-homogeneous topologies (ring, torus,
+//!   `regular(d)` — where `C = 1`); `er(p)` is accepted as an explicit,
+//!   documented mean-field opt-in. See the [`blockcounting`] module.
+//!
+//! Which topology families each backend is *certified* for is a static
+//! capability ([`TopologyCapability`]: `Complete ⊂ VertexTransitive ⊂
+//! Any`) that automatic backend selection consults.
 //!
 //! Code written against `PushBackend` (the `plurality-core` protocol
 //! stages, every `opinion-dynamics` rule, the experiment harness) runs
-//! unchanged on either backend; each backend's phase result is exposed
-//! through the [`PhaseObservation`] trait ([`Inboxes`] vs [`PhaseTally`]).
+//! unchanged on any backend; each backend's phase result is exposed
+//! through the [`PhaseObservation`] trait ([`Inboxes`] vs [`PhaseTally`]
+//! vs [`BlockPhaseTally`]).
 //!
 //! ### Backend × delivery semantics support matrix
 //!
-//! | delivery semantics | `Network` (agent-level) | `CountingNetwork` (count-based) |
-//! |---|---|---|
-//! | **O** `Exact` | exact, per-message delivery in [`push_round`](Network::push_round) | runs as process P (equivalent at phase granularity: Claim 1 + Lemma 3) |
-//! | **B** `BallsIntoBins` | exact; noise applied in O(k²) multinomial draws at [`end_phase`](Network::end_phase), then a uniform scatter | runs as process P (equivalent at phase granularity: Lemma 3) |
-//! | **P** `Poissonized` | exact; k aggregate `Poisson(h_i)` draws + uniform scatter (Poisson superposition) | **exact** — the native semantics of the backend |
+//! | delivery semantics | `Network` (agent-level) | `CountingNetwork` (count-based) | `BlockCountingNetwork` (block-counting) |
+//! |---|---|---|---|
+//! | **O** `Exact` | exact, per-message delivery in [`push_round`](Network::push_round) | runs as process P (equivalent at phase granularity: Claim 1 + Lemma 3) | runs as per-class process P (same equivalence, per class) |
+//! | **B** `BallsIntoBins` | exact; noise applied in O(k²) multinomial draws at [`end_phase`](Network::end_phase), then a uniform scatter; complete graph only | runs as process P (equivalent at phase granularity: Lemma 3) | runs as per-class process P |
+//! | **P** `Poissonized` | exact; k aggregate `Poisson(h_i)` draws + uniform scatter (Poisson superposition); complete graph only | **exact** — the native semantics of the backend | **exact** per degree class — the native semantics |
+//!
+//! ### Backend × topology support matrix
+//!
+//! | topology | `Network` | `CountingNetwork` | `BlockCountingNetwork` |
+//! |---|---|---|---|
+//! | `complete` | ✓ (any delivery) | ✓ certified | ✓ certified (`C = 1`) |
+//! | `ring`, `torus`, `regular(d)` | ✓ (process O only) | ✗ rejected | ✓ certified (`C = 1`) |
+//! | `er(p)` | ✓ (process O only) | ✗ rejected | accepted opt-in (degree-bucketed, mean-field; never auto-selected) |
 //!
 //! "Exact" means the backend samples the process's distribution exactly
 //! (the batched paths are distribution-preserving reformulations, checked
@@ -133,6 +154,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod blockcounting;
 mod config;
 pub mod counting;
 mod distribution;
@@ -144,7 +166,8 @@ mod opinion;
 pub mod poisson;
 pub mod topology;
 
-pub use backend::{AdoptionScope, PhaseObservation, PushBackend};
+pub use backend::{AdoptionScope, PhaseObservation, PushBackend, TopologyCapability};
+pub use blockcounting::{BlockCountingNetwork, BlockPhaseTally};
 pub use config::{DeliverySemantics, SimConfig, SimConfigBuilder};
 pub use counting::{CountingNetwork, PhaseTally};
 pub use distribution::OpinionDistribution;

@@ -1,0 +1,259 @@
+//! Statistical equivalence of the degree-class block-counting backend and
+//! the agent-level backend on the sparse vertex-transitive families, plus
+//! exact conservation invariants and the C = 1 collapse to the plain
+//! counting backend.
+//!
+//! The block-counting backend replaces the agent population with a `C × k`
+//! matrix of (degree-class, opinion) counts and runs the Poissonized
+//! process P per class. On ring, torus and random-regular graphs every
+//! node shares one degree class (`C = 1`), so its phases must be
+//! *bit-for-bit* the counting backend's; on any topology the noise
+//! recoloring preserves the pushed message composition in expectation, so
+//! per-opinion delivery totals must match the agent backend (running exact
+//! process O on the same graphs) in distribution. All seeds are fixed —
+//! these are regression tests, not flaky ones.
+
+use noisy_channel::NoiseMatrix;
+use pushsim::{
+    BlockCountingNetwork, CountingNetwork, DeliverySemantics, Network, PhaseObservation,
+    PushBackend, SimConfig, TopologySpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The sparse vertex-transitive families the backend certifies, with a
+/// node count each family accepts (the torus needs a perfect square).
+fn sparse_families() -> [(TopologySpec, usize); 3] {
+    [
+        (TopologySpec::Ring, 800),
+        (TopologySpec::Torus2D, 784), // 28²
+        (TopologySpec::RandomRegular { degree: 8 }, 800),
+    ]
+}
+
+fn noise3() -> NoiseMatrix {
+    NoiseMatrix::from_rows(vec![
+        vec![0.7, 0.2, 0.1],
+        vec![0.15, 0.6, 0.25],
+        vec![0.05, 0.25, 0.7],
+    ])
+    .expect("valid noise")
+}
+
+fn block_net(topology: TopologySpec, n: usize, seed: u64) -> BlockCountingNetwork {
+    let config = SimConfig::builder(n, 3)
+        .seed(seed)
+        .delivery(DeliverySemantics::Poissonized)
+        .topology(topology)
+        .build()
+        .unwrap();
+    BlockCountingNetwork::new(config, noise3()).unwrap()
+}
+
+/// Pooled chi-square statistic of observed vs expected category counts.
+fn chi_square(observed: &[f64], expected: &[f64]) -> f64 {
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| (o - e) * (o - e) / e)
+        .sum()
+}
+
+#[test]
+fn block_counting_conserves_messages_exactly_on_every_family() {
+    // Conservation is an invariant, not a statistic: check it per seed.
+    for (topology, n) in sparse_families() {
+        for seed in 0..60 {
+            let mut net = block_net(topology, n, seed);
+            net.seed_counts(&[300, 200, 100]).unwrap();
+            net.begin_phase();
+            for _ in 0..3 {
+                net.push_opinionated_round();
+            }
+            let tally = net.end_phase();
+            // The noise re-colors but never creates or destroys messages.
+            assert_eq!(tally.total(), 3 * 600, "{topology} seed {seed}");
+            assert_eq!(
+                tally.received_totals().iter().sum::<u64>(),
+                3 * 600,
+                "{topology} seed {seed}"
+            );
+            // The population is conserved through a decision step.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xDEC1DE);
+            net.resolve_sample_majority(5, &mut rng);
+            assert_eq!(net.distribution().num_nodes(), n, "{topology} seed {seed}");
+        }
+    }
+}
+
+/// On the vertex-transitive families every node shares one degree class,
+/// so a block-counting phase must be *bit-for-bit* a counting-backend
+/// phase on the complete graph: same delivery RNG stream, same recoloring,
+/// same decisions. This is the C = 1 collapse that makes the backend a
+/// strict generalization, checked through the public trait surface.
+#[test]
+fn single_class_families_collapse_to_the_counting_backend_bit_for_bit() {
+    for (topology, n) in sparse_families() {
+        let seed = 0xC0FFEE;
+        let mut block = block_net(topology, n, seed);
+        let complete = SimConfig::builder(n, 3)
+            .seed(seed)
+            .delivery(DeliverySemantics::Poissonized)
+            .build()
+            .unwrap();
+        let mut counting = CountingNetwork::new(complete, noise3()).unwrap();
+
+        block.seed_counts(&[250, 150, 50]).unwrap();
+        counting.seed_counts(&[250, 150, 50]).unwrap();
+        let mut block_rng = StdRng::seed_from_u64(99);
+        let mut counting_rng = StdRng::seed_from_u64(99);
+        for phase in 0..3 {
+            block.begin_phase();
+            counting.begin_phase();
+            for _ in 0..4 {
+                block.push_opinionated_round();
+                counting.push_opinionated_round();
+            }
+            block.end_phase();
+            counting.end_phase();
+            assert_eq!(
+                block.observation().received_totals(),
+                counting.observation().received_totals(),
+                "{topology} phase {phase}: post-noise totals diverged"
+            );
+            block.resolve_sample_majority(7, &mut block_rng);
+            counting.resolve_sample_majority(7, &mut counting_rng);
+            assert_eq!(
+                block.distribution(),
+                counting.distribution(),
+                "{topology} phase {phase}: decisions diverged"
+            );
+        }
+        assert_eq!(block.messages_sent(), counting.messages_sent());
+    }
+}
+
+/// Per-opinion delivery composition: the agent backend (exact process O on
+/// the real graph) and the block-counting backend (Poissonized process P
+/// per degree class) recolor the same pushed composition through the same
+/// noise matrix, so their per-opinion totals must match the analytic
+/// expectation `volume · (c · P)` — and hence each other — in
+/// distribution. χ² over the k categories, aggregated over many phases.
+#[test]
+fn block_counting_matches_the_agent_backend_in_distribution() {
+    let counts = [300usize, 200, 100];
+    let phases = 60u64;
+    for (topology, n) in sparse_families() {
+        let mut agent_totals = [0f64; 3];
+        for seed in 0..phases {
+            let config = SimConfig::builder(n, 3)
+                .seed(seed)
+                .topology(topology)
+                .build()
+                .unwrap();
+            let mut net = Network::new(config, noise3()).unwrap();
+            net.seed_counts(&counts).unwrap();
+            net.begin_phase();
+            net.push_opinionated_round();
+            net.end_phase();
+            for (t, &c) in agent_totals
+                .iter_mut()
+                .zip(&net.observation().received_totals())
+            {
+                *t += c as f64;
+            }
+        }
+
+        let mut block_totals = [0f64; 3];
+        for seed in 0..phases {
+            let mut net = block_net(topology, n, 10_000 + seed);
+            net.seed_counts(&counts).unwrap();
+            net.begin_phase();
+            net.push_opinionated_round();
+            net.end_phase();
+            for (t, &c) in block_totals
+                .iter_mut()
+                .zip(&net.observation().received_totals())
+            {
+                *t += c as f64;
+            }
+        }
+
+        // Expected composition: one round pushes 600 messages with
+        // composition (300, 200, 100)/600, recolored by the noise matrix.
+        let volume = (600 * phases) as f64;
+        let composition: Vec<f64> = counts.iter().map(|&c| c as f64 / 600.0).collect();
+        let expected: Vec<f64> = noise3()
+            .apply(&composition)
+            .iter()
+            .map(|&e| e * volume)
+            .collect();
+
+        // Process O conserves the volume exactly; both samplers must sit
+        // inside a generous χ² envelope around the shared expectation
+        // (2 degrees of freedom: the 99.9th percentile is ≈ 13.8; the
+        // Poissonized side adds Poisson total-volume variance, so give it
+        // slack). With fixed seeds this is a regression bound.
+        assert_eq!(
+            agent_totals.iter().sum::<f64>(),
+            volume,
+            "{topology}: process O must conserve"
+        );
+        let chi_agent = chi_square(&agent_totals, &expected);
+        let chi_block = chi_square(&block_totals, &expected);
+        assert!(
+            chi_agent < 13.8,
+            "{topology}: agent composition drifted, chi² {chi_agent:.2}"
+        );
+        assert!(
+            chi_block < 20.0,
+            "{topology}: block-counting composition drifted, chi² {chi_block:.2}"
+        );
+
+        // And the two backends agree with each other directly.
+        for j in 0..3 {
+            let a = agent_totals[j] / phases as f64;
+            let b = block_totals[j] / phases as f64;
+            let rel = (a - b).abs() / a.max(1.0);
+            assert!(
+                rel < 0.05,
+                "{topology} opinion {j}: agent {a:.1} vs block-counting {b:.1}"
+            );
+        }
+    }
+}
+
+/// Degree-class destination structure on a genuinely multi-class graph:
+/// messages scattered by the class-to-class edge matrix land in classes
+/// proportionally to the directed edge counts, exactly conserving volume.
+/// (Erdős–Rényi is reachable by explicit construction only — it is the
+/// documented annealed approximation — but the class bookkeeping must
+/// still conserve and weight destinations by degree.)
+#[test]
+fn multi_class_scatter_conserves_and_weights_by_degree() {
+    let n = 2_000;
+    let config = SimConfig::builder(n, 3)
+        .seed(7)
+        .topology(TopologySpec::ErdosRenyi { p: 0.01 })
+        .build()
+        .unwrap();
+    let mut net = BlockCountingNetwork::new(config, noise3()).unwrap();
+    assert!(net.num_classes() > 1, "er(0.01) at n = 2000 buckets");
+    net.seed_counts(&[800, 500, 300]).unwrap();
+    let mut pushed = 0u64;
+    net.begin_phase();
+    for _ in 0..5 {
+        pushed += net.push_opinionated_round().messages_sent();
+    }
+    let num_classes = net.num_classes();
+    let tally = net.end_phase();
+    assert_eq!(tally.total(), pushed, "scatter must conserve volume");
+    // Messages only ever land in classes that have edges pointing at them
+    // (degree > 0), and the tally splits over exactly the class sizes.
+    let mut class_nodes = 0;
+    for cls in 0..num_classes {
+        class_nodes += tally.class_tally(cls).num_nodes();
+    }
+    assert_eq!(class_nodes, n);
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bench-vs-release profile parity.
+#
+# BENCH_pushsim.json archives numbers measured by `cargo bench`, which
+# compiles under cargo's `bench` profile; the experiment binaries ship
+# under `--release`. Those numbers are only honest if both profiles hand
+# rustc the same codegen flags — in particular the workspace's
+# `lto = "thin"` / `codegen-units = 1` release settings, which the bench
+# profile inherits. Cargo's inheritance rules have changed before, so CI
+# asserts the parity instead of assuming it: compile the same crate
+# (`pushsim`, the hot simulation core) under both profiles with `-v`,
+# extract every `-C` flag from the two rustc invocations, and require the
+# normalized flag sets to be identical.
+#
+# Exit status: 0 when the flag sets match, 1 (with a diff) when they do
+# not. See README "Benchmarks" for the documented result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The sorted `-C` flag set of the rustc invocation that compiles the
+# named crate under the given cargo command, with the per-crate hash
+# flags (`metadata`, `extra-filename`, `incremental`) dropped so two
+# different crates are comparable. Touching the source forces the
+# recompile so the verbose log actually contains the invocation.
+codegen_flags() {
+    local touch_file=$1 crate=$2
+    shift 2
+    touch "$touch_file"
+    cargo "$@" -v 2>&1 |
+        grep -- "--crate-name $crate " |
+        head -n 1 |
+        grep -oE -- '-C [^ ]+' |
+        grep -vE -- '-C (metadata|extra-filename|incremental)' |
+        sort
+}
+
+# Compare the final executables, where the profile actually bites: the
+# bench harness binary (cargo profile `bench`) against a `--release`
+# binary. The shared library crates are the same compilation units in
+# both graphs, so comparing them would assert nothing.
+release_flags=$(codegen_flags crates/bench/src/bin/xp.rs xp build --release -p noisy-bench --bin xp)
+bench_flags=$(codegen_flags crates/bench/benches/bench_pushsim.rs bench_pushsim \
+    bench -p noisy-bench --bench bench_pushsim --no-run)
+
+if [ -z "$release_flags" ] || [ -z "$bench_flags" ]; then
+    echo "error: could not extract rustc -C flags from the verbose cargo log" >&2
+    exit 1
+fi
+
+if ! diff <(echo "$release_flags") <(echo "$bench_flags") >&2; then
+    echo "error: bench profile codegen flags diverge from --release" >&2
+    echo "       (left: --release, right: cargo bench)" >&2
+    exit 1
+fi
+
+echo "bench profile matches --release; shared codegen flags:"
+echo "$release_flags" | sed 's/^/    /'
