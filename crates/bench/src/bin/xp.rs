@@ -1,35 +1,42 @@
 //! `xp` — the single experiment driver.
 //!
 //! ```text
-//! xp list                         # all registered experiments
+//! xp list [--json]                # all registered experiments
 //! xp run f2 [--full --json --backend agent|counting|blockcounting|auto --trials N --seed S]
 //! xp run --spec path.spec [...]   # run a scenario spec file
 //! xp show f2 [--full]             # print a spec-backed experiment's spec text
 //! xp campaign --spec c.spec [--seeds N --tolerance T --slack S]
 //! xp campaign --replay c.spec <seed> [--seeds N]
+//! xp serve [--addr H:P --workers N --queue-depth D --cache-bytes B --test-shutdown]
+//! xp load [--addr H:P --clients N --requests R --spec path|name --json]
 //! xp help
 //! ```
 //!
 //! Registered experiments live in [`noisy_bench::registry`]; spec files are
 //! parsed by [`noisy_bench::spec::ScenarioSpec::from_text`]; campaigns run
-//! through [`noisy_bench::campaign`].
+//! through [`noisy_bench::campaign`]; the HTTP scenario service is
+//! [`noisy_serve`] wired to specs by [`noisy_bench::service::SpecService`].
 //!
-//! Exit codes: 0 on success (campaigns: every oracle passed), 1 on run
-//! failures (campaigns: an oracle violation, with a ready-to-paste replay
-//! command), 2 on usage errors (unknown command/experiment, unreadable
+//! Exit codes: 0 on success (campaigns: every oracle passed; load: every
+//! response verified), 1 on run failures (campaigns: an oracle violation,
+//! with a ready-to-paste replay command; load: dropped or corrupted
+//! responses), 2 on usage errors (unknown command/experiment, unreadable
 //! spec file, malformed flags).
 
 use gossip_analysis::table::Table;
 use noisy_bench::campaign::{self, CampaignOptions};
 use noisy_bench::registry;
 use noisy_bench::runner::Runner;
+use noisy_bench::service::SpecService;
 use noisy_bench::spec::ScenarioSpec;
-use noisy_bench::Cli;
+use noisy_bench::{Cli, Scale};
+use noisy_serve::{loadtest, signal, Server, ServerConfig};
+use std::io::Write as _;
 use std::process::ExitCode;
 
 const USAGE_HEAD: &str = "\
 usage:
-  xp list                      list the registered experiments
+  xp list [--json]             list the registered experiments
   xp run <name> [options]      run a registered experiment
   xp run --spec <path> [opts]  run a scenario spec file
   xp show <name> [--full]      print a spec-backed experiment's spec text
@@ -39,6 +46,16 @@ usage:
                                exit 1 + replay command on any violation
   xp campaign --replay <name|path> <seed> [--seeds N]
                                re-run one campaign seed with a trajectory dump
+  xp serve [--addr <host:port>] [--workers N] [--queue-depth D]
+           [--cache-bytes B[k|m|g]] [--test-shutdown]
+                               serve scenario specs over HTTP: POST spec text
+                               to /v1/runs, stream results from
+                               /v1/runs/{id}/stream (see README)
+  xp load [--addr <host:port>] [--clients N] [--requests R]
+          [--spec <path>|<name>] [--json] [--bench-append <file>]
+                               drive N concurrent clients against the service
+                               (self-hosted on an ephemeral port unless
+                               --addr is given) and verify every response
   xp help                      print this message
 ";
 
@@ -57,6 +74,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "show" => cmd_show(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "load" => cmd_load(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             ExitCode::SUCCESS
@@ -69,19 +88,34 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list(rest: &[String]) -> ExitCode {
-    if !rest.is_empty() {
-        eprintln!("error: `xp list` takes no arguments\n\n{}", usage());
-        return ExitCode::from(2);
+    let mut json = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("error: unknown `xp list` argument {other:?}\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
     }
-    let mut table = Table::new(vec!["name", "kind", "title"]);
+    let mut table = Table::new(vec!["name", "kind", "scenario", "title"]);
     for experiment in registry::all() {
+        let scenario = experiment
+            .spec(Scale::Quick)
+            .map(|spec| spec.kind.name().to_string())
+            .unwrap_or_else(|| "-".to_string());
         table.push_row(vec![
             experiment.name.to_string(),
             if experiment.is_spec() { "spec" } else { "composite" }.to_string(),
+            scenario,
             experiment.title.to_string(),
         ]);
     }
-    print!("{table}");
+    if json {
+        print!("{}", table.to_json_lines());
+    } else {
+        print!("{table}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -507,12 +541,402 @@ fn known_names() -> String {
         .join(", ")
 }
 
+/// Parsed `xp serve` flags.
+#[derive(Debug, PartialEq)]
+struct ServeArgs {
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    cache_bytes: usize,
+    test_shutdown: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let defaults = ServerConfig::default();
+        ServeArgs {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: defaults.workers,
+            queue_depth: defaults.queue_depth,
+            cache_bytes: defaults.cache_bytes,
+            test_shutdown: false,
+        }
+    }
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `64m`.
+fn parse_byte_size(text: &str) -> Result<usize, String> {
+    let lower = text.trim().to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(digits) => {
+            let shift = match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            };
+            (digits, shift)
+        }
+        None => (lower.as_str(), 0),
+    };
+    let value: usize = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid byte size {text:?} (expected e.g. 1048576 or 64m)"))?;
+    value
+        .checked_shl(shift)
+        .filter(|v| (*v >> shift) == value)
+        .ok_or_else(|| format!("byte size {text:?} overflows"))
+}
+
+fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("invalid {flag} value {text:?}"))
+}
+
+fn split_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
+    let mut parsed = ServeArgs::default();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = value_of("--addr")?,
+            "--workers" => parsed.workers = parse_count("--workers", &value_of("--workers")?)?,
+            "--queue-depth" => {
+                parsed.queue_depth = parse_count("--queue-depth", &value_of("--queue-depth")?)?;
+            }
+            "--cache-bytes" => {
+                parsed.cache_bytes = parse_byte_size(&value_of("--cache-bytes")?)?;
+            }
+            "--test-shutdown" => parsed.test_shutdown = true,
+            other => return Err(format!("unknown `xp serve` argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// `xp serve`: run the scenario service until SIGINT/SIGTERM (or, with
+/// `--test-shutdown`, a `POST /v1/shutdown`), then drain and exit 0.
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let parsed = match split_serve_args(rest) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let config = ServerConfig {
+        addr: parsed.addr,
+        workers: parsed.workers,
+        queue_depth: parsed.queue_depth,
+        cache_bytes: parsed.cache_bytes,
+        enable_shutdown_endpoint: parsed.test_shutdown,
+        ..ServerConfig::default()
+    };
+    signal::install();
+    let handle = match Server::start(config, SpecService) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts scrape this line for the (possibly ephemeral) port, so it
+    // must land before the first request can arrive: flush explicitly.
+    println!(
+        "xp serve: listening on http://{} (workers={}, queue-depth={}, cache-bytes={}{})",
+        handle.addr(),
+        parsed.workers,
+        parsed.queue_depth,
+        parsed.cache_bytes,
+        if parsed.test_shutdown { ", shutdown endpoint enabled" } else { "" },
+    );
+    let _ = std::io::stdout().flush();
+    while !signal::triggered() && !handle.shutdown_begun() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("xp serve: shutting down (draining queue and connections)");
+    let _ = std::io::stdout().flush();
+    handle.shutdown_and_wait();
+    ExitCode::SUCCESS
+}
+
+/// Parsed `xp load` flags.
+#[derive(Debug, PartialEq)]
+struct LoadArgs {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    /// Registry experiment name or spec file path (default `f2`).
+    source: String,
+    json: bool,
+    bench_append: Option<String>,
+}
+
+impl Default for LoadArgs {
+    fn default() -> Self {
+        LoadArgs {
+            addr: None,
+            clients: 64,
+            requests: 2,
+            source: "f2".to_string(),
+            json: false,
+            bench_append: None,
+        }
+    }
+}
+
+fn split_load_args(rest: &[String]) -> Result<LoadArgs, String> {
+    let mut parsed = LoadArgs::default();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = Some(value_of("--addr")?),
+            "--clients" => parsed.clients = parse_count("--clients", &value_of("--clients")?)?,
+            "--requests" => parsed.requests = parse_count("--requests", &value_of("--requests")?)?,
+            "--spec" => parsed.source = value_of("--spec")?,
+            "--json" => parsed.json = true,
+            "--bench-append" => parsed.bench_append = Some(value_of("--bench-append")?),
+            other if !other.starts_with('-') => parsed.source = other.to_string(),
+            other => return Err(format!("unknown `xp load` argument {other:?}")),
+        }
+    }
+    if parsed.clients == 0 || parsed.requests == 0 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    Ok(parsed)
+}
+
+/// Resolves an `xp load` spec source: a registry experiment name (quick
+/// scale) or a spec file path.
+fn load_spec(source: &str) -> Result<ScenarioSpec, String> {
+    if let Some(experiment) = registry::find(source) {
+        return experiment
+            .spec(Scale::Quick)
+            .ok_or_else(|| format!("experiment {source:?} is composite, not spec-backed"));
+    }
+    let text = std::fs::read_to_string(source).map_err(|e| {
+        format!(
+            "{source:?} is neither a registered experiment (registered: {}) nor a readable \
+             spec file ({e})",
+            known_names()
+        )
+    })?;
+    ScenarioSpec::from_text(&text).map_err(|e| format!("{source}: {e}"))
+}
+
+/// Inserts a `{"name": …}` entry before the closing bracket of a JSON
+/// array file, creating the file if it does not exist.
+fn append_bench_entry(path: &str, entry: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|_| "[\n]\n".to_string());
+    let close = text
+        .rfind(']')
+        .ok_or_else(|| format!("{path}: not a JSON array"))?;
+    let head = text[..close].trim_end();
+    let mut out = String::from(head);
+    if head.ends_with('}') {
+        out.push(',');
+    }
+    out.push_str("\n  ");
+    out.push_str(entry);
+    out.push_str("\n]\n");
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `xp load`: hammer a scenario service with concurrent clients and
+/// verify every streamed response byte-for-byte. Self-hosts a server on
+/// an ephemeral port unless `--addr` points at a running one.
+fn cmd_load(rest: &[String]) -> ExitCode {
+    let parsed = match split_load_args(rest) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match load_spec(&parsed.source) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    // The expected bytes come from running the spec locally once; the
+    // service must reproduce them exactly for every client.
+    let mut expected = Vec::new();
+    let run = Runner::new(spec.clone()).and_then(|r| r.run_streamed(&mut expected));
+    if let Err(e) = run {
+        eprintln!("error: reference run failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let (addr, self_hosted) = match &parsed.addr {
+        Some(addr) => match addr.parse() {
+            Ok(addr) => (addr, None),
+            Err(_) => {
+                eprintln!("error: invalid --addr {addr:?} (expected host:port)");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                queue_depth: parsed.clients.max(ServerConfig::default().queue_depth),
+                ..ServerConfig::default()
+            };
+            match Server::start(config, SpecService) {
+                Ok(handle) => (handle.addr(), Some(handle)),
+                Err(e) => {
+                    eprintln!("error: cannot start server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let mut cfg = loadtest::LoadConfig::new(addr, spec.to_text());
+    cfg.clients = parsed.clients;
+    cfg.requests_per_client = parsed.requests;
+    cfg.expected = Some(expected);
+    let report = loadtest::run(&cfg);
+    if let Some(handle) = self_hosted {
+        handle.shutdown_and_wait();
+    }
+    let name = format!("xp_load/{}_c{}x{}", parsed.source, parsed.clients, parsed.requests);
+    if parsed.json {
+        println!("{}", report.to_json(&name));
+    } else {
+        println!(
+            "xp load: {} clients x {} requests against http://{addr}",
+            parsed.clients, parsed.requests
+        );
+        println!(
+            "  ok {}/{} corrupted {} dropped {} backpressure-retries {}",
+            report.ok,
+            report.total_requests,
+            report.corrupted,
+            report.dropped,
+            report.backpressure_retries
+        );
+        println!(
+            "  elapsed {:.2} s, throughput {:.1} req/s, mean latency {:.2} ms",
+            report.elapsed.as_secs_f64(),
+            report.throughput_rps(),
+            report.mean_latency().as_secs_f64() * 1e3
+        );
+    }
+    if let Some(path) = &parsed.bench_append {
+        if let Err(message) = append_bench_entry(path, &report.to_bench_entry(&name)) {
+            eprintln!("error: cannot append bench entry: {message}");
+            return ExitCode::FAILURE;
+        }
+        println!("xp load: appended bench entry to {path}");
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: load test not clean: {} corrupted, {} dropped of {}",
+            report.corrupted, report.dropped, report.total_requests
+        );
+        ExitCode::FAILURE
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn to_args(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_args_parse_flags_and_byte_suffixes() {
+        let parsed = split_serve_args(&to_args(&[
+            "--addr",
+            "0.0.0.0:8080",
+            "--workers",
+            "4",
+            "--queue-depth",
+            "16",
+            "--cache-bytes",
+            "64m",
+            "--test-shutdown",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "0.0.0.0:8080");
+        assert_eq!(parsed.workers, 4);
+        assert_eq!(parsed.queue_depth, 16);
+        assert_eq!(parsed.cache_bytes, 64 << 20);
+        assert!(parsed.test_shutdown);
+
+        assert_eq!(split_serve_args(&[]).unwrap(), ServeArgs::default());
+        assert!(split_serve_args(&to_args(&["--workers"])).is_err());
+        assert!(split_serve_args(&to_args(&["--nope"])).is_err());
+    }
+
+    #[test]
+    fn byte_sizes_accept_suffixes_and_reject_garbage() {
+        assert_eq!(parse_byte_size("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_byte_size("8k").unwrap(), 8 << 10);
+        assert_eq!(parse_byte_size("2G").unwrap(), 2 << 30);
+        assert!(parse_byte_size("lots").is_err());
+        assert!(parse_byte_size("9999999999999999g").is_err());
+    }
+
+    #[test]
+    fn load_args_default_and_parse() {
+        let parsed = split_load_args(&[]).unwrap();
+        assert_eq!(parsed, LoadArgs::default());
+        assert_eq!(parsed.source, "f2");
+        assert_eq!(parsed.clients, 64);
+
+        let parsed = split_load_args(&to_args(&[
+            "--addr",
+            "127.0.0.1:7878",
+            "--clients",
+            "8",
+            "--requests",
+            "3",
+            "t1",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(parsed.clients, 8);
+        assert_eq!(parsed.requests, 3);
+        assert_eq!(parsed.source, "t1");
+        assert!(parsed.json);
+
+        assert!(split_load_args(&to_args(&["--clients", "0"])).is_err());
+        assert!(split_load_args(&to_args(&["--nope"])).is_err());
+    }
+
+    #[test]
+    fn bench_entries_append_inside_the_array() {
+        let dir = std::env::temp_dir().join("xp-bench-append-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        append_bench_entry(path, "{\"name\": \"a\", \"ns_per_iter\": 1.0, \"iters\": 2}")
+            .unwrap();
+        append_bench_entry(path, "{\"name\": \"b\", \"ns_per_iter\": 3.0, \"iters\": 4}")
+            .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with('['), "array preserved: {text}");
+        assert!(text.trim_end().ends_with(']'), "array closed: {text}");
+        assert_eq!(text.matches("\"name\"").count(), 2);
+        assert!(text.contains("},\n  {"), "entries comma-separated: {text}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

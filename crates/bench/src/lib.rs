@@ -33,6 +33,7 @@
 pub mod campaign;
 pub mod registry;
 pub mod runner;
+pub mod service;
 pub mod spec;
 
 pub use runner::Runner;
@@ -269,18 +270,35 @@ options:
     /// default, JSON lines under `--json` (and under `--stream`, for the
     /// composite experiments that cannot stream incrementally).
     pub fn emit(&self, table: &Table) {
+        let mut stdout = std::io::stdout().lock();
+        self.emit_to(table, &mut stdout).expect("write to stdout");
+    }
+
+    /// Writes `table` in the selected output format to `out` — the
+    /// sink-generic form of [`emit`](Self::emit), shared by the CLI
+    /// (stdout) and the scenario service (HTTP response buffers).
+    pub fn emit_to(&self, table: &Table, out: &mut dyn std::io::Write) -> std::io::Result<()> {
         if self.json || self.stream {
-            print!("{}", table.to_json_lines());
+            write!(out, "{}", table.to_json_lines())
         } else {
-            print!("{table}");
+            write!(out, "{table}")
         }
     }
 
     /// Prints a free-form context line — suppressed under `--json` and
     /// `--stream` so the output stream stays machine-parseable.
     pub fn note(&self, line: &str) {
+        let mut stdout = std::io::stdout().lock();
+        self.note_to(line, &mut stdout).expect("write to stdout");
+    }
+
+    /// Writes a context line to `out` (same `--json`/`--stream`
+    /// suppression as [`note`](Self::note)).
+    pub fn note_to(&self, line: &str, out: &mut dyn std::io::Write) -> std::io::Result<()> {
         if !self.json && !self.stream {
-            println!("{line}");
+            writeln!(out, "{line}")
+        } else {
+            Ok(())
         }
     }
 }

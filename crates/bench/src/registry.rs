@@ -80,16 +80,38 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// Propagates spec validation/execution errors and the composite
 /// experiments' own failures.
 pub fn run(experiment: &Experiment, cli: &Cli) -> Result<(), Box<dyn Error>> {
+    run_to(experiment, cli, &mut std::io::stdout().lock())
+}
+
+/// Runs one experiment writing its output to a caller-supplied sink —
+/// the sink-generic core of [`run`], shared by the CLI (stdout) and
+/// the scenario service (HTTP response buffers). Spec-backed entries
+/// stream or tabulate into `out`; composite ([`ExperimentKind::Custom`])
+/// entries drive their own stdout output regardless of `out` and are
+/// therefore only exposed through the CLI.
+///
+/// # Errors
+///
+/// Propagates spec validation/execution errors, write errors on `out`,
+/// and the composite experiments' own failures.
+pub fn run_to(
+    experiment: &Experiment,
+    cli: &Cli,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
     match experiment.kind {
         ExperimentKind::Spec(make) => {
             let mut spec = make(cli.scale);
             apply_cli(&mut spec, cli);
-            cli.note(&format!("{}: {}\n", experiment.name.to_uppercase(), experiment.title));
+            cli.note_to(
+                &format!("{}: {}\n", experiment.name.to_uppercase(), experiment.title),
+                out,
+            )?;
             let runner = Runner::new(spec)?;
             if cli.stream {
-                runner.run_streamed(&mut std::io::stdout().lock())?;
+                runner.run_streamed(out)?;
             } else {
-                cli.emit(&runner.run()?.to_table());
+                cli.emit_to(&runner.run()?.to_table(), out)?;
             }
             Ok(())
         }

@@ -251,8 +251,11 @@ pub fn headers(spec: &ScenarioSpec) -> Vec<String> {
     headers
 }
 
-/// The swept-axis cells of one grid point, in axis order.
-pub(crate) fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
+/// The swept-axis cells of one grid point, in axis order. Together with
+/// [`headers`] and [`point_rows`] this lets external drivers (the scenario
+/// service's sweep-cell cache) re-render a point's rows byte-identically
+/// to the streaming path.
+pub fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
     let mut cells = Vec::new();
     let axes = axis_columns(spec);
     if axes[0].1 {
@@ -982,8 +985,9 @@ fn non_empty_or<T: Copy>(values: &[T], base: T) -> Vec<T> {
 /// order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`, `topology`,
 /// `fault`). Shared by the [`Runner`] and the campaign engine, so a
 /// campaign cell index addresses exactly the point the plain runner would
-/// execute at that index.
-pub(crate) fn expand_grid(spec: &ScenarioSpec) -> Vec<GridPoint> {
+/// execute at that index (and the scenario service's per-cell cache keys
+/// address exactly these points).
+pub fn expand_grid(spec: &ScenarioSpec) -> Vec<GridPoint> {
     let ks = non_empty_or(&spec.sweep.k, spec.k);
     let ns = non_empty_or(&spec.sweep.n, spec.n);
     let epss = non_empty_or(&spec.sweep.eps, spec.epsilon);

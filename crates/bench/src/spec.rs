@@ -89,6 +89,22 @@ use pushsim::{DeliverySemantics, FaultSpec, SimError, TopologySpec};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a 64-bit hash state. Hand-rolled so the
+/// digest is stable across releases (unlike `DefaultHasher`, whose
+/// algorithm is unspecified) and needs no external crate.
+pub(crate) fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// How the initial opinion configuration of a plurality-style scenario is
 /// specified.
 #[derive(Debug, Clone, PartialEq)]
@@ -1053,6 +1069,24 @@ impl ScenarioSpec {
             line("stop.plateau", format!("{window}, {tolerance}"));
         }
         out
+    }
+
+    /// A stable 64-bit content digest of the spec: FNV-1a over the
+    /// canonical [`to_text`](Self::to_text) form followed by the seed's
+    /// little-endian bytes.
+    ///
+    /// Because the canonical text round-trips
+    /// (`from_text(to_text(s)) == s`), any two specs with the same
+    /// canonical form — regardless of comments, key order, or numeric
+    /// formatting in the submitted text — share a digest, which makes
+    /// it usable as a content-addressed cache key for results and for
+    /// campaign/replay bookkeeping. The hash function is fixed: the
+    /// digest is stable across processes, platforms, and releases that
+    /// do not change the canonical form itself.
+    pub fn canonical_digest(&self) -> u64 {
+        let mut hash = fnv1a64(FNV_OFFSET_BASIS, self.to_text().as_bytes());
+        hash = fnv1a64(hash, &self.seed.to_le_bytes());
+        hash
     }
 
     /// Parses a spec from its textual form. `#` starts a comment; blank

@@ -333,6 +333,43 @@ proptest! {
         let reparsed = ScenarioSpec::from_text(&text).unwrap();
         prop_assert_eq!(reparsed.to_text(), text);
     }
+
+    /// The content-address is stable under parse -> canonicalize ->
+    /// parse: a spec file and its canonical round trip always map to
+    /// the same cache key on the scenario service.
+    #[test]
+    fn canonical_digest_survives_round_trip(spec in spec_strategy()) {
+        let text = spec.to_text();
+        let reparsed = ScenarioSpec::from_text(&text).unwrap();
+        prop_assert_eq!(reparsed.canonical_digest(), spec.canonical_digest());
+        let reparsed_twice = ScenarioSpec::from_text(&reparsed.to_text()).unwrap();
+        prop_assert_eq!(reparsed_twice.canonical_digest(), spec.canonical_digest());
+    }
+
+    /// The digest folds the seed in: equal canonical text with different
+    /// seeds must not collide (the cache would otherwise serve one
+    /// seed's rows for another).
+    #[test]
+    fn canonical_digest_separates_seeds(spec in spec_strategy()) {
+        let mut reseeded = spec.clone();
+        reseeded.seed = spec.seed.wrapping_add(1);
+        prop_assert_ne!(reseeded.canonical_digest(), spec.canonical_digest());
+    }
+}
+
+/// The digest algorithm (FNV-1a 64 over canonical text, then the seed's
+/// little-endian bytes) is part of the service's on-the-wire contract:
+/// cached results survive server restarts only if the digest never
+/// drifts. Pin a known spec's digest so accidental changes to the
+/// canonical text or the hash are caught here.
+#[test]
+fn canonical_digest_is_pinned() {
+    let spec = ScenarioSpec::from_text(
+        "scenario = rumor\nsource = 0\nn = 300\nk = 2\nepsilon = 0.3\n\
+         noise = uniform(0.3)\ntrials = 2\nseed = 11\n",
+    )
+    .expect("valid spec");
+    assert_eq!(spec.canonical_digest(), 0x6bb2_af56_26bf_4374);
 }
 
 /// Malformed fault configurations are caught statically — `from_text`

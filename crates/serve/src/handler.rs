@@ -1,0 +1,54 @@
+//! The domain-logic seam between the server and scenario execution.
+//!
+//! `noisy-serve` is deliberately ignorant of `ScenarioSpec` and
+//! `Runner`; everything it needs from the domain is expressed by
+//! [`JobHandler`]. The production implementation lives in
+//! `noisy_bench::service` and wires submissions through the existing
+//! `Runner`; tests use small mocks.
+
+use std::io::Write;
+
+/// The result of planning a submission body.
+pub struct Plan<J> {
+    /// The executable job.
+    pub job: J,
+    /// Stable content digest of the whole submission — the key under
+    /// which the finished response body is cached. Two submissions
+    /// with equal digests must produce identical output bytes.
+    pub digest: u64,
+    /// When the job decomposes into independently cacheable sweep
+    /// cells, the per-cell content digests in output order. `None`
+    /// means the job only runs monolithically via
+    /// [`JobHandler::run`]. Cell keys must not collide with whole-job
+    /// digests (handlers salt them).
+    pub cells: Option<Vec<u64>>,
+}
+
+/// Executes submitted jobs on behalf of the server.
+///
+/// Implementations must be shareable across worker threads. All
+/// methods are called without any server lock held, so they may take
+/// arbitrarily long.
+pub trait JobHandler: Send + Sync + 'static {
+    /// The planned, validated job type.
+    type Job: Send + Sync + 'static;
+
+    /// Parses and validates a request body into a job plus its cache
+    /// keys. Errors become `400` responses with the message as body.
+    fn plan(&self, body: &str) -> Result<Plan<Self::Job>, String>;
+
+    /// Runs the whole job, streaming output to `sink`. Used when the
+    /// plan has no cells, and expected to produce bytes identical to
+    /// the concatenated rendered cells when it does.
+    fn run(&self, job: &Self::Job, sink: &mut dyn Write) -> Result<(), String>;
+
+    /// Computes the data rows of cell `index` (0-based, in plan
+    /// order). Only called when the plan listed cells. The returned
+    /// rows must be position-independent: the same cell digest must
+    /// yield the same rows no matter which submission computed them.
+    fn run_cell(&self, job: &Self::Job, index: usize) -> Result<Vec<Vec<String>>, String>;
+
+    /// Renders cell `index`'s rows (freshly computed or from cache)
+    /// into the job's output byte stream.
+    fn render_cell(&self, job: &Self::Job, index: usize, rows: &[Vec<String>]) -> String;
+}

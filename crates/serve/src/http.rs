@@ -1,0 +1,620 @@
+//! Minimal HTTP/1.1 message handling on raw byte buffers.
+//!
+//! The parser is *incremental*: [`parse_request`] is called on
+//! whatever bytes have been read so far and either returns a complete
+//! request plus the number of bytes it consumed (leaving pipelined
+//! follow-up requests in the buffer), reports that more bytes are
+//! needed, or rejects the input. Limits on the header block and body
+//! size are enforced even on incomplete input so a slow-loris client
+//! cannot grow memory without ever finishing a request.
+//!
+//! Only the subset of HTTP/1.1 the service needs is implemented:
+//! `Content-Length` bodies (no chunked *requests*), `Connection`
+//! keep-alive semantics, and chunked *responses* via
+//! [`ChunkedWriter`]. A tiny client side ([`read_response`],
+//! [`request`]) lives here too so the load-test harness and the
+//! integration tests speak the same dialect as the server.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Default cap on the request line + header block, in bytes.
+pub const DEFAULT_MAX_HEAD: usize = 16 * 1024;
+/// Default cap on a request body, in bytes.
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
+
+/// Size limits enforced by [`parse_request`].
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the request line + headers (including the
+    /// terminating blank line).
+    pub max_head: usize,
+    /// Maximum `Content-Length` accepted for a request body.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_head: DEFAULT_MAX_HEAD, max_body: DEFAULT_MAX_BODY }
+    }
+}
+
+/// A fully parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, e.g. `GET` or `POST` (uppercased by clients,
+    /// matched case-sensitively per RFC 9110).
+    pub method: String,
+    /// Request target, e.g. `/v1/runs/3/stream` (query string kept).
+    pub path: String,
+    /// Header name/value pairs in arrival order; names are matched
+    /// case-insensitively via [`Request::header`].
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response,
+    /// per the HTTP version and any `Connection` header.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Looks up a header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request path without any query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// Why a request was rejected by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field (`400`).
+    BadRequest(String),
+    /// Head or body exceeds the configured [`Limits`] (`431`/`413`).
+    TooLarge(String),
+    /// A valid-but-unimplemented feature, e.g. chunked request
+    /// bodies (`501`).
+    Unsupported(String),
+}
+
+impl HttpError {
+    /// Status code and reason phrase for the error response.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::TooLarge(_) => (413, "Payload Too Large"),
+            HttpError::Unsupported(_) => (501, "Not Implemented"),
+        }
+    }
+
+    /// Human-readable detail line.
+    pub fn detail(&self) -> &str {
+        match self {
+            HttpError::BadRequest(s) | HttpError::TooLarge(s) | HttpError::Unsupported(s) => s,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (code, reason) = self.status();
+        write!(f, "{code} {reason}: {}", self.detail())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Outcome of feeding a byte buffer to [`parse_request`].
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request; read more.
+    Incomplete,
+    /// One complete request, and how many leading bytes it occupied
+    /// (the caller drains `consumed` bytes and may parse again for
+    /// pipelined requests).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of `buf` the request occupied.
+        consumed: usize,
+    },
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Attempts to parse one HTTP/1.x request from the front of `buf`.
+///
+/// Returns [`Parsed::Incomplete`] when more bytes are required, or an
+/// [`HttpError`] when the input can never become a valid request
+/// under `limits` (the connection should send the error response and
+/// close).
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
+    let head_end = match find_subslice(buf, b"\r\n\r\n") {
+        Some(i) => i,
+        None => {
+            if buf.len() > limits.max_head {
+                return Err(HttpError::TooLarge(format!(
+                    "request head exceeds {} bytes",
+                    limits.max_head
+                )));
+            }
+            return Ok(Parsed::Incomplete);
+        }
+    };
+    if head_end + 4 > limits.max_head {
+        return Err(HttpError::TooLarge(format!(
+            "request head exceeds {} bytes",
+            limits.max_head
+        )));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request head".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_alphabetic()))
+        .ok_or_else(|| HttpError::BadRequest("malformed request line (method)".into()))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::BadRequest("malformed request line (target)".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("malformed request line (version)".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line (extra fields)".into()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version {version:?}"
+            )))
+        }
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest(format!("malformed header name {name:?}")));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let lookup = |want: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(want))
+            .map(|(_, v)| v.as_str())
+    };
+
+    if lookup("transfer-encoding").is_some() {
+        return Err(HttpError::Unsupported(
+            "chunked request bodies are not supported; send Content-Length".into(),
+        ));
+    }
+    let body_len = match lookup("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if body_len > limits.max_body {
+        return Err(HttpError::TooLarge(format!(
+            "request body of {body_len} bytes exceeds {} byte limit",
+            limits.max_body
+        )));
+    }
+    let total = head_end + 4 + body_len;
+    if buf.len() < total {
+        return Ok(Parsed::Incomplete);
+    }
+
+    let keep_alive = match lookup("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok(Parsed::Complete {
+        request: Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: buf[head_end + 4..total].to_vec(),
+            keep_alive,
+        },
+        consumed: total,
+    })
+}
+
+/// Writes a complete response with a `Content-Length` body.
+///
+/// `extra_headers` are emitted verbatim after the standard ones; use
+/// them for `Retry-After`, `Content-Type`, and the like.
+pub fn write_response(
+    w: &mut dyn Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Incrementally writes a chunked-transfer-encoded response body.
+///
+/// The status line and headers (including
+/// `Transfer-Encoding: chunked`) are sent by [`ChunkedWriter::start`];
+/// each [`write_chunk`](ChunkedWriter::write_chunk) forwards one chunk
+/// and [`finish`](ChunkedWriter::finish) terminates the stream. If the
+/// writer is dropped without `finish`, the client sees a truncated
+/// chunked body — which is how mid-stream failures are signalled.
+pub struct ChunkedWriter<'a> {
+    inner: &'a mut dyn Write,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Sends the response head and returns the chunk writer.
+    pub fn start(
+        w: &'a mut dyn Write,
+        status: u16,
+        reason: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<Self> {
+        let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+        head.push_str("Transfer-Encoding: chunked\r\nConnection: close\r\n");
+        for (k, v) in extra_headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.flush()?;
+        Ok(ChunkedWriter { inner: w })
+    }
+
+    /// Sends one chunk (empty input is skipped: a zero-length chunk
+    /// would terminate the stream).
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", data.len())?;
+        self.inner.write_all(data)?;
+        self.inner.write_all(b"\r\n")?;
+        self.inner.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+/// A response as seen by the built-in client helpers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. `202`.
+    pub status: u16,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (chunked transfer encoding is removed).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Looks up a header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn read_until(r: &mut dyn Read, buf: &mut Vec<u8>, needle: &[u8]) -> io::Result<usize> {
+    loop {
+        if let Some(i) = find_subslice(buf, needle) {
+            return Ok(i);
+        }
+        let mut chunk = [0u8; 4096];
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before message completed",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn read_exact_into(r: &mut dyn Read, buf: &mut Vec<u8>, total: usize) -> io::Result<()> {
+    while buf.len() < total {
+        let mut chunk = [0u8; 4096];
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(())
+}
+
+/// Reads one HTTP response from `r`, decoding `Content-Length` or
+/// chunked bodies (a body with neither is read to EOF).
+pub fn read_response(r: &mut dyn Read) -> io::Result<Response> {
+    let mut buf = Vec::new();
+    let head_end = read_until(r, &mut buf, b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.to_string(), v.trim().to_string()));
+        }
+    }
+    let lookup = |want: &str| {
+        headers
+            .iter()
+            .find(|(k, _): &&(String, String)| k.eq_ignore_ascii_case(want))
+            .map(|(_, v)| v.as_str())
+    };
+
+    let mut rest = buf.split_off(head_end + 4);
+    let body = if lookup("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        let mut body = Vec::new();
+        loop {
+            let line_end = read_until(r, &mut rest, b"\r\n")?;
+            let size_line = String::from_utf8_lossy(&rest[..line_end]).into_owned();
+            rest.drain(..line_end + 2);
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed chunk size {size_line:?}"),
+                )
+            })?;
+            read_exact_into(r, &mut rest, size + 2)?;
+            body.extend_from_slice(&rest[..size]);
+            rest.drain(..size + 2);
+            if size == 0 {
+                break;
+            }
+        }
+        body
+    } else if let Some(len) = lookup("content-length") {
+        let len = len.parse::<usize>().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "malformed Content-Length")
+        })?;
+        read_exact_into(r, &mut rest, len)?;
+        rest.truncate(len);
+        rest
+    } else {
+        r.read_to_end(&mut rest)?;
+        rest
+    };
+    Ok(Response { status, headers, body })
+}
+
+/// One-shot client request: connects, sends `method path` with the
+/// given body and `Connection: close`, and reads the full response.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> (Request, usize) {
+        match parse_request(bytes, &Limits::default()).expect("parse") {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            Parsed::Incomplete => panic!("unexpected Incomplete"),
+        }
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let (req, consumed) = parse_ok(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive);
+        assert_eq!(consumed, b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n".len());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let (req, _) = parse_ok(b"POST /v1/runs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn incomplete_until_body_arrives() {
+        let full = b"POST /v1/runs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..full.len() {
+            match parse_request(&full[..cut], &Limits::default()).expect("prefix must not error") {
+                Parsed::Incomplete => {}
+                Parsed::Complete { .. } => panic!("complete at cut {cut}"),
+            }
+        }
+        let (req, _) = parse_ok(full);
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn pipelined_requests_report_consumed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET /a HTTP/1.1\r\n\r\n");
+        buf.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        let (first, consumed) = parse_ok(&buf);
+        assert_eq!(first.path, "/a");
+        buf.drain(..consumed);
+        let (second, _) = parse_ok(&buf);
+        assert_eq!(second.path, "/b");
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let (req, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req10, _) = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req10.keep_alive);
+        let (req10ka, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req10ka.keep_alive);
+    }
+
+    #[test]
+    fn oversized_head_rejected_even_when_incomplete() {
+        let limits = Limits { max_head: 64, max_body: 1024 };
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        buf.extend_from_slice(&[b'a'; 128]);
+        assert!(matches!(parse_request(&buf, &limits), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversized_body_rejected_from_declared_length() {
+        let limits = Limits { max_head: 1024, max_body: 8 };
+        let buf = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert!(matches!(parse_request(buf, &limits), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let l = Limits::default();
+        assert!(matches!(
+            parse_request(b"NONSENSE\r\n\r\n", &l),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET noslash HTTP/1.1\r\n\r\n", &l),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/2.0\r\n\r\n", &l),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n", &l),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", &l),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &l),
+            Err(HttpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_writer_round_trips_through_read_response() {
+        let mut wire = Vec::new();
+        {
+            let mut cw = ChunkedWriter::start(&mut wire, 200, "OK", &[("X-Test", "1")]).unwrap();
+            cw.write_chunk(b"hello ").unwrap();
+            cw.write_chunk(b"").unwrap();
+            cw.write_chunk(b"world\n").unwrap();
+            cw.finish().unwrap();
+        }
+        let resp = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("X-Test"), Some("1"));
+        assert_eq!(resp.body, b"hello world\n");
+    }
+
+    #[test]
+    fn content_length_response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 503, "Service Unavailable", &[("Retry-After", "1")], b"busy", false)
+            .unwrap();
+        let resp = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.body, b"busy");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,42 @@
+//! A dependency-free streaming scenario service.
+//!
+//! This crate implements the `xp serve` subsystem: a small HTTP/1.1
+//! server hand-rolled on [`std::net::TcpListener`] that accepts job
+//! submissions, runs them on a fixed worker pool behind a bounded
+//! queue, and streams results back to clients as they are produced.
+//! The workspace builds offline with vendored shims only, so there is
+//! deliberately no external HTTP framework here.
+//!
+//! The crate knows nothing about scenario specs. Domain logic is
+//! injected through the [`handler::JobHandler`] trait: the handler
+//! parses a request body into a job, reports a stable content digest
+//! for caching, and executes the job against an [`std::io::Write`]
+//! sink. `noisy-bench` provides the production handler that wires in
+//! its `Runner`; the tests here use small mock handlers.
+//!
+//! Architecture, one thread group per concern:
+//!
+//! * an **acceptor** thread polls a non-blocking listener and spawns
+//!   one connection thread per client (keep-alive and pipelining are
+//!   supported by the incremental parser in [`http`]);
+//! * **worker** threads drain the bounded [`queue::BoundedQueue`];
+//!   when the queue is full, submissions are rejected with `503` and
+//!   a `Retry-After` header instead of growing memory;
+//! * finished results land in a content-addressed byte-budget LRU
+//!   ([`lru::LruCache`]), so resubmitting a spec — or running a sweep
+//!   that shares cells with a cached one — returns without recompute.
+//!
+//! Graceful shutdown (SIGTERM/ctrl-c via [`signal`], or
+//! `POST /v1/shutdown` when enabled) stops accepting work, drains the
+//! queue, and joins every worker.
+
+pub mod http;
+pub mod handler;
+pub mod loadtest;
+pub mod lru;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use handler::{JobHandler, Plan};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,169 @@
+//! A byte-budgeted LRU cache with `u64` keys.
+//!
+//! The service's result cache is content-addressed: keys are stable
+//! digests of canonical spec text (see
+//! `ScenarioSpec::canonical_digest` in `noisy-bench`), values are
+//! finished response bodies or per-cell row sets. Entries carry an
+//! explicit byte cost and the cache evicts least-recently-used
+//! entries until the total cost fits the budget, so a long-running
+//! server holds memory bounded by `--cache-bytes` no matter how many
+//! distinct specs it has seen.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Entry<V> {
+    value: V,
+    cost: usize,
+    tick: u64,
+}
+
+/// Least-recently-used cache bounded by total byte cost.
+pub struct LruCache<V> {
+    map: HashMap<u64, Entry<V>>,
+    // tick -> key, ordered oldest-first; ticks are unique.
+    order: BTreeMap<u64, u64>,
+    tick: u64,
+    bytes: usize,
+    budget: usize,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache evicting down to `budget` total bytes. A
+    /// budget of 0 disables caching entirely.
+    pub fn new(budget: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total byte cost of live entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let next_tick = self.tick + 1;
+        let entry = self.map.get_mut(&key)?;
+        self.order.remove(&entry.tick);
+        entry.tick = next_tick;
+        self.order.insert(next_tick, key);
+        self.tick = next_tick;
+        Some(&entry.value)
+    }
+
+    /// Inserts (or replaces) `key`, then evicts LRU entries until the
+    /// budget holds. Returns how many entries were evicted. Values
+    /// costlier than the whole budget are not stored.
+    pub fn insert(&mut self, key: u64, value: V, cost: usize) -> usize {
+        if cost > self.budget {
+            // Too big to ever fit; also drop any stale entry under
+            // this key rather than serving an outdated value.
+            return usize::from(self.remove(key));
+        }
+        self.remove(key);
+        self.tick += 1;
+        self.map.insert(key, Entry { value, cost, tick: self.tick });
+        self.order.insert(self.tick, key);
+        self.bytes += cost;
+        let mut evicted = 0;
+        while self.bytes > self.budget {
+            let (&oldest_tick, &oldest_key) =
+                self.order.iter().next().expect("over budget implies non-empty");
+            // The entry just inserted is the newest; the loop always
+            // terminates before evicting it because removing all
+            // others brings bytes == cost <= budget.
+            self.order.remove(&oldest_tick);
+            let entry = self.map.remove(&oldest_key).expect("order/map in sync");
+            self.bytes -= entry.cost;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn remove(&mut self, key: u64) -> bool {
+        if let Some(entry) = self.map.remove(&key) {
+            self.order.remove(&entry.tick);
+            self.bytes -= entry.cost;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(30);
+        c.insert(1, "a", 10);
+        c.insert(2, "b", 10);
+        c.insert(3, "c", 10);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(1), Some(&"a"));
+        let evicted = c.insert(4, "d", 10);
+        assert_eq!(evicted, 1);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), Some(&"c"));
+        assert_eq!(c.get(4), Some(&"d"));
+        assert_eq!(c.bytes(), 30);
+    }
+
+    #[test]
+    fn oversized_value_is_not_stored() {
+        let mut c = LruCache::new(8);
+        c.insert(1, "small", 4);
+        c.insert(2, "huge", 100);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1), Some(&"small"));
+        assert_eq!(c.bytes(), 4);
+    }
+
+    #[test]
+    fn replacing_a_key_updates_cost() {
+        let mut c = LruCache::new(20);
+        c.insert(1, "a", 10);
+        c.insert(1, "b", 5);
+        assert_eq!(c.bytes(), 5);
+        assert_eq!(c.entries(), 1);
+        assert_eq!(c.get(1), Some(&"b"));
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "a", 1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn multi_eviction_until_budget_holds() {
+        let mut c = LruCache::new(10);
+        c.insert(1, "a", 3);
+        c.insert(2, "b", 3);
+        c.insert(3, "c", 3);
+        let evicted = c.insert(4, "d", 9);
+        assert_eq!(evicted, 3);
+        assert_eq!(c.entries(), 1);
+        assert_eq!(c.bytes(), 9);
+    }
+}

@@ -1,0 +1,159 @@
+//! A bounded multi-producer multi-consumer job queue.
+//!
+//! Producers never block: [`BoundedQueue::try_push`] fails fast when
+//! the queue is at capacity so the HTTP layer can answer `503` with
+//! `Retry-After` instead of accumulating unbounded work. Consumers
+//! block in [`BoundedQueue::pop`] until an item arrives or the queue
+//! is closed and drained — closing is how graceful shutdown lets
+//! workers finish everything already accepted before exiting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between the acceptor and the workers.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Why [`BoundedQueue::try_push`] rejected an item; the item is
+/// handed back so the caller can report on it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue holds `capacity` items already.
+    Full(T),
+    /// The queue was closed for shutdown.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently waiting (not including jobs already claimed by
+    /// a worker).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; returns `None` once the
+    /// queue has been closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stops accepting new items and wakes all blocked consumers;
+    /// items already queued are still handed out by [`pop`](Self::pop).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_recovers_after_pop() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert!(matches!(q.try_push("b"), Err(PushError::Closed("b"))));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_flow_producer_to_consumer() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..20 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

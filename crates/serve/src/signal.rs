@@ -1,0 +1,51 @@
+//! Minimal SIGINT/SIGTERM latching without a libc crate.
+//!
+//! The workspace builds offline with no external dependencies, so
+//! instead of `signal-hook`/`libc` this module declares the C
+//! `signal(2)` entry point directly (std already links libc on unix)
+//! and installs an async-signal-safe handler that only stores into an
+//! atomic. The serve loop polls [`triggered`] and begins graceful
+//! shutdown when it flips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Installs handlers for SIGINT and SIGTERM that latch [`triggered`].
+/// On non-unix targets this is a no-op (ctrl-c terminates the
+/// process; graceful shutdown remains reachable via the HTTP
+/// endpoint).
+#[cfg(unix)]
+pub fn install() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// See the unix variant; this no-op keeps callers portable.
+#[cfg(not(unix))]
+pub fn install() {
+    let _ = (SIGINT, SIGTERM);
+}
+
+/// Whether a termination signal has been received since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Testing hook: latches the flag as if a signal had arrived.
+pub fn trigger_for_test() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,232 @@
+//! Property tests for the incremental HTTP/1.1 request parser.
+//!
+//! The parser feeds directly on socket bytes, so the properties here are
+//! its safety contract: valid requests round-trip exactly, every strict
+//! prefix of a valid request is `Incomplete` (never a spurious error or
+//! a truncated `Complete`), pipelined requests split at the right byte,
+//! and arbitrary garbage — including single-byte corruptions of valid
+//! requests — never panics or overruns the configured limits.
+
+use noisy_serve::http::{parse_request, HttpError, Limits, Parsed};
+use proptest::prelude::*;
+
+fn method_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "GET".to_string(),
+        "POST".to_string(),
+        "PUT".to_string(),
+        "DELETE".to_string(),
+        "PATCH".to_string(),
+    ])
+}
+
+/// URL-ish path segments; kept to bytes that are unambiguous in a
+/// request line (no spaces, no control characters).
+fn path_strategy() -> impl Strategy<Value = String> {
+    let segment = prop::collection::vec(
+        prop::sample::select("abcdefgz019-_.~%".chars().collect::<Vec<_>>()),
+        1..8,
+    )
+    .prop_map(|chars| chars.into_iter().collect::<String>());
+    (prop::collection::vec(segment, 0..4), prop::bool::ANY).prop_map(|(segments, query)| {
+        let mut path = String::from("/");
+        path.push_str(&segments.join("/"));
+        if query {
+            path.push_str("?x=1&y=2");
+        }
+        path
+    })
+}
+
+/// Innocuous header names: none of the names the parser gives semantics
+/// to (`content-length`, `connection`, `transfer-encoding`), so the
+/// generated requests stay valid regardless of how they combine.
+fn header_strategy() -> impl Strategy<Value = (String, String)> {
+    let name = prop::sample::select(vec![
+        "X-Trace".to_string(),
+        "Accept".to_string(),
+        "User-Agent".to_string(),
+        "X-Request-Id".to_string(),
+        "Host".to_string(),
+    ]);
+    let value = prop::collection::vec(
+        prop::sample::select("abc XYZ0:;/=,.".chars().collect::<Vec<_>>()),
+        0..20,
+    )
+    .prop_map(|chars| chars.into_iter().collect::<String>().trim().to_string());
+    (name, value)
+}
+
+#[derive(Debug, Clone)]
+struct GeneratedRequest {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    close: bool,
+}
+
+impl GeneratedRequest {
+    /// The exact bytes a client would put on the wire.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.path).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        if self.close {
+            out.extend_from_slice(b"Connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn request_strategy() -> impl Strategy<Value = GeneratedRequest> {
+    (
+        method_strategy(),
+        path_strategy(),
+        prop::collection::vec(header_strategy(), 0..4),
+        prop::collection::vec(0u8..255, 0..200),
+        prop::bool::ANY,
+    )
+        .prop_map(|(method, path, headers, body, close)| GeneratedRequest {
+            method,
+            path,
+            headers,
+            body,
+            close,
+        })
+}
+
+fn parse_complete(bytes: &[u8]) -> (noisy_serve::http::Request, usize) {
+    match parse_request(bytes, &Limits::default()) {
+        Ok(Parsed::Complete { request, consumed }) => (request, consumed),
+        other => panic!("expected a complete parse, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialize -> parse is the identity on method, path, headers and
+    /// body, and consumes exactly the bytes written.
+    #[test]
+    fn valid_requests_round_trip(req in request_strategy()) {
+        let bytes = req.to_bytes();
+        let (parsed, consumed) = parse_complete(&bytes);
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&parsed.method, &req.method);
+        prop_assert_eq!(&parsed.path, &req.path);
+        prop_assert_eq!(&parsed.body, &req.body);
+        prop_assert_eq!(parsed.keep_alive, !req.close);
+        for (name, value) in &req.headers {
+            // Duplicate generated names keep their first value, like
+            // `Request::header` resolves them.
+            let first = req
+                .headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str());
+            prop_assert_eq!(parsed.header(name), first, "header {}={}", name, value);
+        }
+    }
+
+    /// Every strict prefix of a valid request is `Incomplete`: the
+    /// incremental reader must never see an error or a short `Complete`
+    /// while a slow client is still sending.
+    #[test]
+    fn every_strict_prefix_is_incomplete(req in request_strategy()) {
+        let bytes = req.to_bytes();
+        for cut in 0..bytes.len() {
+            match parse_request(&bytes[..cut], &Limits::default()) {
+                Ok(Parsed::Incomplete) => {}
+                other => prop_assert!(false, "prefix of {cut} bytes parsed as {other:?}"),
+            }
+        }
+    }
+
+    /// Two pipelined requests split at exactly the first request's
+    /// byte length, and the remainder parses as the second request.
+    #[test]
+    fn pipelined_requests_split_at_request_boundaries(
+        first in request_strategy(),
+        second in request_strategy(),
+    ) {
+        let mut wire = first.to_bytes();
+        let boundary = wire.len();
+        wire.extend_from_slice(&second.to_bytes());
+        let (parsed, consumed) = parse_complete(&wire);
+        prop_assert_eq!(consumed, boundary);
+        prop_assert_eq!(&parsed.path, &first.path);
+        let (rest, rest_consumed) = parse_complete(&wire[consumed..]);
+        prop_assert_eq!(rest_consumed, wire.len() - boundary);
+        prop_assert_eq!(&rest.path, &second.path);
+        prop_assert_eq!(&rest.body, &second.body);
+    }
+
+    /// Arbitrary bytes never panic the parser, and whatever it returns
+    /// respects the head limit: no `Complete` whose head outruns
+    /// `max_head`.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..255, 0..300)) {
+        let limits = Limits { max_head: 64, max_body: 64 };
+        match parse_request(&bytes, &limits) {
+            Ok(Parsed::Complete { consumed, request }) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(request.body.len() <= limits.max_body);
+            }
+            Ok(Parsed::Incomplete) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Single-byte corruptions of valid requests never panic; they
+    /// parse, wait for more bytes, or fail cleanly.
+    #[test]
+    fn corrupted_requests_never_panic(
+        req in request_strategy(),
+        pos in 0usize..4096,
+        replacement in 0u8..255,
+    ) {
+        let mut bytes = req.to_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = replacement;
+        let _ = parse_request(&bytes, &Limits::default());
+    }
+}
+
+#[test]
+fn oversized_heads_are_rejected_even_while_incomplete() {
+    // 100 bytes of request line with no terminator against a 64-byte
+    // head limit: the parser must fail now, not buffer forever.
+    let mut bytes = b"GET /".to_vec();
+    bytes.extend(std::iter::repeat_n(b'a', 95));
+    let limits = Limits { max_head: 64, max_body: 1024 };
+    match parse_request(&bytes, &limits) {
+        Err(HttpError::TooLarge(_)) => {}
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_bodies_are_rejected_from_the_declared_length() {
+    let bytes = b"POST /v1/runs HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+    let limits = Limits { max_head: 16 * 1024, max_body: 1024 };
+    match parse_request(bytes, &limits) {
+        Err(HttpError::TooLarge(_)) => {}
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn transfer_encoding_requests_are_unsupported() {
+    let bytes = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    match parse_request(bytes, &Limits::default()) {
+        Err(HttpError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
