@@ -17,6 +17,13 @@
 //! * [`StreamSink`] — writes one JSON line per finished phase to any
 //!   [`Write`], flushing as it goes, so long runs can be watched (or
 //!   piped) live instead of waiting for the final table.
+//! * [`DisseminationTime`] — records when the opinionated fraction first
+//!   reaches a threshold (the rumor-spreading dissemination time of
+//!   Theorem 1 when the threshold is 1).
+//! * [`ReconvergenceTime`] — measures how long the system needs to win
+//!   the bias threshold back after a temporal disruption (a noise burst,
+//!   a churn burst, …) knocked it below; the observable behind the
+//!   `burst` experiment.
 
 use crate::stats::SampleStats;
 use crate::table::{json_line, Table};
@@ -335,6 +342,7 @@ pub struct StreamSink<W: Write> {
     out: W,
     headers: Vec<String>,
     prefix: Vec<String>,
+    population: bool,
     previous_bias: Option<f64>,
     error: Option<std::io::Error>,
 }
@@ -367,9 +375,21 @@ impl<W: Write> StreamSink<W> {
             out,
             headers,
             prefix: prefix.iter().map(|s| s.as_ref().to_string()).collect(),
+            population: false,
             previous_bias: None,
             error: None,
         }
+    }
+
+    /// Appends a trailing `population` column carrying each snapshot's
+    /// live node count — the per-phase population trajectory of a run
+    /// under churn.
+    pub fn with_population(mut self) -> Self {
+        if !self.population {
+            self.population = true;
+            self.headers.push("population".to_string());
+        }
+        self
     }
 
     /// The first write error encountered, if any.
@@ -387,6 +407,9 @@ impl<W: Write> Observer for StreamSink<W> {
     fn on_phase_end(&mut self, snapshot: &PhaseSnapshot) {
         let mut row = self.prefix.clone();
         row.extend(trajectory_row(snapshot, self.previous_bias));
+        if self.population {
+            row.push(snapshot.distribution().num_nodes().to_string());
+        }
         self.previous_bias = snapshot.bias();
         if self.error.is_none() {
             let result = writeln!(self.out, "{}", json_line(&self.headers, &row))
@@ -404,6 +427,189 @@ impl<W: Write> Observer for StreamSink<W> {
                 self.error = Some(e);
             }
         }
+    }
+}
+
+/// Records when the opinionated fraction first reaches a threshold.
+///
+/// With the threshold at `1.0` (the default) this is the *dissemination
+/// time* of the paper's rumor-spreading problem — the number of rounds
+/// until every agent holds some opinion. Under population churn the
+/// fraction is measured against the *live* population of each snapshot, so
+/// joiners arriving undecided push the crossing later, exactly like they
+/// do in the real process.
+///
+/// The observer is single-crossing: once the threshold is reached the
+/// recorded rounds never change, even if churn later dilutes the fraction
+/// below the threshold again (dissemination is about the first time
+/// everyone was reached). Reuse across runs via [`clear`](Self::clear).
+#[derive(Debug, Clone)]
+pub struct DisseminationTime {
+    threshold: f64,
+    rounds: Option<u64>,
+    phases: Option<usize>,
+    seen: usize,
+}
+
+impl Default for DisseminationTime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DisseminationTime {
+    /// Records the first time *everyone* is opinionated (threshold 1.0).
+    pub fn new() -> Self {
+        Self::with_threshold(1.0)
+    }
+
+    /// Records the first time the opinionated fraction reaches
+    /// `threshold` (clamped meaningfully to `(0, 1]` by the caller; the
+    /// observer just compares).
+    pub fn with_threshold(threshold: f64) -> Self {
+        Self {
+            threshold,
+            rounds: None,
+            phases: None,
+            seen: 0,
+        }
+    }
+
+    /// Total rounds elapsed when the threshold was first reached, or
+    /// `None` if the run never got there.
+    pub fn rounds(&self) -> Option<u64> {
+        self.rounds
+    }
+
+    /// Number of finished phases (cumulative, across stages) when the
+    /// threshold was first reached.
+    pub fn phases(&self) -> Option<usize> {
+        self.phases
+    }
+
+    /// Forgets the recorded crossing (for reuse across runs).
+    pub fn clear(&mut self) {
+        self.rounds = None;
+        self.phases = None;
+        self.seen = 0;
+    }
+}
+
+impl Observer for DisseminationTime {
+    fn on_phase_end(&mut self, snapshot: &PhaseSnapshot) {
+        let index = self.seen;
+        self.seen += 1;
+        if self.rounds.is_none() && snapshot.opinionated_fraction() >= self.threshold {
+            self.rounds = Some(snapshot.total_rounds());
+            self.phases = Some(index);
+        }
+    }
+}
+
+/// One completed recovery recorded by [`ReconvergenceTime`]: the bias held
+/// the threshold, fell below it, and climbed back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reconvergence {
+    /// Total rounds elapsed at the first observation *below* the
+    /// threshold (when the disruption became visible).
+    pub lost_at: u64,
+    /// Total rounds elapsed at the first observation back *at or above*
+    /// the threshold.
+    pub recovered_at: u64,
+}
+
+impl Reconvergence {
+    /// Rounds the system spent below the threshold.
+    pub fn rounds(&self) -> u64 {
+        self.recovered_at - self.lost_at
+    }
+}
+
+/// Measures how long the system needs to win a bias threshold back after
+/// a temporal disruption knocked it below.
+///
+/// The observer runs a three-state machine over the per-phase bias: it
+/// waits for the bias to reach `threshold` the first time (initial
+/// convergence — not counted as a recovery), then every excursion below
+/// the threshold opens a disruption window that closes when the bias is
+/// back at or above it. Each closed window becomes a [`Reconvergence`];
+/// an undefined bias (nobody opinionated) counts as *below*. This is the
+/// observable behind the `burst` experiment: schedule a noise or churn
+/// burst mid-run and read off how many rounds the consensus needs to heal.
+#[derive(Debug, Clone)]
+pub struct ReconvergenceTime {
+    threshold: f64,
+    state: ReconvergenceState,
+    events: Vec<Reconvergence>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReconvergenceState {
+    /// The bias has not yet reached the threshold at all.
+    Converging,
+    /// The bias is at or above the threshold.
+    Holding,
+    /// The bias fell below the threshold at the recorded round count.
+    Disrupted { lost_at: u64 },
+}
+
+impl ReconvergenceTime {
+    /// An observer for recoveries of the given bias threshold.
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            threshold,
+            state: ReconvergenceState::Converging,
+            events: Vec::new(),
+        }
+    }
+
+    /// The completed recoveries, in order of occurrence.
+    pub fn events(&self) -> &[Reconvergence] {
+        &self.events
+    }
+
+    /// The slowest completed recovery, in rounds.
+    pub fn max_rounds(&self) -> Option<u64> {
+        self.events.iter().map(Reconvergence::rounds).max()
+    }
+
+    /// The round count at which a still-open disruption started, if the
+    /// run ended (or currently stands) below the threshold after having
+    /// reached it.
+    pub fn unrecovered_since(&self) -> Option<u64> {
+        match self.state {
+            ReconvergenceState::Disrupted { lost_at } => Some(lost_at),
+            _ => None,
+        }
+    }
+
+    /// Forgets all recorded events and re-arms the initial convergence
+    /// (for reuse across runs).
+    pub fn clear(&mut self) {
+        self.state = ReconvergenceState::Converging;
+        self.events.clear();
+    }
+}
+
+impl Observer for ReconvergenceTime {
+    fn on_phase_end(&mut self, snapshot: &PhaseSnapshot) {
+        let holds = snapshot.bias().is_some_and(|b| b >= self.threshold);
+        self.state = match (self.state, holds) {
+            (ReconvergenceState::Converging, true) => ReconvergenceState::Holding,
+            (ReconvergenceState::Converging, false) => ReconvergenceState::Converging,
+            (ReconvergenceState::Holding, true) => ReconvergenceState::Holding,
+            (ReconvergenceState::Holding, false) => ReconvergenceState::Disrupted {
+                lost_at: snapshot.total_rounds(),
+            },
+            (ReconvergenceState::Disrupted { lost_at }, true) => {
+                self.events.push(Reconvergence {
+                    lost_at,
+                    recovered_at: snapshot.total_rounds(),
+                });
+                ReconvergenceState::Holding
+            }
+            (state @ ReconvergenceState::Disrupted { .. }, false) => state,
+        };
     }
 }
 
@@ -554,6 +760,67 @@ mod tests {
              \"topology\":\"complete\"}"
         );
         assert!(lines[1].contains("\"amplification\":\"3.00x\""));
+    }
+
+    fn timed_snapshot(
+        total_rounds: u64,
+        counts: Vec<usize>,
+        undecided: usize,
+        bias: Option<f64>,
+    ) -> PhaseSnapshot {
+        let distribution = OpinionDistribution::from_counts(counts, undecided).unwrap();
+        PhaseSnapshot::new(None, 0, 10, total_rounds, 50, 50, distribution, bias)
+    }
+
+    #[test]
+    fn dissemination_time_records_the_first_crossing_only() {
+        let mut obs = DisseminationTime::new();
+        assert_eq!(obs.rounds(), None);
+        obs.on_phase_end(&timed_snapshot(4, vec![30, 10], 60, Some(0.5)));
+        assert_eq!(obs.rounds(), None, "still 60 undecided agents");
+        obs.on_phase_end(&timed_snapshot(8, vec![80, 20], 0, Some(0.6)));
+        assert_eq!(obs.rounds(), Some(8));
+        assert_eq!(obs.phases(), Some(1));
+        // Churn diluting the fraction afterwards does not reopen it.
+        obs.on_phase_end(&timed_snapshot(12, vec![80, 20], 10, Some(0.6)));
+        assert_eq!(obs.rounds(), Some(8));
+        obs.clear();
+        assert_eq!(obs.rounds(), None);
+        // A lower threshold crosses earlier.
+        let mut half = DisseminationTime::with_threshold(0.4);
+        half.on_phase_end(&timed_snapshot(4, vec![30, 10], 60, Some(0.5)));
+        assert_eq!(half.rounds(), Some(4));
+        assert_eq!(half.phases(), Some(0));
+    }
+
+    #[test]
+    fn reconvergence_time_tracks_disruption_windows() {
+        let mut obs = ReconvergenceTime::new(0.5);
+        // The initial climb to the threshold is not a recovery.
+        obs.on_phase_end(&timed_snapshot(2, vec![40, 30], 30, Some(0.1)));
+        obs.on_phase_end(&timed_snapshot(4, vec![80, 20], 0, Some(0.6)));
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.unrecovered_since(), None);
+        // A burst knocks the bias down...
+        obs.on_phase_end(&timed_snapshot(6, vec![55, 45], 0, Some(0.1)));
+        assert_eq!(obs.unrecovered_since(), Some(6));
+        obs.on_phase_end(&timed_snapshot(8, vec![60, 40], 0, Some(0.2)));
+        // ...and the system heals two observations later.
+        obs.on_phase_end(&timed_snapshot(10, vec![85, 15], 0, Some(0.7)));
+        assert_eq!(obs.events().len(), 1);
+        assert_eq!(obs.events()[0].lost_at, 6);
+        assert_eq!(obs.events()[0].recovered_at, 10);
+        assert_eq!(obs.events()[0].rounds(), 4);
+        assert_eq!(obs.max_rounds(), Some(4));
+        assert_eq!(obs.unrecovered_since(), None);
+        // An undefined bias counts as below the threshold.
+        obs.on_phase_end(&timed_snapshot(12, vec![0, 0], 100, None));
+        assert_eq!(obs.unrecovered_since(), Some(12));
+        obs.on_phase_end(&timed_snapshot(13, vec![90, 10], 0, Some(0.8)));
+        assert_eq!(obs.events().len(), 2);
+        assert_eq!(obs.max_rounds(), Some(4), "the second recovery took 1 round");
+        obs.clear();
+        assert!(obs.events().is_empty());
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //!
 //! Built-in oracles:
 //!
-//! * [`CountConservation`] — the population never changes size: every
-//!   snapshot's distribution must account for exactly `n` agents. Message
-//!   drops and duplications alter *message* counts, never *agent* counts,
-//!   so this invariant must hold under every fault family (both backends
-//!   fold crashed/Byzantine pools back into their reported distributions).
+//! * [`CountConservation`] — the population follows its deterministic
+//!   size trajectory: without churn every snapshot's distribution must
+//!   account for exactly `n` agents; under population churn it must match
+//!   the phase-indexed size the churn arithmetic prescribes
+//!   ([`ChurnSpec::population_after`]). Message drops and duplications
+//!   alter *message* counts, never *agent* counts, so this invariant must
+//!   hold under every fault family (both backends fold crashed/Byzantine
+//!   pools back into their reported distributions).
 //! * [`ConsensusCorrectness`] — if the run converged, it converged on the
 //!   planted opinion (the rumor source's opinion, or the initial
 //!   plurality). Byzantine pushes towards a fixed wrong opinion are
@@ -37,6 +40,7 @@
 
 use plurality_core::bounds::rounds_bound;
 use plurality_core::{Outcome, PhaseSnapshot};
+use pushsim::ChurnSpec;
 
 /// One broken invariant, reported by an [`Oracle`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,22 +123,50 @@ pub trait Oracle {
     }
 }
 
-/// Checks that every observed distribution accounts for exactly `n`
-/// agents. See the module docs: faults redistribute messages and freeze
-/// agents but never create or destroy them.
+/// Checks that every observed distribution accounts for exactly the
+/// expected number of agents. See the module docs: faults redistribute
+/// messages and freeze agents but never create or destroy them.
+///
+/// Under population churn the expected size is no longer a constant: the
+/// churn arithmetic is deterministic (only *which* agents leave and *what*
+/// joiners believe is random), so the oracle folds the configured
+/// [`ChurnSpec`] forward with
+/// [`population_after`](ChurnSpec::population_after) and demands that the
+/// live population of the snapshot at cumulative phase index `i` equals
+/// the population after exactly `i` churn boundaries — boundary `b`
+/// precedes phase `b`, and boundary 0 never churns, so the end of phase
+/// `i` has seen boundaries `1..=i`. Build the churn-aware form with
+/// [`with_churn`](Self::with_churn); [`new`](Self::new) keeps the
+/// constant-population contract.
 #[derive(Debug, Clone)]
 pub struct CountConservation {
-    expected_nodes: usize,
+    initial_nodes: usize,
+    churn: ChurnSpec,
+    observed: u64,
     tripped: bool,
 }
 
 impl CountConservation {
     /// An oracle expecting `expected_nodes` agents in every snapshot.
     pub fn new(expected_nodes: usize) -> Self {
+        Self::with_churn(expected_nodes, ChurnSpec::none())
+    }
+
+    /// An oracle that tracks the deterministic population trajectory the
+    /// churn spec induces from `initial_nodes` agents.
+    pub fn with_churn(initial_nodes: usize, churn: ChurnSpec) -> Self {
         Self {
-            expected_nodes,
+            initial_nodes,
+            churn,
+            observed: 0,
             tripped: false,
         }
+    }
+
+    /// The population this oracle expects at the end of the phase with
+    /// cumulative index `phase` (boundaries `1..=phase` applied).
+    pub fn expected_at(&self, phase: u64) -> usize {
+        self.churn.population_after(self.initial_nodes, phase)
     }
 }
 
@@ -144,19 +176,18 @@ impl Oracle for CountConservation {
     }
 
     fn observe(&mut self, index: u64, snapshot: &PhaseSnapshot) -> Option<Violation> {
+        self.observed = index + 1;
         if self.tripped {
             return None;
         }
+        let expected = self.expected_at(index);
         let found = snapshot.distribution().num_nodes();
-        if found != self.expected_nodes {
+        if found != expected {
             self.tripped = true;
             return Some(Violation::at_phase(
                 self.name(),
                 index,
-                format!(
-                    "distribution accounts for {found} agents, expected {}",
-                    self.expected_nodes
-                ),
+                format!("distribution accounts for {found} agents, expected {expected}"),
             ));
         }
         None
@@ -166,15 +197,16 @@ impl Oracle for CountConservation {
         if self.tripped {
             return None;
         }
+        // The final distribution is the last phase's: no further boundary
+        // runs after the last phase, so the expectation is the one of the
+        // last observation (or the initial size if nothing was observed).
+        let expected = self.expected_at(self.observed.saturating_sub(1));
         let found = outcome.final_distribution().num_nodes();
-        if found != self.expected_nodes {
+        if found != expected {
             self.tripped = true;
             return Some(Violation::at_finish(
                 self.name(),
-                format!(
-                    "final distribution accounts for {found} agents, expected {}",
-                    self.expected_nodes
-                ),
+                format!("final distribution accounts for {found} agents, expected {expected}"),
             ));
         }
         None
@@ -344,8 +376,22 @@ impl OracleSuite {
     /// conservation, consensus correctness, bias monotonicity at the given
     /// tolerance, and the paper round envelope at the given slack.
     pub fn standard(num_nodes: usize, epsilon: f64, tolerance: f64, slack: f64) -> Self {
+        Self::standard_with_churn(num_nodes, epsilon, tolerance, slack, ChurnSpec::none())
+    }
+
+    /// The standard suite for a run under population churn: identical to
+    /// [`standard`](Self::standard) except that count conservation tracks
+    /// the deterministic population trajectory the churn spec induces
+    /// instead of a constant `n`.
+    pub fn standard_with_churn(
+        num_nodes: usize,
+        epsilon: f64,
+        tolerance: f64,
+        slack: f64,
+        churn: ChurnSpec,
+    ) -> Self {
         Self::new()
-            .with(CountConservation::new(num_nodes))
+            .with(CountConservation::with_churn(num_nodes, churn))
             .with(ConsensusCorrectness::new())
             .with(BiasMonotonicity::new(tolerance))
             .with(PaperBound::new(num_nodes, epsilon, slack))
@@ -428,6 +474,30 @@ mod tests {
         assert_eq!(violation.phase(), Some(1));
         // Latched: a second bad snapshot stays silent.
         assert!(oracle.observe(2, &snapshot(vec![1, 0, 0], 0, None)).is_none());
+    }
+
+    #[test]
+    fn churn_aware_conservation_tracks_the_deterministic_trajectory() {
+        let churn: ChurnSpec = "join(0.1)+leave(0.2)".parse().expect("valid churn");
+        let mut oracle = CountConservation::with_churn(100, churn);
+        // Boundary 0 never churns: phase 0 still has 100 agents.
+        assert_eq!(oracle.expected_at(0), 100);
+        assert!(oracle.observe(0, &snapshot(vec![60, 40, 0], 0, Some(0.2))).is_none());
+        // Boundary 1: -20 leavers, +10 joiners.
+        let expected = churn.population_after(100, 1);
+        assert_eq!(expected, 90);
+        assert!(oracle
+            .observe(1, &snapshot(vec![50, 30, 0], 10, Some(0.2)))
+            .is_none());
+        // A population that ignores the churn arithmetic trips the oracle.
+        let violation = oracle
+            .observe(2, &snapshot(vec![50, 30, 0], 10, Some(0.2)))
+            .expect("90 agents, but boundary 2 shrank the expectation");
+        assert_eq!(violation.oracle(), "count-conservation");
+        assert!(violation.message().contains(&format!(
+            "expected {}",
+            churn.population_after(100, 2)
+        )));
     }
 
     #[test]

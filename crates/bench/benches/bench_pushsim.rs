@@ -584,6 +584,98 @@ fn bench_fault_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The temporal-subsystem cost guard: one phase with no temporal keys at
+/// all vs an explicit all-default temporal configuration (`churn = none`,
+/// `schedule = const`, `clock = sync` — these two must be within noise of
+/// each other, since default axes build no temporal state and never seed
+/// the dedicated churn/schedule RNGs) and with each axis active, on the
+/// agent backend at n = 10⁵ and the counting backend at k = 64. Active
+/// population churn pays an O(k) count transfer per *phase* boundary, a
+/// schedule an O(k²) matrix rebuild per boundary, edge churn a graph
+/// resample, and a drifting clock a per-round participation draw — all
+/// amortized against O(n·k) (agent) or O(k²) (counting) phase work.
+fn bench_temporal_overhead(c: &mut Criterion) {
+    let n = 100_000usize;
+    let k = 3usize;
+    let mut group = c.benchmark_group("pushsim_temporal_overhead");
+    group.sample_size(10);
+
+    let agent_net = |temporal: Option<(&str, &str, &str)>, topology: TopologySpec| {
+        let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+        let delivery = if topology.is_complete() {
+            DeliverySemantics::BallsIntoBins
+        } else {
+            DeliverySemantics::Exact
+        };
+        let mut builder = SimConfig::builder(n, k)
+            .seed(17)
+            .delivery(delivery)
+            .topology(topology);
+        if let Some((churn, schedule, clock)) = temporal {
+            builder = builder
+                .churn(churn.parse().expect("valid churn spec"))
+                .schedule(schedule.parse().expect("valid schedule"))
+                .clock(clock.parse().expect("valid clock spec"));
+        }
+        let config = builder.build().expect("valid config");
+        let mut net = Network::new(config, noise).expect("valid network");
+        net.seed_counts(&[n / 2, n / 4, n / 4]).expect("valid counts");
+        net
+    };
+    let complete = TopologySpec::Complete;
+    for (name, temporal, topology) in [
+        ("agent_n1e5_no_temporal_keys", None, complete),
+        ("agent_n1e5_temporal_none", Some(("none", "const", "sync")), complete),
+        ("agent_n1e5_churn", Some(("join(0.02)+leave(0.02)", "const", "sync")), complete),
+        ("agent_n1e5_schedule_burst", Some(("none", "burst(0.4@2:1)", "sync")), complete),
+        ("agent_n1e5_clock_drift", Some(("none", "const", "drift(20000)")), complete),
+        (
+            "agent_n1e5_rewire",
+            Some(("rewire(0.5)", "const", "sync")),
+            TopologySpec::RandomRegular { degree: 8 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = agent_net(temporal, topology);
+            b.iter(|| black_box(drive_phase_generic(&mut net)));
+        });
+    }
+
+    // Counting backend at k = 64: the O(k) churn transfer and the O(k²)
+    // scheduled matrix rebuild land on an O(k²) phase, the backend's worst
+    // case for relative temporal overhead.
+    let counting_net = |temporal: Option<(&str, &str)>| {
+        let k = 64;
+        let n = 1_000_000;
+        let noise = NoiseMatrix::uniform(k, 0.2).expect("valid noise");
+        let mut builder = SimConfig::builder(n, k)
+            .seed(18)
+            .delivery(DeliverySemantics::Poissonized);
+        if let Some((churn, schedule)) = temporal {
+            builder = builder
+                .churn(churn.parse().expect("valid churn spec"))
+                .schedule(schedule.parse().expect("valid schedule"));
+        }
+        let config = builder.build().expect("valid config");
+        let mut net = CountingNetwork::new(config, noise).expect("valid network");
+        let counts = vec![n / k; k];
+        net.seed_counts(&counts).expect("valid counts");
+        net
+    };
+    for (name, temporal) in [
+        ("counting_k64_no_temporal_keys", None),
+        ("counting_k64_temporal_none", Some(("none", "const"))),
+        ("counting_k64_churn", Some(("join(0.05)+leave(0.05)", "const"))),
+        ("counting_k64_schedule_burst", Some(("none", "burst(0.4@2:1)"))),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = counting_net(temporal);
+            b.iter(|| black_box(drive_phase_generic(&mut net)));
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -598,6 +690,6 @@ criterion_group! {
               bench_end_phase_per_message_vs_batched, bench_backend_scaling,
               bench_generic_vs_concrete_dispatch, bench_observer_dispatch,
               bench_topology_round, bench_topology_phase_scaling,
-              bench_fault_overhead
+              bench_fault_overhead, bench_temporal_overhead
 }
 criterion_main!(benches);

@@ -401,6 +401,9 @@ fn cell_params(
         .delivery(spec.delivery)
         .topology(point.topology)
         .fault(point.fault)
+        .churn(point.churn)
+        .noise_schedule(point.schedule)
+        .clock(point.clock)
         .constants(spec.constants)
         .build()?)
 }
@@ -443,7 +446,15 @@ fn execute_one(
         }
         _ => unreachable!("prepare() rejects non-protocol kinds"),
     };
-    let mut suite = OracleSuite::standard(point.n, point.eps, options.tolerance, options.slack);
+    // The churn-aware suite: count conservation tracks the cell's
+    // deterministic population trajectory instead of a fixed node count.
+    let mut suite = OracleSuite::standard_with_churn(
+        point.n,
+        point.eps,
+        options.tolerance,
+        options.slack,
+        point.churn,
+    );
     let outcome = {
         let mut fanout = Fanout::new(vec![&mut suite as &mut dyn Observer, extra]);
         run.execute(&protocol, spec.backend, stop, &mut fanout)
@@ -578,6 +589,69 @@ mod tests {
             "expected the sabotage itself to be flagged, got {:?}",
             failure.violations
         );
+    }
+
+    #[test]
+    fn churn_cells_compose_with_faults_under_the_churn_aware_count_oracle() {
+        let mut spec = campaign_spec();
+        spec.sweep.fault = vec![FaultSpec::none(), "drop(0.1)".parse().unwrap()];
+        spec.sweep.churn = vec![
+            pushsim::ChurnSpec::none(),
+            "join(0.05)+leave(0.05)".parse().unwrap(),
+        ];
+        let options = CampaignOptions {
+            seeds: 4,
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign(&spec, &options).unwrap();
+        assert_eq!(report.cells().len(), 4, "fault x churn grid");
+        let table = report.to_table();
+        assert_eq!(
+            &table.headers()[..2],
+            &["fault", "churn"].map(String::from),
+            "churn is a first-class campaign axis"
+        );
+        // The count-conservation oracle follows each cell's deterministic
+        // population trajectory, so steady churn alone never trips it.
+        for cell in report.cells() {
+            if let Some(failure) = &cell.first_failure {
+                assert!(
+                    failure.violations.iter().all(|v| v.oracle() != "count-conservation"),
+                    "churn-aware conservation must track the trajectory: {:?}",
+                    failure.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_join_churn_induces_replayable_violations() {
+        let mut spec = campaign_spec();
+        // Every phase boundary floods in 40% fresh agents that all hold
+        // the minority opinion: the plurality flips and runs converge on
+        // the wrong opinion (or crawl past the round envelope).
+        spec.churn = "join(0.4:1)".parse().unwrap();
+        let options = CampaignOptions {
+            seeds: 4,
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign(&spec, &options).unwrap();
+        let cell = &report.cells()[0];
+        assert!(cell.failures > 0, "adversarial churn must be detected");
+        let failure = cell.first_failure.as_ref().unwrap();
+        assert!(
+            failure.violations.iter().all(|v| v.oracle() != "count-conservation"),
+            "the failure is behavioural, not a bookkeeping artifact: {:?}",
+            failure.violations
+        );
+
+        let replayed = replay(&spec, &options, failure.seed).unwrap();
+        assert!(!replayed.trajectory.is_empty(), "replay dumps the trajectory");
+        let rendered: Vec<String> =
+            replayed.violations.iter().map(|v| v.to_string()).collect();
+        let expected: Vec<String> =
+            failure.violations.iter().map(|v| v.to_string()).collect();
+        assert_eq!(rendered, expected, "replay reproduces the churn-induced violations");
     }
 
     #[test]

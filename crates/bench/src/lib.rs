@@ -528,6 +528,9 @@ pub fn reseed(params: &ProtocolParams, seed: u64) -> ProtocolParams {
         .delivery(params.delivery())
         .topology(params.topology())
         .fault(params.fault())
+        .churn(params.churn())
+        .noise_schedule(params.noise_schedule())
+        .clock(params.clock())
         .constants(*params.constants())
         .seed(seed)
         .build()
@@ -743,5 +746,19 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(reseed(&faulty, 7).fault(), faulty.fault());
+
+        // The temporal axes must survive too, or observed trials would
+        // silently run churn-free on a static ε under a synchronous clock.
+        let temporal = ProtocolParams::builder(300, 3)
+            .epsilon(0.3)
+            .churn("join(0.1)+leave(0.05)".parse().unwrap())
+            .noise_schedule("burst(0.4@2:1)".parse().unwrap())
+            .clock("drift(20000)".parse().unwrap())
+            .build()
+            .unwrap();
+        let reseeded = reseed(&temporal, 7);
+        assert_eq!(reseeded.churn(), temporal.churn());
+        assert_eq!(reseeded.noise_schedule(), temporal.noise_schedule());
+        assert_eq!(reseeded.clock(), temporal.clock());
     }
 }

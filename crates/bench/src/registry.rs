@@ -14,8 +14,8 @@
 //!   the scenario level (F8's delivery-semantics statistics, F4/T4's
 //!   analytic bounds). These still honour the shared [`Cli`] flags.
 //!
-//! The registered names are `f1`–`f8`, `t1`–`t4`, `a1`, `topo`, `topoxl`
-//! and `scale`.
+//! The registered names are `f1`–`f8`, `t1`–`t4`, `a1`, `topo`, `topoxl`,
+//! `churn`, `burst` and `scale`.
 
 use crate::runner::{PointResult, PointSummary, Runner};
 use crate::spec::{InitSpec, Metric, ObserveMode, ScenarioKind, ScenarioSpec};
@@ -24,7 +24,7 @@ use gossip_analysis::table::Table;
 use noisy_channel::{NoiseMatrix, NoiseSpec};
 use opinion_dynamics::RuleSpec;
 use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
-use pushsim::{DeliverySemantics, TopologySpec};
+use pushsim::{ChurnSpec, DeliverySemantics, NoiseSchedule, TopologySpec};
 use std::error::Error;
 use std::time::Instant;
 
@@ -133,7 +133,7 @@ pub fn apply_cli(spec: &mut ScenarioSpec, cli: &Cli) {
     }
 }
 
-static EXPERIMENTS: [Experiment; 16] = [
+static EXPERIMENTS: [Experiment; 18] = [
     Experiment {
         name: "f1",
         title: "rounds to consensus vs n (Theorem 1: O(log n / eps^2) rumor spreading)",
@@ -208,6 +208,16 @@ static EXPERIMENTS: [Experiment; 16] = [
         name: "topoxl",
         title: "sparse-topology consensus at n = 10^6 (10^7 with --full) on the block-counting backend",
         kind: ExperimentKind::Spec(topo_xl_spec),
+    },
+    Experiment {
+        name: "churn",
+        title: "plurality consensus under population churn at n = 10^6, per-phase population trajectory",
+        kind: ExperimentKind::Spec(churn_spec),
+    },
+    Experiment {
+        name: "burst",
+        title: "reconvergence after a transient noise burst and a one-shot departure burst",
+        kind: ExperimentKind::Spec(burst_spec),
     },
     Experiment {
         name: "scale",
@@ -475,6 +485,72 @@ fn topo_xl_spec(scale: Scale) -> ScenarioSpec {
         Metric::Consensus,
         Metric::Share,
         Metric::Rounds,
+    ];
+    spec
+}
+
+/// `churn` — the temporal-dynamics subsystem's flagship scenario: the same
+/// biased plurality instance at n = 10⁶ (10⁷ with `--full`) on the
+/// counting backend, swept across steady population-churn regimes from the
+/// static paper model (`none`, bit-for-bit the pre-temporal simulator)
+/// through balanced turnover to a net-growing and a net-shrinking
+/// population. Trajectory observation carries the live `population`
+/// column, so the deterministic per-phase population trajectory is
+/// visible next to the bias it dilutes: joiners draw opinions uniformly
+/// and push the amplification Lemmas 7/12 predict for a *static*
+/// population off its curve.
+fn churn_spec(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.2 },
+        },
+        scale.pick(1_000_000, 10_000_000),
+        3,
+    );
+    spec.epsilon = 0.25;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.25 };
+    spec.trials = 1;
+    spec.seed = 0xC4;
+    spec.backend = ExecutionBackend::Counting;
+    spec.observe = ObserveMode::Trajectory;
+    spec.sweep.churn = vec![
+        ChurnSpec::none(),
+        "join(0.05)+leave(0.05)".parse().expect("valid churn"),
+        "join(0.04)+leave(0.01)".parse().expect("valid churn"),
+        "join(0.01)+leave(0.04)".parse().expect("valid churn"),
+    ];
+    spec
+}
+
+/// `burst` — transient-disruption reconvergence on the counting backend at
+/// n = 10⁶ (10⁷ with `--full`): a constant-ε baseline next to a 2-phase
+/// noise burst to ε = 0.5 early (while the bias is still fragile) and the
+/// same burst later (after the Stage 1 amplification has banked margin),
+/// plus a one-shot departure burst removing 30% of the population. The
+/// per-phase trajectories show the bias dip and the reconvergence window
+/// after each disruption.
+fn burst_spec(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        ScenarioKind::PluralityConsensus {
+            init: InitSpec::Biased { bias: 0.2 },
+        },
+        scale.pick(1_000_000, 10_000_000),
+        3,
+    );
+    spec.epsilon = 0.25;
+    spec.noise = NoiseSpec::Uniform { epsilon: 0.25 };
+    spec.trials = 1;
+    spec.seed = 0xB5;
+    spec.backend = ExecutionBackend::Counting;
+    spec.observe = ObserveMode::Trajectory;
+    spec.sweep.schedule = vec![
+        NoiseSchedule::Const,
+        "burst(0.5@2:2)".parse().expect("valid schedule"),
+        "burst(0.5@5:2)".parse().expect("valid schedule"),
+    ];
+    spec.sweep.churn = vec![
+        ChurnSpec::none(),
+        "burst(0.3@3)".parse().expect("valid churn"),
     ];
     spec
 }
@@ -895,15 +971,48 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 16, "all 16 experiments are registered");
+        assert_eq!(names.len(), 18, "all 18 experiments are registered");
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16, "names are unique");
+        assert_eq!(names.len(), 18, "names are unique");
         assert!(find("f2").is_some());
         assert!(find("topo").is_some());
         assert!(find("topoxl").is_some());
+        assert!(find("churn").is_some());
+        assert!(find("burst").is_some());
         assert!(find("scale").is_some());
         assert!(find("f99").is_none());
+    }
+
+    #[test]
+    fn churn_spec_tracks_the_population_on_the_counting_backend() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let spec = churn_spec(scale);
+            spec.validate().expect("churn spec validates");
+            assert_eq!(spec.backend, ExecutionBackend::Counting);
+            assert_eq!(spec.observe, ObserveMode::Trajectory);
+            // The static paper model anchors the sweep; every other point
+            // churns the population, so trajectory rows must carry the
+            // live `population` column.
+            assert!(spec.sweep.churn[0].is_none());
+            assert!(spec.sweep.churn.iter().skip(1).all(|c| c.has_population_churn()));
+            assert!(crate::runner::headers(&spec).contains(&"population".to_string()));
+        }
+        assert_eq!(churn_spec(Scale::Quick).n, 1_000_000);
+        assert_eq!(churn_spec(Scale::Full).n, 10_000_000);
+    }
+
+    #[test]
+    fn burst_spec_sweeps_disruptions_feasibly() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let spec = burst_spec(scale);
+            spec.validate().expect("burst spec validates");
+            assert_eq!(spec.backend, ExecutionBackend::Counting);
+            // const × none is the undisturbed baseline cell.
+            assert!(spec.sweep.schedule[0].is_const());
+            assert!(spec.sweep.churn[0].is_none());
+            assert_eq!(spec.sweep.num_points(), 6, "3 schedules x 2 churns");
+        }
     }
 
     #[test]

@@ -47,8 +47,8 @@ use opinion_dynamics::RuleSpec;
 use plurality_core::observe::{Fanout, NoObserver, Observer, StopCondition};
 use plurality_core::{bounds, ExecutionBackend, ProtocolParams, TwoStageProtocol};
 use pushsim::{
-    BlockCountingNetwork, CountingNetwork, DeliverySemantics, FaultSpec, Network, Opinion,
-    PhaseObservation, PushBackend, SimConfig, TopologySpec,
+    BlockCountingNetwork, ChurnSpec, ClockSpec, CountingNetwork, DeliverySemantics, FaultSpec,
+    Network, NoiseSchedule, Opinion, PhaseObservation, PushBackend, SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +90,15 @@ pub struct GridPoint {
     /// Fault-injection model at this point (the spec's `fault` unless
     /// `sweep.fault` makes it a campaign axis).
     pub fault: FaultSpec,
+    /// Population/edge churn at this point (the spec's `churn` unless
+    /// `sweep.churn` makes it a campaign axis).
+    pub churn: ChurnSpec,
+    /// Noise schedule `ε(t)` at this point (the spec's `schedule` unless
+    /// `sweep.schedule` overrides it).
+    pub schedule: NoiseSchedule,
+    /// Clock model at this point (the spec's `clock` unless `sweep.clock`
+    /// overrides it).
+    pub clock: ClockSpec,
 }
 
 /// Aggregated result of a dynamics scenario at one grid point.
@@ -207,7 +216,7 @@ impl RunReport {
 /// Trajectory rows already end with the canonical `topology` column
 /// ([`TRAJECTORY_HEADERS`]), so a swept topology axis is suppressed there
 /// — otherwise every JSON row would carry two identical `topology` keys.
-pub(crate) fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 9] {
+pub(crate) fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 12] {
     let sweep = &spec.sweep;
     [
         ("k", !sweep.k.is_empty()),
@@ -222,6 +231,9 @@ pub(crate) fn axis_columns(spec: &ScenarioSpec) -> [(&'static str, bool); 9] {
             !sweep.topology.is_empty() && spec.observe != ObserveMode::Trajectory,
         ),
         ("fault", !sweep.fault.is_empty()),
+        ("churn", !sweep.churn.is_empty()),
+        ("schedule", !sweep.schedule.is_empty()),
+        ("clock", !sweep.clock.is_empty()),
     ]
 }
 
@@ -243,12 +255,24 @@ pub fn headers(spec: &ScenarioSpec) -> Vec<String> {
                 headers.push("trial".to_string());
             }
             headers.extend(TRAJECTORY_HEADERS.iter().map(|h| h.to_string()));
+            if tracks_population(spec) {
+                headers.push("population".to_string());
+            }
         }
         ObserveMode::Phases => {
             headers.extend(PHASES_HEADERS.iter().map(|h| h.to_string()));
         }
     }
     headers
+}
+
+/// True when trajectory rows should carry the live per-phase `population`
+/// column: some grid point churns the population, so the node count is no
+/// longer a constant of the run.
+pub(crate) fn tracks_population(spec: &ScenarioSpec) -> bool {
+    spec.observe == ObserveMode::Trajectory
+        && (spec.churn.has_population_churn()
+            || spec.sweep.churn.iter().any(|c| c.has_population_churn()))
 }
 
 /// The swept-axis cells of one grid point, in axis order. Together with
@@ -285,6 +309,15 @@ pub fn axis_cells(spec: &ScenarioSpec, point: &GridPoint) -> Vec<String> {
     if axes[8].1 {
         cells.push(point.fault.to_string());
     }
+    if axes[9].1 {
+        cells.push(point.churn.to_string());
+    }
+    if axes[10].1 {
+        cells.push(point.schedule.to_string());
+    }
+    if axes[11].1 {
+        cells.push(point.clock.to_string());
+    }
     cells
 }
 
@@ -300,9 +333,15 @@ pub fn point_rows(spec: &ScenarioSpec, result: &PointResult) -> Vec<Vec<String>>
     };
     match &result.summary {
         PointSummary::Trajectory(set) => {
+            let population = tracks_population(spec);
             let mut rows = Vec::new();
             for (trial, recorder) in set.trials.iter().enumerate() {
-                for mut row in recorder.rows() {
+                for (mut row, snapshot) in
+                    recorder.rows().into_iter().zip(recorder.snapshots())
+                {
+                    if population {
+                        row.push(snapshot.distribution().num_nodes().to_string());
+                    }
                     if spec.trials > 1 {
                         row.insert(0, trial.to_string());
                     }
@@ -518,6 +557,9 @@ impl Runner {
             .delivery(spec.delivery)
             .topology(point.topology)
             .fault(point.fault)
+            .churn(point.churn)
+            .noise_schedule(point.schedule)
+            .clock(point.clock)
             .constants(spec.constants)
             .build()?;
         let noise_spec = if eps_swept {
@@ -641,7 +683,12 @@ impl Runner {
                     prefix_headers.push("trial".to_string());
                     prefix.push(trial.to_string());
                 }
-                StreamSink::with_prefix(out, &prefix_headers, &prefix)
+                let sink = StreamSink::with_prefix(out, &prefix_headers, &prefix);
+                if tracks_population(spec) {
+                    sink.with_population()
+                } else {
+                    sink
+                }
             });
 
             {
@@ -721,6 +768,8 @@ impl Runner {
                     spec.delivery,
                     point.topology,
                     point.fault,
+                    point.churn,
+                    point.clock,
                 );
                 let config = SimConfig::builder(point.n, point.k)
                     .seed(derive_seed(spec.seed, point.index, trial))
@@ -877,6 +926,8 @@ impl Runner {
             spec.delivery,
             point.topology,
             point.fault,
+            point.churn,
+            point.clock,
         );
         let stop = dynamics_stop(budget, &spec.stop.to_condition());
 
@@ -983,7 +1034,8 @@ fn non_empty_or<T: Copy>(values: &[T], base: T) -> Vec<T> {
 
 /// Expands a spec's sweep axes into the full grid (Cartesian product, axis
 /// order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`, `topology`,
-/// `fault`). Shared by the [`Runner`] and the campaign engine, so a
+/// `fault`, `churn`, `schedule`, `clock`). Shared by the [`Runner`] and
+/// the campaign engine, so a
 /// campaign cell index addresses exactly the point the plain runner would
 /// execute at that index (and the scenario service's per-cell cache keys
 /// address exactly these points).
@@ -1017,6 +1069,9 @@ pub fn expand_grid(spec: &ScenarioSpec) -> Vec<GridPoint> {
     let deliveries = non_empty_or(&spec.sweep.delivery, spec.delivery);
     let topologies = non_empty_or(&spec.sweep.topology, spec.topology);
     let faults = non_empty_or(&spec.sweep.fault, spec.fault);
+    let churns = non_empty_or(&spec.sweep.churn, spec.churn);
+    let schedules = non_empty_or(&spec.sweep.schedule, spec.schedule);
+    let clocks = non_empty_or(&spec.sweep.clock, spec.clock);
 
     let mut points = Vec::new();
     let mut index = 0usize;
@@ -1029,19 +1084,28 @@ pub fn expand_grid(spec: &ScenarioSpec) -> Vec<GridPoint> {
                             for &delivery in &deliveries {
                                 for &topology in &topologies {
                                     for &fault in &faults {
-                                        points.push(GridPoint {
-                                            index,
-                                            k,
-                                            n,
-                                            eps,
-                                            bias,
-                                            ell,
-                                            delta,
-                                            delivery,
-                                            topology,
-                                            fault,
-                                        });
-                                        index += 1;
+                                        for &churn in &churns {
+                                            for &schedule in &schedules {
+                                                for &clock in &clocks {
+                                                    points.push(GridPoint {
+                                                        index,
+                                                        k,
+                                                        n,
+                                                        eps,
+                                                        bias,
+                                                        ell,
+                                                        delta,
+                                                        delivery,
+                                                        topology,
+                                                        fault,
+                                                        churn,
+                                                        schedule,
+                                                        clock,
+                                                    });
+                                                    index += 1;
+                                                }
+                                            }
+                                        }
                                     }
                                 }
                             }

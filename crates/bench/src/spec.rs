@@ -82,10 +82,12 @@
 //! # }
 //! ```
 
-use noisy_channel::{NoiseError, NoiseSpec};
+use noisy_channel::{NoiseError, NoiseMatrix, NoiseSpec};
 use opinion_dynamics::RuleSpec;
 use plurality_core::{ExecutionBackend, ProtocolConstants, ProtocolError, StopCondition};
-use pushsim::{DeliverySemantics, FaultSpec, SimError, TopologySpec};
+use pushsim::{
+    ChurnSpec, ClockSpec, DeliverySemantics, FaultSpec, NoiseSchedule, SimError, TopologySpec,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -223,7 +225,7 @@ impl ScenarioKind {
 /// The sweep axes of a scenario: each non-empty axis contributes one output
 /// column and the grid is the Cartesian product of all non-empty axes, in
 /// the fixed order `k`, `n`, `eps`, `bias`, `ell`, `delta`, `delivery`,
-/// `topology`, `fault`.
+/// `topology`, `fault`, `churn`, `schedule`, `clock`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepAxes {
     /// Opinion counts to sweep (`sweep.k = 2, 3, 5`).
@@ -252,6 +254,17 @@ pub struct SweepAxes {
     /// Fault specs to sweep (`sweep.fault = none, drop(0.1), byz(0.1:1)`);
     /// protocol scenarios only — the axis of fault-injection campaigns.
     pub fault: Vec<FaultSpec>,
+    /// Churn specs to sweep
+    /// (`sweep.churn = none, join(0.01)+leave(0.01), burst(0.3@2)`);
+    /// protocol scenarios only.
+    pub churn: Vec<ChurnSpec>,
+    /// Noise schedules to sweep
+    /// (`sweep.schedule = const, burst(0.45@2:1), ramp(0.1:0.4@6)`);
+    /// protocol scenarios only.
+    pub schedule: Vec<NoiseSchedule>,
+    /// Clock models to sweep (`sweep.clock = sync, drift(20000)`);
+    /// protocol scenarios only, agent backend.
+    pub clock: Vec<ClockSpec>,
 }
 
 impl SweepAxes {
@@ -266,6 +279,9 @@ impl SweepAxes {
             && self.delivery.is_empty()
             && self.topology.is_empty()
             && self.fault.is_empty()
+            && self.churn.is_empty()
+            && self.schedule.is_empty()
+            && self.clock.is_empty()
     }
 
     /// Number of grid points (product of non-empty axis lengths).
@@ -279,6 +295,9 @@ impl SweepAxes {
             * self.delivery.len().max(1)
             * self.topology.len().max(1)
             * self.fault.len().max(1)
+            * self.churn.len().max(1)
+            * self.schedule.len().max(1)
+            * self.clock.len().max(1)
     }
 }
 
@@ -516,7 +535,8 @@ impl StopSpec {
 /// See the [module docs](self) for the textual form. Field defaults (used
 /// by [`ScenarioSpec::new`] and when a key is absent from a spec file):
 /// `epsilon = 0.2`, `noise = uniform(epsilon)`, `delivery = exact`,
-/// `topology = complete`, `backend = auto`, default
+/// `topology = complete`, `churn = none`, `schedule = const`,
+/// `clock = sync`, `backend = auto`, default
 /// [`ProtocolConstants`], `trials = 1`, `seed = 0`, no sweep axes,
 /// default metrics for the kind, summary observation, no stop conditions.
 #[derive(Debug, Clone, PartialEq)]
@@ -538,6 +558,15 @@ pub struct ScenarioSpec {
     /// Injected faults (overridden per point by `sweep.fault`); all
     /// disabled by default. Protocol scenarios only.
     pub fault: FaultSpec,
+    /// Population/edge churn (overridden per point by `sweep.churn`);
+    /// disabled by default. Protocol scenarios only.
+    pub churn: ChurnSpec,
+    /// Noise schedule `ε(t)` (overridden per point by `sweep.schedule`);
+    /// [`NoiseSchedule::Const`] by default. Protocol scenarios only.
+    pub schedule: NoiseSchedule,
+    /// Clock model (overridden per point by `sweep.clock`);
+    /// [`ClockSpec::Sync`] by default. Protocol scenarios only.
+    pub clock: ClockSpec,
     /// Requested simulation backend.
     pub backend: ExecutionBackend,
     /// Protocol constants (spec files override individual fields with
@@ -570,6 +599,9 @@ impl ScenarioSpec {
             delivery: DeliverySemantics::Exact,
             topology: TopologySpec::Complete,
             fault: FaultSpec::default(),
+            churn: ChurnSpec::none(),
+            schedule: NoiseSchedule::Const,
+            clock: ClockSpec::Sync,
             backend: ExecutionBackend::Auto,
             constants: ProtocolConstants::default(),
             trials: 1,
@@ -698,6 +730,7 @@ impl ScenarioSpec {
         self.validate_kind_specific_axes()?;
         self.validate_topology()?;
         self.validate_fault()?;
+        self.validate_temporal()?;
         self.validate_observe_and_stop()?;
         Ok(())
     }
@@ -840,6 +873,168 @@ impl ScenarioSpec {
                         "crash after phase {} can never activate: stop.max_rounds = \
                          {max_rounds} ends the run first",
                         crash.after_phase
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The churn values a run will actually use (base or swept).
+    fn effective_churns(&self) -> &[ChurnSpec] {
+        if self.sweep.churn.is_empty() {
+            std::slice::from_ref(&self.churn)
+        } else {
+            &self.sweep.churn
+        }
+    }
+
+    /// The noise schedules a run will actually use (base or swept).
+    fn effective_schedules(&self) -> &[NoiseSchedule] {
+        if self.sweep.schedule.is_empty() {
+            std::slice::from_ref(&self.schedule)
+        } else {
+            &self.sweep.schedule
+        }
+    }
+
+    /// The clock models a run will actually use (base or swept).
+    fn effective_clocks(&self) -> &[ClockSpec] {
+        if self.sweep.clock.is_empty() {
+            std::slice::from_ref(&self.clock)
+        } else {
+            &self.sweep.clock
+        }
+    }
+
+    /// Checks temporal-axis/kind/topology/fault/backend consistency
+    /// statically, mirroring the simulator's own admission rules so churn
+    /// and schedule campaigns fail at spec validation instead of per grid
+    /// cell at run time.
+    fn validate_temporal(&self) -> Result<(), SpecError> {
+        let enabled = !self.churn.is_none()
+            || !self.schedule.is_const()
+            || !self.clock.is_sync()
+            || !self.sweep.churn.is_empty()
+            || !self.sweep.schedule.is_empty()
+            || !self.sweep.clock.is_empty();
+        if !enabled {
+            return Ok(());
+        }
+        if !self.kind.is_protocol() {
+            return Err(SpecError::Invalid(format!(
+                "churn / schedule / clock apply only to protocol scenarios \
+                 (rumor, plurality, stage2), not {}",
+                self.kind.name()
+            )));
+        }
+        let ks = if self.sweep.k.is_empty() {
+            std::slice::from_ref(&self.k)
+        } else {
+            &self.sweep.k
+        };
+        for churn in self.effective_churns() {
+            for &k in ks {
+                churn
+                    .check(k)
+                    .map_err(|e| SpecError::Invalid(e.to_string()))?;
+            }
+            if churn.has_population_churn() {
+                if let Some(bad) = self.effective_topologies().iter().find(|t| !t.is_complete())
+                {
+                    return Err(SpecError::Invalid(format!(
+                        "churn {churn} reshapes the population, which requires the \
+                         complete graph, not topology {bad}"
+                    )));
+                }
+                if let Some(bad) = self.effective_faults().iter().find(|f| {
+                    f.crash.is_some() || f.byzantine.is_some() || f.delay > 0.0
+                }) {
+                    return Err(SpecError::Invalid(format!(
+                        "churn {churn} cannot compose with the identity-pinning fault \
+                         {bad} (crash, byzantine and delay track per-agent identity \
+                         that arrivals and departures would scramble)"
+                    )));
+                }
+            }
+            if churn.has_edge_churn() {
+                if let Some(bad) =
+                    self.effective_topologies().iter().find(|t| !t.is_resampleable())
+                {
+                    return Err(SpecError::Invalid(format!(
+                        "churn {churn} rewires edges, which requires a resampleable \
+                         random topology (regular(d) or gnp(p)), not {bad}"
+                    )));
+                }
+                if self.delivery != DeliverySemantics::Exact {
+                    return Err(SpecError::Invalid(format!(
+                        "churn {churn} rewires edges between rounds, which requires \
+                         exact delivery (process O), not {}",
+                        self.delivery.spec_name()
+                    )));
+                }
+                if matches!(
+                    self.backend,
+                    ExecutionBackend::Counting | ExecutionBackend::BlockCounting
+                ) {
+                    return Err(SpecError::Invalid(format!(
+                        "churn {churn} rewires edges, which only the agent backend \
+                         simulates; use agent or auto"
+                    )));
+                }
+            }
+        }
+        for schedule in self.effective_schedules() {
+            schedule
+                .check()
+                .map_err(|e| SpecError::Invalid(e.to_string()))?;
+            // Every ε the schedule will inject must keep the uniform noise
+            // matrix valid (ε ≤ 1 − 1/k) for every k in the grid.
+            let epsilons = match *schedule {
+                NoiseSchedule::Const => vec![],
+                NoiseSchedule::Step { epsilon, .. } | NoiseSchedule::Burst { epsilon, .. } => {
+                    vec![epsilon]
+                }
+                NoiseSchedule::Ramp { start, end, .. } => vec![start, end],
+            };
+            for eps in epsilons {
+                for &k in ks {
+                    NoiseMatrix::uniform(k, eps).map_err(|e| {
+                        SpecError::Invalid(format!("schedule {schedule}: {e}"))
+                    })?;
+                }
+            }
+            if matches!(schedule, NoiseSchedule::Ramp { .. }) && !self.sweep.eps.is_empty() {
+                return Err(SpecError::Invalid(format!(
+                    "schedule {schedule} overrides ε in every phase, so sweep.eps \
+                     would have no observable effect"
+                )));
+            }
+        }
+        for clock in self.effective_clocks() {
+            clock
+                .check()
+                .map_err(|e| SpecError::Invalid(e.to_string()))?;
+            if clock.is_sync() {
+                continue;
+            }
+            if matches!(
+                self.backend,
+                ExecutionBackend::Counting | ExecutionBackend::BlockCounting
+            ) {
+                return Err(SpecError::Invalid(format!(
+                    "clock {clock} desynchronizes agents, which the aggregate \
+                     counting backends cannot represent; use agent or auto"
+                )));
+            }
+            if self.delivery != DeliverySemantics::Exact {
+                if let Some(bad) =
+                    self.effective_topologies().iter().find(|t| !t.is_complete())
+                {
+                    return Err(SpecError::Invalid(format!(
+                        "clock {clock} on topology {bad} requires exact delivery \
+                         (process O), not {}",
+                        self.delivery.spec_name()
                     )));
                 }
             }
@@ -1010,6 +1205,15 @@ impl ScenarioSpec {
         if !self.fault.is_none() {
             line("fault", self.fault.to_string());
         }
+        if !self.churn.is_none() {
+            line("churn", self.churn.to_string());
+        }
+        if !self.schedule.is_const() {
+            line("schedule", self.schedule.to_string());
+        }
+        if !self.clock.is_sync() {
+            line("clock", self.clock.to_string());
+        }
         line("backend", backend_name(self.backend).to_string());
         line("trials", self.trials.to_string());
         line("seed", self.seed.to_string());
@@ -1047,6 +1251,15 @@ impl ScenarioSpec {
         }
         if !self.sweep.fault.is_empty() {
             line("sweep.fault", join(&self.sweep.fault));
+        }
+        if !self.sweep.churn.is_empty() {
+            line("sweep.churn", join(&self.sweep.churn));
+        }
+        if !self.sweep.schedule.is_empty() {
+            line("sweep.schedule", join(&self.sweep.schedule));
+        }
+        if !self.sweep.clock.is_empty() {
+            line("sweep.clock", join(&self.sweep.clock));
         }
         if !self.metrics.is_empty() {
             line("metrics", join(&self.metrics));
@@ -1176,6 +1389,9 @@ impl ScenarioSpec {
         let delivery = take_from_str(&mut map, "delivery")?.unwrap_or(DeliverySemantics::Exact);
         let topology = take_from_str(&mut map, "topology")?.unwrap_or(TopologySpec::Complete);
         let fault = take_from_str(&mut map, "fault")?.unwrap_or_default();
+        let churn = take_from_str(&mut map, "churn")?.unwrap_or_else(ChurnSpec::none);
+        let schedule = take_from_str(&mut map, "schedule")?.unwrap_or(NoiseSchedule::Const);
+        let clock = take_from_str(&mut map, "clock")?.unwrap_or(ClockSpec::Sync);
         let backend = take_from_str(&mut map, "backend")?.unwrap_or(ExecutionBackend::Auto);
 
         let mut constants = ProtocolConstants::default();
@@ -1202,6 +1418,9 @@ impl ScenarioSpec {
             delivery: take_list(&mut map, "sweep.delivery")?,
             topology: take_list(&mut map, "sweep.topology")?,
             fault: take_list(&mut map, "sweep.fault")?,
+            churn: take_list(&mut map, "sweep.churn")?,
+            schedule: take_list(&mut map, "sweep.schedule")?,
+            clock: take_list(&mut map, "sweep.clock")?,
         };
         let observe = {
             let trajectory: bool =
@@ -1274,6 +1493,9 @@ impl ScenarioSpec {
             delivery,
             topology,
             fault,
+            churn,
+            schedule,
+            clock,
             backend,
             constants,
             trials,
@@ -1628,6 +1850,110 @@ mod tests {
         // An all-disabled spec composes with everything.
         let mut spec = rumor_spec();
         spec.fault = FaultSpec::none();
+        spec.sweep.topology = vec![TopologySpec::Ring];
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn temporal_keys_round_trip_and_validate() {
+        // The base keys and the sweep axes round-trip through the text form.
+        let mut spec = rumor_spec();
+        spec.churn = "join(0.01:1)+leave(0.02)+burst(0.3@2)".parse().unwrap();
+        spec.schedule = "burst(0.45@2:1)".parse().unwrap();
+        spec.clock = "drift(20000)".parse().unwrap();
+        spec.backend = ExecutionBackend::Agent;
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let mut spec = rumor_spec();
+        spec.sweep.churn = vec![
+            ChurnSpec::none(),
+            "join(0.05)+leave(0.05)".parse().unwrap(),
+            "burst(0.3@2)".parse().unwrap(),
+        ];
+        spec.sweep.schedule =
+            vec![NoiseSchedule::Const, "step(0.4@2)".parse().unwrap()];
+        let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.sweep.num_points(), 18, "3 eps x 3 churns x 2 schedules");
+
+        // The keys parse from a raw file too.
+        let spec = ScenarioSpec::from_text(
+            "scenario = rumor\nn = 100\nk = 2\nchurn = leave(0.1)\nschedule = ramp(0.1:0.4@6)\n",
+        )
+        .unwrap();
+        assert_eq!(spec.churn, "leave(0.1)".parse().unwrap());
+        assert_eq!(spec.schedule, "ramp(0.1:0.4@6)".parse().unwrap());
+
+        // Default temporal keys leave the canonical text untouched, so
+        // every pre-temporal spec digest is preserved.
+        let spec = rumor_spec();
+        assert!(!spec.to_text().contains("churn"));
+        assert!(!spec.to_text().contains("schedule"));
+        assert!(!spec.to_text().contains("clock"));
+    }
+
+    #[test]
+    fn temporal_validation_rejects_inconsistent_combinations() {
+        // Temporal axes are protocol-only…
+        let mut spec = ScenarioSpec::new(
+            ScenarioKind::SampleMajorityGap { ell: 25, delta: 0.1 },
+            100,
+            2,
+        );
+        spec.churn = "leave(0.1)".parse().unwrap();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // …population churn is complete-graph-only…
+        let mut spec = rumor_spec();
+        spec.churn = "join(0.1)".parse().unwrap();
+        spec.sweep.topology = vec![TopologySpec::Ring];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // …and cannot compose with identity-pinning faults.
+        let mut spec = rumor_spec();
+        spec.churn = "join(0.1)".parse().unwrap();
+        spec.sweep.fault = vec!["crash(0.1@2)".parse().unwrap()];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.sweep.fault = vec!["drop(0.1)".parse().unwrap()];
+        assert!(spec.validate().is_ok());
+        // Edge churn needs a resampleable random topology…
+        let mut spec = rumor_spec();
+        spec.churn = "rewire(0.2)".parse().unwrap();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.topology = TopologySpec::RandomRegular { degree: 8 };
+        assert!(spec.validate().is_ok());
+        // …and only the agent backend simulates it.
+        spec.backend = ExecutionBackend::BlockCounting;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // A join opinion must exist at every swept k.
+        let mut spec = rumor_spec();
+        spec.churn = "join(0.1:2)".parse().unwrap();
+        spec.sweep.k = vec![3, 2];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.sweep.k = vec![3, 4];
+        assert!(spec.validate().is_ok());
+        // Scheduled ε values must keep the uniform matrix valid at every
+        // swept k (ε ≤ 1 − 1/k: 0.6 is fine for k = 3, not for k = 2).
+        let mut spec = rumor_spec();
+        spec.schedule = "step(0.6@2)".parse().unwrap();
+        spec.sweep.k = vec![3, 2];
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.sweep.k = vec![3, 4];
+        assert!(spec.validate().is_ok());
+        // A ramp overrides ε in every phase, so sweeping eps is dead weight.
+        let mut spec = rumor_spec();
+        spec.schedule = "ramp(0.1:0.4@6)".parse().unwrap();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.sweep.eps = Vec::new();
+        assert!(spec.validate().is_ok());
+        // Drifting clocks cannot be forced onto the counting backends.
+        let mut spec = rumor_spec();
+        spec.clock = "drift(20000)".parse().unwrap();
+        spec.backend = ExecutionBackend::Counting;
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.backend = ExecutionBackend::Auto;
+        assert!(spec.validate().is_ok());
+        // An all-default temporal spec composes with everything.
+        let mut spec = rumor_spec();
         spec.sweep.topology = vec![TopologySpec::Ring];
         assert!(spec.validate().is_ok());
     }

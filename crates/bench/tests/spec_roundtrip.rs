@@ -7,7 +7,10 @@ use noisy_channel::NoiseSpec;
 use opinion_dynamics::RuleSpec;
 use plurality_core::ExecutionBackend;
 use proptest::prelude::*;
-use pushsim::{ByzantineFault, CrashFault, DeliverySemantics, FaultSpec, TopologySpec};
+use pushsim::{
+    BurstChurn, ByzantineFault, ChurnSpec, ClockSpec, CrashFault, DeliverySemantics, FaultSpec,
+    NoiseSchedule, TopologySpec,
+};
 
 fn noise_strategy() -> impl Strategy<Value = NoiseSpec> {
     prop_oneof![
@@ -64,6 +67,61 @@ fn fault_strategy(k: usize) -> impl Strategy<Value = FaultSpec> {
             }),
             byzantine: byzantine.map(|(fraction, opinion)| ByzantineFault { fraction, opinion }),
         })
+}
+
+/// Population-churn specs valid for a `k`-opinion protocol by
+/// construction: rates stay below 0.3 (so `leave + burst.fraction < 1`),
+/// the optional join opinion is below `k`, and `rewire` stays 0 — edge
+/// churn composes only with resampleable topologies and is covered by the
+/// spec module's unit tests instead. All-disabled specs (`none`) are
+/// generated too and must round-trip like any other value.
+fn churn_strategy(k: usize) -> impl Strategy<Value = ChurnSpec> {
+    (
+        prop::option::of(((0.01f64..0.3), prop::option::of(0..k))),
+        prop::option::of(0.01f64..0.3),
+        prop::option::of(((0.01f64..0.3), 0u64..4)),
+    )
+        .prop_map(|(join, leave, burst)| ChurnSpec {
+            join: join.map_or(0.0, |(rate, _)| rate),
+            join_opinion: join.and_then(|(_, opinion)| opinion),
+            leave: leave.unwrap_or(0.0),
+            burst: burst.map(|(fraction, after_phase)| BurstChurn {
+                fraction,
+                after_phase,
+            }),
+            rewire: 0.0,
+        })
+}
+
+/// Noise schedules whose ε values are valid for every generated `k ≥ 2`
+/// (the uniform family needs `ε ≤ 1 − 1/k`, so ε stays below 0.45).
+fn schedule_strategy() -> impl Strategy<Value = NoiseSchedule> {
+    prop_oneof![
+        Just(NoiseSchedule::Const),
+        ((0.01f64..0.45), 0u64..6)
+            .prop_map(|(epsilon, from_phase)| NoiseSchedule::Step { epsilon, from_phase }),
+        ((0.01f64..0.45), 0u64..6, 1u64..4).prop_map(|(epsilon, start_phase, width)| {
+            NoiseSchedule::Burst {
+                epsilon,
+                start_phase,
+                width,
+            }
+        }),
+        ((0.01f64..0.45), (0.01f64..0.45), 1u64..8)
+            .prop_map(|(start, end, over_phases)| NoiseSchedule::Ramp {
+                start,
+                end,
+                over_phases,
+            }),
+    ]
+}
+
+fn clock_strategy() -> impl Strategy<Value = ClockSpec> {
+    prop_oneof![
+        Just(ClockSpec::Sync),
+        (1.0f64..500_000.0).prop_map(|ppm| ClockSpec::Drift { ppm }),
+        (0.01f64..0.99).prop_map(|miss| ClockSpec::Skew { miss }),
+    ]
 }
 
 fn rule_strategy() -> impl Strategy<Value = RuleSpec> {
@@ -231,17 +289,27 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 (0.01f64..1.0, 0.5f64..4.0),
                 (observe, stop, faults),
                 (
-                    topology_strategy(),
-                    prop::collection::vec(topology_strategy(), 0..3),
+                    (
+                        topology_strategy(),
+                        prop::collection::vec(topology_strategy(), 0..3),
+                    ),
+                    (
+                        churn_strategy(k),
+                        prop::collection::vec(churn_strategy(k), 0..3),
+                        schedule_strategy(),
+                        prop::collection::vec(schedule_strategy(), 0..3),
+                        clock_strategy(),
+                    ),
                 ),
             )
         })
-        .prop_map(|(base, channel, run, consts, watch, topo)| {
+        .prop_map(|(base, channel, run, consts, watch, (topo, temporal))| {
             let (k, kind, n, epsilon) = base;
             let (noise, delivery, backend) = channel;
             let (trials, seed, sweep, metrics) = run;
             let (observe, stop, (fault, fault_axis)) = watch;
             let (topology, topology_axis) = topo;
+            let (churn, churn_axis, schedule, schedule_axis, clock) = temporal;
             let mut spec = ScenarioSpec::new(kind, n, k);
             spec.epsilon = epsilon;
             spec.noise = noise;
@@ -293,6 +361,41 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             {
                 spec.topology = topology;
                 spec.sweep.topology = topology_axis;
+            }
+            // Temporal axes are protocol-only. Population churn further
+            // requires the complete graph and no identity-pinning fault
+            // (crash/byzantine/delay), a ramp schedule excludes an eps
+            // sweep (it would override every swept ε), and non-sync
+            // clocks cannot run on the counting backend; apply the
+            // generated temporal values where they are consistent.
+            if spec.kind.is_protocol() {
+                let pins_identity = |f: &FaultSpec| {
+                    f.crash.is_some() || f.byzantine.is_some() || f.delay > 0.0
+                };
+                if spec.topology.is_complete()
+                    && spec.sweep.topology.is_empty()
+                    && !pins_identity(&spec.fault)
+                    && spec.sweep.fault.iter().all(|f| !pins_identity(f))
+                {
+                    spec.churn = churn;
+                    spec.sweep.churn = churn_axis;
+                }
+                let eps_swept = !spec.sweep.eps.is_empty();
+                fn fix_schedule(s: NoiseSchedule, eps_swept: bool) -> NoiseSchedule {
+                    if eps_swept && matches!(s, NoiseSchedule::Ramp { .. }) {
+                        NoiseSchedule::Const
+                    } else {
+                        s
+                    }
+                }
+                spec.schedule = fix_schedule(schedule, eps_swept);
+                spec.sweep.schedule = schedule_axis
+                    .into_iter()
+                    .map(|s| fix_schedule(s, eps_swept))
+                    .collect();
+                if spec.backend != ExecutionBackend::Counting {
+                    spec.clock = clock;
+                }
             }
             // The observe mode fixes the columns; explicit metrics are
             // only valid in summary mode.
@@ -429,4 +532,72 @@ fn crashes_that_can_never_activate_are_rejected_statically() {
          fault = crash(0.1@10)\nstop.max_rounds = 500\n",
     )
     .expect("a reachable crash phase is valid");
+}
+
+#[test]
+fn population_churn_outside_the_complete_graph_is_rejected_statically() {
+    let err = load_error(
+        "scenario = plurality\nbias = 0.2\nn = 500\nk = 3\n\
+         topology = ring\nchurn = join(0.1)\n",
+    );
+    assert!(
+        err.contains("complete graph"),
+        "expected a churn-vs-topology error, got: {err}"
+    );
+}
+
+#[test]
+fn population_churn_with_identity_pinning_faults_is_rejected_statically() {
+    let err = load_error(
+        "scenario = plurality\nbias = 0.2\nn = 500\nk = 3\n\
+         churn = leave(0.1)\nsweep.fault = none, crash(0.1@2)\n",
+    );
+    assert!(
+        err.contains("identity-pinning"),
+        "expected a churn-vs-fault error, got: {err}"
+    );
+
+    // Message-level faults compose fine.
+    ScenarioSpec::from_text(
+        "scenario = plurality\nbias = 0.2\nn = 500\nk = 3\n\
+         churn = leave(0.1)\nsweep.fault = none, drop(0.2)\n",
+    )
+    .expect("churn composes with message-level faults");
+}
+
+#[test]
+fn scheduled_epsilons_are_checked_against_every_swept_k() {
+    // ε = 0.6 needs k ≥ 3 (the uniform family's ε ≤ 1 − 1/k bound).
+    let err = load_error(
+        "scenario = rumor\nsource = 0\nn = 500\nk = 3\n\
+         sweep.k = 2, 3\nschedule = step(0.6@2)\n",
+    );
+    assert!(
+        err.contains("step(0.6@2)"),
+        "expected the schedule to be named in the error, got: {err}"
+    );
+}
+
+#[test]
+fn ramp_schedules_exclude_an_eps_sweep() {
+    let err = load_error(
+        "scenario = rumor\nsource = 0\nn = 500\nk = 3\n\
+         sweep.eps = 0.1, 0.2\nschedule = ramp(0.1:0.4@6)\n",
+    );
+    assert!(
+        err.contains("sweep.eps"),
+        "expected a ramp-vs-eps-sweep error, got: {err}"
+    );
+}
+
+#[test]
+fn drifting_clocks_cannot_be_forced_onto_counting_backends() {
+    let err = load_error(
+        "scenario = rumor\nsource = 0\nn = 500\nk = 3\n\
+         clock = drift(20000)\nbackend = counting\n",
+    );
+    assert!(
+        err.contains("counting backends"),
+        "expected a clock-vs-backend error, got: {err}"
+    );
 }

@@ -1,7 +1,7 @@
 //! Protocol parameters and the phase schedules of the two stages.
 
 use crate::error::ProtocolError;
-use pushsim::{DeliverySemantics, FaultSpec, TopologySpec};
+use pushsim::{ChurnSpec, ClockSpec, DeliverySemantics, FaultSpec, NoiseSchedule, TopologySpec};
 
 /// The protocol's tunable constants.
 ///
@@ -182,6 +182,9 @@ pub struct ProtocolParams {
     delivery: DeliverySemantics,
     topology: TopologySpec,
     fault: FaultSpec,
+    churn: ChurnSpec,
+    schedule_noise: NoiseSchedule,
+    clock: ClockSpec,
     constants: ProtocolConstants,
 }
 
@@ -197,6 +200,9 @@ impl ProtocolParams {
             delivery: DeliverySemantics::Exact,
             topology: TopologySpec::Complete,
             fault: FaultSpec::default(),
+            churn: ChurnSpec::none(),
+            schedule_noise: NoiseSchedule::constant(),
+            clock: ClockSpec::sync(),
             constants: ProtocolConstants::default(),
         }
     }
@@ -238,6 +244,25 @@ impl ProtocolParams {
     /// paper's fault-free model — unless overridden).
     pub fn fault(&self) -> FaultSpec {
         self.fault
+    }
+
+    /// The population/edge churn applied to the run's network at phase
+    /// boundaries (none — the paper's static model — unless overridden).
+    pub fn churn(&self) -> ChurnSpec {
+        self.churn
+    }
+
+    /// The noise schedule `ε(t)` the run's network follows (constant — the
+    /// paper's time-invariant channel — unless overridden). Not to be
+    /// confused with [`schedule`](Self::schedule), the round/phase plan.
+    pub fn noise_schedule(&self) -> NoiseSchedule {
+        self.schedule_noise
+    }
+
+    /// The clock model of the run's agents (synchronous — the paper's
+    /// model — unless overridden).
+    pub fn clock(&self) -> ClockSpec {
+        self.clock
     }
 
     /// The tunable protocol constants.
@@ -326,6 +351,9 @@ pub struct ProtocolParamsBuilder {
     delivery: DeliverySemantics,
     topology: TopologySpec,
     fault: FaultSpec,
+    churn: ChurnSpec,
+    schedule_noise: NoiseSchedule,
+    clock: ClockSpec,
     constants: ProtocolConstants,
 }
 
@@ -361,6 +389,32 @@ impl ProtocolParamsBuilder {
     /// execution backend is validated when the run's network is built.
     pub fn fault(mut self, fault: FaultSpec) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Sets the population/edge churn (default [`ChurnSpec::none`], the
+    /// paper's static population). Feasibility against `k`, the topology,
+    /// the faults and the execution backend is validated when the run's
+    /// network is built.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Sets the noise schedule `ε(t)` (default [`NoiseSchedule::constant`],
+    /// the paper's time-invariant channel). Scheduled ε values are
+    /// validated against the uniform family's domain when the run's
+    /// network is built.
+    pub fn noise_schedule(mut self, schedule: NoiseSchedule) -> Self {
+        self.schedule_noise = schedule;
+        self
+    }
+
+    /// Sets the clock model (default [`ClockSpec::sync`], the paper's
+    /// synchronous rounds). Backend support is validated when the run's
+    /// network is built.
+    pub fn clock(mut self, clock: ClockSpec) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -404,6 +458,9 @@ impl ProtocolParamsBuilder {
             delivery: self.delivery,
             topology: self.topology,
             fault: self.fault,
+            churn: self.churn,
+            schedule_noise: self.schedule_noise,
+            clock: self.clock,
             constants: self.constants,
         })
     }
@@ -543,6 +600,25 @@ mod tests {
         let fault: FaultSpec = "drop(0.1)".parse().unwrap();
         let params = ProtocolParams::builder(500, 4).fault(fault).build().unwrap();
         assert_eq!(params.fault(), fault);
+
+        // The temporal axes default to off and pass through the builder
+        // unvalidated (the run's network is the single validation point,
+        // exactly like faults and topology).
+        assert!(params.churn().is_none());
+        assert!(params.noise_schedule().is_const());
+        assert!(params.clock().is_sync());
+        let churn: ChurnSpec = "join(0.01)+leave(0.02)".parse().unwrap();
+        let schedule: NoiseSchedule = "burst(0.4@2:3)".parse().unwrap();
+        let clock: ClockSpec = "skew(0.1)".parse().unwrap();
+        let params = ProtocolParams::builder(500, 4)
+            .churn(churn)
+            .noise_schedule(schedule)
+            .clock(clock)
+            .build()
+            .unwrap();
+        assert_eq!(params.churn(), churn);
+        assert_eq!(params.noise_schedule(), schedule);
+        assert_eq!(params.clock(), clock);
 
         let params = ProtocolParams::builder(500, 4)
             .topology(TopologySpec::RandomRegular { degree: 8 })

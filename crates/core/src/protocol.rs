@@ -8,8 +8,8 @@ use crate::record::{PhaseRecord, StageId};
 use crate::{stage1, stage2};
 use noisy_channel::NoiseMatrix;
 use pushsim::{
-    BlockCountingNetwork, CountingNetwork, DeliverySemantics, FaultSpec, Network, Opinion,
-    OpinionDistribution, PushBackend, SimConfig, TopologySpec,
+    BlockCountingNetwork, ChurnSpec, ClockSpec, CountingNetwork, DeliverySemantics, FaultSpec,
+    Network, Opinion, OpinionDistribution, PushBackend, SimConfig, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,7 +117,13 @@ impl ExecutionBackend {
     ///    `false` for it). The aggregatable fault families (drop,
     ///    duplication, crash, Byzantine) leave the counting backend
     ///    eligible on the complete graph.
-    /// 4. **Cost model.** For Poissonized complete-graph runs, per-phase
+    /// 4. **Temporal axes.** Edge churn (`rewire`) and non-`sync` clocks
+    ///    need per-agent identity
+    ///    ([`PushBackend::TEMPORAL_CAPABILITY`]), so they resolve to
+    ///    `Agent` on every topology; population churn and noise schedules
+    ///    are aggregate operations that keep the count-based backends
+    ///    eligible.
+    /// 5. **Cost model.** For Poissonized complete-graph runs, per-phase
     ///    cost is estimated as `1.5 ns · n · k` for the agent backend
     ///    (message volume dominates) vs `50 ns · k²` for the counting
     ///    backend (one multinomial per noise-matrix row); the cheaper
@@ -129,6 +135,9 @@ impl ExecutionBackend {
     /// fails at network construction with
     /// [`SimError::UnsupportedTopology`](pushsim::SimError) instead of
     /// being silently rerouted).
+    // One parameter per resolution-relevant configuration axis; bundling
+    // them into a struct would just move the field list one call up.
+    #[allow(clippy::too_many_arguments)]
     pub fn resolve(
         self,
         num_nodes: usize,
@@ -136,12 +145,21 @@ impl ExecutionBackend {
         delivery: DeliverySemantics,
         topology: TopologySpec,
         fault: FaultSpec,
+        churn: ChurnSpec,
+        clock: ClockSpec,
     ) -> ExecutionBackend {
         match self {
             ExecutionBackend::Agent
             | ExecutionBackend::Counting
             | ExecutionBackend::BlockCounting => self,
             ExecutionBackend::Auto => {
+                // Per-agent temporal axes first: edge churn resamples a
+                // materialized graph and clock models gate individual
+                // agents' pushes — both exist only at agent level
+                // (`TemporalCapability::AGGREGATE` rejects them).
+                if !clock.is_sync() || churn.has_edge_churn() {
+                    return ExecutionBackend::Agent;
+                }
                 // Count-based engines only ever represent the Poissonized
                 // delivery law; anything else is agent-level territory.
                 if !matches!(delivery, DeliverySemantics::Poissonized) {
@@ -527,6 +545,8 @@ impl TwoStageProtocol {
             self.params.delivery(),
             self.params.topology(),
             self.params.fault(),
+            self.params.churn(),
+            self.params.clock(),
         )
     }
 
@@ -575,37 +595,33 @@ impl TwoStageProtocol {
         Ok(Opinion::new(plurality[0]))
     }
 
-    /// Builds the simulation network for one run.
-    fn build_network(&self) -> Result<Network, ProtocolError> {
-        let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
+    /// The run's [`SimConfig`], shared by all three network builders (the
+    /// single place the protocol parameters map onto simulator knobs).
+    fn sim_config(&self) -> Result<SimConfig, ProtocolError> {
+        Ok(SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
             .seed(self.params.seed())
             .delivery(self.params.delivery())
             .topology(self.params.topology())
             .fault(self.params.fault())
-            .build()?;
-        Ok(Network::new(config, self.noise.clone())?)
+            .churn(self.params.churn())
+            .schedule(self.params.noise_schedule())
+            .clock(self.params.clock())
+            .build()?)
+    }
+
+    /// Builds the simulation network for one run.
+    fn build_network(&self) -> Result<Network, ProtocolError> {
+        Ok(Network::new(self.sim_config()?, self.noise.clone())?)
     }
 
     /// Builds the count-based network for one run.
     fn build_counting_network(&self) -> Result<CountingNetwork, ProtocolError> {
-        let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
-            .seed(self.params.seed())
-            .delivery(self.params.delivery())
-            .topology(self.params.topology())
-            .fault(self.params.fault())
-            .build()?;
-        Ok(CountingNetwork::new(config, self.noise.clone())?)
+        Ok(CountingNetwork::new(self.sim_config()?, self.noise.clone())?)
     }
 
     /// Builds the degree-class block-counting network for one run.
     fn build_block_counting_network(&self) -> Result<BlockCountingNetwork, ProtocolError> {
-        let config = SimConfig::builder(self.params.num_nodes(), self.params.num_opinions())
-            .seed(self.params.seed())
-            .delivery(self.params.delivery())
-            .topology(self.params.topology())
-            .fault(self.params.fault())
-            .build()?;
-        Ok(BlockCountingNetwork::new(config, self.noise.clone())?)
+        Ok(BlockCountingNetwork::new(self.sim_config()?, self.noise.clone())?)
     }
 
     /// The RNG used for the protocol's own decisions (distinct from the
@@ -1022,38 +1038,40 @@ mod tests {
         use pushsim::DeliverySemantics::{BallsIntoBins, Exact, Poissonized};
         let complete = TopologySpec::Complete;
         let no_fault = FaultSpec::none();
+        let no_churn = ChurnSpec::none();
+        let sync = ClockSpec::sync();
         // Exact-semantics requests (processes O and B) stay agent-level at
         // *every* scale: the counting backend only implements process P,
         // so resolving them to it would change the delivery law, not just
         // the speed. (The historical policy did exactly that above
         // n = 10⁵.)
         assert_eq!(
-            ExecutionBackend::Auto.resolve(1_000, 3, Exact, complete, no_fault),
+            ExecutionBackend::Auto.resolve(1_000, 3, Exact, complete, no_fault, no_churn, sync),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, complete, no_fault),
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, complete, no_fault, no_churn, sync),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins, complete, no_fault),
+            ExecutionBackend::Auto.resolve(50_000, 4, BallsIntoBins, complete, no_fault, no_churn, sync),
             ExecutionBackend::Agent
         );
         // Process P is native to the counting backend: the cost model picks
         // counting as soon as n·k message work exceeds k² draw work.
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, no_fault),
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, no_fault, no_churn, sync),
             ExecutionBackend::Counting
         );
         assert_eq!(
-            ExecutionBackend::Auto.resolve(30, 3, Poissonized, complete, no_fault),
+            ExecutionBackend::Auto.resolve(30, 3, Poissonized, complete, no_fault, no_churn, sync),
             ExecutionBackend::Agent
         );
         // Non-complete topologies with exact delivery run agent-level,
         // whatever the scale — the count-based backends only implement
         // process P.
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, TopologySpec::Ring, no_fault),
+            ExecutionBackend::Auto.resolve(10_000_000, 3, Exact, TopologySpec::Ring, no_fault, no_churn, sync),
             ExecutionBackend::Agent
         );
         // Poissonized runs on sparse vertex-transitive topologies resolve
@@ -1065,11 +1083,11 @@ mod tests {
             TopologySpec::RandomRegular { degree: 8 },
         ] {
             assert_eq!(
-                ExecutionBackend::Auto.resolve(30, 3, Poissonized, spec, no_fault),
+                ExecutionBackend::Auto.resolve(30, 3, Poissonized, spec, no_fault, no_churn, sync),
                 ExecutionBackend::BlockCounting
             );
             assert_eq!(
-                ExecutionBackend::Auto.resolve(10_000_000, 3, Poissonized, spec, no_fault),
+                ExecutionBackend::Auto.resolve(10_000_000, 3, Poissonized, spec, no_fault, no_churn, sync),
                 ExecutionBackend::BlockCounting
             );
         }
@@ -1082,38 +1100,66 @@ mod tests {
                 3,
                 Poissonized,
                 TopologySpec::ErdosRenyi { p: 0.1 },
-                no_fault
+                no_fault,
+                no_churn,
+                sync
             ),
             ExecutionBackend::Agent
         );
         let dropper: FaultSpec = "drop(0.1)".parse().unwrap();
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, TopologySpec::Ring, dropper),
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, TopologySpec::Ring, dropper, no_churn, sync),
             ExecutionBackend::Agent
         );
         // Aggregatable faults keep the counting backend eligible; delayed
         // delivery forces the agent backend, which buffers real messages.
         let aggregatable: FaultSpec = "drop(0.1)+byz(0.05:0)".parse().unwrap();
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, aggregatable),
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, aggregatable, no_churn, sync),
             ExecutionBackend::Counting
         );
         let delayed: FaultSpec = "delay(0.2)".parse().unwrap();
         assert_eq!(
-            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, delayed),
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, delayed, no_churn, sync),
             ExecutionBackend::Agent
+        );
+        // Per-agent temporal axes force the agent backend on every
+        // topology; the aggregate axes (population churn, schedules) do
+        // not change the resolution.
+        let skew: ClockSpec = "skew(0.1)".parse().unwrap();
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, no_fault, no_churn, skew),
+            ExecutionBackend::Agent
+        );
+        let rewire: ChurnSpec = "rewire(0.5)".parse().unwrap();
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(
+                10_000,
+                3,
+                Poissonized,
+                TopologySpec::RandomRegular { degree: 8 },
+                no_fault,
+                rewire,
+                sync
+            ),
+            ExecutionBackend::Agent
+        );
+        let population: ChurnSpec = "join(0.01)+leave(0.01)".parse().unwrap();
+        assert_eq!(
+            ExecutionBackend::Auto.resolve(10_000, 3, Poissonized, complete, no_fault, population, sync),
+            ExecutionBackend::Counting
         );
         // Explicit requests are never overridden.
         assert_eq!(
-            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact, complete, no_fault),
+            ExecutionBackend::Agent.resolve(10_000_000, 3, Exact, complete, no_fault, no_churn, sync),
             ExecutionBackend::Agent
         );
         assert_eq!(
-            ExecutionBackend::Counting.resolve(10, 2, Exact, complete, no_fault),
+            ExecutionBackend::Counting.resolve(10, 2, Exact, complete, no_fault, no_churn, sync),
             ExecutionBackend::Counting
         );
         assert_eq!(
-            ExecutionBackend::BlockCounting.resolve(10, 2, Exact, complete, no_fault),
+            ExecutionBackend::BlockCounting.resolve(10, 2, Exact, complete, no_fault, no_churn, sync),
             ExecutionBackend::BlockCounting
         );
     }

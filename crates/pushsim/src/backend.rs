@@ -73,6 +73,7 @@ use crate::error::SimError;
 use crate::inbox::Inboxes;
 use crate::network::{Network, RoundReport};
 use crate::opinion::{NodeState, Opinion};
+use crate::temporal::TemporalCapability;
 use crate::topology::TopologySpec;
 use noisy_channel::NoiseMatrix;
 use rand::rngs::StdRng;
@@ -297,6 +298,21 @@ pub trait PushBackend {
     /// names.
     const SUPPORTS_DELAY_FAULTS: bool;
 
+    /// Static capability: which temporal features
+    /// ([`ChurnSpec`](crate::ChurnSpec),
+    /// [`NoiseSchedule`](crate::NoiseSchedule),
+    /// [`ClockSpec`](crate::ClockSpec)) the backend can simulate. The agent
+    /// backend supports everything
+    /// ([`TemporalCapability::FULL`]); the counting backends support the
+    /// aggregate subset ([`TemporalCapability::AGGREGATE`]): population
+    /// churn and noise schedules are O(k) bulk operations on the count
+    /// vectors, but edge churn and clock skew need per-agent identity
+    /// (explicit adjacency, per-agent clock rates) that the count-level
+    /// reformulation gives up. Constructors reject configurations outside
+    /// their capability and backend-selection policies consult this
+    /// constant instead of hard-coding backend names.
+    const TEMPORAL_CAPABILITY: TemporalCapability;
+
     /// The simulation configuration.
     fn config(&self) -> &SimConfig;
 
@@ -412,12 +428,20 @@ impl PushBackend for Network {
 
     const SUPPORTS_DELAY_FAULTS: bool = true;
 
+    const TEMPORAL_CAPABILITY: TemporalCapability = TemporalCapability::FULL;
+
     fn config(&self) -> &SimConfig {
         Network::config(self)
     }
 
     fn noise(&self) -> &NoiseMatrix {
         Network::noise(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        // The live population (population churn moves it away from the
+        // configured initial size).
+        Network::num_nodes(self)
     }
 
     fn distribution(&self) -> OpinionDistribution {
@@ -559,12 +583,20 @@ impl PushBackend for CountingNetwork {
 
     const SUPPORTS_DELAY_FAULTS: bool = false;
 
+    const TEMPORAL_CAPABILITY: TemporalCapability = TemporalCapability::AGGREGATE;
+
     fn config(&self) -> &SimConfig {
         CountingNetwork::config(self)
     }
 
     fn noise(&self) -> &NoiseMatrix {
         CountingNetwork::noise(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        // The live population (population churn moves it away from the
+        // configured initial size).
+        CountingNetwork::num_nodes(self)
     }
 
     fn distribution(&self) -> OpinionDistribution {
@@ -659,6 +691,14 @@ impl PushBackend for BlockCountingNetwork {
     const TOPOLOGY_CAPABILITY: TopologyCapability = TopologyCapability::VertexTransitive;
 
     const SUPPORTS_DELAY_FAULTS: bool = false;
+
+    const TEMPORAL_CAPABILITY: TemporalCapability = TemporalCapability::AGGREGATE;
+
+    fn num_nodes(&self) -> usize {
+        // The live population (population churn moves it away from the
+        // configured initial size).
+        BlockCountingNetwork::num_nodes(self)
+    }
 
     fn config(&self) -> &SimConfig {
         BlockCountingNetwork::config(self)

@@ -52,6 +52,14 @@
 //! complete-graph-only (crash/Byzantine pools are carved from the global
 //! population), and `SimConfig` independently rejects faults on sparse
 //! topologies.
+//!
+//! Temporal axes follow the counting backend's
+//! [`TemporalCapability::AGGREGATE`](crate::TemporalCapability::AGGREGATE)
+//! contract: population churn and noise schedules are supported as
+//! aggregate phase-boundary operations (churn is complete-topology-only by
+//! `SimConfig` validation, hence single-class here), while edge churn
+//! (`rewire`) and non-`sync` clocks are rejected at construction
+//! ([`SimError::UnsupportedTemporal`]).
 
 use crate::config::SimConfig;
 use crate::counting::{
@@ -60,7 +68,7 @@ use crate::counting::{
 };
 use crate::distribution::OpinionDistribution;
 use crate::error::SimError;
-use crate::network::{RoundReport, TOPOLOGY_SEED_SALT};
+use crate::network::{ChurnState, RoundReport, ScheduledNoise, TOPOLOGY_SEED_SALT};
 use crate::opinion::Opinion;
 use crate::topology::{DegreeClasses, TopologySpec};
 use noisy_channel::sampling::multinomial;
@@ -168,6 +176,20 @@ impl BlockPhaseTally {
     }
 }
 
+/// The materialized temporal state of a block-counting network: the same
+/// supported subset as the counting backend (population churn + noise
+/// schedules; edge churn and clock skew are rejected at construction).
+/// Population churn is pinned by `SimConfig` validation to the complete
+/// topology, where `C = 1`, so churn always acts on the single class.
+#[derive(Debug, Clone)]
+struct BlockTemporal {
+    churn: Option<ChurnState>,
+    schedule: Option<ScheduledNoise>,
+    /// How many phases have fully ended; boundary `b` (preceding phase
+    /// `b`) is applied when this equals `b` at `begin_phase`.
+    phases_completed: u64,
+}
+
 /// A synchronous network over a sparse topology, represented purely by
 /// per-(degree class, opinion) population counts — the block-aggregated
 /// counterpart of [`CountingNetwork`](crate::CountingNetwork), with the
@@ -191,6 +213,12 @@ pub struct BlockCountingNetwork {
     /// `C×k` row-major pre-noise pending counts, bucketed by
     /// **destination** class.
     pending: Vec<u64>,
+    /// Materialized temporal state; `None` when every temporal axis is
+    /// disabled, in which case no temporal code path is ever entered.
+    temporal: Option<BlockTemporal>,
+    /// The live population: `config.num_nodes()` except under population
+    /// churn, which moves it deterministically at phase boundaries.
+    population: usize,
     tally: BlockPhaseTally,
     phase_open: bool,
     rounds_executed: u64,
@@ -214,6 +242,14 @@ impl BlockCountingNetwork {
     ///   fault family: the aggregatable fault pools of the counting
     ///   backend are global-population constructs that do not localize to
     ///   degree classes.
+    /// * [`SimError::UnsupportedTemporal`] if the configuration enables a
+    ///   temporal axis outside
+    ///   [`TemporalCapability::AGGREGATE`](crate::TemporalCapability::AGGREGATE):
+    ///   edge churn (`rewire`)
+    ///   and non-`sync` clocks need per-agent identity. Population churn
+    ///   and noise schedules are supported as aggregate operations.
+    /// * [`SimError::InvalidTemporal`] if a scheduled ε falls outside the
+    ///   uniform noise family's domain for the configured `k`.
     /// * [`SimError::InvalidTopology`] if the topology parameters are
     ///   infeasible (propagated from [`DegreeClasses::build`]).
     pub fn new(config: SimConfig, noise: NoiseMatrix) -> Result<Self, SimError> {
@@ -229,6 +265,16 @@ impl BlockCountingNetwork {
                 context: "the block-counting backend".to_string(),
             });
         }
+        if let Some(feature) = <Self as crate::PushBackend>::TEMPORAL_CAPABILITY.first_unsupported(
+            &config.churn(),
+            &config.schedule(),
+            &config.clock(),
+        ) {
+            return Err(SimError::UnsupportedTemporal {
+                feature: feature.to_string(),
+                context: "the block-counting backend".to_string(),
+            });
+        }
         let mut topology_rng = StdRng::seed_from_u64(config.seed() ^ TOPOLOGY_SEED_SALT);
         let classes = DegreeClasses::build(config.topology(), config.num_nodes(), &mut topology_rng)?;
         let c = classes.num_classes();
@@ -238,12 +284,21 @@ impl BlockCountingNetwork {
             .collect();
         let undecided: Vec<u64> = (0..c).map(|cls| classes.size(cls)).collect();
         let tally = BlockPhaseTally::empty(&classes, k);
+        let schedule = ScheduledNoise::build(config.schedule(), k, &noise)?;
+        let churn = ChurnState::build(config.churn(), config.seed());
+        let temporal = (churn.is_some() || schedule.is_some()).then_some(BlockTemporal {
+            churn,
+            schedule,
+            phases_completed: 0,
+        });
         Ok(Self {
             rng: StdRng::seed_from_u64(config.seed()),
             counts: vec![0; c * k],
             undecided,
             dest_probs,
             pending: vec![0; c * k],
+            temporal,
+            population: config.num_nodes(),
             tally,
             phase_open: false,
             rounds_executed: 0,
@@ -259,9 +314,13 @@ impl BlockCountingNetwork {
         &self.config
     }
 
-    /// The number of agents `n`.
+    /// The number of agents `n` — the **live** population: equal to
+    /// `config().num_nodes()` except under population churn, where joins
+    /// and departures at phase boundaries move it away from the initial
+    /// size (deterministically; see
+    /// [`ChurnSpec::population_after`](crate::ChurnSpec::population_after)).
     pub fn num_nodes(&self) -> usize {
-        self.config.num_nodes()
+        self.population
     }
 
     /// The number of opinions `k`.
@@ -340,12 +399,19 @@ impl BlockCountingNetwork {
         &mut self.rng
     }
 
-    /// Resets every agent to undecided (keeping round/message counters).
+    /// Resets every agent to undecided (keeping round/message counters and
+    /// the live per-class populations — under population churn a class may
+    /// hold more or fewer agents than its initial size).
     pub fn clear_opinions(&mut self) {
+        let k = self.num_opinions();
+        let live: Vec<u64> = self
+            .counts
+            .chunks_exact(k)
+            .zip(&self.undecided)
+            .map(|(row, &u)| row.iter().sum::<u64>() + u)
+            .collect();
         self.counts.iter_mut().for_each(|c| *c = 0);
-        for (u, cls) in self.undecided.iter_mut().zip(0..) {
-            *u = self.classes.size(cls);
-        }
+        self.undecided = live;
     }
 
     /// Seeds a plurality-consensus instance: `counts[i]` agents adopt
@@ -377,10 +443,16 @@ impl BlockCountingNetwork {
                 num_nodes: self.num_nodes(),
             });
         }
-        let c = self.num_classes();
         let k = self.num_opinions();
+        // Live per-class capacities (equal to the initial class sizes
+        // except under population churn).
+        let mut free: Vec<u64> = self
+            .counts
+            .chunks_exact(k)
+            .zip(&self.undecided)
+            .map(|(row, &u)| row.iter().sum::<u64>() + u)
+            .collect();
         self.counts.iter_mut().for_each(|slot| *slot = 0);
-        let mut free: Vec<u64> = (0..c).map(|cls| self.classes.size(cls)).collect();
         for (o, &count) in counts.iter().enumerate() {
             let shares = proportional_split(&free, count as u64);
             for (cls, &share) in shares.iter().enumerate() {
@@ -428,8 +500,58 @@ impl BlockCountingNetwork {
     /// Panics if a phase is already open.
     pub fn begin_phase(&mut self) {
         assert!(!self.phase_open, "begin_phase called while a phase is open");
+        self.apply_phase_boundary();
         self.pending.iter_mut().for_each(|c| *c = 0);
         self.phase_open = true;
+    }
+
+    /// Applies the temporal phase boundary preceding the phase about to
+    /// open — the block-level mirror of the counting backend's boundary:
+    /// the scheduled-noise swap plus aggregate population churn. Because
+    /// `SimConfig` validation pins population churn to the complete
+    /// topology, churn always acts on a single degree class (`C = 1`).
+    fn apply_phase_boundary(&mut self) {
+        let Some(temporal) = self.temporal.as_mut() else {
+            return;
+        };
+        let boundary = temporal.phases_completed;
+        if let Some(s) = temporal.schedule.as_ref() {
+            self.noise = s.matrix_for(boundary, self.config.num_opinions());
+        }
+        let Some(c) = temporal.churn.as_mut() else {
+            return;
+        };
+        if boundary == 0 {
+            return;
+        }
+        debug_assert_eq!(
+            self.classes.num_classes(),
+            1,
+            "population churn is complete-topology-only, hence single-class"
+        );
+        let delta = c.spec.population_delta(self.population, boundary);
+        if delta.leavers > 0 {
+            let mut groups: Vec<u64> = self.counts.clone();
+            groups.push(self.undecided[0]);
+            let shares = proportional_split(&groups, delta.leavers as u64);
+            for (live, &share) in self.counts.iter_mut().zip(&shares) {
+                *live -= share;
+            }
+            self.undecided[0] -= shares[shares.len() - 1];
+        }
+        if delta.joiners > 0 {
+            match c.spec.join_opinion {
+                Some(opinion) => self.counts[opinion] += delta.joiners as u64,
+                None => {
+                    let weights = vec![1.0; self.counts.len()];
+                    let split = multinomial(delta.joiners as u64, &weights, &mut c.rng);
+                    for (count, j) in self.counts.iter_mut().zip(split) {
+                        *count += j;
+                    }
+                }
+            }
+        }
+        self.population = self.population - delta.leavers + delta.joiners;
     }
 
     /// Executes one synchronous round in which `senders[cls·k + i]` agents
@@ -507,19 +629,31 @@ impl BlockCountingNetwork {
     pub fn end_phase(&mut self) -> &BlockPhaseTally {
         assert!(self.phase_open, "end_phase called without an open phase");
         let k = self.num_opinions();
+        // Live class populations (= the initial class sizes except under
+        // population churn): counts only move at phase boundaries and via
+        // decision operators, never mid-phase.
+        let class_pops: Vec<usize> = self
+            .counts
+            .chunks_exact(k)
+            .zip(&self.undecided)
+            .map(|(row, &u)| (row.iter().sum::<u64>() + u) as usize)
+            .collect();
         let class_tallies = self
             .pending
             .chunks_exact(k)
             .enumerate()
             .map(|(cls, row)| {
                 let post_noise = self.noise.recolor_counts(row, &mut self.rng);
-                PhaseTally::new(post_noise, self.classes.size(cls) as usize)
+                PhaseTally::new(post_noise, class_pops[cls])
             })
             .collect();
         self.tally = BlockPhaseTally {
             classes: class_tallies,
             num_nodes: self.num_nodes(),
         };
+        if let Some(t) = self.temporal.as_mut() {
+            t.phases_completed += 1;
+        }
         self.phase_open = false;
         &self.tally
     }

@@ -2,6 +2,7 @@
 
 use crate::error::SimError;
 use crate::fault::FaultSpec;
+use crate::temporal::{ChurnSpec, ClockSpec, NoiseSchedule};
 use crate::topology::TopologySpec;
 
 /// How messages pushed during a phase are delivered to the agents.
@@ -85,6 +86,9 @@ pub struct SimConfig {
     delivery: DeliverySemantics,
     topology: TopologySpec,
     fault: FaultSpec,
+    churn: ChurnSpec,
+    schedule: NoiseSchedule,
+    clock: ClockSpec,
 }
 
 impl SimConfig {
@@ -98,6 +102,9 @@ impl SimConfig {
             delivery: DeliverySemantics::Exact,
             topology: TopologySpec::Complete,
             fault: FaultSpec::default(),
+            churn: ChurnSpec::default(),
+            schedule: NoiseSchedule::default(),
+            clock: ClockSpec::default(),
         }
     }
 
@@ -130,6 +137,21 @@ impl SimConfig {
     pub fn fault(&self) -> FaultSpec {
         self.fault
     }
+
+    /// The population/edge churn (all disabled unless overridden).
+    pub fn churn(&self) -> ChurnSpec {
+        self.churn
+    }
+
+    /// The noise schedule (`const` unless overridden).
+    pub fn schedule(&self) -> NoiseSchedule {
+        self.schedule
+    }
+
+    /// The activation clock (`sync` unless overridden).
+    pub fn clock(&self) -> ClockSpec {
+        self.clock
+    }
 }
 
 /// Builder for [`SimConfig`].
@@ -141,6 +163,9 @@ pub struct SimConfigBuilder {
     delivery: DeliverySemantics,
     topology: TopologySpec,
     fault: FaultSpec,
+    churn: ChurnSpec,
+    schedule: NoiseSchedule,
+    clock: ClockSpec,
 }
 
 impl SimConfigBuilder {
@@ -180,6 +205,35 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the population/edge churn (default [`ChurnSpec::none`], i.e.
+    /// the static-population paper model). Population churn (`join`,
+    /// `leave`, `burst`) requires the complete graph and does not
+    /// compose with crash/Byzantine/delay faults; edge churn (`rewire`)
+    /// requires a re-sampleable randomized topology (`regular(d)` or
+    /// `er(p)`) under exact delivery.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Sets the noise schedule (default [`NoiseSchedule::Const`], the
+    /// paper's constant channel). Non-constant schedules swap in the
+    /// uniform ε-noise family per phase; scheduled ε values must lie in
+    /// `(0, 1 − 1/k]` (the upper bound is checked when the backend is
+    /// built).
+    pub fn schedule(mut self, schedule: NoiseSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the activation clock (default [`ClockSpec::Sync`], the
+    /// paper's lockstep rounds). Non-`sync` clocks need the agent
+    /// backend.
+    pub fn clock(mut self, clock: ClockSpec) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -195,6 +249,13 @@ impl SimConfigBuilder {
     ///   ([`FaultSpec::check`]).
     /// * [`SimError::UnsupportedFault`] if enabled faults are combined
     ///   with a non-complete topology.
+    /// * [`SimError::InvalidTemporal`] if the churn, schedule or clock
+    ///   parameters are infeasible ([`ChurnSpec::check`],
+    ///   [`NoiseSchedule::check`], [`ClockSpec::check`]).
+    /// * [`SimError::UnsupportedTemporal`] if population churn is
+    ///   combined with a non-complete topology or with
+    ///   crash/Byzantine/delay faults, or edge churn (`rewire`) with a
+    ///   non-resampleable topology or deferred delivery.
     pub fn build(self) -> Result<SimConfig, SimError> {
         if self.num_nodes < 2 {
             return Err(SimError::TooFewNodes {
@@ -233,6 +294,53 @@ impl SimConfigBuilder {
                 context: format!("the non-complete topology {}", self.topology.label()),
             });
         }
+        self.churn.check(self.num_opinions)?;
+        self.schedule.check()?;
+        self.clock.check()?;
+        if self.churn.has_population_churn() {
+            // Join/leave/burst reshape the population; on a sparse graph
+            // that is graph surgery with no canonical semantics, and
+            // crash/Byzantine/delay faults pin per-agent identity that
+            // arrivals and departures would scramble.
+            if !self.topology.is_complete() {
+                return Err(SimError::UnsupportedTemporal {
+                    feature: "population churn".to_string(),
+                    context: format!("the non-complete topology {}", self.topology.label()),
+                });
+            }
+            if self.fault.crash.is_some()
+                || self.fault.byzantine.is_some()
+                || self.fault.delay != 0.0
+            {
+                return Err(SimError::UnsupportedTemporal {
+                    feature: "population churn".to_string(),
+                    context: format!(
+                        "the identity-pinning fault spec {}",
+                        self.fault.label()
+                    ),
+                });
+            }
+        }
+        if self.churn.has_edge_churn() {
+            if !self.topology.is_resampleable() {
+                return Err(SimError::UnsupportedTemporal {
+                    feature: "edge churn (rewire)".to_string(),
+                    context: format!(
+                        "the non-resampleable topology {}",
+                        self.topology.label()
+                    ),
+                });
+            }
+            if self.delivery != DeliverySemantics::Exact {
+                return Err(SimError::UnsupportedTemporal {
+                    feature: "edge churn (rewire)".to_string(),
+                    context: format!(
+                        "deferred delivery (process {})",
+                        self.delivery.label()
+                    ),
+                });
+            }
+        }
         Ok(SimConfig {
             num_nodes: self.num_nodes,
             num_opinions: self.num_opinions,
@@ -240,6 +348,9 @@ impl SimConfigBuilder {
             delivery: self.delivery,
             topology: self.topology,
             fault: self.fault,
+            churn: self.churn,
+            schedule: self.schedule,
+            clock: self.clock,
         })
     }
 }
@@ -377,6 +488,106 @@ mod tests {
         assert!(SimConfig::builder(10, 3)
             .topology(TopologySpec::Ring)
             .fault(FaultSpec::none())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn temporal_defaults_to_off_and_validates_at_build() {
+        use crate::temporal::BurstChurn;
+
+        let c = SimConfig::builder(10, 3).build().unwrap();
+        assert!(c.churn().is_none());
+        assert!(c.schedule().is_const());
+        assert!(c.clock().is_sync());
+
+        let churn = ChurnSpec {
+            join: 0.02,
+            leave: 0.05,
+            ..ChurnSpec::default()
+        };
+        let c = SimConfig::builder(10, 3).churn(churn).build().unwrap();
+        assert_eq!(c.churn(), churn);
+
+        // Infeasible parameters fail at build.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .churn(ChurnSpec {
+                    join: 2.0,
+                    ..ChurnSpec::default()
+                })
+                .build(),
+            Err(SimError::InvalidTemporal { .. })
+        ));
+        // Population churn is complete-graph-only.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .topology(TopologySpec::Ring)
+                .churn(churn)
+                .build(),
+            Err(SimError::UnsupportedTemporal { .. })
+        ));
+        // … and does not compose with identity-pinning faults.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .churn(churn)
+                .fault("crash(0.1@0)".parse().unwrap())
+                .build(),
+            Err(SimError::UnsupportedTemporal { .. })
+        ));
+        // Message-level faults compose fine.
+        assert!(SimConfig::builder(10, 3)
+            .churn(churn)
+            .fault("drop(0.1)+dup(0.1)".parse().unwrap())
+            .build()
+            .is_ok());
+        // Bursts validate like rates.
+        assert!(SimConfig::builder(10, 3)
+            .churn(ChurnSpec {
+                burst: Some(BurstChurn {
+                    fraction: 0.3,
+                    after_phase: 1,
+                }),
+                ..ChurnSpec::default()
+            })
+            .build()
+            .is_ok());
+
+        // Edge churn needs a resampleable topology under exact delivery.
+        let rewire = ChurnSpec {
+            rewire: 0.5,
+            ..ChurnSpec::default()
+        };
+        assert!(SimConfig::builder(10, 3)
+            .topology(TopologySpec::RandomRegular { degree: 4 })
+            .churn(rewire)
+            .build()
+            .is_ok());
+        for bad in [TopologySpec::Complete, TopologySpec::Ring] {
+            assert!(matches!(
+                SimConfig::builder(16, 3).topology(bad).churn(rewire).build(),
+                Err(SimError::UnsupportedTemporal { .. })
+            ));
+        }
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .topology(TopologySpec::RandomRegular { degree: 4 })
+                .delivery(DeliverySemantics::Poissonized)
+                .churn(rewire)
+                .build(),
+            Err(SimError::UnsupportedTemporal { .. })
+        ));
+
+        // Schedules and clocks validate their own parameters.
+        assert!(matches!(
+            SimConfig::builder(10, 3)
+                .schedule("step(1.5@0)".parse().unwrap())
+                .build(),
+            Err(SimError::InvalidTemporal { .. })
+        ));
+        assert!(SimConfig::builder(10, 3)
+            .schedule("burst(0.05@2:3)".parse().unwrap())
+            .clock("skew(0.1)".parse().unwrap())
             .build()
             .is_ok());
     }

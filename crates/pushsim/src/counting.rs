@@ -43,7 +43,7 @@ use crate::config::SimConfig;
 use crate::distribution::OpinionDistribution;
 use crate::error::SimError;
 use crate::fault::FaultSpec;
-use crate::network::{membership_count, RoundReport, FAULT_SEED_SALT};
+use crate::network::{membership_count, ChurnState, RoundReport, ScheduledNoise, FAULT_SEED_SALT};
 use crate::opinion::Opinion;
 use noisy_channel::sampling::{binomial, multinomial};
 use noisy_channel::NoiseMatrix;
@@ -251,6 +251,20 @@ impl CountingFaults {
     }
 }
 
+/// The materialized temporal state of a count-based network: churn as
+/// aggregate count transfers plus the scheduled noise swap. Built only
+/// when at least one supported temporal axis is enabled (clock skew and
+/// edge churn are rejected at construction), so temporal-off runs never
+/// touch any temporal RNG stream.
+#[derive(Debug, Clone)]
+struct CountingTemporal {
+    churn: Option<ChurnState>,
+    schedule: Option<ScheduledNoise>,
+    /// How many phases have fully ended; boundary `b` (preceding phase
+    /// `b`) is applied when this equals `b` at `begin_phase`.
+    phases_completed: u64,
+}
+
 /// Largest-remainder proportional allocation of `draw` agents over
 /// population `groups` (exact: each share never exceeds its group and the
 /// shares sum to `draw`). The count-level stand-in for drawing the faulty
@@ -311,6 +325,12 @@ pub struct CountingNetwork {
     /// in which case no fault code path is entered and no fault RNG is
     /// seeded.
     faults: Option<CountingFaults>,
+    /// Materialized temporal state; `None` when every temporal axis is
+    /// disabled, in which case no temporal code path is ever entered.
+    temporal: Option<CountingTemporal>,
+    /// The live population: `config.num_nodes()` except under population
+    /// churn, which moves it deterministically at phase boundaries.
+    population: usize,
     phase_open: bool,
     rounds_executed: u64,
     messages_sent: u64,
@@ -335,6 +355,14 @@ impl CountingNetwork {
     ///   boundary needs per-message identity, which the count-based
     ///   backend gives up (see
     ///   [`PushBackend::SUPPORTS_DELAY_FAULTS`](crate::PushBackend::SUPPORTS_DELAY_FAULTS)).
+    /// * [`SimError::UnsupportedTemporal`] if the configuration enables a
+    ///   temporal feature outside
+    ///   [`TemporalCapability::AGGREGATE`](crate::TemporalCapability::AGGREGATE):
+    ///   edge churn (`rewire`) and non-`sync` clocks need per-agent
+    ///   identity. Population churn and noise schedules are supported as
+    ///   O(k) aggregate operations.
+    /// * [`SimError::InvalidTemporal`] if a scheduled ε falls outside the
+    ///   uniform noise family's domain for the configured `k`.
     pub fn new(config: SimConfig, noise: NoiseMatrix) -> Result<Self, SimError> {
         if noise.num_opinions() != config.num_opinions() {
             return Err(SimError::NoiseDimensionMismatch {
@@ -360,7 +388,24 @@ impl CountingNetwork {
                 context: "the count-based backend".to_string(),
             });
         }
+        if let Some(feature) = <Self as crate::PushBackend>::TEMPORAL_CAPABILITY.first_unsupported(
+            &config.churn(),
+            &config.schedule(),
+            &config.clock(),
+        ) {
+            return Err(SimError::UnsupportedTemporal {
+                feature: feature.to_string(),
+                context: "the count-based backend".to_string(),
+            });
+        }
         let k = config.num_opinions();
+        let schedule = ScheduledNoise::build(config.schedule(), k, &noise)?;
+        let churn = ChurnState::build(config.churn(), config.seed());
+        let temporal = (churn.is_some() || schedule.is_some()).then_some(CountingTemporal {
+            churn,
+            schedule,
+            phases_completed: 0,
+        });
         let faults = (!config.fault().is_none()).then(|| CountingFaults {
             spec: config.fault(),
             rng: StdRng::seed_from_u64(config.seed() ^ FAULT_SEED_SALT),
@@ -381,6 +426,8 @@ impl CountingNetwork {
                 num_nodes: config.num_nodes(),
             },
             faults,
+            temporal,
+            population: config.num_nodes(),
             phase_open: false,
             rounds_executed: 0,
             messages_sent: 0,
@@ -394,9 +441,13 @@ impl CountingNetwork {
         &self.config
     }
 
-    /// The number of agents `n`.
+    /// The number of agents `n` — the **live** population: equal to
+    /// `config().num_nodes()` except under population churn, where joins
+    /// and departures at phase boundaries move it away from the initial
+    /// size (deterministically; see
+    /// [`ChurnSpec::population_after`](crate::ChurnSpec::population_after)).
     pub fn num_nodes(&self) -> usize {
-        self.config.num_nodes()
+        self.population
     }
 
     /// The number of opinions `k`.
@@ -594,15 +645,66 @@ impl CountingNetwork {
         Ok(())
     }
 
-    /// Starts a new phase.
+    /// Starts a new phase, applying the pending temporal phase boundary
+    /// (population churn as O(k) count transfers, a scheduled noise swap
+    /// — a no-op when every temporal axis is off).
     ///
     /// # Panics
     ///
     /// Panics if a phase is already open.
     pub fn begin_phase(&mut self) {
         assert!(!self.phase_open, "begin_phase called while a phase is open");
+        self.apply_phase_boundary();
         self.pending.iter_mut().for_each(|c| *c = 0);
         self.phase_open = true;
+    }
+
+    /// Applies the temporal phase boundary preceding the phase about to
+    /// open. Churn magnitudes are deterministic
+    /// ([`ChurnSpec::population_delta`](crate::ChurnSpec::population_delta));
+    /// the *composition* of the leavers is the proportional
+    /// (largest-remainder) share of every population group — the same
+    /// pinned-to-expectation count-level stand-in for a uniform
+    /// without-replacement draw that the fault pools use — while joiner
+    /// opinions are drawn from the dedicated churn RNG (a uniform
+    /// multinomial split, or the fixed adversarial opinion).
+    fn apply_phase_boundary(&mut self) {
+        let Some(temporal) = self.temporal.as_mut() else {
+            return;
+        };
+        let boundary = temporal.phases_completed;
+        if let Some(s) = temporal.schedule.as_ref() {
+            self.noise = s.matrix_for(boundary, self.config.num_opinions());
+        }
+        let Some(c) = temporal.churn.as_mut() else {
+            return;
+        };
+        if boundary == 0 {
+            return;
+        }
+        let delta = c.spec.population_delta(self.population, boundary);
+        if delta.leavers > 0 {
+            let mut groups: Vec<u64> = self.counts.clone();
+            groups.push(self.undecided);
+            let shares = proportional_split(&groups, delta.leavers as u64);
+            for (live, &share) in self.counts.iter_mut().zip(&shares) {
+                *live -= share;
+            }
+            self.undecided -= shares[shares.len() - 1];
+        }
+        if delta.joiners > 0 {
+            match c.spec.join_opinion {
+                Some(opinion) => self.counts[opinion] += delta.joiners as u64,
+                None => {
+                    let weights = vec![1.0; self.counts.len()];
+                    let split = multinomial(delta.joiners as u64, &weights, &mut c.rng);
+                    for (count, j) in self.counts.iter_mut().zip(split) {
+                        *count += j;
+                    }
+                }
+            }
+        }
+        self.population = self.population - delta.leavers + delta.joiners;
     }
 
     /// Executes one synchronous round in which `senders[i]` **live** agents
@@ -672,6 +774,9 @@ impl CountingNetwork {
                 }
             }
             f.phases_completed += 1;
+        }
+        if let Some(t) = self.temporal.as_mut() {
+            t.phases_completed += 1;
         }
         self.tally = PhaseTally {
             post_noise,

@@ -79,6 +79,25 @@ pub enum SimError {
         /// Which feature it was combined with.
         context: String,
     },
+    /// A temporal spec's parameters are infeasible (a rate outside its
+    /// range, a scheduled ε outside the uniform family's domain, a
+    /// zero-length burst window, an adversarial join opinion `>= k`).
+    InvalidTemporal {
+        /// What made the parameters infeasible.
+        reason: String,
+    },
+    /// The requested temporal feature is not supported in this
+    /// configuration: population churn is complete-graph-only and does
+    /// not compose with crash/Byzantine/delay faults, edge churn
+    /// (`rewire`) needs a re-sampleable randomized topology on the agent
+    /// backend, and clock skew needs the agent backend (see
+    /// [`TemporalCapability`](crate::TemporalCapability)).
+    UnsupportedTemporal {
+        /// The offending temporal feature's label.
+        feature: String,
+        /// Which configuration it was combined with.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -128,6 +147,15 @@ impl fmt::Display for SimError {
                 "fault spec {fault} is not supported by {context} \
                  (faults are complete-graph-only; delayed delivery needs the agent backend; \
                  the block-counting backend rejects all faults)"
+            ),
+            SimError::InvalidTemporal { reason } => {
+                write!(f, "invalid temporal spec: {reason}")
+            }
+            SimError::UnsupportedTemporal { feature, context } => write!(
+                f,
+                "{feature} is not supported by {context} \
+                 (population churn is complete-graph-only and excludes crash/byz/delay faults; \
+                 edge churn and clock skew need the agent backend)"
             ),
         }
     }

@@ -38,6 +38,15 @@ impl Inboxes {
         }
     }
 
+    /// Re-shapes the inboxes for a new number of agents (population
+    /// churn changes `n` at phase boundaries); all counts reset. Keeps
+    /// the allocation when the population shrinks.
+    pub(crate) fn resize(&mut self, num_nodes: usize) {
+        self.counts.clear();
+        self.counts.resize(num_nodes * self.num_opinions, 0);
+        self.total_messages = 0;
+    }
+
     /// Clears all counts (reused between phases to avoid reallocation).
     pub(crate) fn clear(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);

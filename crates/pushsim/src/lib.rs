@@ -117,6 +117,25 @@
 //! drawn from a dedicated seed-derived RNG, so a disabled spec keeps every
 //! RNG stream above bit-for-bit identical to the fault-free simulator.
 //!
+//! ## Temporal dynamics
+//!
+//! The paper's model is static; the [`temporal`] module makes its three
+//! frozen assumptions configurable axes. A [`ChurnSpec`] moves the
+//! *population* (fractional joins and departures at every phase boundary,
+//! a one-shot departure burst) or the *graph* (`rewire(q)` independently
+//! resamples a `regular(d)`/`er(p)` topology between phases); a
+//! [`NoiseSchedule`] moves ε over phases (`step`/`burst`/`ramp`); a
+//! [`ClockSpec`] desynchronizes the rounds themselves (`drift(ppm)` /
+//! `skew(p)` per-agent participation). What each backend supports is a
+//! static [`TemporalCapability`] — the agent backend everything, the
+//! counting backend the aggregate subset (population churn and schedules;
+//! its rounds are synchronous by construction), the block-counting
+//! backend nothing — and automatic backend selection consults it. Like
+//! faults, all temporal randomness comes from dedicated seed-salted RNGs,
+//! so `ChurnSpec::none()` + `NoiseSchedule::Const` + `ClockSpec::Sync`
+//! (the defaults) are **bit-for-bit** the static simulator (pinned by
+//! `tests/temporal_network.rs`).
+//!
 //! Protocols built on top of this crate (see the `plurality-core` crate)
 //! interact with the network through *phases*: they call
 //! [`Network::begin_phase`], then [`Network::push_round`] once per round,
@@ -164,6 +183,7 @@ mod inbox;
 mod network;
 mod opinion;
 pub mod poisson;
+pub mod temporal;
 pub mod topology;
 
 pub use backend::{AdoptionScope, PhaseObservation, PushBackend, TopologyCapability};
@@ -176,4 +196,7 @@ pub use fault::{ByzantineFault, CrashFault, FaultSpec};
 pub use inbox::Inboxes;
 pub use network::{Network, RoundReport};
 pub use opinion::{NodeState, Opinion};
+pub use temporal::{
+    BurstChurn, ChurnSpec, ClockSpec, NoiseSchedule, PopulationDelta, TemporalCapability,
+};
 pub use topology::{Topology, TopologySpec};

@@ -7,6 +7,7 @@ use crate::fault::FaultSpec;
 use crate::inbox::Inboxes;
 use crate::opinion::{NodeState, Opinion};
 use crate::poisson;
+use crate::temporal::{ChurnSpec, ClockSpec, NoiseSchedule, CHURN_SEED_SALT, CLOCK_SEED_SALT};
 use crate::topology::Topology;
 use noisy_channel::{sampling, NoiseMatrix};
 use rand::rngs::StdRng;
@@ -116,6 +117,139 @@ impl AgentFaults {
     }
 }
 
+/// Materialized churn state: the spec and its dedicated RNG. Built only
+/// when the config's [`ChurnSpec`] enables at least one churn family.
+/// Shared across backends — the count-based backends apply the same spec
+/// as aggregate count transfers.
+#[derive(Debug, Clone)]
+pub(crate) struct ChurnState {
+    pub(crate) spec: ChurnSpec,
+    pub(crate) rng: StdRng,
+}
+
+impl ChurnState {
+    /// Builds the churn state for an enabled spec; `None` when churn is
+    /// disabled (so the churn RNG is never even seeded).
+    pub(crate) fn build(spec: ChurnSpec, seed: u64) -> Option<Self> {
+        (!spec.is_none()).then(|| Self {
+            spec,
+            rng: StdRng::seed_from_u64(seed ^ CHURN_SEED_SALT),
+        })
+    }
+}
+
+/// Per-agent activation clocks. Built only when the config's
+/// [`ClockSpec`] is not `sync`.
+#[derive(Debug, Clone)]
+struct AgentClock {
+    spec: ClockSpec,
+    rng: StdRng,
+    /// Per-agent clock rates `c_i` (drift only; empty under skew).
+    rates: Vec<f64>,
+}
+
+impl AgentClock {
+    fn new(spec: ClockSpec, seed: u64, num_nodes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ CLOCK_SEED_SALT);
+        let rates = match spec {
+            ClockSpec::Drift { ppm } => {
+                let d = ppm * 1e-6;
+                (0..num_nodes).map(|_| 1.0 + rng.gen_range(-d..d)).collect()
+            }
+            ClockSpec::Sync | ClockSpec::Skew { .. } => Vec::new(),
+        };
+        Self { spec, rng, rates }
+    }
+
+    /// Draws the clock state of one freshly joined agent.
+    fn admit_joiner(&mut self) {
+        if let ClockSpec::Drift { ppm } = self.spec {
+            let d = ppm * 1e-6;
+            self.rates.push(1.0 + self.rng.gen_range(-d..d));
+        }
+    }
+
+    /// `true` if `node`'s local clock fires on global tick `tick`: under
+    /// drift, its local clock `c_i · t` crosses an integer boundary
+    /// during the tick; under skew, an independent per-tick coin.
+    fn allows(&mut self, node: usize, tick: u64) -> bool {
+        match self.spec {
+            ClockSpec::Sync => true,
+            ClockSpec::Drift { .. } => {
+                let c = self.rates[node];
+                let t = tick as f64;
+                (c * (t + 1.0)).floor() > (c * t).floor()
+            }
+            ClockSpec::Skew { miss } => !self.rng.gen_bool(miss),
+        }
+    }
+}
+
+/// A non-constant noise schedule plus the configured base matrix it
+/// restores on phases with no scheduled ε. Shared across backends.
+#[derive(Debug, Clone)]
+pub(crate) struct ScheduledNoise {
+    schedule: NoiseSchedule,
+    base: NoiseMatrix,
+}
+
+impl ScheduledNoise {
+    /// Validates and materializes a non-constant schedule for a system
+    /// with `k` opinions; `Ok(None)` for the constant schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidTemporal`] if a scheduled ε falls outside the
+    /// uniform noise family's k-dependent domain `(0, 1 − 1/k]` —
+    /// checked here, once, so phase-boundary swaps can never fail.
+    pub(crate) fn build(
+        schedule: NoiseSchedule,
+        k: usize,
+        base: &NoiseMatrix,
+    ) -> Result<Option<Self>, SimError> {
+        if schedule.is_const() {
+            return Ok(None);
+        }
+        for eps in schedule.scheduled_epsilons() {
+            NoiseMatrix::uniform(k, eps).map_err(|_| SimError::InvalidTemporal {
+                reason: format!(
+                    "scheduled epsilon {eps} is outside the uniform noise family's \
+                     domain (0, 1 - 1/k] for k = {k}"
+                ),
+            })?;
+        }
+        Ok(Some(Self {
+            schedule,
+            base: base.clone(),
+        }))
+    }
+
+    /// The noise matrix phase `phase` runs under: the scheduled uniform
+    /// ε-matrix where ε(t) is defined, the configured base otherwise.
+    pub(crate) fn matrix_for(&self, phase: u64, k: usize) -> NoiseMatrix {
+        match self.schedule.epsilon_at(phase) {
+            Some(eps) => NoiseMatrix::uniform(k, eps)
+                .expect("scheduled epsilons are validated at construction"),
+            None => self.base.clone(),
+        }
+    }
+}
+
+/// The materialized temporal state of an agent-level network. Built only
+/// when at least one temporal axis (churn, schedule, clock) is enabled,
+/// so temporal-off runs never touch any of its RNG streams and stay
+/// bit-for-bit identical to the pre-temporal simulator.
+#[derive(Debug, Clone)]
+struct AgentTemporal {
+    churn: Option<ChurnState>,
+    clock: Option<AgentClock>,
+    schedule: Option<ScheduledNoise>,
+    /// How many phases have fully ended; phase boundary `b` (which
+    /// precedes phase `b`) is applied when this equals `b` at
+    /// `begin_phase`.
+    phases_completed: u64,
+}
+
 /// The number of agents a fraction of the population rounds to.
 pub(crate) fn membership_count(fraction: f64, num_nodes: usize) -> usize {
     ((fraction * num_nodes as f64).round() as usize).min(num_nodes)
@@ -183,6 +317,11 @@ pub struct Network {
     /// all-disabled, in which case no fault code path is ever entered and
     /// no fault RNG is ever seeded.
     faults: Option<AgentFaults>,
+    /// Materialized temporal state (churn, clocks, noise schedule);
+    /// `None` when every temporal axis is disabled, in which case no
+    /// temporal code path is ever entered and no temporal RNG is ever
+    /// seeded.
+    temporal: Option<AgentTemporal>,
     phase_open: bool,
     rounds_executed: u64,
     messages_sent: u64,
@@ -228,9 +367,21 @@ impl Network {
         let topology = Topology::build(config.topology(), n, &mut topology_rng)?;
         let faults = (!config.fault().is_none())
             .then(|| AgentFaults::new(config.fault(), config.seed(), n, k));
+        let schedule = ScheduledNoise::build(config.schedule(), k, &noise)?;
+        let churn = ChurnState::build(config.churn(), config.seed());
+        let clock = (!config.clock().is_sync())
+            .then(|| AgentClock::new(config.clock(), config.seed(), n));
+        let temporal =
+            (churn.is_some() || clock.is_some() || schedule.is_some()).then_some(AgentTemporal {
+                churn,
+                clock,
+                schedule,
+                phases_completed: 0,
+            });
         Ok(Self {
             topology,
             faults,
+            temporal,
             rng: StdRng::seed_from_u64(config.seed()),
             states: vec![NodeState::Undecided; n],
             opinion_counts: vec![0; k],
@@ -250,9 +401,13 @@ impl Network {
         &self.config
     }
 
-    /// The number of agents `n`.
+    /// The number of agents `n` — the **live** population: equal to
+    /// `config().num_nodes()` except under population churn, where joins
+    /// and departures at phase boundaries move it away from the initial
+    /// size (deterministically; see
+    /// [`ChurnSpec::population_after`](crate::ChurnSpec::population_after)).
     pub fn num_nodes(&self) -> usize {
-        self.config.num_nodes()
+        self.states.len()
     }
 
     /// The number of opinions `k`.
@@ -428,15 +583,18 @@ impl Network {
         &self.inboxes
     }
 
-    /// Starts a new phase: clears every agent's inbox, then (under an
-    /// enabled `delay` fault) scatters the messages delayed out of the
-    /// previous phase into the fresh inboxes.
+    /// Starts a new phase: applies the pending temporal phase boundary
+    /// (population/edge churn, a scheduled noise swap — a no-op when
+    /// every temporal axis is off), clears every agent's inbox, then
+    /// (under an enabled `delay` fault) scatters the messages delayed out
+    /// of the previous phase into the fresh inboxes.
     ///
     /// # Panics
     ///
     /// Panics if a phase is already open.
     pub fn begin_phase(&mut self) {
         assert!(!self.phase_open, "begin_phase called while a phase is open");
+        self.apply_phase_boundary();
         self.inboxes.clear();
         self.pending.iter_mut().for_each(|c| *c = 0);
         if let Some(f) = self.faults.as_mut() {
@@ -448,13 +606,84 @@ impl Network {
         self.phase_open = true;
     }
 
+    /// Applies the temporal phase boundary preceding the phase about to
+    /// open: swaps the scheduled noise matrix in (or restores the
+    /// configured one), removes leavers, admits joiners, and — with
+    /// probability `rewire` — resamples the randomized topology. A no-op
+    /// when no temporal axis is enabled; boundary 0 (before the very
+    /// first phase) never churns.
+    fn apply_phase_boundary(&mut self) {
+        let Some(temporal) = self.temporal.as_mut() else {
+            return;
+        };
+        let boundary = temporal.phases_completed;
+        let k = self.config.num_opinions();
+        if let Some(s) = temporal.schedule.as_ref() {
+            self.noise = s.matrix_for(boundary, k);
+        }
+        let AgentTemporal { churn, clock, .. } = temporal;
+        let Some(c) = churn.as_mut() else {
+            return;
+        };
+        if boundary == 0 {
+            return;
+        }
+        if c.spec.has_population_churn() {
+            // Magnitudes are deterministic (`population_delta`); only who
+            // leaves and what joiners believe comes from the churn RNG.
+            let delta = c.spec.population_delta(self.states.len(), boundary);
+            for _ in 0..delta.leavers {
+                let victim = c.rng.gen_range(0..self.states.len());
+                match self.states.swap_remove(victim) {
+                    NodeState::Opinionated(o) => self.opinion_counts[o.index()] -= 1,
+                    NodeState::Undecided => self.undecided_count -= 1,
+                }
+                if let Some(cl) = clock.as_mut() {
+                    if !cl.rates.is_empty() {
+                        cl.rates.swap_remove(victim);
+                    }
+                }
+            }
+            for _ in 0..delta.joiners {
+                let opinion = match c.spec.join_opinion {
+                    Some(o) => o,
+                    None => c.rng.gen_range(0..k),
+                };
+                self.opinion_counts[opinion] += 1;
+                self.states.push(NodeState::Opinionated(Opinion::new(opinion)));
+                if let Some(cl) = clock.as_mut() {
+                    cl.admit_joiner();
+                }
+            }
+            if self.inboxes.num_nodes() != self.states.len() {
+                self.inboxes.resize(self.states.len());
+                // Population churn is complete-topology-only (config
+                // validation), and the complete graph's destination range
+                // is its only state — keep it in step with the live n.
+                self.topology.resize_complete(self.states.len());
+            }
+        }
+        if c.spec.has_edge_churn() && c.rng.gen_bool(c.spec.rewire) {
+            // Wholesale resample of the randomized sparse graph from the
+            // churn RNG (config validation guarantees the family is
+            // re-sampleable, so this cannot fail).
+            self.topology = Topology::build(self.config.topology(), self.states.len(), &mut c.rng)
+                .expect("topology parameters validated at construction");
+        }
+    }
+
     /// `true` if `node` never adopts an opinion under the configured
     /// faults: it is Byzantine, or it crashed in an already-ended phase.
     /// Always `false` on a fault-free network. Adoption steps
-    /// (`resolve_*`) skip frozen agents.
+    /// (`resolve_*`) skip frozen agents. (Agents admitted by churn sit
+    /// past the end of the membership vectors and are never faulty —
+    /// churn composes only with the memoryless drop/dup families.)
     pub fn fault_frozen(&self, node: usize) -> bool {
         match &self.faults {
-            Some(f) => f.byzantine[node] || (f.crashed[node] && f.crash_active()),
+            Some(f) => {
+                f.byzantine.get(node).copied().unwrap_or(false)
+                    || (f.crash_active() && f.crashed.get(node).copied().unwrap_or(false))
+            }
             None => false,
         }
     }
@@ -488,10 +717,12 @@ impl Network {
             // agents whose crash phase has ended push nothing; neither
             // consults `decide`.
             let decision = match &self.faults {
-                Some(f) if f.byzantine[node] => Some(Opinion::new(
+                Some(f) if f.byzantine.get(node).copied().unwrap_or(false) => Some(Opinion::new(
                     f.spec.byzantine.expect("byzantine pool implies a spec").opinion,
                 )),
-                Some(f) if f.crashed[node] && f.crash_active() => None,
+                Some(f) if f.crash_active() && f.crashed.get(node).copied().unwrap_or(false) => {
+                    None
+                }
                 _ => decide(node, self.states[node]),
             };
             let Some(opinion) = decision else {
@@ -501,6 +732,15 @@ impl Network {
                 opinion.index() < k,
                 "decide returned {opinion} but the system has {k} opinions"
             );
+            // Clock gate: an agent whose local clock misses this tick
+            // stays silent (the receive path is unaffected).
+            if let Some(t) = self.temporal.as_mut() {
+                if let Some(cl) = t.clock.as_mut() {
+                    if !cl.allows(node, self.rounds_executed) {
+                        continue;
+                    }
+                }
+            }
             if !self.topology.can_push(node) {
                 continue;
             }
@@ -566,6 +806,9 @@ impl Network {
         }
         if let Some(f) = self.faults.as_mut() {
             f.phases_completed += 1;
+        }
+        if let Some(t) = self.temporal.as_mut() {
+            t.phases_completed += 1;
         }
         self.phase_open = false;
         &self.inboxes

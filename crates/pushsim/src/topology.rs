@@ -129,6 +129,19 @@ impl TopologySpec {
         !matches!(self, TopologySpec::ErdosRenyi { .. })
     }
 
+    /// `true` for the randomized families (`regular(d)`, `er(p)`) whose
+    /// realizations can be resampled from a fresh RNG draw — the
+    /// families edge churn ([`ChurnSpec::rewire`](crate::ChurnSpec))
+    /// can rewire at phase boundaries. The deterministic families
+    /// (`ring`, `torus`) have a single realization and nothing to
+    /// resample; the complete graph has no materialized edges at all.
+    pub fn is_resampleable(&self) -> bool {
+        matches!(
+            self,
+            TopologySpec::RandomRegular { .. } | TopologySpec::ErdosRenyi { .. }
+        )
+    }
+
     /// The short human-readable label of the topology (identical to the
     /// `Display` form), recorded in phase snapshots and result tables.
     pub fn label(&self) -> String {
@@ -306,6 +319,17 @@ impl Topology {
     /// The family this graph was built from.
     pub fn spec(&self) -> TopologySpec {
         self.spec
+    }
+
+    /// Re-sizes a **complete** graph in place (population churn moves `n`
+    /// at phase boundaries; the complete graph stores no adjacency, so the
+    /// destination range is the only state to update).
+    pub(crate) fn resize_complete(&mut self, num_nodes: usize) {
+        debug_assert!(
+            self.is_complete(),
+            "only the adjacency-free complete graph can be resized in place"
+        );
+        self.num_nodes = num_nodes;
     }
 
     /// The number of nodes.
