@@ -30,6 +30,8 @@
 //! `benches/` holds the Criterion micro-benchmarks that document the
 //! simulator's cost model.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod registry;
 pub mod runner;

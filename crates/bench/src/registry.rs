@@ -940,6 +940,7 @@ fn run_scale(cli: &Cli) -> Result<(), Box<dyn Error>> {
         // 40% / 30% / 30%: a plurality but far from an absolute majority.
         let counts = [n * 2 / 5, n * 3 / 10, n - n * 2 / 5 - n * 3 / 10];
 
+        // xlint: allow(determinism-source) — the scale experiment reports wall-clock throughput; timing is the measurement, never an input to the run
         let start = Instant::now();
         let outcome = protocol.run_plurality_consensus_on(cli.backend_or_auto(), &counts)?;
         let elapsed = start.elapsed().as_secs_f64();

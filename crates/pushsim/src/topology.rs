@@ -624,6 +624,7 @@ fn torus_edges(n: usize) -> Vec<(u32, u32)> {
     let side = (n as f64).sqrt().round() as usize;
     debug_assert_eq!(side * side, n, "checked by TopologySpec::check");
     let mut edges = Vec::with_capacity(2 * n);
+    // xlint: allow(map-order) — dedup membership check only; edges are emitted in loop order, the set is never iterated
     let mut seen = HashSet::new();
     let id = |r: usize, c: usize| (r * side + c) as u32;
     for r in 0..side {
@@ -679,6 +680,7 @@ fn random_regular_edges(
 /// produces two fresh simple edges. Returns `false` if the iteration
 /// budget runs out (caller reshuffles and retries).
 fn swap_repair(edges: &mut [(u32, u32)], rng: &mut StdRng) -> bool {
+    // xlint: allow(map-order) — membership insert/contains/remove only; repair order comes from the `bad` Vec and the seeded RNG, the set is never iterated
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
     let mut bad: Vec<usize> = Vec::new();
     for (i, &(a, b)) in edges.iter().enumerate() {

@@ -156,7 +156,7 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
             limits.max_head
         )));
     }
-    let head = std::str::from_utf8(&buf[..head_end])
+    let head = std::str::from_utf8(buf.get(..head_end).unwrap_or_default())
         .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines
@@ -238,7 +238,7 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
             method: method.to_string(),
             path: path.to_string(),
             headers,
-            body: buf[head_end + 4..total].to_vec(),
+            body: buf.get(head_end + 4..total).unwrap_or_default().to_vec(),
             keep_alive,
         },
         consumed: total,
@@ -362,7 +362,7 @@ fn read_until(r: &mut dyn Read, buf: &mut Vec<u8>, needle: &[u8]) -> io::Result<
                 "connection closed before message completed",
             ));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
     }
 }
 
@@ -376,7 +376,7 @@ fn read_exact_into(r: &mut dyn Read, buf: &mut Vec<u8>, total: usize) -> io::Res
                 "connection closed mid-body",
             ));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
     }
     Ok(())
 }
@@ -386,7 +386,7 @@ fn read_exact_into(r: &mut dyn Read, buf: &mut Vec<u8>, total: usize) -> io::Res
 pub fn read_response(r: &mut dyn Read) -> io::Result<Response> {
     let mut buf = Vec::new();
     let head_end = read_until(r, &mut buf, b"\r\n\r\n")?;
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let head = String::from_utf8_lossy(buf.get(..head_end).unwrap_or_default()).into_owned();
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
     let status = status_line
@@ -417,7 +417,8 @@ pub fn read_response(r: &mut dyn Read) -> io::Result<Response> {
         let mut body = Vec::new();
         loop {
             let line_end = read_until(r, &mut rest, b"\r\n")?;
-            let size_line = String::from_utf8_lossy(&rest[..line_end]).into_owned();
+            let size_line =
+                String::from_utf8_lossy(rest.get(..line_end).unwrap_or_default()).into_owned();
             rest.drain(..line_end + 2);
             let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
                 io::Error::new(
@@ -425,9 +426,17 @@ pub fn read_response(r: &mut dyn Read) -> io::Result<Response> {
                     format!("malformed chunk size {size_line:?}"),
                 )
             })?;
-            read_exact_into(r, &mut rest, size + 2)?;
-            body.extend_from_slice(&rest[..size]);
-            rest.drain(..size + 2);
+            // `size` comes off the wire: a size like ffff_ffff_ffff_ffff
+            // must fail as malformed, not overflow the `+ 2` for CRLF.
+            let with_crlf = size.checked_add(2).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("chunk size {size_line:?} out of range"),
+                )
+            })?;
+            read_exact_into(r, &mut rest, with_crlf)?;
+            body.extend_from_slice(rest.get(..size).unwrap_or_default());
+            rest.drain(..with_crlf);
             if size == 0 {
                 break;
             }

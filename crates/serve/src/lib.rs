@@ -30,12 +30,19 @@
 //! `POST /v1/shutdown` when enabled) stops accepting work, drains the
 //! queue, and joins every worker.
 
+// `unsafe` is denied crate-wide and re-allowed only on the one module
+// that must declare the C `signal(2)` entry point (the offline
+// workspace carries no libc crate). xlint rule R6 checks this shape;
+// R5 requires the SAFETY comment on the block itself.
+#![deny(unsafe_code)]
+
 pub mod http;
 pub mod handler;
 pub mod loadtest;
 pub mod lru;
 pub mod queue;
 pub mod server;
+#[allow(unsafe_code)]
 pub mod signal;
 
 pub use handler::{JobHandler, Plan};

@@ -9,7 +9,7 @@
 //! server holds memory bounded by `--cache-bytes` no matter how many
 //! distinct specs it has seen.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 struct Entry<V> {
     value: V,
@@ -18,8 +18,13 @@ struct Entry<V> {
 }
 
 /// Least-recently-used cache bounded by total byte cost.
+///
+/// Both indexes are `BTreeMap`s: entry count is bounded by the byte
+/// budget, the keys are plain `u64`s, and deterministic order means
+/// nothing about the cache (stats, debug output, eviction ties) can
+/// ever depend on hash seeding.
 pub struct LruCache<V> {
-    map: HashMap<u64, Entry<V>>,
+    map: BTreeMap<u64, Entry<V>>,
     // tick -> key, ordered oldest-first; ticks are unique.
     order: BTreeMap<u64, u64>,
     tick: u64,
@@ -32,7 +37,7 @@ impl<V> LruCache<V> {
     /// budget of 0 disables caching entirely.
     pub fn new(budget: usize) -> Self {
         LruCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: BTreeMap::new(),
             tick: 0,
             bytes: 0,
@@ -81,15 +86,15 @@ impl<V> LruCache<V> {
         self.order.insert(self.tick, key);
         self.bytes += cost;
         let mut evicted = 0;
+        // The entry just inserted is the newest; the loop always
+        // terminates before evicting it because removing all others
+        // brings bytes == cost <= budget. `pop_first` keeps the loop
+        // panic-free even if the order/map indexes ever disagreed.
         while self.bytes > self.budget {
-            let (&oldest_tick, &oldest_key) =
-                self.order.iter().next().expect("over budget implies non-empty");
-            // The entry just inserted is the newest; the loop always
-            // terminates before evicting it because removing all
-            // others brings bytes == cost <= budget.
-            self.order.remove(&oldest_tick);
-            let entry = self.map.remove(&oldest_key).expect("order/map in sync");
-            self.bytes -= entry.cost;
+            let Some((_, oldest_key)) = self.order.pop_first() else { break };
+            if let Some(entry) = self.map.remove(&oldest_key) {
+                self.bytes -= entry.cost;
+            }
             evicted += 1;
         }
         evicted

@@ -8,7 +8,7 @@
 //! workers finish everything already accepted before exiting.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -50,7 +50,15 @@ impl<T> BoundedQueue<T> {
     /// Items currently waiting (not including jobs already claimed by
     /// a worker).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.lock_state().items.len()
+    }
+
+    /// Locks the queue state, recovering from a poisoned mutex: the
+    /// state is a plain FIFO whose invariants hold after any partial
+    /// mutation, so a panicking peer must not take the whole service
+    /// down with it.
+    fn lock_state(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Whether the queue is currently empty.
@@ -60,7 +68,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues without blocking; fails when full or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock_state();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -76,7 +84,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available; returns `None` once the
     /// queue has been closed **and** fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock_state();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -84,14 +92,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue poisoned");
+            state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stops accepting new items and wakes all blocked consumers;
     /// items already queued are still handed out by [`pop`](Self::pop).
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.lock_state().closed = true;
         self.available.notify_all();
     }
 }

@@ -24,11 +24,11 @@ use crate::http::{self, ChunkedWriter, Limits, Parsed, Request};
 use crate::lru::LruCache;
 use crate::queue::BoundedQueue;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -119,8 +119,13 @@ struct Job<J> {
 }
 
 impl<J> Job<J> {
-    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
-        self.state.lock().expect("job state poisoned")
+    /// Locks the job state, recovering from poison: job state moves
+    /// monotonically towards a terminal value and every transition
+    /// writes a whole variant, so the state is valid after any panic
+    /// elsewhere and refusing to serve it would only spread the
+    /// failure.
+    fn lock(&self) -> MutexGuard<'_, JobState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn set_running(&self) {
@@ -173,16 +178,16 @@ impl<J> Job<J> {
                 JobState::Queued => {}
                 JobState::Running(out) => {
                     if out.len() > offset {
-                        return (out[offset..].to_vec(), false, None);
+                        return (out.get(offset..).unwrap_or_default().to_vec(), false, None);
                     }
                 }
                 JobState::Done { out, .. } => {
-                    let chunk =
-                        if out.len() > offset { out[offset..].to_vec() } else { Vec::new() };
+                    let chunk = out.get(offset..).unwrap_or_default().to_vec();
                     return (chunk, true, None);
                 }
                 JobState::Failed { error } => return (Vec::new(), true, Some(error.clone())),
             }
+            // xlint: allow(determinism-source) — streaming deadlines are wall-clock by nature; no simulation state is derived from this read
             let now = Instant::now();
             if now >= deadline {
                 return (Vec::new(), false, None);
@@ -190,7 +195,7 @@ impl<J> Job<J> {
             let (guard, _timed_out) = self
                 .cond
                 .wait_timeout(st, deadline - now)
-                .expect("job state poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
         }
     }
@@ -224,11 +229,15 @@ impl<J> Job<J> {
     }
 }
 
+// Both job indexes are BTreeMaps: bounded by `retain_jobs`, keyed by
+// plain u64s, and deterministically ordered so nothing observable
+// (stats, retention sweeps, future debug dumps) depends on hash
+// seeding.
 struct JobTable<J> {
-    by_id: HashMap<u64, Arc<Job<J>>>,
+    by_id: BTreeMap<u64, Arc<Job<J>>>,
     /// digest -> id of a queued/running job, for coalescing identical
     /// concurrent submissions onto one execution.
-    active_by_digest: HashMap<u64, u64>,
+    active_by_digest: BTreeMap<u64, u64>,
     /// Finished job ids, oldest first, for bounded retention.
     finished: VecDeque<u64>,
 }
@@ -241,16 +250,18 @@ struct ConnTracker {
 struct ConnGuard(Arc<ConnTracker>);
 
 impl ConnTracker {
+    // Poison recovery below: the tracked value is a plain counter,
+    // valid after any panic elsewhere.
     fn enter(self: &Arc<Self>) -> ConnGuard {
-        *self.n.lock().expect("conn tracker poisoned") += 1;
+        *self.n.lock().unwrap_or_else(PoisonError::into_inner) += 1;
         ConnGuard(Arc::clone(self))
     }
 }
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        let mut n = self.0.n.lock().expect("conn tracker poisoned");
-        *n -= 1;
+        let mut n = self.0.n.lock().unwrap_or_else(PoisonError::into_inner);
+        *n = n.saturating_sub(1);
         self.0.cv.notify_all();
     }
 }
@@ -279,8 +290,19 @@ impl<H: JobHandler> Inner<H> {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Locks the job table, recovering from poison (the table's
+    /// operations never leave it half-updated across a panic point).
+    fn lock_jobs(&self) -> MutexGuard<'_, JobTable<H::Job>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Locks the cache, recovering from poison (same reasoning).
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<Cached>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn retire(&self, job: &Arc<Job<H::Job>>) {
-        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        let mut jobs = self.lock_jobs();
         if jobs.active_by_digest.get(&job.digest) == Some(&job.id) {
             jobs.active_by_digest.remove(&job.digest);
         }
@@ -295,7 +317,7 @@ impl<H: JobHandler> Inner<H> {
     fn stats_json(&self) -> String {
         let s = &self.stats;
         let (bytes, entries, budget) = {
-            let cache = self.cache.lock().expect("cache poisoned");
+            let cache = self.lock_cache();
             (cache.bytes(), cache.entries(), cache.budget())
         };
         format!(
@@ -341,8 +363,8 @@ impl Server {
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_depth),
             jobs: Mutex::new(JobTable {
-                by_id: HashMap::new(),
-                active_by_digest: HashMap::new(),
+                by_id: BTreeMap::new(),
+                active_by_digest: BTreeMap::new(),
                 finished: VecDeque::new(),
             }),
             cache: Mutex::new(LruCache::new(config.cache_bytes)),
@@ -408,9 +430,11 @@ impl<H: JobHandler> ServerHandle<H> {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // xlint: allow(determinism-source) — shutdown grace period is a real-time bound on operator-facing drain, not simulation state
         let deadline = Instant::now() + Duration::from_secs(5);
-        let mut n = self.inner.conns.n.lock().expect("conn tracker poisoned");
+        let mut n = self.inner.conns.n.lock().unwrap_or_else(PoisonError::into_inner);
         while *n > 0 {
+            // xlint: allow(determinism-source) — ditto: measuring the remaining drain budget in wall-clock time
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -420,7 +444,7 @@ impl<H: JobHandler> ServerHandle<H> {
                 .conns
                 .cv
                 .wait_timeout(n, deadline - now)
-                .expect("conn tracker poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             n = guard;
         }
     }
@@ -463,9 +487,7 @@ fn run_job<H: JobHandler>(inner: &Arc<Inner<H>>, job: &Arc<Job<H::Job>>) {
             let out = job.finish();
             let cost = out.len();
             let evicted = inner
-                .cache
-                .lock()
-                .expect("cache poisoned")
+                .lock_cache()
                 .insert(job.digest, Cached::Body(Arc::clone(&out)), cost);
             inner.stats.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
             Stats::bump(&inner.stats.completed);
@@ -485,7 +507,7 @@ fn run_cells<H: JobHandler>(
 ) -> Result<(), String> {
     for (index, &key) in cells.iter().enumerate() {
         let cached = {
-            let mut cache = inner.cache.lock().expect("cache poisoned");
+            let mut cache = inner.lock_cache();
             match cache.get(key) {
                 Some(Cached::Rows(rows)) => Some(Arc::clone(rows)),
                 // A Body under a cell key would be a digest collision
@@ -503,9 +525,7 @@ fn run_cells<H: JobHandler>(
                 let rows = Arc::new(inner.handler.run_cell(&job.payload, index)?);
                 let cost = rows_cost(&rows);
                 let evicted = inner
-                    .cache
-                    .lock()
-                    .expect("cache poisoned")
+                    .lock_cache()
                     .insert(key, Cached::Rows(Arc::clone(&rows)), cost);
                 inner.stats.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
                 rows
@@ -566,7 +586,7 @@ fn handle_connection<H: JobHandler>(inner: Arc<Inner<H>>, mut stream: TcpStream)
                 match stream.read(&mut chunk) {
                     Ok(0) => return,
                     Ok(n) => {
-                        buf.extend_from_slice(&chunk[..n]);
+                        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
                         idle_polls = 0;
                     }
                     Err(e)
@@ -648,7 +668,7 @@ fn route<H: JobHandler>(
         }
         ("POST", "/v1/runs") => submit(inner, req, stream, keep),
         ("GET", path) if path.starts_with("/v1/runs/") => {
-            let rest = &path["/v1/runs/".len()..];
+            let rest = path.get("/v1/runs/".len()..).unwrap_or_default();
             let (id_str, want_stream) = match rest.strip_suffix("/stream") {
                 Some(id) => (id, true),
                 None => (rest, false),
@@ -656,9 +676,7 @@ fn route<H: JobHandler>(
             let job = id_str
                 .parse::<u64>()
                 .ok()
-                .and_then(|id| {
-                    inner.jobs.lock().expect("job table poisoned").by_id.get(&id).cloned()
-                });
+                .and_then(|id| inner.lock_jobs().by_id.get(&id).cloned());
             let Some(job) = job else {
                 return respond(
                     stream,
@@ -730,7 +748,7 @@ fn submit<H: JobHandler>(
     };
     Stats::bump(&inner.stats.submitted);
 
-    let mut jobs = inner.jobs.lock().expect("job table poisoned");
+    let mut jobs = inner.lock_jobs();
     // Coalesce onto an identical queued/running job.
     if let Some(&id) = jobs.active_by_digest.get(&plan.digest) {
         Stats::bump(&inner.stats.coalesced);
@@ -741,7 +759,7 @@ fn submit<H: JobHandler>(
     // Content-addressed cache: answer a finished body without
     // recompute.
     let hit = {
-        let mut cache = inner.cache.lock().expect("cache poisoned");
+        let mut cache = inner.lock_cache();
         match cache.get(plan.digest) {
             Some(Cached::Body(out)) => Some(Arc::clone(out)),
             _ => None,
@@ -832,6 +850,7 @@ fn stream_job<J>(job: &Arc<Job<J>>, stream: &mut TcpStream) -> io::Result<bool> 
     )?;
     let mut offset = 0usize;
     loop {
+        // xlint: allow(determinism-source) — per-poll streaming deadline; wall-clock pacing of the chunked response, not simulation state
         let deadline = Instant::now() + Duration::from_millis(250);
         let (chunk, terminal, error) = job.await_output(offset, deadline);
         if !chunk.is_empty() {

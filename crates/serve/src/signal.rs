@@ -28,6 +28,11 @@ pub fn install() {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
     }
+    // SAFETY: `signal` is declared with the signature POSIX specifies
+    // and std already links libc on unix targets. The handler we
+    // install is async-signal-safe: `on_signal` only performs a
+    // relaxed-compatible atomic store into a `static AtomicBool`, and
+    // never allocates, locks, or calls back into Rust runtime state.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);

@@ -328,3 +328,44 @@ fn shutdown_endpoint_drains_and_rejects_new_work() {
     assert_eq!(streamed.body, expected_output("pre-shutdown"));
     handle.shutdown_and_wait();
 }
+
+/// Pins the determinism remediation: two servers driven through the
+/// same operation sequence — submissions with distinct digests, a
+/// cache budget small enough to force evictions, a replayed
+/// submission for a hit — must report byte-identical `/v1/stats`
+/// documents. With hash-ordered cache/job tables the eviction victim
+/// (and so `bytes`/`entries`/`evictions`) could vary run to run; the
+/// BTreeMap-backed tables make the whole document a pure function of
+/// the operation history.
+#[test]
+fn stats_json_identical_across_identical_runs() {
+    let run_once = || {
+        let mut config = test_config();
+        config.workers = 1; // serialize execution so counters can't race
+        config.cache_bytes = 96; // tiny budget: every body is ~48 bytes, so later inserts evict
+        let handle = start(config, Gate::new(true));
+        let addr = handle.addr();
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let resp = post(addr, "/v1/runs", &format!("job number {i}"));
+            assert_eq!(resp.status, 202, "{}", resp.text());
+            ids.push(json_u64(&resp.text(), "id"));
+        }
+        for id in ids {
+            wait_for_done(addr, id);
+        }
+        // Replay the first body: digest-identical, exercises the cache
+        // lookup path (hit or miss is decided by the eviction order,
+        // which must itself be deterministic).
+        let resp = post(addr, "/v1/runs", "job number 0");
+        assert_eq!(resp.status, 202, "{}", resp.text());
+        let id = json_u64(&resp.text(), "id");
+        wait_for_done(addr, id);
+        let stats = get(addr, "/v1/stats").text();
+        handle.shutdown_and_wait();
+        stats
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "stats document depends on something other than the op history");
+}

@@ -1,0 +1,356 @@
+//! Per-file analysis context: which crate a file belongs to, what
+//! role it plays (production vs test/bench), where its `#[cfg(test)]`
+//! regions are, and which waiver pragmas it carries.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Token, TokenKind};
+
+/// Determinism policy class of a crate, derived from its directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// Simulation stack: every scientific claim flows through here, so
+    /// clocks/entropy are forbidden even in tests.
+    Sim,
+    /// Harness code (bench driver, serve, xlint itself): may measure
+    /// wall time in production code with a written waiver.
+    Harness,
+}
+
+/// Crates whose code is part of the deterministic simulation stack.
+/// `root` covers the facade `src/` and the top-level `tests/`.
+const SIM_CRATES: [&str; 7] = ["analysis", "core", "dynamics", "lp", "noise", "pushsim", "root"];
+
+/// Crates allowed to contain `unsafe` (R6): they must carry
+/// `#![deny(unsafe_code)]` at the crate root and scope each exception
+/// with `#[allow(unsafe_code)]` on a module, every block still owing a
+/// `// SAFETY:` comment (R5). Keep this list justified:
+///
+/// * `serve` — declares the C `signal(2)` entry point directly in
+///   `signal.rs` because the offline workspace has no libc crate.
+pub const UNSAFE_ALLOWLIST: [&str; 1] = ["serve"];
+
+/// What kind of code a file holds, from its path alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library/binary source under `src/`.
+    Prod,
+    /// Integration tests, benches, examples.
+    Test,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileContext {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Crate directory name (`pushsim`, `serve`, …; `root` for the
+    /// facade `src/` and top-level `tests/`).
+    pub crate_name: String,
+    /// Policy class of the crate.
+    pub kind: CrateKind,
+    /// Production or test/bench code, from the path.
+    pub role: FileRole,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Parsed waiver pragmas.
+    pub waivers: Vec<Waiver>,
+    /// Waiver pragmas that failed to parse (reported as W1).
+    pub malformed: Vec<Diagnostic>,
+}
+
+/// One `// xlint: allow(rule, …) — reason` pragma.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Rules the pragma waives.
+    pub rules: Vec<Rule>,
+    /// The source line the waiver applies to: its own line for a
+    /// trailing pragma, the next code line for an own-line pragma.
+    pub covers_line: u32,
+    /// Where the pragma itself sits (for W2 reporting).
+    pub line: u32,
+    pub col: u32,
+    /// Set once a finding was suppressed by this waiver.
+    pub used: std::cell::Cell<bool>,
+}
+
+impl FileContext {
+    /// Builds the context for `path` (workspace-relative) from its
+    /// token stream.
+    pub fn build(path: &str, src: &str, tokens: &[Token]) -> FileContext {
+        let (crate_name, role) = classify_path(path);
+        let kind = if SIM_CRATES.contains(&crate_name.as_str()) {
+            CrateKind::Sim
+        } else {
+            CrateKind::Harness
+        };
+        let test_spans = find_cfg_test_spans(tokens, src);
+        let mut waivers = Vec::new();
+        let mut malformed = Vec::new();
+        collect_waivers(path, src, tokens, &mut waivers, &mut malformed);
+        FileContext { path: path.to_string(), crate_name, kind, role, test_spans, waivers, malformed }
+    }
+
+    /// Whether `line` is test code: a test-role file, or inside a
+    /// `#[cfg(test)]` item of a production file.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.role == FileRole::Test
+            || self.test_spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Whether a finding of `rule` at `line` is waived; marks the
+    /// waiver used.
+    pub fn waived(&self, rule: Rule, line: u32) -> bool {
+        if !rule.waivable() {
+            return false;
+        }
+        for w in &self.waivers {
+            if w.covers_line == line && w.rules.contains(&rule) {
+                w.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Splits a workspace-relative path into (crate name, role).
+fn classify_path(path: &str) -> (String, FileRole) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_name, rest): (&str, &[&str]) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => (name, rest),
+        rest => ("root", rest),
+    };
+    let role = match rest.first().copied() {
+        Some("tests" | "benches" | "examples") => FileRole::Test,
+        _ => FileRole::Prod,
+    };
+    (crate_name.to_string(), role)
+}
+
+/// Finds line spans of items annotated `#[cfg(test)]` (the
+/// conventional `mod tests { … }`, but any braced or `;`-terminated
+/// item works). Token-level: after the attribute, skip further
+/// attributes, then the span runs to the matching close brace of the
+/// first `{` — or to the first `;` seen before any `{`.
+fn find_cfg_test_spans(tokens: &[Token], src: &str) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if is_cfg_test_attr(&code, i, src) {
+            let attr_line = code[i].line;
+            // Skip to past this attribute's closing `]`.
+            let mut j = i + 2; // at `cfg`
+            let mut bracket = 1i32; // the `[` already seen
+            while j < code.len() && bracket > 0 {
+                match token_char(&code, j, src) {
+                    Some('[') => bracket += 1,
+                    Some(']') => bracket -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip any further attributes `#[…]`.
+            while j < code.len() && token_char(&code, j, src) == Some('#') {
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut entered = false;
+                while k < code.len() {
+                    match token_char(&code, k, src) {
+                        Some('[') => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        Some(']') => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                    if entered && depth == 0 {
+                        break;
+                    }
+                }
+                j = k;
+            }
+            // Find the item's extent: first `{` … matching `}`, or a
+            // `;` before any brace.
+            let mut end_line = attr_line;
+            let mut depth = 0i32;
+            let mut entered = false;
+            while j < code.len() {
+                match token_char(&code, j, src) {
+                    Some('{') => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    Some('}') => depth -= 1,
+                    Some(';') if !entered => {
+                        end_line = code[j].line;
+                        break;
+                    }
+                    _ => {}
+                }
+                end_line = code[j].line;
+                if entered && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            spans.push((attr_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn token_char(code: &[&Token], i: usize, src: &str) -> Option<char> {
+    code.get(i).and_then(|t| t.text(src).chars().next())
+}
+
+/// Matches `#[cfg(test)]` and `#[cfg(all(test, …))]` starting at
+/// `code[i] == '#'`.
+fn is_cfg_test_attr(code: &[&Token], i: usize, src: &str) -> bool {
+    let text = |k: usize| code.get(k).map(|t| t.text(src)).unwrap_or("");
+    if text(i) != "#" || text(i + 1) != "[" || text(i + 2) != "cfg" || text(i + 3) != "(" {
+        return false;
+    }
+    // Within the cfg(...) argument, a bare `test` predicate counts
+    // (covers `test` and `all(test, unix)`), but anything under a
+    // `not(…)` is skipped so `#[cfg(not(test))]` stays non-test.
+    let mut depth = 1i32;
+    let mut k = i + 4;
+    while k < code.len() && depth > 0 {
+        match text(k) {
+            "not" if text(k + 1) == "(" => {
+                let mut nd = 1i32;
+                k += 2;
+                while k < code.len() && nd > 0 {
+                    match text(k) {
+                        "(" => nd += 1,
+                        ")" => nd -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            "(" => depth += 1,
+            ")" => depth -= 1,
+            "test" => return true,
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Extracts waiver pragmas from comment tokens.
+///
+/// Grammar: the comment body must *begin* with the directive (so prose
+/// that merely mentions the syntax is not parsed), in the shape
+/// `allow(rule[, rule…]) — reason` after the `xlint:` marker. The
+/// reason — after an optional `—`/`-`/`:` separator — is mandatory
+/// and must say something (≥ 10 characters): the whole point of the
+/// pragma system is that every exception is justified where it lives.
+fn collect_waivers(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    waivers: &mut Vec<Waiver>,
+    malformed: &mut Vec<Diagnostic>,
+) {
+    for (idx, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(src);
+        // Strip the comment opener (`//`, `//!`, `/*`, …) and leading
+        // whitespace; the directive must come first.
+        let body = text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(directive) = body.strip_prefix("xlint:") else { continue };
+        let mut bad = |msg: String| {
+            malformed.push(Diagnostic {
+                file: path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: Rule::MalformedWaiver,
+                message: msg,
+            });
+        };
+        let directive = directive.trim_start();
+        let Some(rest) = directive.strip_prefix("allow") else {
+            bad(format!(
+                "unknown xlint directive {:?}; only `allow(rule, …) — reason` is supported",
+                directive.chars().take(24).collect::<String>()
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            bad("malformed waiver: expected `allow(rule, …)`".to_string());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("malformed waiver: unclosed rule list".to_string());
+            continue;
+        };
+        let (list, after) = (&rest[..close], &rest[close + 1..]);
+        let mut rules = Vec::new();
+        let mut ok = true;
+        for name in list.split(',') {
+            match Rule::parse(name) {
+                Some(r) if r.waivable() => rules.push(r),
+                Some(r) => {
+                    bad(format!("rule `{}` cannot be waived", r.name()));
+                    ok = false;
+                }
+                None => {
+                    bad(format!("unknown rule `{}` in waiver", name.trim()));
+                    ok = false;
+                }
+            }
+        }
+        if !ok || rules.is_empty() {
+            continue;
+        }
+        // Mandatory reason, after optional separator punctuation. For
+        // block comments only look at the first line of the pragma.
+        let after = after.lines().next().unwrap_or("");
+        let reason = after
+            .trim()
+            .trim_start_matches(['—', '–', '-', ':', ' '])
+            .trim_end_matches("*/")
+            .trim();
+        if reason.chars().count() < 10 {
+            bad(
+                "waiver without a written reason; append `— <why this exception is sound>`"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Trailing pragma (code precedes it on the same line) covers
+        // its own line; an own-line pragma covers the next code line.
+        let trailing = tokens[..idx].iter().any(|t| {
+            t.line == tok.line && !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+        });
+        let covers_line = if trailing {
+            tok.line
+        } else {
+            tokens[idx + 1..]
+                .iter()
+                .find(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        };
+        waivers.push(Waiver {
+            rules,
+            covers_line,
+            line: tok.line,
+            col: tok.col,
+            used: std::cell::Cell::new(false),
+        });
+    }
+}

@@ -1,0 +1,359 @@
+//! A hand-rolled, total lexer for the subset of Rust tokenization the
+//! rule engine needs.
+//!
+//! The workspace builds offline with no `syn`/`proc-macro2`/`rustc`
+//! access, so `xlint` tokenizes source itself. The lexer is *total*:
+//! it never panics and never rejects input — malformed or truncated
+//! constructs (an unterminated string, an unclosed block comment)
+//! simply extend to end-of-input. What it must get right, because the
+//! rules key off identifiers and comments, is what counts as *code*
+//! versus *text*:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as tokens so waiver pragmas can be read
+//!   from them;
+//! * string-ish literals in all their Rust forms — `"…"` with
+//!   escapes, raw strings `r"…"`/`r##"…"##` (no escapes, hash-counted
+//!   terminator), byte strings `b"…"`, raw byte strings `br#"…"#`,
+//!   and C strings `c"…"` — so that an identifier-looking word inside
+//!   a literal is never mistaken for code;
+//! * char literals `'x'`, `'\n'`, `'\u{1F600}'` versus lifetimes
+//!   `'a`, `'static`;
+//! * identifiers (keywords included; the rules match them by text),
+//!   raw identifiers `r#match`, numbers, and single-character
+//!   punctuation.
+//!
+//! Every token carries its byte span and 1-based line/column, and the
+//! spans of consecutive tokens never overlap and only ever move
+//! forward — properties the proptest suite pins down.
+
+/// What a token is; the engine mostly switches on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Numeric literal (value never needed, only its span).
+    Num,
+    /// One character of punctuation (`.`, `[`, `!`, `#`, …).
+    Punct,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting handled; unterminated runs to end of input.
+    BlockComment,
+}
+
+/// One lexed token. The text is `&src[start..end]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    /// Byte offset of the next unconsumed char.
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line started.
+    line_start: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos..).and_then(|s| s.chars().next())
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src.get(self.pos..)?.chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src.get(self.pos..)?.chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src` completely. Total: never panics, never fails;
+/// unterminated constructs extend to the end of the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src, pos: 0, line: 1, line_start: 0 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let col = cur.col();
+        let kind = match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.peek2() == Some('/') => {
+                lex_line_comment(&mut cur);
+                TokenKind::LineComment
+            }
+            '/' if cur.peek2() == Some('*') => {
+                lex_block_comment(&mut cur);
+                TokenKind::BlockComment
+            }
+            '"' => {
+                lex_string(&mut cur);
+                TokenKind::Str
+            }
+            'r' if matches!(cur.peek2(), Some('"' | '#')) && raw_string_ahead(&cur, 1) => {
+                cur.bump(); // r
+                lex_raw_string(&mut cur);
+                TokenKind::Str
+            }
+            'b' | 'c' if cur.peek2() == Some('"') => {
+                cur.bump(); // b / c
+                lex_string(&mut cur);
+                TokenKind::Str
+            }
+            'b' if cur.peek2() == Some('r') && raw_string_ahead(&cur, 2) => {
+                cur.bump(); // b
+                cur.bump(); // r
+                lex_raw_string(&mut cur);
+                TokenKind::Str
+            }
+            'b' if cur.peek2() == Some('\'') => {
+                cur.bump(); // b
+                cur.bump(); // '
+                lex_char_rest(&mut cur);
+                TokenKind::Char
+            }
+            'r' if cur.peek2() == Some('#')
+                && cur.peek3().map(is_ident_start).unwrap_or(false) =>
+            {
+                // Raw identifier r#ident.
+                cur.bump(); // r
+                cur.bump(); // #
+                lex_ident(&mut cur);
+                TokenKind::Ident
+            }
+            '\'' => lex_quote(&mut cur),
+            c if is_ident_start(c) => {
+                lex_ident(&mut cur);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokenKind::Num
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        out.push(Token { kind, start, end: cur.pos, line, col });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // /
+    cur.bump(); // *
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: runs to EOF
+        }
+    }
+}
+
+/// Cooked string body starting at the opening `"`.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // "
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Whether, `offset` chars ahead of the cursor (past a leading `r` or
+/// `br`), zero or more `#` are followed by a `"` — i.e. a raw string
+/// opener rather than `r#ident` or plain `r` as an identifier.
+fn raw_string_ahead(cur: &Cursor<'_>, offset: usize) -> bool {
+    let Some(rest) = cur.src.get(cur.pos..) else { return false };
+    let mut chars = rest.chars().skip(offset);
+    loop {
+        match chars.next() {
+            Some('#') => continue,
+            Some('"') => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Raw string with the cursor on the first `#` or the `"`.
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek() != Some('"') {
+        return; // not actually a raw string; consume nothing more
+    }
+    cur.bump(); // "
+    // Scan for `"` followed by `hashes` `#`s.
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            let Some(rest) = cur.src.get(cur.pos..) else { break };
+            let mut it = rest.chars();
+            for _ in 0..hashes {
+                if it.next() != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// After a `'`: decide char literal vs lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            lex_char_rest(cur);
+            TokenKind::Char
+        }
+        // `'x'` (any single char, multibyte included) is a char
+        // literal; `'x` followed by anything else starts a lifetime.
+        Some(c) if cur.peek2() == Some('\'') && c != '\'' => {
+            lex_char_rest(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            lex_ident(cur);
+            TokenKind::Lifetime
+        }
+        // `''` or a stray quote before punctuation: treat the quote
+        // alone as punctuation-ish; emit as Char to stay total.
+        _ => TokenKind::Char,
+    }
+}
+
+/// Body of a char literal after the opening quote (and possibly a
+/// leading escape backslash still unconsumed).
+fn lex_char_rest(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => return,
+            '\n' => return, // unterminated on this line; stop leaking
+            _ => {}
+        }
+    }
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump(); // first digit
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            // Digits, hex digits, type suffixes (0xFF, 10_000, 3usize).
+            cur.bump();
+        } else if c == '.' {
+            // Consume a decimal point only when a digit follows, so
+            // `0..n` stays `0` `.` `.` `n` and `1.5` stays one token.
+            match cur.peek2() {
+                Some(d) if d.is_ascii_digit() => {
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The `xlint` command-line driver.
+//!
+//! ```text
+//! cargo run -p xlint --                 # advisory: print findings, exit 0
+//! cargo run -p xlint -- --deny all      # CI gate: findings exit 1
+//! cargo run -p xlint -- --json          # one JSON object per finding
+//! cargo run -p xlint -- --list-rules    # rule catalogue
+//! cargo run -p xlint -- crates/serve    # restrict to given files/dirs
+//! ```
+//!
+//! Exit codes: `0` clean (or advisory mode), `1` findings under
+//! `--deny all`, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xlint::diag::ALL_RULES;
+
+/// Directories never linted: vendored shims and build output are not
+/// ours to police, and the fixture corpus exists to violate rules.
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", "fixtures", ".git", ".claude"];
+
+struct Options {
+    json: bool,
+    deny_all: bool,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { json: false, deny_all: false, list_rules: false, paths: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => match it.next().map(String::as_str) {
+                Some("all") => opts.deny_all = true,
+                other => {
+                    return Err(format!(
+                        "--deny takes `all`, got {:?}",
+                        other.unwrap_or("<nothing>")
+                    ))
+                }
+            },
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> &'static str {
+    "usage: xlint [--json] [--deny all] [--list-rules] [paths…]\n\
+     \n\
+     Lints the workspace's own Rust sources (crates/, src/, tests/;\n\
+     vendor/, target/, and fixture corpora are skipped). Without paths\n\
+     the current directory is treated as the workspace root.\n\
+     \n\
+     exit codes: 0 clean or advisory; 1 findings with --deny all; 2 usage/IO error"
+}
+
+/// Collects `.rs` files under `root`, sorted for stable output.
+fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(root)
+        .map_err(|e| format!("cannot read directory {}: {e}", root.display()))?;
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+        children.push(entry.path());
+    }
+    children.sort();
+    for child in children {
+        let name = child.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if child.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_files(&child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative, `/`-separated form of `path` that the rule
+/// policies key on.
+fn rel_path(path: &Path, cwd: &Path) -> String {
+    let rel = path.strip_prefix(cwd).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("xlint: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{:<4} {:<20} {}", rule.code(), rule.name(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let roots: Vec<PathBuf> = if opts.paths.is_empty() {
+        // Lint the workspace's own source trees, not the whole tree:
+        // this keeps accidental clutter (scratch dirs, checkouts)
+        // from breaking the gate.
+        ["crates", "src", "tests"]
+            .iter()
+            .map(|d| cwd.join(d))
+            .filter(|p| p.exists())
+            .collect()
+    } else {
+        opts.paths.clone()
+    };
+    if roots.is_empty() {
+        eprintln!("xlint: nothing to lint (no crates/, src/, or tests/ under {})", cwd.display());
+        return ExitCode::from(2);
+    }
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if let Err(msg) = collect_files(root, &mut files) {
+            eprintln!("xlint: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xlint: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        findings.extend(xlint::analyze_source(&rel_path(file, &cwd), &src));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+
+    for d in &findings {
+        if opts.json {
+            println!("{}", d.to_json());
+        } else {
+            println!("{d}");
+        }
+    }
+    eprintln!(
+        "xlint: {} finding{} across {} file{} scanned",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        scanned,
+        if scanned == 1 { "" } else { "s" },
+    );
+
+    if opts.deny_all && !findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

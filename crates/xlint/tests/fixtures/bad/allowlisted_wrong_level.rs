@@ -1,0 +1,6 @@
+//! Bad: an unsafe-allowlisted crate using `forbid` — it must use
+//! `#![deny(unsafe_code)]` with per-module `#[allow(unsafe_code)]`.
+
+#![forbid(unsafe_code)]
+
+pub mod nothing {}

@@ -1,0 +1,26 @@
+//! Bad: unseeded RNG lineage and a clock in harness production code.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn fixed_stream() -> StdRng {
+    StdRng::seed_from_u64(12345)
+}
+
+pub fn wall_clock_budget() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_seeds_in_tests_are_fine() {
+        let _ = StdRng::seed_from_u64(7);
+    }
+
+    #[test]
+    fn deadlines_in_harness_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

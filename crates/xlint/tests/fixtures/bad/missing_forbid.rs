@@ -1,0 +1,5 @@
+//! Bad: crate root without `#![forbid(unsafe_code)]`.
+
+pub fn answer() -> u32 {
+    42
+}

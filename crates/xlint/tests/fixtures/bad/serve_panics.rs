@@ -1,0 +1,19 @@
+//! Bad: panic paths in request-handling code.
+
+pub fn parse_first(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let text = std::str::from_utf8(buf).unwrap();
+    let n: u8 = text.trim().parse().expect("a number");
+    if n > 100 {
+        panic!("too big");
+    }
+    first.wrapping_add(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_in_tests_are_fine() {
+        assert_eq!(super::parse_first(b"9"), 66);
+    }
+}

@@ -1,0 +1,21 @@
+//! Bad: wall clocks and OS entropy inside a simulation crate.
+
+use std::time::Instant;
+
+pub fn timed_run() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn os_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_flagged_even_in_tests() {
+        let _ = std::time::SystemTime::now();
+    }
+}

@@ -1,0 +1,5 @@
+//! Bad: `unsafe` with no SAFETY justification.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

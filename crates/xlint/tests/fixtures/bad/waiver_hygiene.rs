@@ -1,0 +1,13 @@
+//! Bad: every way a waiver pragma can be wrong.
+
+// xlint: allow(no-such-rule) — the rule name does not exist
+pub fn a() {}
+
+// xlint: allow(determinism-source)
+pub fn b() {}
+
+// xlint: allow(forbid-coverage) — this rule is not waivable at all
+pub fn c() {}
+
+// xlint: allow(map-order) — suppresses nothing on the next line
+pub fn d() {}

@@ -1,0 +1,7 @@
+//! Good: crate root carries the forbid.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,11 @@
+//! Good: request handling that degrades instead of panicking, and a
+//! justified, waived timing site.
+
+pub fn parse_first(buf: &[u8]) -> Result<u8, String> {
+    buf.first().copied().ok_or_else(|| "empty body".to_string())
+}
+
+pub fn deadline() -> std::time::Instant {
+    // xlint: allow(determinism-source) — request deadlines are wall-clock by definition
+    std::time::Instant::now()
+}

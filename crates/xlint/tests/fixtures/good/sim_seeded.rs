@@ -1,0 +1,16 @@
+//! Good: all randomness flows from the run seed; ordered containers.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::BTreeMap;
+
+pub fn rng_for(run_seed: u64, rep: u64) -> StdRng {
+    StdRng::seed_from_u64(run_seed ^ rep.wrapping_mul(0x9e37_79b9))
+}
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,7 @@
+//! Good: the audit comment sits directly on the unsafe block.
+
+pub fn read_one(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live &u8, so the
+    // read is in-bounds and aligned for u8 (alignment 1).
+    unsafe { *p }
+}

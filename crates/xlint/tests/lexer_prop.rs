@@ -1,0 +1,158 @@
+//! Property tests for the hand-rolled lexer.
+//!
+//! The lexer is the foundation the rule engine trusts, so the
+//! properties here are its totality contract: any input lexes without
+//! panicking; token spans are in-bounds, non-overlapping, and strictly
+//! advancing; every byte between tokens is whitespace (nothing is
+//! silently dropped); and on structured "fragment soup" — raw strings
+//! with varying hash counts, nested block comments, char literals next
+//! to lifetimes — known fragment kinds come back as the right tokens.
+
+use proptest::prelude::*;
+use xlint::lexer::{lex, TokenKind};
+
+/// Checks the span invariants on one input; returns a message on the
+/// first violation.
+fn check_invariants(src: &str) -> Result<(), String> {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.start >= t.end {
+            return Err(format!("token {i} has empty span {}..{}", t.start, t.end));
+        }
+        if t.end > src.len() {
+            return Err(format!("token {i} overruns input: {}..{}", t.start, t.end));
+        }
+        if !src.is_char_boundary(t.start) || !src.is_char_boundary(t.end) {
+            return Err(format!("token {i} splits a char: {}..{}", t.start, t.end));
+        }
+        if t.start < prev_end {
+            return Err(format!("token {i} overlaps its predecessor at {}", t.start));
+        }
+        let gap = &src[prev_end..t.start];
+        if !gap.chars().all(char::is_whitespace) {
+            return Err(format!("non-whitespace bytes {gap:?} dropped before token {i}"));
+        }
+        prev_end = t.end;
+    }
+    let tail = &src[prev_end..];
+    if !tail.chars().all(char::is_whitespace) {
+        return Err(format!("non-whitespace tail {tail:?} after last token"));
+    }
+    Ok(())
+}
+
+/// Arbitrary character soup, biased towards the lexer's special
+/// characters (quotes, hashes, backslashes, comment openers) plus
+/// multibyte text the byte-offset bookkeeping must survive.
+fn char_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select("\"'\\#/r*b c\n\tXy0_€λ\u{1F600}.[](){}!".chars().collect::<Vec<_>>()),
+        0..60,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// One source fragment with the token kind its first token must have.
+fn fragment() -> impl Strategy<Value = (String, TokenKind)> {
+    let word = prop::collection::vec(
+        prop::sample::select("abcXYZ_".chars().collect::<Vec<_>>()),
+        1..6,
+    )
+    .prop_map(|cs| cs.into_iter().collect::<String>());
+    prop_oneof![
+        word.clone().prop_map(|w| (w, TokenKind::Ident)),
+        word.clone().prop_map(|w| (format!("r#{w}"), TokenKind::Ident)),
+        // Cooked strings, escapes included.
+        word.clone().prop_map(|w| (format!("\"{w}\\\"{w}\\\\\""), TokenKind::Str)),
+        // Raw strings with 0–3 hashes; body contains a lone quote when
+        // at least one hash guards the terminator.
+        (word.clone(), 0usize..4).prop_map(|(w, h)| {
+            let hashes = "#".repeat(h);
+            let body = if h > 0 { format!("{w} \" {w}") } else { w };
+            (format!("r{hashes}\"{body}\"{hashes}"), TokenKind::Str)
+        }),
+        word.clone().prop_map(|w| (format!("b\"{w}\""), TokenKind::Str)),
+        // Nested block comment.
+        word.clone().prop_map(|w| (format!("/* {w} /* {w} */ {w} */"), TokenKind::BlockComment)),
+        Just(("'x'".to_string(), TokenKind::Char)),
+        Just(("'\\n'".to_string(), TokenKind::Char)),
+        Just(("b'q'".to_string(), TokenKind::Char)),
+        word.clone().prop_map(|w| (format!("'_{w}"), TokenKind::Lifetime)),
+        (1u64..1_000_000).prop_map(|n| (format!("{n}"), TokenKind::Num)),
+        (1u64..255).prop_map(|n| (format!("{n:#x}"), TokenKind::Num)),
+        prop::sample::select(".,;()[]{}<>!#&|+-*=".chars().collect::<Vec<_>>())
+            .prop_map(|c| (c.to_string(), TokenKind::Punct)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totality on arbitrary text, the kind a corrupted file or a
+    /// half-saved editor buffer produces.
+    #[test]
+    fn arbitrary_input_lexes_clean(src in char_soup()) {
+        check_invariants(&src)?;
+    }
+
+    /// Totality on inputs rich in the multi-character constructs the
+    /// lexer special-cases: quote runs, hash fences, comment openers.
+    #[test]
+    fn adversarial_soup_lexes_clean(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "\"", "'", "\\", "r#", "r\"", "br##\"", "b'", "/*", "*/", "//",
+                "#\"", "\"#", "'a", "r#match", "0.", "..", "ident", "\n", " ",
+            ]),
+            0..40,
+        )
+    ) {
+        let src: String = parts.concat();
+        check_invariants(&src)?;
+    }
+
+    /// Well-formed fragments joined by whitespace tokenize back to
+    /// their own kinds: the lexer never misclassifies one construct's
+    /// opener as another's when they follow each other.
+    #[test]
+    fn fragment_soup_round_trips(
+        frags in prop::collection::vec(fragment(), 1..12)
+    ) {
+        let src: String = frags.iter().map(|(s, _)| s.as_str()).collect::<Vec<_>>().join(" ");
+        check_invariants(&src)?;
+        let tokens = lex(&src);
+        // Walk the fragments through the token stream: each fragment's
+        // first token starts exactly where the fragment was placed and
+        // has the expected kind.
+        let mut offset = 0usize;
+        let mut ti = 0usize;
+        for (text, kind) in &frags {
+            while tokens.get(ti).is_some_and(|t| t.start < offset) {
+                ti += 1;
+            }
+            let tok = tokens.get(ti).ok_or_else(|| format!("no token at offset {offset}"))?;
+            prop_assert_eq!(tok.start, offset, "fragment {:?} not tokenized at its offset", text);
+            prop_assert_eq!(tok.kind, *kind, "fragment {:?} misclassified as {:?}", text, tok.kind);
+            offset += text.len() + 1; // the joining space
+        }
+    }
+
+    /// Line/column bookkeeping: every token's (line, col) agrees with
+    /// an independent count over the prefix before it.
+    #[test]
+    fn positions_agree_with_prefix_count(
+        parts in prop::collection::vec(
+            prop::sample::select(vec!["ident", "\"s\"", "\n", " ", "/*b*/", "'x'", "42", "λ"]),
+            0..30,
+        )
+    ) {
+        let src: String = parts.concat();
+        for t in lex(&src) {
+            let prefix = &src[..t.start];
+            let line = prefix.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+            let col = (t.start - prefix.rfind('\n').map_or(0, |p| p + 1)) as u32 + 1;
+            prop_assert_eq!((t.line, t.col), (line, col));
+        }
+    }
+}
